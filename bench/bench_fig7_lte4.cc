@@ -1,0 +1,9 @@
+// Figure 7: Verizon LTE downlink (synthetic trace), n=4, throughput-delay
+// ellipses per scheme.
+#include "bench/cellular_common.hh"
+
+int main(int argc, char** argv) {
+  return remy::bench::run_cellular_bench(
+      argc, argv, "Figure 7: Verizon LTE downlink (synthetic), n=4",
+      remy::trace::LteModelParams::verizon(), 4, /*speedup_table=*/false);
+}

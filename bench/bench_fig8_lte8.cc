@@ -1,0 +1,9 @@
+// Figure 8: Verizon LTE downlink (synthetic trace), n=8. With higher
+// multiplexing the schemes bunch together and router-assisted ones catch up.
+#include "bench/cellular_common.hh"
+
+int main(int argc, char** argv) {
+  return remy::bench::run_cellular_bench(
+      argc, argv, "Figure 8: Verizon LTE downlink (synthetic), n=8",
+      remy::trace::LteModelParams::verizon(), 8, /*speedup_table=*/false);
+}

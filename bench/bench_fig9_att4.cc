@@ -1,0 +1,8 @@
+// Figure 9: AT&T LTE downlink (synthetic trace), n=4.
+#include "bench/cellular_common.hh"
+
+int main(int argc, char** argv) {
+  return remy::bench::run_cellular_bench(
+      argc, argv, "Figure 9: AT&T LTE downlink (synthetic), n=4",
+      remy::trace::LteModelParams::att(), 4, /*speedup_table=*/false);
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): the simulator event loop, whisker
+// lookup, CoDel, the LTE trace generator, and one Remy evaluator step —
+// the costs behind the paper's "a few hours of wall-clock time
+// (one or two CPU-weeks)" search budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aqm/codel.hh"
+#include "aqm/droptail.hh"
+#include "cc/newreno.hh"
+#include "core/evaluator.hh"
+#include "core/remy_sender.hh"
+#include "sim/dumbbell.hh"
+#include "trace/lte_model.hh"
+
+using namespace remy;
+
+namespace {
+
+void BM_DumbbellSimulatedSecond(benchmark::State& state) {
+  const auto senders = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::DumbbellConfig cfg;
+    cfg.num_senders = senders;
+    cfg.link_mbps = 15.0;
+    cfg.rtt_ms = 150.0;
+    cfg.seed = 1;
+    cfg.workload = sim::OnOffConfig::always_on();
+    cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+    sim::Dumbbell net{cfg, [](sim::FlowId) { return std::make_unique<cc::NewReno>(); }};
+    net.run_for_seconds(1.0);
+    benchmark::DoNotOptimize(net.metrics_raw().total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_WhiskerLookup(benchmark::State& state) {
+  core::WhiskerTree tree;
+  util::Rng rng{5};
+  for (int i = 0; i < 4; ++i) {
+    tree.split(rng.uniform_int(0, tree.num_whiskers() - 1),
+               core::Memory{rng.uniform(0, 16384), rng.uniform(0, 16384),
+                            rng.uniform(0, 16384)},
+               0);
+  }
+  core::Memory probe{100.0, 80.0, 1.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&tree.lookup(probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WhiskerLookup);
+
+void BM_CodelEnqueueDequeue(benchmark::State& state) {
+  aqm::Codel q{};
+  sim::TimeMs now = 0.0;
+  for (auto _ : state) {
+    now += 0.1;
+    sim::Packet p;
+    q.enqueue(std::move(p), now);
+    benchmark::DoNotOptimize(q.dequeue(now + 0.2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CodelEnqueueDequeue);
+
+void BM_LteTraceGeneration(benchmark::State& state) {
+  const auto params = trace::LteModelParams::verizon();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::generate_lte_trace(params, 10'000.0, util::Rng{seed++}));
+  }
+}
+BENCHMARK(BM_LteTraceGeneration);
+
+void BM_RemyEvaluatorSpecimen(benchmark::State& state) {
+  // One inner-loop unit of Remy's search: simulate one sampled network.
+  core::ConfigRange range = core::ConfigRange::paper_general(1.0);
+  core::EvaluatorOptions opt;
+  opt.num_specimens = 1;
+  opt.simulation_ms = 5000.0;
+  opt.seed = 3;
+  core::Evaluator eval{range, opt};
+  core::WhiskerTree tree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(tree).score);
+  }
+}
+BENCHMARK(BM_RemyEvaluatorSpecimen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared setup for the cellular (LTE) experiments of Figs. 7-9 and Table 2:
+// a trace-driven bottleneck with a synthetic LTE downlink trace (the
+// documented substitute for the paper's proprietary recordings), RTT 50 ms,
+// 1000-packet tail-drop buffer, exp(100 kB) transfers / exp(0.5 s) off.
+#pragma once
+
+#include "aqm/droptail.hh"
+#include "bench/harness.hh"
+#include "trace/lte_model.hh"
+#include "trace/trace_link.hh"
+#include "workload/distributions.hh"
+
+namespace remy::bench {
+
+inline Scenario cellular_scenario(const trace::LteModelParams& params,
+                                  std::size_t num_senders,
+                                  std::uint64_t trace_seed) {
+  Scenario scenario;
+  scenario.base.num_senders = num_senders;
+  scenario.base.rtt_ms = 50.0;
+  scenario.base.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::exponential(100e3),
+      workload::Distribution::exponential(500.0));
+  scenario.duration_s = 40.0;
+  scenario.runs = 8;
+  // The paper replays the *same* trace across schemes; we pre-generate one
+  // long trace per bench invocation and replay it cyclically, so every
+  // scheme and run sees identical link behavior shifted only by the
+  // workload seed. The scheme's own queue discipline (sfqCoDel, XCP, ...)
+  // attaches to the trace link.
+  auto trace = std::make_shared<trace::Trace>(trace::generate_lte_trace(
+      params, /*duration_ms=*/300'000.0, util::Rng{trace_seed}));
+  scenario.default_queue = [] { return std::make_unique<aqm::DropTail>(1000); };
+  scenario.make_bottleneck =
+      [trace](std::unique_ptr<sim::QueueDisc> queue,
+              sim::PacketSink* downstream) -> std::unique_ptr<sim::Bottleneck> {
+    return std::make_unique<trace::TraceLink>(*trace, std::move(queue),
+                                              downstream);
+  };
+  return scenario;
+}
+
+inline int run_cellular_bench(int argc, char** argv, const char* title,
+                              const trace::LteModelParams& params,
+                              std::size_t num_senders, bool speedup_table) {
+  const util::Cli cli{argc, argv};
+  Scenario scenario = cellular_scenario(
+      params, num_senders,
+      static_cast<std::uint64_t>(cli.get("trace-seed", std::int64_t{777})));
+  apply_cli(cli, scenario);
+  print_banner(title, scenario);
+  std::vector<SchemeSummary> results;
+  for (const auto& scheme : filter_schemes(cli, paper_schemes())) {
+    results.push_back(run_scheme(scenario, scheme));
+  }
+  print_throughput_delay(results, 1.0);
+  if (speedup_table) print_speedups(results, "remy-d1");
+  return 0;
+}
+
+}  // namespace remy::bench

@@ -1,0 +1,202 @@
+#include "bench/harness.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "aqm/droptail.hh"
+#include "aqm/sfq_codel.hh"
+#include "aqm/xcp_router.hh"
+#include "cc/compound.hh"
+#include "cc/cubic.hh"
+#include "cc/newreno.hh"
+#include "cc/vegas.hh"
+#include "cc/xcp_sender.hh"
+#include "core/remy_sender.hh"
+#include "util/stats.hh"
+
+namespace remy::bench {
+
+std::shared_ptr<const core::WhiskerTree> load_table(const std::string& name) {
+  const std::string path =
+      std::string{REMY_DATA_DIR} + "/remycc/" + name + ".json";
+  if (std::filesystem::exists(path)) {
+    return std::make_shared<const core::WhiskerTree>(
+        core::WhiskerTree::load(path));
+  }
+  std::fprintf(stderr,
+               "warning: %s not found; using the untrained single-rule table "
+               "(run examples/train_remycc to regenerate)\n",
+               path.c_str());
+  return std::make_shared<const core::WhiskerTree>();
+}
+
+std::vector<Scheme> paper_schemes(std::size_t queue_capacity) {
+  std::vector<Scheme> schemes;
+  schemes.push_back({"newreno", [] { return std::make_unique<cc::NewReno>(); }, {}});
+  schemes.push_back({"vegas", [] { return std::make_unique<cc::Vegas>(); }, {}});
+  schemes.push_back({"cubic", [] { return std::make_unique<cc::Cubic>(); }, {}});
+  schemes.push_back(
+      {"compound", [] { return std::make_unique<cc::Compound>(); }, {}});
+  schemes.push_back({"cubic-sfqcodel",
+                     [] { return std::make_unique<cc::Cubic>(); },
+                     [queue_capacity] {
+                       aqm::SfqCodelParams p;
+                       p.capacity_packets = queue_capacity;
+                       return std::make_unique<aqm::SfqCodel>(p);
+                     }});
+  schemes.push_back({"xcp", [] { return std::make_unique<cc::XcpSender>(); },
+                     [queue_capacity] {
+                       aqm::XcpParams p;
+                       p.capacity_packets = queue_capacity;
+                       return std::make_unique<aqm::XcpRouter>(p);
+                     }});
+  for (const char* delta : {"0.1", "1", "10"}) {
+    auto table = load_table(std::string{"delta"} + delta);
+    schemes.push_back({std::string{"remy-d"} + delta,
+                       [table] { return std::make_unique<core::RemySender>(table); },
+                       {}});
+  }
+  return schemes;
+}
+
+double SchemeSummary::median_throughput() const {
+  std::vector<double> v;
+  for (const auto& p : points) v.push_back(p.throughput_mbps);
+  return v.empty() ? 0.0 : util::median(std::move(v));
+}
+
+double SchemeSummary::median_delay() const {
+  std::vector<double> v;
+  for (const auto& p : points) v.push_back(p.queue_delay_ms);
+  return v.empty() ? 0.0 : util::median(std::move(v));
+}
+
+double SchemeSummary::mean_throughput() const {
+  util::Running r;
+  for (const auto& p : points) r.add(p.throughput_mbps);
+  return r.mean();
+}
+
+double SchemeSummary::mean_rtt() const {
+  util::Running r;
+  for (const auto& p : points) r.add(p.rtt_ms);
+  return r.mean();
+}
+
+double SchemeSummary::median_rtt() const {
+  std::vector<double> v;
+  for (const auto& p : points) v.push_back(p.rtt_ms);
+  return v.empty() ? 0.0 : util::median(std::move(v));
+}
+
+SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
+  SchemeSummary out;
+  out.scheme = scheme.name;
+  for (std::size_t run = 0; run < scenario.runs; ++run) {
+    sim::DumbbellConfig cfg = scenario.base;
+    cfg.seed = scenario.seed0 + run;
+    const auto make_queue = [&]() -> std::unique_ptr<sim::QueueDisc> {
+      if (scheme.make_queue) return scheme.make_queue();
+      if (scenario.default_queue) return scenario.default_queue();
+      return std::make_unique<aqm::DropTail>(1000);
+    };
+    if (scenario.make_bottleneck) {
+      const auto& build = scenario.make_bottleneck;
+      cfg.bottleneck_factory = [&build, &make_queue](sim::PacketSink* down) {
+        return build(make_queue(), down);
+      };
+    } else if (!cfg.bottleneck_factory) {
+      cfg.queue_factory = make_queue;
+    }
+    sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
+    net.run_for_seconds(scenario.duration_s);
+    const sim::MetricsHub& metrics = net.metrics();
+    for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
+      const sim::FlowStats& fs = metrics.flow(f);
+      if (fs.on_time_ms <= 0.0) continue;  // never participated
+      out.points.push_back(Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
+                                 fs.avg_rtt_ms()});
+    }
+  }
+  return out;
+}
+
+void apply_cli(const util::Cli& cli, Scenario& scenario) {
+  if (cli.get("full", false)) {
+    scenario.runs = 128;
+    scenario.duration_s = 100.0;
+  }
+  scenario.runs = static_cast<std::size_t>(
+      cli.get("runs", static_cast<std::int64_t>(scenario.runs)));
+  scenario.duration_s = cli.get("duration", scenario.duration_s);
+}
+
+std::vector<Scheme> filter_schemes(const util::Cli& cli,
+                                   std::vector<Scheme> all) {
+  const std::string only = cli.get("scheme", std::string{});
+  if (only.empty()) return all;
+  std::vector<Scheme> out;
+  for (auto& s : all) {
+    if (s.name == only) out.push_back(std::move(s));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "unknown --scheme %s\n", only.c_str());
+  }
+  return out;
+}
+
+void print_banner(const std::string& experiment, const Scenario& scenario) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("   %zu senders, %zu runs x %.0f s, seed0=%llu\n",
+              scenario.base.num_senders, scenario.runs, scenario.duration_s,
+              static_cast<unsigned long long>(scenario.seed0));
+}
+
+void print_throughput_delay(const std::vector<SchemeSummary>& results,
+                            double k_sigma) {
+  std::printf("%-16s %10s %12s %28s %8s\n", "scheme", "tput(Mbps)",
+              "qdelay(ms)", "ellipse(semi-major/minor,deg)", "points");
+  for (const auto& r : results) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& p : r.points) {
+      // The paper plots log-scale delay; fit the ellipse in plot space.
+      xs.push_back(std::log2(std::max(p.queue_delay_ms, 1e-3)));
+      ys.push_back(p.throughput_mbps);
+    }
+    const util::Ellipse2D e = util::fit_ellipse(xs, ys);
+    const auto axes = e.axes(k_sigma);
+    std::printf("%-16s %10.3f %12.2f %15.2f/%-6.2f %6.1f %8zu\n",
+                r.scheme.c_str(), r.median_throughput(), r.median_delay(),
+                axes.semi_major, axes.semi_minor,
+                axes.angle_rad * 180.0 / 3.14159265358979, r.points.size());
+  }
+}
+
+void print_speedups(const std::vector<SchemeSummary>& results,
+                    const std::string& reference_scheme) {
+  const SchemeSummary* ref = nullptr;
+  for (const auto& r : results) {
+    if (r.scheme == reference_scheme) ref = &r;
+  }
+  if (ref == nullptr) {
+    std::printf("(reference scheme %s missing; no speedup table)\n",
+                reference_scheme.c_str());
+    return;
+  }
+  std::printf("\nvs %s:\n", reference_scheme.c_str());
+  std::printf("%-16s %16s %22s\n", "protocol", "median speedup",
+              "median delay reduction");
+  for (const auto& r : results) {
+    if (r.scheme == reference_scheme) continue;
+    const double speedup =
+        r.median_throughput() > 0 ? ref->median_throughput() / r.median_throughput()
+                                  : 0.0;
+    const double delay_red =
+        ref->median_delay() > 0 ? r.median_delay() / ref->median_delay() : 0.0;
+    std::printf("%-16s %15.2fx %21.2fx\n", r.scheme.c_str(), speedup, delay_red);
+  }
+}
+
+}  // namespace remy::bench

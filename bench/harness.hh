@@ -1,0 +1,99 @@
+// Shared experiment harness for the per-table / per-figure benchmarks.
+//
+// Runs a scenario (dumbbell or cellular trace link) N times per scheme with
+// different seeds, collects per-sender (throughput, queueing delay) points,
+// and prints the paper's summaries: medians, k-sigma Gaussian ellipses, and
+// speedup tables against a reference scheme.
+//
+// Every bench accepts:  --runs N  --duration SECONDS  --full (128 x 100 s,
+// the paper's scale)  --scheme NAME (restrict to one scheme).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/whisker_tree.hh"
+#include "sim/dumbbell.hh"
+#include "util/cli.hh"
+
+namespace remy::bench {
+
+/// One scheme entry: sender factory + bottleneck queue for the scheme
+/// (Cubic-over-sfqCoDel and XCP bring their own gateway).
+struct Scheme {
+  std::string name;
+  std::function<std::unique_ptr<sim::Sender>()> make_sender;
+  /// Empty: use the scenario's default queue (DropTail).
+  std::function<std::unique_ptr<sim::QueueDisc>()> make_queue;
+};
+
+/// Loads a trained RemyCC table from data/remycc/<name>.json, or returns
+/// the default single-rule table (with a warning) when missing.
+std::shared_ptr<const core::WhiskerTree> load_table(const std::string& name);
+
+/// The paper's standard scheme set: NewReno, Vegas, Cubic, Compound,
+/// Cubic-over-sfqCoDel, XCP, and the three general-purpose RemyCCs.
+std::vector<Scheme> paper_schemes(std::size_t queue_capacity_packets = 1000);
+
+/// Per-sender observation from one run.
+struct Point {
+  double throughput_mbps = 0.0;
+  double queue_delay_ms = 0.0;
+  double rtt_ms = 0.0;
+};
+
+struct SchemeSummary {
+  std::string scheme;
+  std::vector<Point> points;  ///< one per sender per run
+
+  double median_throughput() const;
+  double median_delay() const;
+  double mean_throughput() const;
+  double mean_rtt() const;
+  double median_rtt() const;
+};
+
+/// Scenario: everything but the scheme.
+struct Scenario {
+  sim::DumbbellConfig base;          ///< queue_factory is overridden per scheme
+  double duration_s = 100.0;
+  std::size_t runs = 16;
+  std::uint64_t seed0 = 1000;
+  std::function<std::unique_ptr<sim::QueueDisc>()> default_queue;
+  /// Custom bottleneck builder (e.g. a trace-driven cellular link) that
+  /// still honors the scheme's queue discipline. When set, it wins over
+  /// base.bottleneck_factory / queue factories.
+  std::function<std::unique_ptr<sim::Bottleneck>(
+      std::unique_ptr<sim::QueueDisc>, sim::PacketSink*)>
+      make_bottleneck;
+};
+
+/// Runs one scheme over all seeds; returns the pooled per-sender points.
+SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme);
+
+/// Applies --runs/--duration/--full to a scenario.
+void apply_cli(const util::Cli& cli, Scenario& scenario);
+
+/// Filters schemes by --scheme, if given.
+std::vector<Scheme> filter_schemes(const util::Cli& cli, std::vector<Scheme> all);
+
+// ---- printing helpers ------------------------------------------------------
+
+/// Header block naming the experiment.
+void print_banner(const std::string& experiment, const Scenario& scenario);
+
+/// The throughput-delay table of a Fig. 4-style plot: median point and
+/// k-sigma ellipse per scheme (series for gnuplot-style consumption).
+void print_throughput_delay(const std::vector<SchemeSummary>& results,
+                            double k_sigma);
+
+/// The Table-1-style "median speedup / median delay reduction vs reference"
+/// block. Reference is typically the delta=0.1 RemyCC.
+void print_speedups(const std::vector<SchemeSummary>& results,
+                    const std::string& reference_scheme);
+
+}  // namespace remy::bench

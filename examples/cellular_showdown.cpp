@@ -1,0 +1,90 @@
+// Domain example: congestion control on a time-varying cellular downlink.
+//
+// Generates a synthetic LTE trace (Verizon-like preset), then runs a chosen
+// scheme over it and reports throughput/delay — the paper's Sec. 5.3
+// "model mismatch" scenario in miniature. Optionally writes the trace to a
+// file so the experiment is exactly repeatable elsewhere.
+//
+//   ./cellular_showdown --scheme cubic --senders 4 --seconds 30
+//   ./cellular_showdown --scheme remy --table data/remycc/delta1.json
+//   ./cellular_showdown --save-trace verizon.trace
+#include <cstdio>
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "cc/cubic.hh"
+#include "cc/newreno.hh"
+#include "cc/vegas.hh"
+#include "core/remy_sender.hh"
+#include "sim/dumbbell.hh"
+#include "trace/lte_model.hh"
+#include "trace/trace_link.hh"
+#include "util/cli.hh"
+#include "workload/distributions.hh"
+
+using namespace remy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const std::string scheme = cli.get("scheme", std::string{"cubic"});
+  const auto senders = static_cast<std::size_t>(cli.get("senders", std::int64_t{4}));
+  const double seconds = cli.get("seconds", 30.0);
+  const std::string carrier = cli.get("carrier", std::string{"verizon"});
+
+  const trace::LteModelParams params = carrier == "att"
+                                           ? trace::LteModelParams::att()
+                                           : trace::LteModelParams::verizon();
+  const trace::Trace lte = trace::generate_lte_trace(
+      params, (seconds + 10.0) * 1000.0,
+      util::Rng{static_cast<std::uint64_t>(cli.get("trace-seed", std::int64_t{7}))});
+  std::printf("%s-like LTE trace: %.1f Mbps long-term average, %zu opportunities\n",
+              carrier.c_str(), lte.average_rate_mbps(), lte.size());
+  const std::string save = cli.get("save-trace", std::string{});
+  if (!save.empty()) {
+    lte.to_file(save);
+    std::printf("trace written to %s\n", save.c_str());
+  }
+
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.rtt_ms = cli.get("rtt", 50.0);
+  cfg.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+  cfg.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::exponential(100e3),
+      workload::Distribution::exponential(500.0));
+  cfg.bottleneck_factory = [&lte](sim::PacketSink* down) {
+    return std::make_unique<trace::TraceLink>(
+        lte, std::make_unique<aqm::DropTail>(1000), down);
+  };
+
+  std::shared_ptr<const core::WhiskerTree> table;
+  sim::SenderFactory factory;
+  if (scheme == "remy") {
+    const std::string path =
+        cli.get("table", std::string{REMY_DATA_DIR} + "/remycc/delta1.json");
+    table = std::make_shared<const core::WhiskerTree>(core::WhiskerTree::load(path));
+    factory = [&table](sim::FlowId) { return std::make_unique<core::RemySender>(table); };
+  } else if (scheme == "cubic") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::Cubic>(); };
+  } else if (scheme == "newreno") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::NewReno>(); };
+  } else if (scheme == "vegas") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::Vegas>(); };
+  } else {
+    std::fprintf(stderr, "unknown scheme %s\n", scheme.c_str());
+    return 1;
+  }
+
+  sim::Dumbbell net{cfg, factory};
+  net.run_for_seconds(seconds);
+
+  std::printf("\nscheme=%s on %s LTE downlink, %zu senders, %g s\n",
+              scheme.c_str(), carrier.c_str(), senders, seconds);
+  std::printf("%6s %12s %14s %10s\n", "flow", "tput(Mbps)", "qdelay(ms)", "rtt(ms)");
+  for (sim::FlowId f = 0; f < senders; ++f) {
+    const auto& fs = net.metrics().flow(f);
+    std::printf("%6u %12.3f %14.1f %10.1f\n", f, fs.throughput_mbps(),
+                fs.avg_queue_delay_ms(), fs.avg_rtt_ms());
+  }
+  return 0;
+}

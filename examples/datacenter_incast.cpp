@@ -1,0 +1,88 @@
+// Domain example: the datacenter scenario of Sec. 5.5. Sixty-four senders
+// share a 10 Gbps link with a 4 ms RTT; compare DCTCP over an ECN-marking
+// gateway with a RemyCC (trained for minimum potential delay) over DropTail.
+//
+//   ./datacenter_incast --seconds 2
+//   ./datacenter_incast --scheme dctcp --senders 32
+#include <cstdio>
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "aqm/ecn_threshold.hh"
+#include "cc/dctcp.hh"
+#include "core/remy_sender.hh"
+#include "sim/dumbbell.hh"
+#include "util/cli.hh"
+#include "util/stats.hh"
+#include "workload/distributions.hh"
+
+using namespace remy;
+
+namespace {
+
+void report(const char* name, sim::Dumbbell& net, std::size_t senders) {
+  util::Running tput;
+  util::Running rtt;
+  for (sim::FlowId f = 0; f < senders; ++f) {
+    const auto& fs = net.metrics().flow(f);
+    if (fs.on_time_ms <= 0.0) continue;
+    tput.add(fs.throughput_mbps());
+    if (fs.rtt_samples > 0) rtt.add(fs.avg_rtt_ms());
+  }
+  std::printf("%-16s mean tput %7.0f Mbps   mean rtt %6.2f ms   drops %llu\n",
+              name, tput.mean(), rtt.mean(),
+              static_cast<unsigned long long>(net.bottleneck().queue().drops()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const auto senders = static_cast<std::size_t>(cli.get("senders", std::int64_t{64}));
+  const double seconds = cli.get("seconds", 2.0);
+  const std::string only = cli.get("scheme", std::string{});
+
+  cc::TransportConfig tc;
+  tc.min_rto_ms = 10.0;  // datacenter-appropriate timeout floor
+
+  const auto scenario = [&](auto queue_factory, const sim::SenderFactory& make) {
+    sim::DumbbellConfig cfg;
+    cfg.num_senders = senders;
+    cfg.link_mbps = 10000.0;
+    cfg.rtt_ms = 4.0;
+    cfg.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{2}));
+    cfg.workload = sim::OnOffConfig::by_bytes(
+        workload::Distribution::exponential(20e6),
+        workload::Distribution::exponential(100.0));
+    cfg.queue_factory = queue_factory;
+    auto net = std::make_unique<sim::Dumbbell>(cfg, make);
+    net->run_for_seconds(seconds);
+    return net;
+  };
+
+  std::printf("datacenter: 10 Gbps, RTT 4 ms, n=%zu, exp(20MB) transfers\n\n",
+              senders);
+  if (only.empty() || only == "dctcp") {
+    auto net = scenario([] { return std::make_unique<aqm::EcnThreshold>(65, 1000); },
+                        [&](sim::FlowId) { return std::make_unique<cc::Dctcp>(tc); });
+    report("dctcp (ECN)", *net, senders);
+  }
+  if (only.empty() || only == "remy") {
+    const std::string path =
+        cli.get("table", std::string{REMY_DATA_DIR} + "/remycc/datacenter.json");
+    std::shared_ptr<const core::WhiskerTree> table;
+    try {
+      table = std::make_shared<const core::WhiskerTree>(core::WhiskerTree::load(path));
+    } catch (const std::exception&) {
+      std::printf("(no trained datacenter table at %s; using default rule)\n",
+                  path.c_str());
+      table = std::make_shared<const core::WhiskerTree>();
+    }
+    auto net = scenario([] { return std::make_unique<aqm::DropTail>(1000); },
+                        [&](sim::FlowId) {
+                          return std::make_unique<core::RemySender>(table, tc);
+                        });
+    report("remy (DropTail)", *net, senders);
+  }
+  return 0;
+}

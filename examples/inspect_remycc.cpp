@@ -1,0 +1,38 @@
+// Prints a RemyCC rule table in human-readable form — the paper's Sec. 6
+// notes that "digging through the dozens of rules in a RemyCC ... is a
+// challenging job in reverse-engineering"; this is the shovel.
+//
+//   ./inspect_remycc data/remycc/delta1.json
+//   ./inspect_remycc --probe "ack_ewma,send_ewma,rtt_ratio" table.json
+#include <cstdio>
+#include <sstream>
+
+#include "core/whisker_tree.hh"
+#include "util/cli.hh"
+
+using namespace remy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "usage: %s [--probe a,s,r] <rule-table.json>\n",
+                 cli.program().c_str());
+    return 1;
+  }
+  const core::WhiskerTree tree = core::WhiskerTree::load(cli.positional()[0]);
+  std::printf("%s", tree.describe().c_str());
+
+  const std::string probe = cli.get("probe", std::string{});
+  if (!probe.empty()) {
+    std::istringstream in{probe};
+    double a = 0;
+    double s = 0;
+    double r = 0;
+    char comma = 0;
+    in >> a >> comma >> s >> comma >> r;
+    const core::Memory m{a, s, r};
+    const core::Whisker& w = tree.lookup(m);
+    std::printf("\nprobe %s -> %s\n", m.describe().c_str(), w.describe().c_str());
+  }
+  return 0;
+}

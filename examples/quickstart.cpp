@@ -1,0 +1,96 @@
+// Quickstart: simulate a shared bottleneck with a classic TCP and with a
+// RemyCC, and print the paper's two metrics (throughput, queueing delay)
+// for each sender.
+//
+//   ./quickstart [--scheme newreno|cubic|vegas|compound|remy]
+//                [--senders 8] [--mbps 15] [--rtt 150] [--seconds 30]
+//                [--table path/to/remycc.json]
+#include <cstdio>
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "cc/cubic.hh"
+#include "cc/compound.hh"
+#include "cc/newreno.hh"
+#include "cc/vegas.hh"
+#include "core/remy_sender.hh"
+#include "core/whisker_tree.hh"
+#include "sim/dumbbell.hh"
+#include "util/cli.hh"
+#include "workload/distributions.hh"
+
+namespace {
+
+using namespace remy;
+
+std::shared_ptr<const core::WhiskerTree> load_table(const std::string& path) {
+  if (!path.empty()) {
+    return std::make_shared<const core::WhiskerTree>(core::WhiskerTree::load(path));
+  }
+  // No trained table: fall back to the paper's initial single-rule table.
+  return std::make_shared<const core::WhiskerTree>();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const std::string scheme = cli.get("scheme", std::string{"newreno"});
+  const auto senders = static_cast<std::size_t>(cli.get("senders", std::int64_t{8}));
+  const double mbps = cli.get("mbps", 15.0);
+  const double rtt = cli.get("rtt", 150.0);
+  const double seconds = cli.get("seconds", 30.0);
+  const std::string table_path = cli.get("table", std::string{});
+
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.link_mbps = mbps;
+  cfg.rtt_ms = rtt;
+  cfg.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{42}));
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  // The paper's Fig. 4 workload: 100 kB mean transfers, 0.5 s mean off time.
+  cfg.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::exponential(100e3),
+      workload::Distribution::exponential(500.0));
+
+  std::shared_ptr<const core::WhiskerTree> table;
+  sim::SenderFactory factory;
+  if (scheme == "newreno") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::NewReno>(); };
+  } else if (scheme == "cubic") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::Cubic>(); };
+  } else if (scheme == "vegas") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::Vegas>(); };
+  } else if (scheme == "compound") {
+    factory = [](sim::FlowId) { return std::make_unique<cc::Compound>(); };
+  } else if (scheme == "remy") {
+    table = load_table(table_path);
+    factory = [&table](sim::FlowId) {
+      return std::make_unique<core::RemySender>(table);
+    };
+  } else {
+    std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());
+    return 1;
+  }
+
+  sim::Dumbbell net{cfg, factory};
+  net.run_for_seconds(seconds);
+
+  std::printf("scheme=%s link=%.1f Mbps rtt=%.0f ms senders=%zu duration=%.0f s\n",
+              scheme.c_str(), mbps, rtt, senders, seconds);
+  std::printf("%6s %12s %14s %10s %8s\n", "flow", "tput(Mbps)", "qdelay(ms)",
+              "rtt(ms)", "loss");
+  const sim::MetricsHub& metrics = net.metrics();
+  for (sim::FlowId f = 0; f < senders; ++f) {
+    const sim::FlowStats& fs = metrics.flow(f);
+    const double loss = fs.packets_sent > 0
+                            ? static_cast<double>(fs.retransmissions) /
+                                  static_cast<double>(fs.packets_sent)
+                            : 0.0;
+    std::printf("%6u %12.3f %14.2f %10.1f %7.2f%%\n", f, fs.throughput_mbps(),
+                fs.avg_queue_delay_ms(), fs.avg_rtt_ms(), 100.0 * loss);
+  }
+  std::printf("bottleneck drops: %llu\n",
+              static_cast<unsigned long long>(net.bottleneck().queue().drops()));
+  return 0;
+}

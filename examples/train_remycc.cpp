@@ -1,0 +1,93 @@
+// Remy itself: generates a congestion-control algorithm from prior
+// assumptions about the network, a traffic model, and an objective
+// (the program the paper's title refers to).
+//
+//   ./train_remycc --preset general --delta 1 --out data/remycc/delta1.json
+//   ./train_remycc --preset 1x --out 1x.json
+//   ./train_remycc --preset datacenter --epochs 12 --specimens 16
+//
+// Presets map to the paper's design-range tables (Sec. 5.1, 5.5, 5.6, 5.7).
+// All search knobs are exposed; paper-scale settings are
+// --specimens 16 --sim-seconds 100 --epochs 16+ (CPU-weeks, per the paper).
+#include <cstdio>
+#include <string>
+
+#include "core/trainer.hh"
+#include "util/cli.hh"
+
+using namespace remy;
+
+namespace {
+
+core::ConfigRange preset_range(const std::string& preset, double delta) {
+  if (preset == "general") return core::ConfigRange::paper_general(delta);
+  if (preset == "1x") return core::ConfigRange::paper_1x();
+  if (preset == "10x") return core::ConfigRange::paper_10x();
+  if (preset == "datacenter") return core::ConfigRange::paper_datacenter();
+  if (preset == "coexist") {
+    // Sec. 5.6: designed for RTTs from 100 ms to 10 s so a buffer-filling
+    // competitor on the same bottleneck stays inside the design range.
+    core::ConfigRange r = core::ConfigRange::paper_general(delta);
+    r.min_rtt_ms = 100.0;
+    r.max_rtt_ms = 10000.0;
+    r.min_senders = 1;
+    r.max_senders = 2;
+    return r;
+  }
+  throw std::invalid_argument{"unknown preset: " + preset};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::printf(
+        "usage: %s [--preset general|1x|10x|datacenter|coexist]\n"
+        "          [--delta D] [--out FILE] [--epochs N] [--specimens N]\n"
+        "          [--sim-seconds S] [--max-whiskers N] [--threads N]\n"
+        "          [--seed N] [--start FILE (resume from a table)]\n",
+        cli.program().c_str());
+    return 0;
+  }
+  const std::string preset = cli.get("preset", std::string{"general"});
+  const double delta = cli.get("delta", 1.0);
+  const std::string out = cli.get("out", std::string{"remycc.json"});
+
+  core::ConfigRange range = preset_range(preset, delta);
+
+  core::TrainerOptions opt;
+  opt.eval.num_specimens =
+      static_cast<std::size_t>(cli.get("specimens", std::int64_t{8}));
+  opt.eval.simulation_ms = cli.get("sim-seconds", 8.0) * 1000.0;
+  opt.eval.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+  opt.max_epochs = static_cast<std::uint32_t>(cli.get("epochs", std::int64_t{9}));
+  opt.max_whiskers =
+      static_cast<std::size_t>(cli.get("max-whiskers", std::int64_t{64}));
+  opt.max_improvement_rounds =
+      static_cast<std::size_t>(cli.get("rounds", std::int64_t{6}));
+  opt.threads = static_cast<std::size_t>(cli.get("threads", std::int64_t{0}));
+  opt.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  core::WhiskerTree start{};
+  const std::string resume = cli.get("start", std::string{});
+  if (!resume.empty()) start = core::WhiskerTree::load(resume);
+
+  std::printf("training RemyCC: preset=%s delta=%g\n  range: %s\n  out: %s\n",
+              preset.c_str(), delta, range.describe().c_str(), out.c_str());
+  std::fflush(stdout);
+
+  core::Trainer trainer{range, opt};
+  core::TrainResult result = trainer.run(std::move(start));
+
+  result.tree.save(out);
+  std::printf(
+      "done: score %.4f, %zu whiskers, %zu improvements, %zu splits, "
+      "%zu actions evaluated\nsaved to %s\n",
+      result.score, result.tree.num_whiskers(), result.improvements,
+      result.splits, result.actions_evaluated, out.c_str());
+  return 0;
+}

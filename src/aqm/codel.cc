@@ -1,0 +1,54 @@
+#include "aqm/codel.hh"
+
+#include <cmath>
+
+namespace remy::aqm {
+
+std::optional<sim::Packet> CodelState::pop(std::deque<sim::Packet>& fifo,
+                                           std::size_t& bytes,
+                                           sim::TimeMs now) {
+  (void)now;
+  if (fifo.empty()) return std::nullopt;
+  sim::Packet p = std::move(fifo.front());
+  fifo.pop_front();
+  bytes -= p.size_bytes;
+  return p;
+}
+
+bool CodelState::should_drop(const sim::Packet& p, std::size_t bytes,
+                             sim::TimeMs now) {
+  const sim::TimeMs sojourn = now - p.enqueue_time;
+  if (sojourn < params_.target_ms || bytes <= params_.mtu_bytes) {
+    first_above_time_ = 0.0;
+    return false;
+  }
+  if (first_above_time_ == 0.0) {
+    first_above_time_ = now + params_.interval_ms;
+    return false;
+  }
+  return now >= first_above_time_;
+}
+
+sim::TimeMs CodelState::control_law(sim::TimeMs t, sim::TimeMs interval,
+                                    std::uint32_t count) {
+  return t + interval / std::sqrt(static_cast<double>(count));
+}
+
+void Codel::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  if (fifo_.size() >= capacity_) {
+    count_drop();
+    return;
+  }
+  stamp_enqueue(p, now);
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+}
+
+std::optional<sim::Packet> Codel::dequeue(sim::TimeMs now) {
+  auto p = state_.dequeue(fifo_, bytes_, now,
+                          [this](sim::Packet&&) { count_drop(); });
+  if (p.has_value()) stamp_dequeue(*p, now);
+  return p;
+}
+
+}  // namespace remy::aqm

@@ -1,0 +1,131 @@
+// CoDel active queue management (Nichols & Jacobson, ACM Queue 2012),
+// following the published pseudocode: drop-from-head when the per-packet
+// sojourn time has exceeded `target` for at least one `interval`, with the
+// drop spacing shrinking as interval/sqrt(count).
+//
+// CodelState holds the control law so that SfqCodel can run one instance
+// per bin; the Codel class wraps a single FIFO with it.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "sim/queue_disc.hh"
+
+namespace remy::aqm {
+
+struct CodelParams {
+  sim::TimeMs target_ms = 5.0;
+  sim::TimeMs interval_ms = 100.0;
+  std::uint32_t mtu_bytes = sim::kMtuBytes;
+};
+
+/// The control law over an external FIFO.
+class CodelState {
+ public:
+  explicit CodelState(CodelParams params = {}) : params_{params} {}
+
+  /// Pops from `fifo` applying CoDel's dropping logic. `bytes` must track the
+  /// FIFO's byte count and is updated on every pop. Drops are reported via
+  /// `count_drop`.
+  template <typename DropFn>
+  std::optional<sim::Packet> dequeue(std::deque<sim::Packet>& fifo,
+                                     std::size_t& bytes, sim::TimeMs now,
+                                     DropFn&& count_drop);
+
+  std::uint32_t drop_count() const noexcept { return count_; }
+  bool dropping() const noexcept { return dropping_; }
+
+ private:
+  std::optional<sim::Packet> pop(std::deque<sim::Packet>& fifo,
+                                 std::size_t& bytes, sim::TimeMs now);
+  /// The "ok to drop" test of the pseudocode; updates first_above_time_.
+  bool should_drop(const sim::Packet& p, std::size_t bytes, sim::TimeMs now);
+  static sim::TimeMs control_law(sim::TimeMs t, sim::TimeMs interval,
+                                 std::uint32_t count);
+
+  CodelParams params_;
+  sim::TimeMs first_above_time_ = 0.0;
+  sim::TimeMs drop_next_ = 0.0;
+  std::uint32_t count_ = 0;
+  std::uint32_t last_count_ = 0;
+  bool dropping_ = false;
+};
+
+/// Single-queue CoDel discipline with an optional hard packet limit.
+class Codel final : public sim::QueueDisc {
+ public:
+  explicit Codel(CodelParams params = {},
+                 std::size_t capacity_packets =
+                     std::numeric_limits<std::size_t>::max())
+      : state_{params}, capacity_{capacity_packets} {}
+
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+ private:
+  CodelState state_;
+  std::size_t capacity_;
+  std::deque<sim::Packet> fifo_;
+  std::size_t bytes_ = 0;
+};
+
+// --- template implementation -------------------------------------------
+
+template <typename DropFn>
+std::optional<sim::Packet> CodelState::dequeue(std::deque<sim::Packet>& fifo,
+                                               std::size_t& bytes,
+                                               sim::TimeMs now,
+                                               DropFn&& count_drop) {
+  auto p = pop(fifo, bytes, now);
+  if (!p.has_value()) {
+    dropping_ = false;
+    return std::nullopt;
+  }
+  if (dropping_) {
+    if (!should_drop(*p, bytes, now)) {
+      dropping_ = false;
+      return p;
+    }
+    while (now >= drop_next_ && dropping_) {
+      count_drop(std::move(*p));
+      ++count_;
+      p = pop(fifo, bytes, now);
+      if (!p.has_value()) {
+        dropping_ = false;
+        return std::nullopt;
+      }
+      if (!should_drop(*p, bytes, now)) {
+        dropping_ = false;
+        return p;
+      }
+      drop_next_ = control_law(drop_next_, params_.interval_ms, count_);
+    }
+    return p;
+  }
+  if (should_drop(*p, bytes, now) &&
+      (now - drop_next_ < params_.interval_ms ||
+       now - first_above_time_ >= params_.interval_ms)) {
+    count_drop(std::move(*p));
+    p = pop(fifo, bytes, now);
+    dropping_ = true;
+    if (!p.has_value()) {
+      dropping_ = false;
+      return std::nullopt;
+    }
+    // If we have been dropping recently, resume near the prior rate rather
+    // than restarting from 1 (the pseudocode's hysteresis).
+    if (now - drop_next_ < params_.interval_ms) {
+      count_ = count_ > last_count_ + 2 ? count_ - last_count_ : 1;
+    } else {
+      count_ = 1;
+    }
+    last_count_ = count_;
+    drop_next_ = control_law(now, params_.interval_ms, count_);
+  }
+  return p;
+}
+
+}  // namespace remy::aqm

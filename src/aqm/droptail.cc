@@ -1,0 +1,24 @@
+#include "aqm/droptail.hh"
+
+namespace remy::aqm {
+
+void DropTail::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  if (fifo_.size() >= capacity_) {
+    count_drop();
+    return;
+  }
+  stamp_enqueue(p, now);
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+}
+
+std::optional<sim::Packet> DropTail::dequeue(sim::TimeMs now) {
+  if (fifo_.empty()) return std::nullopt;
+  sim::Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  stamp_dequeue(p, now);
+  return p;
+}
+
+}  // namespace remy::aqm

@@ -1,0 +1,36 @@
+// Tail-drop FIFO — the paper's default gateway ("queue capacity 1000 pkts
+// (tail drop)"), also usable as the unlimited queue of the design phase.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "sim/queue_disc.hh"
+
+namespace remy::aqm {
+
+class DropTail final : public sim::QueueDisc {
+ public:
+  /// @param capacity_packets  drop arrivals beyond this backlog
+  explicit DropTail(
+      std::size_t capacity_packets = std::numeric_limits<std::size_t>::max())
+      : capacity_{capacity_packets} {}
+
+  static std::unique_ptr<DropTail> unlimited() {
+    return std::make_unique<DropTail>();
+  }
+
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<sim::Packet> fifo_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace remy::aqm

@@ -1,0 +1,28 @@
+#include "aqm/ecn_threshold.hh"
+
+namespace remy::aqm {
+
+void EcnThreshold::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  if (fifo_.size() >= capacity_) {
+    count_drop();
+    return;
+  }
+  if (fifo_.size() >= threshold_ && p.ecn_capable) {
+    p.ecn_marked = true;
+    count_mark();
+  }
+  stamp_enqueue(p, now);
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+}
+
+std::optional<sim::Packet> EcnThreshold::dequeue(sim::TimeMs now) {
+  if (fifo_.empty()) return std::nullopt;
+  sim::Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  stamp_dequeue(p, now);
+  return p;
+}
+
+}  // namespace remy::aqm

@@ -1,0 +1,35 @@
+// The DCTCP gateway of Sec. 5.5: a finite FIFO that marks ECN-capable
+// packets when the *instantaneous* queue length exceeds a threshold K
+// (Alizadeh et al., SIGCOMM 2010 — "modified RED" in the paper's table).
+// Non-ECN-capable packets at a full queue are tail-dropped as usual.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "sim/queue_disc.hh"
+
+namespace remy::aqm {
+
+class EcnThreshold final : public sim::QueueDisc {
+ public:
+  /// @param mark_threshold_packets  K: mark arrivals when backlog >= K
+  /// @param capacity_packets        hard tail-drop limit
+  explicit EcnThreshold(
+      std::size_t mark_threshold_packets,
+      std::size_t capacity_packets = std::numeric_limits<std::size_t>::max())
+      : threshold_{mark_threshold_packets}, capacity_{capacity_packets} {}
+
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+ private:
+  std::size_t threshold_;
+  std::size_t capacity_;
+  std::deque<sim::Packet> fifo_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace remy::aqm

@@ -1,0 +1,81 @@
+#include "aqm/red.hh"
+
+#include <cmath>
+
+namespace remy::aqm {
+
+Red::Red(RedParams params, std::uint64_t seed)
+    : params_{params}, rng_{seed} {}
+
+void Red::configure(double link_rate_bytes_per_ms, sim::TimeMs now) {
+  (void)now;
+  if (link_rate_bytes_per_ms > 0)
+    mean_pkt_time_ms_ = sim::kMtuBytes / link_rate_bytes_per_ms;
+}
+
+bool Red::early_action(sim::TimeMs now) {
+  // Update the EWMA; while idle the average decays as if zero-length
+  // packets had been arriving at line rate.
+  if (idle_) {
+    const double m = (now - idle_since_) / mean_pkt_time_ms_;
+    avg_ *= std::pow(1.0 - params_.ewma_weight, std::max(0.0, m));
+    idle_ = false;
+  }
+  avg_ = (1.0 - params_.ewma_weight) * avg_ +
+         params_.ewma_weight * static_cast<double>(fifo_.size());
+
+  if (avg_ < params_.min_threshold_packets) {
+    count_ = -1;
+    return false;
+  }
+  if (avg_ >= params_.max_threshold_packets) {
+    count_ = 0;
+    return true;
+  }
+  ++count_;
+  const double pb = params_.max_probability *
+                    (avg_ - params_.min_threshold_packets) /
+                    (params_.max_threshold_packets - params_.min_threshold_packets);
+  const double denom = 1.0 - static_cast<double>(count_) * pb;
+  const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+  if (rng_.uniform01() < pa) {
+    count_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void Red::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  if (fifo_.size() >= params_.capacity_packets) {
+    count_drop();
+    return;
+  }
+  if (early_action(now)) {
+    if (params_.ecn && p.ecn_capable) {
+      p.ecn_marked = true;
+      count_mark();
+      // marked packets are still enqueued
+    } else {
+      count_drop();
+      return;
+    }
+  }
+  stamp_enqueue(p, now);
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+}
+
+std::optional<sim::Packet> Red::dequeue(sim::TimeMs now) {
+  if (fifo_.empty()) return std::nullopt;
+  sim::Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  stamp_dequeue(p, now);
+  if (fifo_.empty()) {
+    idle_ = true;
+    idle_since_ = now;
+  }
+  return p;
+}
+
+}  // namespace remy::aqm

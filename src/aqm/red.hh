@@ -1,0 +1,51 @@
+// Random Early Detection (Floyd & Jacobson, 1993) with optional ECN marking.
+// Classic (non-gentle) RED: EWMA of queue length with idle-time decay;
+// probabilistic early drop/mark between min_th and max_th, forced action at
+// max_th, uniformized by the count-since-last-action correction.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "sim/queue_disc.hh"
+#include "util/rng.hh"
+
+namespace remy::aqm {
+
+struct RedParams {
+  double min_threshold_packets = 5.0;
+  double max_threshold_packets = 15.0;
+  double max_probability = 0.1;  ///< drop/mark probability at max_threshold
+  double ewma_weight = 0.002;    ///< w_q
+  bool ecn = false;              ///< mark ECN-capable packets instead of dropping
+  std::size_t capacity_packets = std::numeric_limits<std::size_t>::max();
+};
+
+class Red final : public sim::QueueDisc {
+ public:
+  explicit Red(RedParams params = {}, std::uint64_t seed = 0x8ed);
+
+  void configure(double link_rate_bytes_per_ms, sim::TimeMs now) override;
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+  double average_queue() const noexcept { return avg_; }
+
+ private:
+  /// True if the packet should be dropped (or marked, under ECN).
+  bool early_action(sim::TimeMs now);
+
+  RedParams params_;
+  util::Rng rng_;
+  std::deque<sim::Packet> fifo_;
+  std::size_t bytes_ = 0;
+  double avg_ = 0.0;
+  int count_ = -1;  ///< packets since last early action; -1 = none pending
+  sim::TimeMs idle_since_ = 0.0;
+  bool idle_ = true;
+  double mean_pkt_time_ms_ = 1.0;  ///< transmission time estimate for decay
+};
+
+}  // namespace remy::aqm

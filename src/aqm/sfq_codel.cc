@@ -1,0 +1,110 @@
+#include "aqm/sfq_codel.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remy::aqm {
+
+SfqCodel::SfqCodel(SfqCodelParams params) : params_{params} {
+  if (params_.num_bins == 0) throw std::invalid_argument{"SfqCodel: 0 bins"};
+  bins_.reserve(params_.num_bins);
+  for (std::size_t i = 0; i < params_.num_bins; ++i)
+    bins_.emplace_back(params_.codel);
+}
+
+std::size_t SfqCodel::bin_index(sim::FlowId flow) const noexcept {
+  // Fibonacci hash of the flow id; flows are already uniform small ints, but
+  // this also spreads adversarial ids.
+  const std::uint64_t h = static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(h % params_.num_bins);
+}
+
+std::size_t SfqCodel::active_bins() const noexcept {
+  std::size_t n = 0;
+  for (const Bin& b : bins_)
+    if (!b.fifo.empty()) ++n;
+  return n;
+}
+
+void SfqCodel::drop_from_fattest(sim::TimeMs now) {
+  (void)now;
+  Bin* fattest = nullptr;
+  for (Bin& b : bins_) {
+    if (!b.fifo.empty() && (fattest == nullptr || b.bytes > fattest->bytes))
+      fattest = &b;
+  }
+  if (fattest == nullptr) return;
+  // Head drop (like fq_codel): the oldest packet of the fattest flow.
+  const sim::Packet& victim = fattest->fifo.front();
+  fattest->bytes -= victim.size_bytes;
+  total_bytes_ -= victim.size_bytes;
+  --total_packets_;
+  fattest->fifo.pop_front();
+  count_drop();
+}
+
+void SfqCodel::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  const std::size_t idx = bin_index(p.flow);
+  Bin& bin = bins_[idx];
+  stamp_enqueue(p, now);
+  bin.bytes += p.size_bytes;
+  total_bytes_ += p.size_bytes;
+  ++total_packets_;
+  bin.fifo.push_back(std::move(p));
+  if (!bin.queued) {
+    bin.queued = true;
+    bin.is_new = true;
+    bin.deficit = static_cast<int>(params_.quantum_bytes);
+    new_bins_.push_back(idx);
+  }
+  if (total_packets_ > params_.capacity_packets) drop_from_fattest(now);
+}
+
+std::optional<sim::Packet> SfqCodel::dequeue(sim::TimeMs now) {
+  while (true) {
+    std::list<std::size_t>* list = nullptr;
+    if (!new_bins_.empty()) {
+      list = &new_bins_;
+    } else if (!old_bins_.empty()) {
+      list = &old_bins_;
+    } else {
+      return std::nullopt;
+    }
+    const std::size_t idx = list->front();
+    Bin& bin = bins_[idx];
+
+    if (bin.deficit <= 0) {
+      bin.deficit += static_cast<int>(params_.quantum_bytes);
+      list->pop_front();
+      bin.is_new = false;
+      old_bins_.push_back(idx);
+      continue;
+    }
+
+    auto p = bin.codel.dequeue(bin.fifo, bin.bytes, now,
+                               [this](sim::Packet&& dropped) {
+                                 total_bytes_ -= dropped.size_bytes;
+                                 --total_packets_;
+                                 count_drop();
+                               });
+    if (!p.has_value()) {
+      // Bin went empty: a new bin gets one pass on the old list (fq_codel's
+      // anti-starvation rule); an old bin is simply removed.
+      list->pop_front();
+      if (bin.is_new) {
+        bin.is_new = false;
+        old_bins_.push_back(idx);
+      } else {
+        bin.queued = false;
+      }
+      continue;
+    }
+    total_bytes_ -= p->size_bytes;
+    --total_packets_;
+    bin.deficit -= static_cast<int>(p->size_bytes);
+    stamp_dequeue(*p, now);
+    return p;
+  }
+}
+
+}  // namespace remy::aqm

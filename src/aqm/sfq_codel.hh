@@ -1,0 +1,61 @@
+// Stochastic fair queueing with per-queue CoDel ("sfqCoDel") — the strongest
+// router-assisted AQM baseline in the paper (Cubic-over-sfqCoDel).
+//
+// Structure follows Nichols's sfqcodel / Linux fq_codel: flows hash into a
+// fixed number of bins; bins are served by deficit round-robin with a
+// one-MTU quantum and new-flow priority; each bin runs its own CoDel control
+// law. Overflow drops from the currently fattest bin.
+#pragma once
+
+#include <deque>
+#include <list>
+#include <vector>
+
+#include "aqm/codel.hh"
+#include "sim/queue_disc.hh"
+
+namespace remy::aqm {
+
+struct SfqCodelParams {
+  CodelParams codel{};
+  std::size_t num_bins = 1024;
+  std::uint32_t quantum_bytes = sim::kMtuBytes;
+  std::size_t capacity_packets = 1000;  ///< aggregate limit across bins
+};
+
+class SfqCodel final : public sim::QueueDisc {
+ public:
+  explicit SfqCodel(SfqCodelParams params = {});
+
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return total_packets_; }
+  std::size_t byte_count() const override { return total_bytes_; }
+
+  /// Number of bins currently holding packets (diagnostic).
+  std::size_t active_bins() const noexcept;
+
+ private:
+  struct Bin {
+    std::deque<sim::Packet> fifo;
+    std::size_t bytes = 0;
+    CodelState codel;
+    int deficit = 0;
+    bool queued = false;  ///< on new_ or old_ list
+    bool is_new = false;
+
+    explicit Bin(const CodelParams& p) : codel{p} {}
+  };
+
+  std::size_t bin_index(sim::FlowId flow) const noexcept;
+  void drop_from_fattest(sim::TimeMs now);
+
+  SfqCodelParams params_;
+  std::vector<Bin> bins_;
+  std::list<std::size_t> new_bins_;
+  std::list<std::size_t> old_bins_;
+  std::size_t total_packets_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace remy::aqm

@@ -1,0 +1,111 @@
+#include "aqm/xcp_router.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remy::aqm {
+
+XcpRouter::XcpRouter(XcpParams params)
+    : params_{params}, interval_ms_{params.initial_interval_ms} {}
+
+void XcpRouter::configure(double link_rate_bytes_per_ms, sim::TimeMs now) {
+  capacity_bytes_per_ms_ = link_rate_bytes_per_ms;
+  interval_start_ = now;
+}
+
+void XcpRouter::maybe_end_interval(sim::TimeMs now) {
+  if (now - interval_start_ < interval_ms_) return;
+
+  const double d = interval_ms_;
+  // Spare bandwidth over the interval, in bytes.
+  const double spare = capacity_bytes_per_ms_ * d - input_bytes_;
+  const double queue =
+      queue_min_bytes_ == std::numeric_limits<std::size_t>::max()
+          ? static_cast<double>(bytes_)
+          : static_cast<double>(queue_min_bytes_);
+  const double phi = params_.alpha * spare - params_.beta * queue;
+  last_phi_ = phi;
+
+  // Shuffling keeps reallocating bandwidth between flows even at
+  // convergence, which is what drives the allocation toward fairness.
+  const double shuffle =
+      std::max(0.0, params_.gamma * input_bytes_ - std::abs(phi));
+  const double pos_total = shuffle + std::max(phi, 0.0);
+  const double neg_total = shuffle + std::max(-phi, 0.0);
+
+  // Per-packet apportioning constants; previous-interval sums estimate the
+  // next interval's traffic composition. Derivation (per control interval d,
+  // phi in bytes): flow i should see an equal rate increase
+  //   dy_i = phi+ / (d*N),  i.e. a window increase dw_i = phi+ * rtt_i/(d*N)
+  // spread over its L_i = cwnd_i*d/(s_i*rtt_i) packets, giving
+  //   p_i = xi_p * rtt_i^2 * s_i / cwnd_i, xi_p = phi+ * rbar / (d * sum_A)
+  // with sum_A = sum over packets of rtt^2*s/cwnd = d * sum_i rtt_i and
+  // rbar the byte-weighted mean RTT. Negative feedback scales with each
+  // flow's rate:  n_i = xi_n * rtt_i * s_i, xi_n = phi- / (d * input_bytes).
+  const double mean_rtt =
+      input_bytes_ > 0.0 ? sum_rtt_bytes_ / input_bytes_ : interval_ms_;
+  xi_pos_ = sum_rtt2_per_cwnd_ > 0.0
+                ? pos_total * mean_rtt / (d * sum_rtt2_per_cwnd_)
+                : 0.0;
+  xi_neg_ = input_bytes_ > 0.0 ? neg_total / (d * input_bytes_) : 0.0;
+  have_estimates_ = true;
+
+  // New control interval: mean RTT of the traffic just seen (bytes-weighted).
+  if (input_bytes_ > 0.0 && sum_rtt_bytes_ > 0.0) {
+    interval_ms_ = std::clamp(mean_rtt, 1.0, 10000.0);
+  }
+  interval_start_ = now;
+  input_bytes_ = 0.0;
+  sum_rtt_bytes_ = 0.0;
+  sum_rtt2_per_cwnd_ = 0.0;
+  queue_min_bytes_ = std::numeric_limits<std::size_t>::max();
+}
+
+void XcpRouter::enqueue(sim::Packet&& p, sim::TimeMs now) {
+  maybe_end_interval(now);
+  if (fifo_.size() >= params_.capacity_packets) {
+    count_drop();
+    return;
+  }
+  if (p.xcp.valid && !p.is_ack) {
+    const double size = p.size_bytes;
+    // Before the sender has an RTT estimate, treat its RTT as the current
+    // control interval (the authors' convention for SYN-phase packets).
+    const double rtt = p.xcp.rtt_ms > 0.0 ? p.xcp.rtt_ms : interval_ms_;
+    const double cwnd = std::max(p.xcp.cwnd_bytes, double{sim::kMtuBytes});
+    input_bytes_ += size;
+    sum_rtt_bytes_ += rtt * size;
+    sum_rtt2_per_cwnd_ += rtt * rtt * size / cwnd;
+
+    if (have_estimates_) {
+      const double pos = xi_pos_ * rtt * rtt * size / cwnd;
+      const double neg = xi_neg_ * rtt * size;
+      const double feedback = pos - neg;
+      // Grant at most what the sender asked for (its desired increase),
+      // never more; always allow throttling below the request.
+      p.xcp.feedback_bytes = std::min(p.xcp.feedback_bytes, feedback);
+    } else {
+      p.xcp.feedback_bytes = 0.0;
+    }
+  }
+  stamp_enqueue(p, now);
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+  queue_min_bytes_ = std::min(queue_min_bytes_, bytes_);
+}
+
+std::optional<sim::Packet> XcpRouter::dequeue(sim::TimeMs now) {
+  maybe_end_interval(now);
+  if (fifo_.empty()) {
+    queue_min_bytes_ = 0;
+    return std::nullopt;
+  }
+  sim::Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  queue_min_bytes_ = std::min(queue_min_bytes_, bytes_);
+  stamp_dequeue(p, now);
+  return p;
+}
+
+}  // namespace remy::aqm

@@ -1,0 +1,70 @@
+// XCP router (Katabi, Handley & Rohrs, SIGCOMM 2002).
+//
+// Senders carry their cwnd and RTT in a congestion header; each control
+// interval (the mean RTT of traversing traffic) the router computes an
+// aggregate feedback
+//     phi = alpha * d * S - beta * Q
+// where S is spare bandwidth and Q the persistent queue, then apportions it
+// per-packet: positive feedback proportional to rtt^2 * size / cwnd (equal
+// per-flow throughput increase) and negative feedback proportional to
+// rtt * size (equal per-flow throughput decrease), plus bandwidth shuffling
+// of 10% so converged allocations keep moving toward fairness. Per-interval
+// sums from the previous interval estimate the apportioning constants, as in
+// the authors' implementation.
+//
+// The underlying queue is a tail-drop FIFO; XCP keeps it nearly empty in its
+// design range, so drops are rare.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "sim/queue_disc.hh"
+
+namespace remy::aqm {
+
+struct XcpParams {
+  double alpha = 0.4;    ///< spare-bandwidth gain
+  double beta = 0.226;   ///< persistent-queue gain
+  double gamma = 0.1;    ///< shuffled-traffic fraction
+  sim::TimeMs initial_interval_ms = 100.0;
+  std::size_t capacity_packets = 1000;
+};
+
+class XcpRouter final : public sim::QueueDisc {
+ public:
+  explicit XcpRouter(XcpParams params = {});
+
+  void configure(double link_rate_bytes_per_ms, sim::TimeMs now) override;
+  void enqueue(sim::Packet&& p, sim::TimeMs now) override;
+  std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+  sim::TimeMs control_interval_ms() const noexcept { return interval_ms_; }
+  double last_aggregate_feedback_bytes() const noexcept { return last_phi_; }
+
+ private:
+  void maybe_end_interval(sim::TimeMs now);
+
+  XcpParams params_;
+  std::deque<sim::Packet> fifo_;
+  std::size_t bytes_ = 0;
+  double capacity_bytes_per_ms_ = 0.0;
+
+  // Current-interval accumulators.
+  sim::TimeMs interval_start_ = 0.0;
+  sim::TimeMs interval_ms_;
+  double input_bytes_ = 0.0;
+  double sum_rtt_bytes_ = 0.0;       ///< sum(rtt_i * s_i)
+  double sum_rtt2_per_cwnd_ = 0.0;   ///< sum(rtt_i^2 * s_i / cwnd_i)
+  std::size_t queue_min_bytes_ = std::numeric_limits<std::size_t>::max();
+
+  // Apportioning constants derived from the previous interval.
+  double xi_pos_ = 0.0;  ///< positive feedback per (rtt^2 * s / cwnd)
+  double xi_neg_ = 0.0;  ///< negative feedback per (rtt * s)
+  double last_phi_ = 0.0;
+  bool have_estimates_ = false;
+};
+
+}  // namespace remy::aqm

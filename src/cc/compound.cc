@@ -1,0 +1,80 @@
+#include "cc/compound.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remy::cc {
+
+Compound::Compound(TransportConfig config, CompoundParams params)
+    : WindowSender{config}, params_{params}, lwnd_{config.initial_cwnd} {}
+
+void Compound::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = 1e9;
+  lwnd_ = config().initial_cwnd;
+  dwnd_ = 0.0;
+  rtt_mark_ = next_seq();
+  rtt_sum_this_round_ = 0.0;
+  rtt_count_this_round_ = 0;
+  sync_cwnd();
+}
+
+void Compound::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  (void)now;
+  if (info.newly_acked == 0 || info.during_recovery) return;
+
+  // Loss-based component: Reno.
+  const double win = lwnd_ + dwnd_;
+  for (std::uint64_t i = 0; i < info.newly_acked; ++i) {
+    if (lwnd_ < ssthresh_) {
+      lwnd_ += 1.0;
+    } else {
+      lwnd_ += 1.0 / win;  // one segment per RTT over the compound window
+    }
+  }
+
+  // Delay-based component, once per RTT round (mean RTT of the round).
+  rtt_sum_this_round_ += info.rtt_sample_ms;
+  ++rtt_count_this_round_;
+  if (cumulative() >= rtt_mark_) {
+    const double base = min_rtt_ms();
+    const double rtt = rtt_count_this_round_ > 0
+                           ? rtt_sum_this_round_ /
+                                 static_cast<double>(rtt_count_this_round_)
+                           : 0.0;
+    rtt_mark_ = next_seq();
+    rtt_sum_this_round_ = 0.0;
+    rtt_count_this_round_ = 0;
+    if (base > 0.0 && rtt > 0.0 && lwnd_ >= ssthresh_) {
+      const double w = lwnd_ + dwnd_;
+      const double diff = w * (1.0 - base / rtt);  // estimated backlog
+      if (diff < params_.gamma) {
+        // Binomial probe of spare capacity.
+        dwnd_ += std::max(0.0, params_.alpha * std::pow(w, params_.k) - 1.0);
+      } else {
+        dwnd_ = std::max(0.0, dwnd_ - params_.zeta * diff);
+      }
+    }
+  }
+  sync_cwnd();
+}
+
+void Compound::on_loss_event(sim::TimeMs now) {
+  (void)now;
+  const double win = lwnd_ + dwnd_;
+  ssthresh_ = std::max(win / 2.0, 2.0);
+  lwnd_ = std::max(lwnd_ / 2.0, 1.0);
+  // Keep the compound window at (1 - beta) * win overall.
+  dwnd_ = std::max(0.0, win * (1.0 - params_.beta) - lwnd_);
+  sync_cwnd();
+}
+
+void Compound::on_timeout(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = std::max((lwnd_ + dwnd_) / 2.0, 2.0);
+  lwnd_ = 1.0;
+  dwnd_ = 0.0;
+  sync_cwnd();
+}
+
+}  // namespace remy::cc

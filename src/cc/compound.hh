@@ -1,0 +1,45 @@
+// Compound TCP (Tan, Song, Zhang & Sridharan, INFOCOM 2006): the send
+// window is the sum of a loss-based component (Reno rules) and a
+// delay-based component (binomial growth while the network is sensed idle,
+// per the paper's key difference from Vegas: delay identifies the *absence*
+// of congestion). Standard published parameters.
+#pragma once
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+struct CompoundParams {
+  double alpha = 0.125;  ///< dwnd growth gain
+  double k = 0.75;       ///< binomial exponent
+  double beta = 0.5;     ///< loss reduction of the compound window
+  double gamma = 30.0;   ///< backlog threshold (segments)
+  double zeta = 0.5;     ///< dwnd decrease gain per queued segment
+};
+
+class Compound : public WindowSender {
+ public:
+  explicit Compound(TransportConfig config = {}, CompoundParams params = {});
+
+  double dwnd() const noexcept { return dwnd_; }
+  double loss_window() const noexcept { return lwnd_; }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_loss_event(sim::TimeMs now) override;
+  void on_timeout(sim::TimeMs now) override;
+
+ private:
+  void sync_cwnd() { set_cwnd(lwnd_ + dwnd_); }
+
+  CompoundParams params_;
+  double ssthresh_ = 1e9;
+  double lwnd_;       ///< loss-based window (Reno)
+  double dwnd_ = 0.0; ///< delay-based window
+  sim::SeqNum rtt_mark_ = 0;
+  sim::TimeMs rtt_sum_this_round_ = 0.0;
+  std::uint64_t rtt_count_this_round_ = 0;
+};
+
+}  // namespace remy::cc

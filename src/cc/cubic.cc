@@ -1,0 +1,94 @@
+#include "cc/cubic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remy::cc {
+
+Cubic::Cubic(TransportConfig config, CubicParams params)
+    : WindowSender{config}, params_{params} {}
+
+void Cubic::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = 1e9;
+  w_max_ = 0.0;
+  w_last_max_ = 0.0;
+  epoch_start_ = 0.0;
+  k_sec_ = 0.0;
+  origin_ = 0.0;
+  w_est_ = 0.0;
+}
+
+void Cubic::reset_epoch() { epoch_start_ = 0.0; }
+
+double Cubic::target_window(double t_sec) const noexcept {
+  const double dt = t_sec - k_sec_;
+  return origin_ + params_.c * dt * dt * dt;
+}
+
+void Cubic::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  if (info.newly_acked == 0 || info.during_recovery) return;
+
+  if (cwnd() < ssthresh_) {
+    set_cwnd(cwnd() + static_cast<double>(info.newly_acked));
+    return;
+  }
+
+  if (epoch_start_ == 0.0) {
+    epoch_start_ = now;
+    if (cwnd() < w_max_) {
+      k_sec_ = std::cbrt((w_max_ - cwnd()) / params_.c);
+      origin_ = w_max_;
+    } else {
+      k_sec_ = 0.0;
+      origin_ = cwnd();
+    }
+    w_est_ = cwnd();
+  }
+
+  // Elapsed time plus one smoothed RTT: the standard "target after the next
+  // RTT" look-ahead.
+  const double t_sec = (now - epoch_start_ + srtt_ms()) / 1000.0;
+  const double target = target_window(t_sec);
+  double w = cwnd();
+  if (target > w) {
+    w += (target - w) / w * static_cast<double>(info.newly_acked);
+  } else {
+    // Minimal growth (Linux's 1% tick) so the window is never frozen.
+    w += 0.01 / w * static_cast<double>(info.newly_acked);
+  }
+
+  if (params_.tcp_friendliness) {
+    // Reno-equivalent window: grows 3(1-beta)/(1+beta) segments per RTT
+    // worth of ACKs; Cubic never does worse than this floor.
+    w_est_ += 3.0 * (1.0 - params_.beta) / (1.0 + params_.beta) *
+              static_cast<double>(info.newly_acked) / cwnd();
+    w = std::max(w, w_est_);
+  }
+  set_cwnd(w);
+}
+
+void Cubic::on_loss_event(sim::TimeMs now) {
+  (void)now;
+  const double w = cwnd();
+  if (params_.fast_convergence && w < w_last_max_) {
+    w_max_ = w * (2.0 - params_.beta) / 2.0;
+  } else {
+    w_max_ = w;
+  }
+  w_last_max_ = w;
+  ssthresh_ = std::max(w * params_.beta, 2.0);
+  set_cwnd(ssthresh_);
+  reset_epoch();
+}
+
+void Cubic::on_timeout(sim::TimeMs now) {
+  (void)now;
+  w_max_ = cwnd();
+  w_last_max_ = cwnd();
+  ssthresh_ = std::max(cwnd() * params_.beta, 2.0);
+  set_cwnd(1.0);
+  reset_epoch();
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,44 @@
+// TCP Cubic (Ha, Rhee & Xu, 2008; RFC 8312 constants): window growth is a
+// cubic function of wall-clock time since the last loss, independent of
+// RTT, with fast convergence and a TCP-friendliness (Reno-tracking) floor.
+#pragma once
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+struct CubicParams {
+  double c = 0.4;         ///< cubic scaling constant (segments/s^3)
+  double beta = 0.7;      ///< multiplicative decrease factor
+  bool fast_convergence = true;
+  bool tcp_friendliness = true;
+};
+
+class Cubic : public WindowSender {
+ public:
+  explicit Cubic(TransportConfig config = {}, CubicParams params = {});
+
+  double w_max() const noexcept { return w_max_; }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_loss_event(sim::TimeMs now) override;
+  void on_timeout(sim::TimeMs now) override;
+
+ private:
+  void reset_epoch();
+  /// The cubic target window at time `t_sec` after the epoch start.
+  double target_window(double t_sec) const noexcept;
+
+  CubicParams params_;
+  double ssthresh_ = 1e9;
+  double w_max_ = 0.0;
+  double w_last_max_ = 0.0;
+  sim::TimeMs epoch_start_ = 0.0;  ///< 0 = epoch not started
+  double k_sec_ = 0.0;             ///< time to reach w_max_ again
+  double origin_ = 0.0;
+  double w_est_ = 0.0;  ///< Reno-equivalent window estimate
+};
+
+}  // namespace remy::cc

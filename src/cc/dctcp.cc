@@ -1,0 +1,69 @@
+#include "cc/dctcp.hh"
+
+#include <algorithm>
+
+namespace remy::cc {
+
+Dctcp::Dctcp(TransportConfig config, DctcpParams params)
+    : WindowSender{config}, params_{params} {}
+
+void Dctcp::prepare_packet(sim::Packet& p) { p.ecn_capable = true; }
+
+void Dctcp::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = 1e9;
+  alpha_ = 0.0;
+  window_end_ = next_seq();
+  acked_in_window_ = 0;
+  marked_in_window_ = 0;
+}
+
+void Dctcp::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  (void)now;
+  if (info.newly_acked == 0) return;
+
+  acked_in_window_ += info.newly_acked;
+  if (info.ack.ecn_echo) marked_in_window_ += info.newly_acked;
+
+  if (!info.during_recovery) {
+    double w = cwnd();
+    for (std::uint64_t i = 0; i < info.newly_acked; ++i) {
+      if (w < ssthresh_) {
+        w += 1.0;
+      } else {
+        w += 1.0 / w;
+      }
+    }
+    set_cwnd(w);
+  }
+
+  if (cumulative() >= window_end_) {
+    // One window's worth of feedback gathered.
+    if (acked_in_window_ > 0) {
+      const double frac = static_cast<double>(marked_in_window_) /
+                          static_cast<double>(acked_in_window_);
+      alpha_ = (1.0 - params_.g) * alpha_ + params_.g * frac;
+      if (marked_in_window_ > 0) {
+        set_cwnd(cwnd() * (1.0 - alpha_ / 2.0));
+        ssthresh_ = cwnd();
+      }
+    }
+    window_end_ = next_seq();
+    acked_in_window_ = 0;
+    marked_in_window_ = 0;
+  }
+}
+
+void Dctcp::on_loss_event(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = std::max(cwnd() / 2.0, 2.0);
+  set_cwnd(ssthresh_);
+}
+
+void Dctcp::on_timeout(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = std::max(cwnd() / 2.0, 2.0);
+  set_cwnd(1.0);
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,39 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-based datacenter congestion
+// control. The gateway marks packets above a queue threshold K (see
+// aqm::EcnThreshold); the sender maintains an EWMA `alpha` of the fraction
+// of marked packets per window and, once per window with any mark, scales
+// the window by (1 - alpha/2). Loss handling is Reno's.
+#pragma once
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+struct DctcpParams {
+  double g = 1.0 / 16.0;  ///< EWMA gain for the marked fraction
+};
+
+class Dctcp : public WindowSender {
+ public:
+  explicit Dctcp(TransportConfig config = {}, DctcpParams params = {});
+
+  double alpha() const noexcept { return alpha_; }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_loss_event(sim::TimeMs now) override;
+  void on_timeout(sim::TimeMs now) override;
+  void prepare_packet(sim::Packet& p) override;
+
+ private:
+  DctcpParams params_;
+  double ssthresh_ = 1e9;
+  double alpha_ = 0.0;
+  // Per-window (one RTT round) mark accounting.
+  sim::SeqNum window_end_ = 0;
+  std::uint64_t acked_in_window_ = 0;
+  std::uint64_t marked_in_window_ = 0;
+};
+
+}  // namespace remy::cc

@@ -1,0 +1,42 @@
+#include "cc/newreno.hh"
+
+#include <algorithm>
+
+namespace remy::cc {
+
+NewReno::NewReno(TransportConfig config) : WindowSender{config} {}
+
+void NewReno::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = 1e9;
+}
+
+void NewReno::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  (void)now;
+  if (info.newly_acked == 0) return;
+  // No window growth while recovering from a loss.
+  if (info.during_recovery) return;
+  double w = cwnd();
+  for (std::uint64_t i = 0; i < info.newly_acked; ++i) {
+    if (w < ssthresh_) {
+      w += 1.0;  // slow start: one segment per ACKed segment
+    } else {
+      w += 1.0 / w;  // congestion avoidance: ~one segment per RTT
+    }
+  }
+  set_cwnd(w);
+}
+
+void NewReno::on_loss_event(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = std::max(cwnd() / 2.0, 2.0);
+  set_cwnd(ssthresh_);
+}
+
+void NewReno::on_timeout(sim::TimeMs now) {
+  (void)now;
+  ssthresh_ = std::max(cwnd() / 2.0, 2.0);
+  set_cwnd(1.0);
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,75 @@
+#include "cc/vegas.hh"
+
+#include <algorithm>
+
+namespace remy::cc {
+
+Vegas::Vegas(TransportConfig config, VegasParams params)
+    : WindowSender{config}, params_{params} {}
+
+void Vegas::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  slow_start_ = true;
+  grow_this_rtt_ = true;
+  rtt_mark_ = next_seq();
+  rtt_sum_this_round_ = 0.0;
+  rtt_count_this_round_ = 0;
+  last_diff_ = 0.0;
+}
+
+void Vegas::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  (void)now;
+  if (info.newly_acked == 0) return;
+  // Mean RTT of the round's samples: reflects the queue the *current*
+  // window has built (a per-round minimum would lag detection by a round
+  // during slow start's doubling).
+  rtt_sum_this_round_ += info.rtt_sample_ms;
+  ++rtt_count_this_round_;
+  if (cumulative() < rtt_mark_) return;  // round still in progress
+
+  // One RTT round completed.
+  const double base = min_rtt_ms();
+  const double rtt = rtt_count_this_round_ > 0
+                         ? rtt_sum_this_round_ /
+                               static_cast<double>(rtt_count_this_round_)
+                         : 0.0;
+  rtt_mark_ = next_seq();
+  rtt_sum_this_round_ = 0.0;
+  rtt_count_this_round_ = 0;
+  if (base <= 0.0 || rtt <= 0.0) return;
+
+  const double diff = cwnd() * (1.0 - base / rtt);  // queued segments
+  last_diff_ = diff;
+
+  if (slow_start_) {
+    if (diff > params_.gamma) {
+      slow_start_ = false;
+      set_cwnd(cwnd() - diff / 2.0);  // drain the estimated backlog
+    } else if (grow_this_rtt_) {
+      set_cwnd(cwnd() * 2.0);
+    }
+    grow_this_rtt_ = !grow_this_rtt_;
+    return;
+  }
+
+  if (diff < params_.alpha) {
+    set_cwnd(cwnd() + 1.0);
+  } else if (diff > params_.beta) {
+    set_cwnd(cwnd() - 1.0);
+  }
+}
+
+void Vegas::on_loss_event(sim::TimeMs now) {
+  (void)now;
+  // Vegas catches loss early; reduce by a quarter rather than half.
+  slow_start_ = false;
+  set_cwnd(cwnd() * 0.75);
+}
+
+void Vegas::on_timeout(sim::TimeMs now) {
+  (void)now;
+  slow_start_ = false;
+  set_cwnd(2.0);
+}
+
+}  // namespace remy::cc

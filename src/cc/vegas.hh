@@ -1,0 +1,43 @@
+// TCP Vegas (Brakmo & Peterson, 1994): delay-based congestion avoidance.
+// Once per RTT the sender compares expected throughput (cwnd/BaseRTT) with
+// actual throughput (cwnd/RTT); the backlog estimate
+//     diff = cwnd * (1 - BaseRTT/RTT)            [segments queued]
+// drives +-1 segment/RTT adjustments between the alpha and beta thresholds.
+// Slow start doubles every *other* RTT and exits when diff exceeds gamma.
+#pragma once
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+struct VegasParams {
+  double alpha = 2.0;  ///< grow if backlog below this (segments)
+  double beta = 4.0;   ///< shrink if backlog above this (segments)
+  double gamma = 1.0;  ///< slow-start exit threshold (segments)
+};
+
+class Vegas : public WindowSender {
+ public:
+  explicit Vegas(TransportConfig config = {}, VegasParams params = {});
+
+  /// Latest once-per-RTT backlog estimate (diff), in segments.
+  double last_diff() const noexcept { return last_diff_; }
+  bool in_slow_start() const noexcept { return slow_start_; }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_loss_event(sim::TimeMs now) override;
+  void on_timeout(sim::TimeMs now) override;
+
+ private:
+  VegasParams params_;
+  bool slow_start_ = true;
+  bool grow_this_rtt_ = true;  ///< slow start doubles every other RTT
+  sim::SeqNum rtt_mark_ = 0;   ///< next cumulative point ending this RTT round
+  sim::TimeMs rtt_sum_this_round_ = 0.0;
+  std::uint64_t rtt_count_this_round_ = 0;
+  double last_diff_ = 0.0;
+};
+
+}  // namespace remy::cc

@@ -1,0 +1,260 @@
+#include "cc/window_sender.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace remy::cc {
+
+WindowSender::WindowSender(TransportConfig config)
+    : config_{config}, cwnd_{config.initial_cwnd}, rto_{config.initial_rto_ms} {
+  if (config_.initial_cwnd < 1.0)
+    throw std::invalid_argument{"TransportConfig: initial_cwnd < 1"};
+  if (config_.segment_bytes == 0)
+    throw std::invalid_argument{"TransportConfig: zero segment size"};
+}
+
+void WindowSender::set_cwnd(double cwnd) noexcept {
+  cwnd_ = std::clamp(cwnd, 1.0, config_.max_cwnd);
+}
+
+bool WindowSender::transfer_done() const noexcept {
+  return limit_segments_ > 0 && cumulative_ - base_seq_ >= limit_segments_;
+}
+
+void WindowSender::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
+  active_ = true;
+  base_seq_ = next_seq_;
+  cumulative_ = next_seq_;
+  recovery_point_ = next_seq_;
+  loss_scan_ = next_seq_;
+  limit_segments_ =
+      bytes_limit == 0
+          ? 0
+          : (bytes_limit + config_.segment_bytes - 1) / config_.segment_bytes;
+  cwnd_ = config_.initial_cwnd;
+  dup_acks_ = 0;
+  missing_.clear();
+  sacked_.clear();
+  retransmitted_.clear();
+  srtt_ = 0.0;
+  rttvar_ = 0.0;
+  have_rtt_ = false;
+  min_rtt_.reset();
+  rto_ = config_.initial_rto_ms;
+  rto_deadline_ = sim::kNever;
+  next_send_ok_ = now;
+  on_flow_start(now);
+  maybe_send(now);
+}
+
+void WindowSender::stop_flow(sim::TimeMs now) {
+  (void)now;
+  active_ = false;
+  rto_deadline_ = sim::kNever;
+}
+
+void WindowSender::send_segment(sim::SeqNum seq, sim::TimeMs now,
+                                bool is_retransmit) {
+  sim::Packet p;
+  p.flow = flow_id();
+  p.seq = seq;
+  p.base_seq = base_seq_;
+  p.tick_sent = now;
+  p.size_bytes = config_.segment_bytes;
+  prepare_packet(p);
+  if (metrics() != nullptr) {
+    auto& fs = metrics()->flow(flow_id());
+    ++fs.packets_sent;
+    if (is_retransmit) ++fs.retransmissions;
+  }
+  last_send_time_ = now;
+  next_send_ok_ = now + pacing_interval_ms();
+  if (rto_deadline_ == sim::kNever) arm_rto(now);
+  egress()->accept(std::move(p), now);
+}
+
+bool WindowSender::window_has_room() const noexcept {
+  return static_cast<double>(pipe() + 1) <= cwnd_;
+}
+
+void WindowSender::maybe_send(sim::TimeMs now) {
+  if (!active_) return;
+  std::uint32_t sent = 0;
+  while (now >= next_send_ok_ && window_has_room()) {
+    if (sent >= config_.max_burst_segments) {
+      // Burst cap: release the rest shortly (keeps a sudden window opening
+      // from dumping a queue-sized burst into the bottleneck).
+      next_send_ok_ = std::max(next_send_ok_, now + config_.burst_continuation_ms);
+      break;
+    }
+    if (!missing_.empty() && in_recovery()) {
+      // Retransmissions first (lowest hole).
+      const sim::SeqNum seq = *missing_.begin();
+      missing_.erase(missing_.begin());
+      retransmitted_.insert(seq);
+      send_segment(seq, now, true);
+    } else if (limit_segments_ == 0 || next_seq_ - base_seq_ < limit_segments_) {
+      send_segment(next_seq_, now, false);
+      ++next_seq_;
+    } else {
+      break;  // app-limited: nothing new to send
+    }
+    ++sent;
+  }
+}
+
+void WindowSender::arm_rto(sim::TimeMs now) { rto_deadline_ = now + rto_; }
+
+void WindowSender::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
+  (void)now;
+  if (sample < 0) return;
+  if (!min_rtt_.has_value() || sample < *min_rtt_) min_rtt_ = sample;
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rto_ = std::clamp(srtt_ + std::max(1.0, 4.0 * rttvar_), config_.min_rto_ms,
+                    config_.max_rto_ms);
+  if (metrics() != nullptr) {
+    auto& fs = metrics()->flow(flow_id());
+    fs.sum_rtt_ms += sample;
+    ++fs.rtt_samples;
+  }
+}
+
+void WindowSender::absorb_sack(const sim::Packet& ack) {
+  // Mark advertised runs as delivered.
+  for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
+    const auto [start, end] = ack.sack_blocks[i];
+    for (sim::SeqNum s = std::max(start, cumulative_); s < end; ++s) {
+      if (sacked_.insert(s).second) missing_.erase(s);
+    }
+  }
+  // RFC 6675-style loss inference: a segment is lost once at least
+  // kDupThresh segments above it have been SACKed. Equivalently, every
+  // unsacked segment below the kDupThresh-highest sacked segment is lost.
+  // The watermark makes the scan incremental (each sequence number is
+  // examined once per incarnation outside timeouts).
+  static constexpr std::size_t kDupThresh = 3;
+  if (sacked_.size() < kDupThresh) return;
+  auto it = sacked_.rbegin();
+  std::advance(it, kDupThresh - 1);
+  const sim::SeqNum lost_below = *it;
+  for (sim::SeqNum s = std::max(loss_scan_, cumulative_); s < lost_below; ++s) {
+    if (!sacked_.contains(s) && !retransmitted_.contains(s)) {
+      missing_.insert(s);
+    }
+  }
+  loss_scan_ = std::max(loss_scan_, lost_below);
+}
+
+void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
+  if (!ack.is_ack) throw std::logic_error{"WindowSender got a data packet"};
+  // Stale ACK from a previous incarnation: its segment predates this flow.
+  if (ack.ack_seq < base_seq_) return;
+
+  const sim::TimeMs rtt_sample = now - ack.echo_tick_sent;
+  update_rtt(rtt_sample, now);
+
+  std::uint64_t newly_acked = 0;
+  bool is_dup = false;
+  const bool was_in_fast_recovery = in_fast_recovery();
+
+  if (ack.cumulative_ack > cumulative_) {
+    newly_acked = ack.cumulative_ack - cumulative_;
+    cumulative_ = ack.cumulative_ack;
+    dup_acks_ = 0;
+    if (cumulative_ >= recovery_point_) fast_recovery_ = false;
+    // Prune the scoreboard below the new cumulative point.
+    missing_.erase(missing_.begin(), missing_.lower_bound(cumulative_));
+    sacked_.erase(sacked_.begin(), sacked_.lower_bound(cumulative_));
+    retransmitted_.erase(retransmitted_.begin(),
+                         retransmitted_.lower_bound(cumulative_));
+    rto_ = std::clamp(srtt_ + std::max(1.0, 4.0 * rttvar_),
+                      config_.min_rto_ms, config_.max_rto_ms);  // undo backoff
+    if (inflight() > 0) {
+      arm_rto(now);
+    } else {
+      rto_deadline_ = sim::kNever;
+    }
+  } else if (inflight() > 0) {
+    is_dup = true;
+    ++dup_acks_;
+  }
+
+  absorb_sack(ack);
+
+  const bool loss_detected = dup_acks_ >= 3 || !missing_.empty();
+  if (loss_detected && !in_recovery() && inflight() > 0) {
+    // Loss event: enter fast recovery (at most once per window).
+    recovery_point_ = next_seq_;
+    fast_recovery_ = true;
+    if (missing_.empty() && !retransmitted_.contains(cumulative_)) {
+      missing_.insert(cumulative_);
+    }
+    on_loss_event(now);
+    // Retransmit the first hole immediately (ahead of pacing), keeping the
+    // ACK clock alive.
+    if (!missing_.empty()) {
+      const sim::SeqNum seq = *missing_.begin();
+      missing_.erase(missing_.begin());
+      retransmitted_.insert(seq);
+      send_segment(seq, now, true);
+    }
+  }
+
+  const AckInfo info{ack, rtt_sample, newly_acked, is_dup, was_in_fast_recovery};
+  if (active_) on_ack_received(info, now);
+
+  if (active_ && transfer_done()) {
+    active_ = false;
+    rto_deadline_ = sim::kNever;
+    if (observer() != nullptr) observer()->on_transfer_complete(flow_id(), now);
+    return;
+  }
+  maybe_send(now);
+}
+
+sim::TimeMs WindowSender::next_event_time() const {
+  sim::TimeMs t = rto_deadline_;
+  if (active_ && window_has_room() &&
+      ((!missing_.empty() && in_recovery()) || limit_segments_ == 0 ||
+       next_seq_ - base_seq_ < limit_segments_)) {
+    t = std::min(t, next_send_ok_);
+  }
+  return t;
+}
+
+void WindowSender::tick(sim::TimeMs now) {
+  if (now >= rto_deadline_) {
+    // Timeout: back off and go-back-N — everything outstanding that is not
+    // known-delivered is presumed lost and eligible for retransmission.
+    if (metrics() != nullptr) ++metrics()->flow(flow_id()).timeouts;
+    rto_ = std::min(rto_ * 2.0, config_.max_rto_ms);
+    dup_acks_ = 0;
+    retransmitted_.clear();
+    missing_.clear();
+    for (sim::SeqNum s = cumulative_; s < next_seq_; ++s) {
+      if (!sacked_.contains(s)) missing_.insert(s);
+    }
+    loss_scan_ = cumulative_;
+    recovery_point_ = next_seq_;
+    fast_recovery_ = false;  // post-RTO slow start may grow the window
+    on_timeout(now);
+    if (!missing_.empty()) {
+      const sim::SeqNum seq = *missing_.begin();
+      missing_.erase(missing_.begin());
+      retransmitted_.insert(seq);
+      send_segment(seq, now, true);
+    }
+    arm_rto(now);
+  }
+  maybe_send(now);
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,154 @@
+// Shared window-based transport: sequencing, cumulative-ACK tracking,
+// duplicate-ACK loss detection, SACK-scoreboard retransmission with pipe
+// accounting (RFC 6675 style — the paper's ns-2 baselines port SACK-enabled
+// Linux stacks), RFC 6298 RTO estimation with exponential backoff, and
+// optional pacing.
+//
+// Every congestion-control scheme in the repository (the human-designed
+// TCPs, XCP, and RemyCC) derives from this class and customizes behavior
+// through the protected hooks, so scheme comparisons isolate the congestion
+// response itself — the loss-recovery machinery is identical. This mirrors
+// the paper's note that RemyCCs "inherit the loss-recovery behavior of
+// whatever TCP sender they are added to".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "sim/sender.hh"
+
+namespace remy::cc {
+
+struct TransportConfig {
+  double initial_cwnd = 2.0;      ///< segments
+  double max_cwnd = 1e6;          ///< segments
+  sim::TimeMs initial_rto_ms = 1000.0;
+  sim::TimeMs min_rto_ms = 200.0;
+  sim::TimeMs max_rto_ms = 60000.0;
+  std::uint32_t segment_bytes = sim::kMtuBytes;
+  /// Most segments released by one event (ACK arrival or timer), ns-2
+  /// "maxburst" style: a sudden window opening (e.g. recovery entry) must
+  /// not blast a queue-sized burst into the bottleneck. Remaining capacity
+  /// is released shortly after via a continuation timer.
+  std::uint32_t max_burst_segments = 64;
+  /// Continuation-timer spacing used when the burst cap binds.
+  sim::TimeMs burst_continuation_ms = 0.01;
+};
+
+class WindowSender : public sim::Sender {
+ public:
+  explicit WindowSender(TransportConfig config = {});
+
+  // --- sim::Sender -------------------------------------------------------
+  void start_flow(sim::TimeMs now, std::uint64_t bytes_limit) final;
+  void stop_flow(sim::TimeMs now) final;
+  bool flow_active() const noexcept final { return active_; }
+  void accept(sim::Packet&& ack, sim::TimeMs now) final;
+  sim::TimeMs next_event_time() const final;
+  void tick(sim::TimeMs now) final;
+
+  // --- inspection (used by tests and benches) -----------------------------
+  double cwnd() const noexcept { return cwnd_; }
+  sim::TimeMs srtt_ms() const noexcept { return srtt_; }
+  sim::TimeMs min_rtt_ms() const noexcept { return min_rtt_.value_or(0.0); }
+  sim::TimeMs rto_ms() const noexcept { return rto_; }
+  /// Outstanding sequence span (includes segments believed lost or already
+  /// delivered out of order).
+  std::uint64_t inflight() const noexcept { return next_seq_ - cumulative_; }
+  /// RFC 6675-style pipe: outstanding minus known-lost minus known-delivered.
+  std::uint64_t pipe() const noexcept {
+    return inflight() - missing_.size() - sacked_.size();
+  }
+  sim::SeqNum next_seq() const noexcept { return next_seq_; }
+  sim::SeqNum cumulative() const noexcept { return cumulative_; }
+  /// Retransmissions pending/outstanding (dup-ack recovery or post-RTO).
+  bool in_recovery() const noexcept { return cumulative_ < recovery_point_; }
+  /// Dup-ACK fast recovery specifically (window growth pauses here, but not
+  /// during post-timeout slow start).
+  bool in_fast_recovery() const noexcept {
+    return fast_recovery_ && in_recovery();
+  }
+
+ protected:
+  /// Everything a congestion-control hook needs to know about one ACK.
+  struct AckInfo {
+    const sim::Packet& ack;
+    sim::TimeMs rtt_sample_ms;      ///< now - echoed send timestamp
+    std::uint64_t newly_acked;      ///< cumulative advance, in segments
+    bool is_dup;                    ///< duplicate cumulative ACK
+    /// In dup-ACK fast recovery when this ACK arrived: schemes conventionally
+    /// pause window growth (post-RTO slow start is NOT flagged).
+    bool during_recovery;
+  };
+
+  // --- hooks for congestion-control schemes -------------------------------
+  /// A new "on" period began; reset scheme state (fresh-connection rule).
+  virtual void on_flow_start(sim::TimeMs now) { (void)now; }
+  /// Called for every ACK, after transport bookkeeping, before sending.
+  virtual void on_ack_received(const AckInfo& info, sim::TimeMs now) = 0;
+  /// Third duplicate ACK: a loss event (at most once per window).
+  virtual void on_loss_event(sim::TimeMs now) = 0;
+  /// Retransmission timeout fired.
+  virtual void on_timeout(sim::TimeMs now) = 0;
+  /// Last chance to edit an outgoing segment (ECN capability, XCP header).
+  virtual void prepare_packet(sim::Packet& p) { (void)p; }
+  /// Minimum spacing between successive sends (RemyCC's action r); 0 = none.
+  virtual sim::TimeMs pacing_interval_ms() const { return 0.0; }
+
+  // --- state manipulation for schemes --------------------------------------
+  void set_cwnd(double cwnd) noexcept;
+  const TransportConfig& config() const noexcept { return config_; }
+  /// Segments acked since flow start.
+  std::uint64_t acked_in_flow() const noexcept { return cumulative_ - base_seq_; }
+  sim::TimeMs last_send_time() const noexcept { return last_send_time_; }
+
+ private:
+  void send_segment(sim::SeqNum seq, sim::TimeMs now, bool is_retransmit);
+  void maybe_send(sim::TimeMs now);
+  void update_rtt(sim::TimeMs sample, sim::TimeMs now);
+  void arm_rto(sim::TimeMs now);
+  bool transfer_done() const noexcept;
+  /// Folds an ACK's SACK hole report into the scoreboard.
+  void absorb_sack(const sim::Packet& ack);
+  bool window_has_room() const noexcept;
+
+  TransportConfig config_;
+  bool active_ = false;
+
+  // Sequence space is monotone across "on" periods; each period is a new
+  // incarnation starting at base_seq_ (carried in packets so the receiver
+  // can discard holes left by a previous incarnation).
+  sim::SeqNum next_seq_ = 0;
+  sim::SeqNum base_seq_ = 0;
+  sim::SeqNum cumulative_ = 0;
+  sim::SeqNum recovery_point_ = 0;
+  sim::SeqNum loss_scan_ = 0;  ///< loss-inference watermark (see absorb_sack)
+  std::uint64_t limit_segments_ = 0;  ///< 0 = unbounded
+  bool fast_recovery_ = false;
+
+  double cwnd_;
+  int dup_acks_ = 0;
+
+  // SACK scoreboard (all pruned below the cumulative point):
+  //   missing_       known lost, awaiting retransmission
+  //   sacked_        delivered out of order (counted out of the pipe)
+  //   retransmitted_ resent once already; a stale loss report must not
+  //                  trigger a duplicate resend (lost retransmissions are
+  //                  the RTO's job)
+  std::set<sim::SeqNum> missing_;
+  std::set<sim::SeqNum> sacked_;
+  std::set<sim::SeqNum> retransmitted_;
+
+  sim::TimeMs srtt_ = 0.0;
+  sim::TimeMs rttvar_ = 0.0;
+  std::optional<sim::TimeMs> min_rtt_;
+  bool have_rtt_ = false;
+  sim::TimeMs rto_;
+  sim::TimeMs rto_deadline_ = sim::kNever;
+
+  sim::TimeMs last_send_time_ = -1e18;
+  sim::TimeMs next_send_ok_ = 0.0;  ///< pacing gate
+};
+
+}  // namespace remy::cc

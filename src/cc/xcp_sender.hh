@@ -1,0 +1,32 @@
+// XCP endpoint (Katabi et al., SIGCOMM 2002): stamps its current window and
+// RTT into every segment's congestion header; routers along the path
+// compute an explicit per-packet window delta which the receiver echoes and
+// the sender applies verbatim. No probing, no slow start — the network
+// tells the sender its window. Loss handling (rare in XCP's design range)
+// falls back to a half-window reduction.
+#pragma once
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+class XcpSender : public WindowSender {
+ public:
+  explicit XcpSender(TransportConfig config = {});
+
+  double cwnd_bytes() const noexcept { return cwnd_bytes_; }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_loss_event(sim::TimeMs now) override;
+  void on_timeout(sim::TimeMs now) override;
+  void prepare_packet(sim::Packet& p) override;
+
+ private:
+  void sync_cwnd();
+
+  double cwnd_bytes_;
+};
+
+}  // namespace remy::cc

@@ -1,0 +1,40 @@
+#include "core/action.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace remy::core {
+
+Action Action::clamped(const ActionBounds& b) const noexcept {
+  Action a = *this;
+  a.window_multiple = std::clamp(a.window_multiple, b.min_multiple, b.max_multiple);
+  a.window_increment =
+      std::clamp(a.window_increment, b.min_increment, b.max_increment);
+  a.intersend_ms = std::clamp(a.intersend_ms, b.min_intersend_ms, b.max_intersend_ms);
+  return a;
+}
+
+util::Json Action::to_json() const {
+  util::JsonObject obj;
+  obj["window_multiple"] = window_multiple;
+  obj["window_increment"] = window_increment;
+  obj["intersend_ms"] = intersend_ms;
+  return util::Json{std::move(obj)};
+}
+
+Action Action::from_json(const util::Json& j) {
+  Action a;
+  a.window_multiple = j.at("window_multiple").as_number();
+  a.window_increment = j.at("window_increment").as_number();
+  a.intersend_ms = j.at("intersend_ms").as_number();
+  return a;
+}
+
+std::string Action::describe() const {
+  std::ostringstream out;
+  out << "<m=" << window_multiple << ", b=" << window_increment
+      << ", r=" << intersend_ms << "ms>";
+  return out.str();
+}
+
+}  // namespace remy::core

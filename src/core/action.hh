@@ -1,0 +1,44 @@
+// A RemyCC action (Sec. 4.2): what the sender does when an ACK maps to a
+// rule. Three components:
+//   m - multiple applied to the congestion window
+//   b - increment added to the congestion window (possibly negative)
+//   r - lower bound, in ms, on the spacing between successive sends
+// The default action (m=1, b=1, r=0.01) is the paper's initial rule.
+#pragma once
+
+#include <string>
+
+#include "util/json.hh"
+
+namespace remy::core {
+
+struct ActionBounds {
+  double min_multiple = 0.0;
+  double max_multiple = 2.0;
+  double min_increment = -256.0;
+  double max_increment = 256.0;
+  double min_intersend_ms = 0.001;  ///< permits ~12 Gbps of MTU packets
+  double max_intersend_ms = 1000.0;
+};
+
+struct Action {
+  double window_multiple = 1.0;   ///< m
+  double window_increment = 1.0;  ///< b, in segments
+  double intersend_ms = 0.01;     ///< r
+
+  /// Clamps all components into `bounds`.
+  Action clamped(const ActionBounds& bounds = {}) const noexcept;
+
+  /// The resulting congestion window given the current one.
+  double apply_window(double cwnd) const noexcept {
+    return window_multiple * cwnd + window_increment;
+  }
+
+  util::Json to_json() const;
+  static Action from_json(const util::Json& j);
+  std::string describe() const;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+}  // namespace remy::core

@@ -1,0 +1,130 @@
+#include "core/config_range.hh"
+
+#include <sstream>
+
+namespace remy::core {
+
+sim::OnOffConfig NetConfig::workload() const {
+  using workload::Distribution;
+  switch (traffic_mode) {
+    case sim::OnMode::kByTime:
+      return sim::OnOffConfig::by_time(Distribution::exponential(mean_on),
+                                       Distribution::exponential(mean_off_ms));
+    case sim::OnMode::kByBytes:
+      return sim::OnOffConfig::by_bytes(Distribution::exponential(mean_on),
+                                        Distribution::exponential(mean_off_ms));
+    case sim::OnMode::kAlwaysOn:
+      return sim::OnOffConfig::always_on();
+  }
+  throw std::logic_error{"unreachable"};
+}
+
+std::string NetConfig::describe() const {
+  std::ostringstream out;
+  out << num_senders << " senders, " << link_mbps << " Mbps, rtt " << rtt_ms
+      << " ms, mean on " << mean_on
+      << (traffic_mode == sim::OnMode::kByTime ? " ms" : " bytes")
+      << ", mean off " << mean_off_ms << " ms";
+  return out.str();
+}
+
+ConfigRange ConfigRange::paper_general(double delta) {
+  ConfigRange r;  // defaults are exactly the Sec. 5.1 design table
+  r.objective = ObjectiveParams::proportional(delta);
+  return r;
+}
+
+ConfigRange ConfigRange::paper_1x() {
+  ConfigRange r;
+  r.min_link_mbps = r.max_link_mbps = 15.0;
+  r.min_rtt_ms = r.max_rtt_ms = 150.0;
+  r.min_senders = r.max_senders = 2;
+  r.objective = ObjectiveParams::proportional(1.0);
+  return r;
+}
+
+ConfigRange ConfigRange::paper_10x() {
+  ConfigRange r = paper_1x();
+  r.min_link_mbps = 4.7;
+  r.max_link_mbps = 47.0;
+  return r;
+}
+
+ConfigRange ConfigRange::paper_datacenter() {
+  ConfigRange r;
+  r.min_link_mbps = r.max_link_mbps = 10000.0;
+  r.min_rtt_ms = r.max_rtt_ms = 4.0;
+  r.min_senders = 1;
+  r.max_senders = 64;
+  r.traffic_mode = sim::OnMode::kByBytes;
+  r.mean_on = 20e6;       // 20 megabytes
+  r.mean_off_ms = 100.0;  // 0.1 s
+  r.buffer_packets = 1000;
+  r.objective = ObjectiveParams::min_potential_delay();
+  return r;
+}
+
+NetConfig ConfigRange::sample(util::Rng& rng) const {
+  NetConfig c;
+  c.link_mbps = rng.uniform(min_link_mbps, max_link_mbps);
+  c.rtt_ms = rng.uniform(min_rtt_ms, max_rtt_ms);
+  c.num_senders = static_cast<unsigned>(rng.uniform_int(min_senders, max_senders));
+  c.traffic_mode = traffic_mode;
+  c.mean_on = mean_on;
+  c.mean_off_ms = mean_off_ms;
+  c.buffer_packets = buffer_packets;
+  return c;
+}
+
+util::Json ConfigRange::to_json() const {
+  util::JsonObject obj;
+  obj["min_link_mbps"] = min_link_mbps;
+  obj["max_link_mbps"] = max_link_mbps;
+  obj["min_rtt_ms"] = min_rtt_ms;
+  obj["max_rtt_ms"] = max_rtt_ms;
+  obj["min_senders"] = static_cast<double>(min_senders);
+  obj["max_senders"] = static_cast<double>(max_senders);
+  obj["traffic_mode"] = traffic_mode == sim::OnMode::kByTime    ? "by_time"
+                        : traffic_mode == sim::OnMode::kByBytes ? "by_bytes"
+                                                                : "always_on";
+  obj["mean_on"] = mean_on;
+  obj["mean_off_ms"] = mean_off_ms;
+  if (buffer_packets != std::numeric_limits<std::size_t>::max())
+    obj["buffer_packets"] = static_cast<double>(buffer_packets);
+  obj["objective_alpha"] = objective.alpha;
+  obj["objective_beta"] = objective.beta;
+  obj["objective_delta"] = objective.delta;
+  return util::Json{std::move(obj)};
+}
+
+ConfigRange ConfigRange::from_json(const util::Json& j) {
+  ConfigRange r;
+  r.min_link_mbps = j.at("min_link_mbps").as_number();
+  r.max_link_mbps = j.at("max_link_mbps").as_number();
+  r.min_rtt_ms = j.at("min_rtt_ms").as_number();
+  r.max_rtt_ms = j.at("max_rtt_ms").as_number();
+  r.min_senders = static_cast<unsigned>(j.at("min_senders").as_number());
+  r.max_senders = static_cast<unsigned>(j.at("max_senders").as_number());
+  const std::string mode = j.at("traffic_mode").as_string();
+  r.traffic_mode = mode == "by_time"    ? sim::OnMode::kByTime
+                   : mode == "by_bytes" ? sim::OnMode::kByBytes
+                                        : sim::OnMode::kAlwaysOn;
+  r.mean_on = j.at("mean_on").as_number();
+  r.mean_off_ms = j.at("mean_off_ms").as_number();
+  if (j.contains("buffer_packets"))
+    r.buffer_packets = static_cast<std::size_t>(j.at("buffer_packets").as_number());
+  r.objective.alpha = j.number_or("objective_alpha", 1.0);
+  r.objective.beta = j.number_or("objective_beta", 1.0);
+  r.objective.delta = j.number_or("objective_delta", 1.0);
+  return r;
+}
+
+std::string ConfigRange::describe() const {
+  std::ostringstream out;
+  out << "link " << min_link_mbps << "-" << max_link_mbps << " Mbps, rtt "
+      << min_rtt_ms << "-" << max_rtt_ms << " ms, senders " << min_senders
+      << "-" << max_senders << ", objective " << objective.describe();
+  return out.str();
+}
+
+}  // namespace remy::core

@@ -1,0 +1,63 @@
+// The protocol designer's prior assumptions (Sec. 3.1-3.2): ranges of link
+// speed, round-trip time and degree of multiplexing, plus the traffic model
+// and objective. Remy draws network "specimens" from this range and
+// optimizes the expected objective over them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/utility.hh"
+#include "sim/flow_scheduler.hh"
+#include "util/json.hh"
+#include "util/rng.hh"
+
+namespace remy::core {
+
+/// One concrete sampled network (a "specimen").
+struct NetConfig {
+  double link_mbps = 15.0;
+  double rtt_ms = 150.0;
+  unsigned num_senders = 2;
+  sim::OnMode traffic_mode = sim::OnMode::kByTime;
+  double mean_on = 5000.0;   ///< ms (by-time) or bytes (by-bytes)
+  double mean_off_ms = 5000.0;
+  std::size_t buffer_packets = std::numeric_limits<std::size_t>::max();
+
+  sim::OnOffConfig workload() const;
+  std::string describe() const;
+};
+
+struct ConfigRange {
+  double min_link_mbps = 10.0;
+  double max_link_mbps = 20.0;
+  double min_rtt_ms = 100.0;
+  double max_rtt_ms = 200.0;
+  unsigned min_senders = 1;
+  unsigned max_senders = 16;
+  sim::OnMode traffic_mode = sim::OnMode::kByTime;
+  double mean_on = 5000.0;  ///< ms (by-time) or bytes (by-bytes)
+  double mean_off_ms = 5000.0;
+  std::size_t buffer_packets = std::numeric_limits<std::size_t>::max();
+  ObjectiveParams objective{};
+
+  /// The paper's general-purpose design range (Sec. 5.1 table) with the
+  /// given delay weight.
+  static ConfigRange paper_general(double delta);
+  /// The "1x" range: link speed known exactly (Sec. 5.7).
+  static ConfigRange paper_1x();
+  /// The "10x" range: 4.7-47 Mbps (Sec. 5.7).
+  static ConfigRange paper_10x();
+  /// The datacenter range of Sec. 5.5.
+  static ConfigRange paper_datacenter();
+
+  /// Draws a specimen uniformly from the ranges.
+  NetConfig sample(util::Rng& rng) const;
+
+  util::Json to_json() const;
+  static ConfigRange from_json(const util::Json& j);
+  std::string describe() const;
+};
+
+}  // namespace remy::core

@@ -1,0 +1,110 @@
+#include "core/evaluator.hh"
+
+#include <algorithm>
+
+#include "aqm/droptail.hh"
+#include "core/remy_sender.hh"
+#include "sim/dumbbell.hh"
+
+namespace remy::core {
+
+Evaluator::Evaluator(const ConfigRange& range, EvaluatorOptions options)
+    : range_{range}, options_{options} {
+  util::Rng rng{options_.seed};
+  specimens_.reserve(options_.num_specimens);
+  seeds_.reserve(options_.num_specimens);
+  for (std::size_t i = 0; i < options_.num_specimens; ++i) {
+    specimens_.push_back(range_.sample(rng));
+    seeds_.push_back(rng());
+  }
+}
+
+SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
+                                       const NetConfig& config,
+                                       std::uint64_t seed,
+                                       UsageRecorder* usage) const {
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = config.num_senders;
+  cfg.link_mbps = config.link_mbps;
+  cfg.rtt_ms = config.rtt_ms;
+  cfg.workload = config.workload();
+  cfg.seed = seed;
+  cfg.queue_factory = [&config] {
+    return std::make_unique<aqm::DropTail>(config.buffer_packets);
+  };
+
+  // The tree outlives the simulation; alias it into a shared_ptr without
+  // ownership so senders can share it.
+  const std::shared_ptr<const WhiskerTree> shared{std::shared_ptr<void>{},
+                                                  &tree};
+  sim::Dumbbell net{cfg, [&](sim::FlowId) {
+                      return std::make_unique<RemySender>(
+                          shared, cc::TransportConfig{}, usage);
+                    }};
+  net.run_for_seconds(options_.simulation_ms / 1000.0);
+
+  SpecimenResult out;
+  out.config = config;
+  const sim::MetricsHub& metrics = net.metrics();
+  for (sim::FlowId f = 0; f < config.num_senders; ++f) {
+    const sim::FlowStats& fs = metrics.flow(f);
+    if (fs.on_time_ms <= 0.0) continue;  // never participated
+    const double tput = fs.throughput_mbps();
+    // Delay for the objective: the flow's mean RTT (Sec. 3.3 uses average
+    // round-trip delay). Flows that sent but delivered nothing fall back to
+    // the path RTT so the throughput floor dominates their penalty.
+    const double delay =
+        fs.rtt_samples > 0 ? fs.avg_rtt_ms() : config.rtt_ms;
+    const double u =
+        std::max(flow_utility(tput, delay, range_.objective), options_.utility_floor);
+    out.utility_sum += u;
+    out.mean_throughput_mbps += tput;
+    out.mean_delay_ms += delay;
+    ++out.senders_scored;
+  }
+  if (out.senders_scored > 0) {
+    out.utility_mean = out.utility_sum / out.senders_scored;
+    out.mean_throughput_mbps /= out.senders_scored;
+    out.mean_delay_ms /= out.senders_scored;
+  }
+  return out;
+}
+
+EvalResult Evaluator::evaluate(const WhiskerTree& tree, bool record_usage,
+                               util::ThreadPool* pool) const {
+  EvalResult result;
+  result.specimens.resize(specimens_.size());
+  std::vector<UsageRecorder> usages;
+  if (record_usage) {
+    usages.assign(specimens_.size(), UsageRecorder{tree.num_whiskers()});
+  }
+
+  const auto run_one = [&](std::size_t i) {
+    UsageRecorder* usage = record_usage ? &usages[i] : nullptr;
+    result.specimens[i] = run_specimen(tree, specimens_[i], seeds_[i], usage);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(specimens_.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < specimens_.size(); ++i) run_one(i);
+  }
+
+  double total = 0.0;
+  std::size_t scored = 0;
+  for (const auto& s : result.specimens) {
+    if (s.senders_scored == 0) continue;
+    total += s.utility_mean;
+    ++scored;
+  }
+  result.score = scored > 0 ? total / static_cast<double>(scored)
+                            : options_.utility_floor;
+
+  if (record_usage) {
+    result.usage.resize(tree.num_whiskers());
+    for (const auto& u : usages) result.usage.merge(u);
+  }
+  return result;
+}
+
+}  // namespace remy::core

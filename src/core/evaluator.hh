@@ -1,0 +1,72 @@
+// The inner loop of Remy's design procedure (Sec. 4.3): draw >= 16 network
+// specimens from the prior, simulate every sender running the candidate
+// RemyCC on each specimen, and total the objective. The specimen set and
+// all RNG seeds are fixed at construction so that every candidate action is
+// scored on identical networks ("the same random seed and the same set of
+// specimen networks"), a paired-comparison variance reduction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config_range.hh"
+#include "core/whisker_tree.hh"
+#include "util/thread_pool.hh"
+
+namespace remy::core {
+
+struct EvaluatorOptions {
+  std::size_t num_specimens = 16;
+  sim::TimeMs simulation_ms = 100'000.0;  ///< the paper's 100 seconds
+  std::uint64_t seed = 1;
+  /// Warm-up fraction excluded from nothing (the paper scores whole runs);
+  /// kept configurable for ablations.
+  double utility_floor = -1e9;  ///< clamp per-flow utility (idle flows)
+};
+
+struct SpecimenResult {
+  NetConfig config;
+  double utility_sum = 0.0;    ///< over senders that were ever "on"
+  double utility_mean = 0.0;
+  unsigned senders_scored = 0;
+  double mean_throughput_mbps = 0.0;
+  double mean_delay_ms = 0.0;
+};
+
+struct EvalResult {
+  /// The figure of merit: mean per-sender utility across specimens.
+  double score = 0.0;
+  std::vector<SpecimenResult> specimens;
+  UsageRecorder usage;  ///< populated when requested
+
+  EvalResult() : usage{0} {}
+};
+
+class Evaluator {
+ public:
+  Evaluator(const ConfigRange& range, EvaluatorOptions options = {});
+
+  /// Scores a rule table. If `record_usage`, whisker activation counts and
+  /// memory samples are gathered (slower; used for most-used selection and
+  /// median splits). If `pool` is given, specimens run in parallel.
+  EvalResult evaluate(const WhiskerTree& tree, bool record_usage = false,
+                      util::ThreadPool* pool = nullptr) const;
+
+  const std::vector<NetConfig>& specimens() const noexcept { return specimens_; }
+  const ConfigRange& range() const noexcept { return range_; }
+  const EvaluatorOptions& options() const noexcept { return options_; }
+
+  /// Runs one specimen; exposed for tests and the quickstart example.
+  SpecimenResult run_specimen(const WhiskerTree& tree, const NetConfig& config,
+                              std::uint64_t seed,
+                              UsageRecorder* usage = nullptr) const;
+
+ private:
+  ConfigRange range_;
+  EvaluatorOptions options_;
+  std::vector<NetConfig> specimens_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace remy::core

@@ -1,0 +1,56 @@
+#include "core/memory.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace remy::core {
+
+void Memory::on_ack(sim::TimeMs now, sim::TimeMs echo_tick_sent,
+                    sim::TimeMs min_rtt_ms) noexcept {
+  if (!have_reference_) {
+    // First ACK of the flow: establish references only (original Remy).
+    have_reference_ = true;
+    last_ack_time_ = now;
+    last_echo_sent_ = echo_tick_sent;
+    return;
+  }
+  const double ack_gap = now - last_ack_time_;
+  const double send_gap = echo_tick_sent - last_echo_sent_;
+  last_ack_time_ = now;
+  last_echo_sent_ = echo_tick_sent;
+
+  fields_[0] = (1.0 - kEwmaGain) * fields_[0] + kEwmaGain * ack_gap;
+  fields_[1] = (1.0 - kEwmaGain) * fields_[1] + kEwmaGain * send_gap;
+  if (min_rtt_ms > 0.0) {
+    fields_[2] = (now - echo_tick_sent) / min_rtt_ms;
+  }
+}
+
+const char* Memory::field_name(std::size_t i) {
+  switch (i) {
+    case 0: return "ack_ewma";
+    case 1: return "send_ewma";
+    case 2: return "rtt_ratio";
+    default: throw std::out_of_range{"Memory::field_name"};
+  }
+}
+
+util::Json Memory::to_json() const {
+  util::JsonObject obj;
+  for (std::size_t i = 0; i < kMemoryDims; ++i) obj[field_name(i)] = fields_[i];
+  return util::Json{std::move(obj)};
+}
+
+Memory Memory::from_json(const util::Json& j) {
+  return Memory{j.at(field_name(0)).as_number(), j.at(field_name(1)).as_number(),
+                j.at(field_name(2)).as_number()};
+}
+
+std::string Memory::describe() const {
+  std::ostringstream out;
+  out << "<ack_ewma=" << fields_[0] << ", send_ewma=" << fields_[1]
+      << ", rtt_ratio=" << fields_[2] << ">";
+  return out.str();
+}
+
+}  // namespace remy::core

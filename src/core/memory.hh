@@ -1,0 +1,72 @@
+// The RemyCC memory (Sec. 4.1): the three congestion signals every
+// generated algorithm observes, updated on each incoming ACK:
+//
+//   ack_ewma  - EWMA of the interarrival time between new ACKs (ms)
+//   send_ewma - EWMA of the spacing between the sender timestamps echoed
+//               in those ACKs (ms)
+//   rtt_ratio - latest RTT divided by the connection's minimum RTT
+//
+// Both EWMAs give weight 1/8 to the new sample. The memory starts in the
+// all-zeros state at the beginning of every flow ("on" period), and the
+// first ACK only initializes the reference timestamps (the original Remy
+// implementation's behavior). Deliberately absent: loss signals and the raw
+// RTT (the paper's Sec. 4.1 explains both omissions).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/time.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+/// Number of congestion signals.
+inline constexpr std::size_t kMemoryDims = 3;
+
+/// Upper bound of each signal's domain in the rule table (the paper maps
+/// "any values of the three state variables (between 0 and 16,384)").
+inline constexpr double kMemoryUpperBound = 16384.0;
+
+/// EWMA gain.
+inline constexpr double kEwmaGain = 1.0 / 8.0;
+
+class Memory {
+ public:
+  /// All-zeros initial state.
+  Memory() = default;
+
+  Memory(double ack_ewma, double send_ewma, double rtt_ratio) noexcept
+      : fields_{ack_ewma, send_ewma, rtt_ratio} {}
+
+  double ack_ewma() const noexcept { return fields_[0]; }
+  double send_ewma() const noexcept { return fields_[1]; }
+  double rtt_ratio() const noexcept { return fields_[2]; }
+  double field(std::size_t i) const { return fields_.at(i); }
+
+  /// Incorporates one ACK. `now` is the ACK arrival time; `echo_tick_sent`
+  /// is the sender timestamp the receiver echoed; `min_rtt_ms` is the
+  /// connection minimum (must be > 0 once an RTT sample exists).
+  void on_ack(sim::TimeMs now, sim::TimeMs echo_tick_sent,
+              sim::TimeMs min_rtt_ms) noexcept;
+
+  /// Back to the all-zeros state (new "on" period).
+  void reset() noexcept { *this = Memory{}; }
+
+  static const char* field_name(std::size_t i);
+
+  util::Json to_json() const;
+  static Memory from_json(const util::Json& j);
+
+  std::string describe() const;
+
+  friend bool operator==(const Memory&, const Memory&) = default;
+
+ private:
+  std::array<double, kMemoryDims> fields_{0.0, 0.0, 0.0};
+  bool have_reference_ = false;
+  sim::TimeMs last_ack_time_ = 0.0;
+  sim::TimeMs last_echo_sent_ = 0.0;
+};
+
+}  // namespace remy::core

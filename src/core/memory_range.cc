@@ -1,0 +1,101 @@
+#include "core/memory_range.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace remy::core {
+
+namespace {
+Memory make_memory(const std::array<double, kMemoryDims>& v) {
+  return Memory{v[0], v[1], v[2]};
+}
+}  // namespace
+
+MemoryRange::MemoryRange()
+    : lower_{0.0, 0.0, 0.0},
+      upper_{kMemoryUpperBound, kMemoryUpperBound, kMemoryUpperBound} {}
+
+MemoryRange::MemoryRange(const Memory& lower, const Memory& upper)
+    : lower_{lower}, upper_{upper} {
+  for (std::size_t i = 0; i < kMemoryDims; ++i) {
+    if (!(lower_.field(i) <= upper_.field(i)))
+      throw std::invalid_argument{"MemoryRange: lower > upper"};
+  }
+}
+
+bool MemoryRange::contains(const Memory& m) const noexcept {
+  for (std::size_t i = 0; i < kMemoryDims; ++i) {
+    if (m.field(i) < lower_.field(i) || m.field(i) >= upper_.field(i))
+      return false;
+  }
+  return true;
+}
+
+Memory MemoryRange::center() const noexcept {
+  std::array<double, kMemoryDims> c{};
+  for (std::size_t i = 0; i < kMemoryDims; ++i)
+    c[i] = (lower_.field(i) + upper_.field(i)) / 2.0;
+  return make_memory(c);
+}
+
+std::vector<MemoryRange> MemoryRange::split(const Memory& point) const {
+  // Clamp the split point strictly inside; dimensions too thin to split are
+  // left whole.
+  std::array<double, kMemoryDims> cut{};
+  std::array<bool, kMemoryDims> splittable{};
+  bool any = false;
+  for (std::size_t i = 0; i < kMemoryDims; ++i) {
+    const double lo = lower_.field(i);
+    const double hi = upper_.field(i);
+    double p = point.field(i);
+    if (!(p > lo && p < hi)) p = (lo + hi) / 2.0;  // fall back to midpoint
+    splittable[i] = p > lo && p < hi;
+    cut[i] = p;
+    any = any || splittable[i];
+  }
+  if (!any) return {};
+
+  std::vector<MemoryRange> out;
+  const std::size_t combos = 1u << kMemoryDims;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::array<double, kMemoryDims> lo{};
+    std::array<double, kMemoryDims> hi{};
+    bool empty = false;
+    for (std::size_t i = 0; i < kMemoryDims; ++i) {
+      const bool high_half = (mask >> i) & 1u;
+      if (!splittable[i]) {
+        if (high_half) {
+          empty = true;  // unsplittable dimension contributes one half only
+          break;
+        }
+        lo[i] = lower_.field(i);
+        hi[i] = upper_.field(i);
+      } else {
+        lo[i] = high_half ? cut[i] : lower_.field(i);
+        hi[i] = high_half ? upper_.field(i) : cut[i];
+      }
+    }
+    if (!empty) out.emplace_back(make_memory(lo), make_memory(hi));
+  }
+  return out;
+}
+
+util::Json MemoryRange::to_json() const {
+  util::JsonObject obj;
+  obj["lower"] = lower_.to_json();
+  obj["upper"] = upper_.to_json();
+  return util::Json{std::move(obj)};
+}
+
+MemoryRange MemoryRange::from_json(const util::Json& j) {
+  return MemoryRange{Memory::from_json(j.at("lower")),
+                     Memory::from_json(j.at("upper"))};
+}
+
+std::string MemoryRange::describe() const {
+  std::ostringstream out;
+  out << "[" << lower_.describe() << " .. " << upper_.describe() << ")";
+  return out.str();
+}
+
+}  // namespace remy::core

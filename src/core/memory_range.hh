@@ -1,0 +1,48 @@
+// An axis-aligned box in the three-dimensional memory space. Each whisker
+// (rule) owns one; subdividing the most-used rule at the median observed
+// memory produces the octree structure of Sec. 4.3.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/memory.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+class MemoryRange {
+ public:
+  /// Full domain: [0, kMemoryUpperBound)^3.
+  MemoryRange();
+
+  MemoryRange(const Memory& lower, const Memory& upper);
+
+  /// Half-open membership: lower <= m < upper per dimension.
+  bool contains(const Memory& m) const noexcept;
+
+  const Memory& lower() const noexcept { return lower_; }
+  const Memory& upper() const noexcept { return upper_; }
+
+  /// Splits at `point` into up to 2^3 sub-boxes (fewer when `point` lies on
+  /// a boundary in some dimension, which would create empty boxes).
+  /// `point` is clamped strictly inside the box first; if the box is too
+  /// thin to split in any dimension, returns an empty vector.
+  std::vector<MemoryRange> split(const Memory& point) const;
+
+  /// Box center.
+  Memory center() const noexcept;
+
+  util::Json to_json() const;
+  static MemoryRange from_json(const util::Json& j);
+  std::string describe() const;
+
+  friend bool operator==(const MemoryRange&, const MemoryRange&) = default;
+
+ private:
+  Memory lower_;
+  Memory upper_;
+};
+
+}  // namespace remy::core

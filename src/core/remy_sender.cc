@@ -1,0 +1,38 @@
+#include "core/remy_sender.hh"
+
+#include <stdexcept>
+
+namespace remy::core {
+
+RemySender::RemySender(std::shared_ptr<const WhiskerTree> tree,
+                       cc::TransportConfig config, UsageRecorder* usage)
+    : cc::WindowSender{config}, tree_{std::move(tree)}, usage_{usage} {
+  if (tree_ == nullptr) throw std::invalid_argument{"RemySender: null tree"};
+}
+
+void RemySender::on_flow_start(sim::TimeMs now) {
+  (void)now;
+  memory_.reset();
+  intersend_ms_ = 0.0;
+}
+
+void RemySender::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+  memory_.on_ack(now, info.ack.echo_tick_sent, min_rtt_ms());
+
+  Memory lookup_memory = memory_;
+  if (!signal_mask_[0] || !signal_mask_[1] || !signal_mask_[2]) {
+    lookup_memory = Memory{signal_mask_[0] ? memory_.ack_ewma() : 0.0,
+                           signal_mask_[1] ? memory_.send_ewma() : 0.0,
+                           signal_mask_[2] ? memory_.rtt_ratio() : 0.0};
+  }
+  const Whisker& rule = tree_->lookup(lookup_memory);
+  if (usage_ != nullptr) {
+    usage_->note(tree_->lookup_index(lookup_memory), lookup_memory);
+  }
+
+  const Action& action = rule.action();
+  set_cwnd(action.apply_window(cwnd()));
+  intersend_ms_ = action.intersend_ms;
+}
+
+}  // namespace remy::core

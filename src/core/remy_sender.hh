@@ -1,0 +1,54 @@
+// The RemyCC interpreter: runs a whisker tree at an endpoint (Sec. 4.2).
+//
+// On every incoming ACK the sender updates its three-signal memory, looks
+// up the matching whisker, and applies the action:
+//   cwnd <- m * cwnd + b     (clamped to >= 0 outstanding)
+//   pace sends at least r ms apart
+// Congestion state (memory, window, pacing) resets at every "on" period;
+// loss recovery is inherited from the shared window transport, and loss is
+// *not* a congestion signal (Sec. 4.1).
+#pragma once
+
+#include <memory>
+
+#include "cc/window_sender.hh"
+#include "core/memory.hh"
+#include "core/whisker_tree.hh"
+
+namespace remy::core {
+
+class RemySender : public cc::WindowSender {
+ public:
+  /// @param tree     the rule table; shared, not modified
+  /// @param usage    optional recorder of whisker activations (training)
+  explicit RemySender(std::shared_ptr<const WhiskerTree> tree,
+                      cc::TransportConfig config = {},
+                      UsageRecorder* usage = nullptr);
+
+  const Memory& memory() const noexcept { return memory_; }
+  const WhiskerTree& tree() const noexcept { return *tree_; }
+
+  /// Ablation hook: signals whose index is false here are zeroed before
+  /// every rule lookup, blinding the algorithm to that congestion signal
+  /// (used by bench_ablation_signals to probe the Sec. 4.1 design choice).
+  void set_signal_mask(const std::array<bool, kMemoryDims>& mask) noexcept {
+    signal_mask_ = mask;
+  }
+
+ protected:
+  void on_flow_start(sim::TimeMs now) override;
+  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  /// Loss is not a RemyCC congestion signal; recovery is transport-level.
+  void on_loss_event(sim::TimeMs now) override { (void)now; }
+  void on_timeout(sim::TimeMs now) override { (void)now; }
+  sim::TimeMs pacing_interval_ms() const override { return intersend_ms_; }
+
+ private:
+  std::shared_ptr<const WhiskerTree> tree_;
+  UsageRecorder* usage_;
+  Memory memory_{};
+  std::array<bool, kMemoryDims> signal_mask_{true, true, true};
+  sim::TimeMs intersend_ms_ = 0.0;
+};
+
+}  // namespace remy::core

@@ -1,0 +1,128 @@
+#include "core/trainer.hh"
+
+#include <algorithm>
+#include <future>
+#include <sstream>
+
+namespace remy::core {
+
+Trainer::Trainer(const ConfigRange& range, TrainerOptions options)
+    : range_{range},
+      options_{std::move(options)},
+      evaluator_{range, options_.eval},
+      pool_{options_.threads} {}
+
+void Trainer::log(const std::string& line) const {
+  if (options_.log) options_.log(line);
+}
+
+bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
+                              double& score, TrainResult& stats) {
+  bool changed = false;
+  for (std::size_t round = 0; round < options_.max_improvement_rounds; ++round) {
+    const Whisker& current = tree.whisker(index);
+    const std::vector<Action> candidates =
+        current.candidate_actions(options_.candidates);
+    if (candidates.empty()) break;
+
+    // Score every candidate on the same specimens, in parallel. Each task
+    // copies the tree and swaps in the candidate action.
+    std::vector<std::future<double>> futures;
+    futures.reserve(candidates.size());
+    for (const Action& a : candidates) {
+      futures.push_back(pool_.submit([&tree, &a, index, this] {
+        WhiskerTree candidate_tree{tree};
+        candidate_tree.whisker(index).set_action(a);
+        return evaluator_.evaluate(candidate_tree).score;
+      }));
+    }
+
+    double best_score = score;
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const double s = futures[i].get();
+      ++stats.actions_evaluated;
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    if (!best.has_value()) break;  // no candidate beats the incumbent
+
+    tree.whisker(index).set_action(candidates[*best]);
+    score = best_score;
+    changed = true;
+    ++stats.improvements;
+    std::ostringstream msg;
+    msg << "  improved whisker " << index << " -> "
+        << candidates[*best].describe() << "  score " << score;
+    log(msg.str());
+  }
+  return changed;
+}
+
+TrainResult Trainer::run(WhiskerTree start) {
+  TrainResult result;
+  result.tree = std::move(start);
+
+  std::uint32_t epoch = 0;
+  result.tree.set_all_generations(epoch);
+  double score = evaluator_.evaluate(result.tree, false, &pool_).score;
+  {
+    std::ostringstream msg;
+    msg << "initial score " << score << " with " << result.tree.num_whiskers()
+        << " whisker(s); range: " << range_.describe();
+    log(msg.str());
+  }
+
+  while (epoch < options_.max_epochs) {
+    // Step 2: most-used rule still in this epoch.
+    const EvalResult usage_eval = evaluator_.evaluate(result.tree, true, &pool_);
+    score = usage_eval.score;
+    const auto most_used = usage_eval.usage.most_used([&](std::size_t i) {
+      return result.tree.whisker(i).generation() <= epoch;
+    });
+
+    if (most_used.has_value()) {
+      // Step 3: improve until no candidate wins, then retire from epoch.
+      improve_whisker(result.tree, *most_used, score, result);
+      result.tree.whisker(*most_used).set_generation(epoch + 1);
+      continue;
+    }
+
+    // Step 4: out of rules in this epoch.
+    ++epoch;
+    result.epochs_completed = epoch;
+    {
+      std::ostringstream msg;
+      msg << "epoch " << epoch << " complete; score " << score << "; "
+          << result.tree.num_whiskers() << " whiskers";
+      log(msg.str());
+    }
+    if (epoch % options_.split_every == 0) {
+      // Step 5: subdivide the most-used rule at its median memory.
+      if (result.tree.num_whiskers() >= options_.max_whiskers) {
+        log("whisker budget reached; stopping");
+        break;
+      }
+      const auto to_split = usage_eval.usage.most_used({});
+      if (to_split.has_value()) {
+        const auto median = usage_eval.usage.median(*to_split);
+        const Memory point =
+            median.value_or(result.tree.whisker(*to_split).domain().center());
+        if (result.tree.split(*to_split, point, epoch)) {
+          ++result.splits;
+          std::ostringstream msg;
+          msg << "split whisker " << *to_split << " at " << point.describe()
+              << "; now " << result.tree.num_whiskers() << " whiskers";
+          log(msg.str());
+        }
+      }
+    }
+  }
+
+  result.score = evaluator_.evaluate(result.tree, false, &pool_).score;
+  return result;
+}
+
+}  // namespace remy::core

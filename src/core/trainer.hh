@@ -1,0 +1,66 @@
+// Remy's automated design procedure (Sec. 4.3): a greedy search over rule
+// tables.
+//
+//   1. Set all rules to the current epoch.
+//   2. Find the most-used rule in this epoch (by simulation).
+//   3. Improve that rule's action until no candidate beats it, evaluating
+//      ~100 geometric increments on the same specimen networks; then retire
+//      the rule from this epoch.
+//   4. When the epoch runs out of rules, advance the epoch; every K epochs,
+//   5. subdivide the most-used rule at its median observed memory into 8
+//      children (the octree refinement).
+//
+// Candidate actions are evaluated in parallel (the paper's "embarrassingly
+// parallel" step).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/evaluator.hh"
+
+namespace remy::core {
+
+struct TrainerOptions {
+  EvaluatorOptions eval{};
+  CandidateOptions candidates{};
+  std::uint32_t max_epochs = 8;     ///< stop after this many global epochs
+  std::size_t max_whiskers = 256;   ///< stop subdividing beyond this
+  std::uint32_t split_every = 4;    ///< the paper's K
+  std::size_t max_improvement_rounds = 32;  ///< per-rule cap (safety)
+  std::size_t threads = 0;          ///< 0 = hardware concurrency
+  /// Called after every improvement/split with a progress line.
+  std::function<void(const std::string&)> log;
+};
+
+struct TrainResult {
+  WhiskerTree tree;
+  double score = 0.0;
+  std::uint32_t epochs_completed = 0;
+  std::size_t actions_evaluated = 0;
+  std::size_t improvements = 0;
+  std::size_t splits = 0;
+
+  TrainResult() : tree{} {}
+};
+
+class Trainer {
+ public:
+  Trainer(const ConfigRange& range, TrainerOptions options = {});
+
+  /// Runs the search from `start` (default: the single-rule table).
+  TrainResult run(WhiskerTree start = WhiskerTree{});
+
+ private:
+  /// Improves one whisker in place; returns true if its action changed.
+  bool improve_whisker(WhiskerTree& tree, std::size_t index, double& score,
+                       TrainResult& stats);
+  void log(const std::string& line) const;
+
+  ConfigRange range_;
+  TrainerOptions options_;
+  Evaluator evaluator_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace remy::core

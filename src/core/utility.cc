@@ -1,0 +1,32 @@
+#include "core/utility.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace remy::core {
+
+double alpha_fair_utility(double x, double alpha) {
+  if (alpha == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - alpha) / (1.0 - alpha);
+}
+
+double flow_utility(double throughput_mbps, double delay_ms,
+                    const ObjectiveParams& params) {
+  const double x = std::max(throughput_mbps, kMinThroughputMbps);
+  const double y = std::max(delay_ms, kMinDelayMs);
+  double u = alpha_fair_utility(x, params.alpha);
+  if (params.delta != 0.0) {
+    u -= params.delta * alpha_fair_utility(y, params.beta);
+  }
+  return u;
+}
+
+std::string ObjectiveParams::describe() const {
+  std::ostringstream out;
+  out << "U_" << alpha << "(throughput)";
+  if (delta != 0.0) out << " - " << delta << " * U_" << beta << "(delay)";
+  return out.str();
+}
+
+}  // namespace remy::core

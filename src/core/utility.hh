@@ -1,0 +1,47 @@
+// The objective function of Sec. 3.3 (Eq. 1): a flow with average
+// throughput x and average round-trip delay y scores
+//     U_alpha(x) - delta * U_beta(y),
+// where U_a is the alpha-fairness utility
+//     U_a(x) = x^(1-a) / (1-a),  with U_1(x) = log(x).
+//
+// The paper's two operating points:
+//   alpha = beta = 1           -> log(throughput) - delta*log(delay)
+//   alpha = 2, delta = 0       -> -1/throughput (minimum potential delay)
+#pragma once
+
+#include <string>
+
+namespace remy::core {
+
+/// Alpha-fairness utility; requires x > 0 (callers clamp).
+double alpha_fair_utility(double x, double alpha);
+
+struct ObjectiveParams {
+  double alpha = 1.0;  ///< throughput fairness exponent
+  double beta = 1.0;   ///< delay fairness exponent
+  double delta = 1.0;  ///< relative weight of delay vs throughput
+
+  /// Proportional throughput-and-delay fairness (the paper's main setting).
+  static ObjectiveParams proportional(double delta) {
+    return ObjectiveParams{1.0, 1.0, delta};
+  }
+  /// Minimum potential delay of fixed-length transfers (datacenter table).
+  static ObjectiveParams min_potential_delay() {
+    return ObjectiveParams{2.0, 1.0, 0.0};
+  }
+
+  std::string describe() const;
+};
+
+/// Score for one flow. Throughput in Mbps, delay in ms; both are clamped to
+/// small positive floors so that idle flows yield a large-but-finite
+/// penalty, keeping the search numerically stable (documented substitution
+/// for the paper's implicit -inf).
+double flow_utility(double throughput_mbps, double delay_ms,
+                    const ObjectiveParams& params);
+
+/// Floors used by flow_utility (exposed for tests).
+inline constexpr double kMinThroughputMbps = 1e-4;
+inline constexpr double kMinDelayMs = 1e-3;
+
+}  // namespace remy::core

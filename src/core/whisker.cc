@@ -1,0 +1,75 @@
+#include "core/whisker.hh"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace remy::core {
+
+namespace {
+
+/// Increment ladder for one dimension: {0, +-step, +-step*ratio, ...}.
+std::vector<double> ladder(double step, double ratio, int scales) {
+  std::vector<double> out{0.0};
+  double g = step;
+  for (int s = 0; s < scales; ++s) {
+    out.push_back(+g);
+    out.push_back(-g);
+    g *= ratio;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Action> Whisker::candidate_actions(const CandidateOptions& opt) const {
+  const auto dm = ladder(opt.multiple_step, opt.ratio, opt.scales);
+  const auto db = ladder(opt.increment_step, opt.ratio, opt.scales);
+  const auto dr = ladder(opt.intersend_step, opt.ratio, opt.scales);
+
+  // Deduplicate after clamping (ladder rungs beyond a bound all clamp to it).
+  std::set<std::tuple<double, double, double>> seen;
+  const auto key = [](const Action& a) {
+    return std::make_tuple(a.window_multiple, a.window_increment, a.intersend_ms);
+  };
+  seen.insert(key(action_.clamped(opt.bounds)));
+
+  std::vector<Action> out;
+  for (const double m : dm) {
+    for (const double b : db) {
+      for (const double r : dr) {
+        Action a = action_;
+        a.window_multiple += m;
+        a.window_increment += b;
+        a.intersend_ms += r;
+        a = a.clamped(opt.bounds);
+        if (seen.insert(key(a)).second) out.push_back(a);
+      }
+    }
+  }
+  return out;
+}
+
+util::Json Whisker::to_json() const {
+  util::JsonObject obj;
+  obj["domain"] = domain_.to_json();
+  obj["action"] = action_.to_json();
+  obj["generation"] = static_cast<double>(generation_);
+  return util::Json{std::move(obj)};
+}
+
+Whisker Whisker::from_json(const util::Json& j) {
+  return Whisker{MemoryRange::from_json(j.at("domain")),
+                 Action::from_json(j.at("action")),
+                 static_cast<std::uint32_t>(j.number_or("generation", 0.0))};
+}
+
+std::string Whisker::describe() const {
+  std::ostringstream out;
+  out << domain_.describe() << " => " << action_.describe()
+      << " (gen " << generation_ << ")";
+  return out.str();
+}
+
+}  // namespace remy::core

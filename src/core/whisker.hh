@@ -1,0 +1,58 @@
+// A whisker is one rule of a RemyCC: a region of memory space mapped to an
+// action, plus the optimizer's bookkeeping (generation/epoch counter).
+// "Whisker" is the original implementation's term, evoking a cat's whiskers
+// feeling out the memory space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/action.hh"
+#include "core/memory_range.hh"
+
+namespace remy::core {
+
+/// Candidate-generation settings for the improvement step (Sec. 4.3 step 3):
+/// per-dimension geometric ladders of increments, e.g. r +- 0.01, +- 0.08,
+/// +- 0.64 (ratio 8), Cartesian-product across the three dimensions.
+struct CandidateOptions {
+  double multiple_step = 0.01;
+  double increment_step = 1.0;
+  double intersend_step = 0.01;
+  double ratio = 8.0;   ///< geometric escalation between ladder rungs
+  int scales = 2;       ///< rungs per direction (2 -> {g, 8g}; 125 candidates)
+  ActionBounds bounds{};
+};
+
+class Whisker {
+ public:
+  Whisker(MemoryRange domain, Action action, std::uint32_t generation = 0)
+      : domain_{std::move(domain)}, action_{action}, generation_{generation} {}
+
+  /// The paper's initial rule: the whole memory domain -> default action.
+  static Whisker default_whisker() { return Whisker{MemoryRange{}, Action{}}; }
+
+  const MemoryRange& domain() const noexcept { return domain_; }
+  const Action& action() const noexcept { return action_; }
+  void set_action(const Action& a) noexcept { action_ = a; }
+
+  std::uint32_t generation() const noexcept { return generation_; }
+  void set_generation(std::uint32_t g) noexcept { generation_ = g; }
+  void bump_generation() noexcept { ++generation_; }
+
+  /// Neighboring actions to evaluate when improving this rule; clamped to
+  /// bounds, deduplicated, and excluding the current action.
+  std::vector<Action> candidate_actions(const CandidateOptions& opt = {}) const;
+
+  util::Json to_json() const;
+  static Whisker from_json(const util::Json& j);
+  std::string describe() const;
+
+ private:
+  MemoryRange domain_;
+  Action action_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace remy::core

@@ -1,0 +1,251 @@
+#include "core/whisker_tree.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hh"
+
+namespace remy::core {
+
+WhiskerTree::Node::Node(Whisker w)
+    : domain{w.domain()}, leaf{std::make_unique<Whisker>(std::move(w))} {}
+
+WhiskerTree::WhiskerTree() : WhiskerTree{Whisker::default_whisker()} {}
+
+WhiskerTree::WhiskerTree(Whisker root)
+    : root_{std::make_unique<Node>(std::move(root))} {
+  rebuild_index();
+}
+
+std::unique_ptr<WhiskerTree::Node> WhiskerTree::clone(const Node& n) {
+  auto out = std::make_unique<Node>(n.domain);
+  if (n.leaf != nullptr) out->leaf = std::make_unique<Whisker>(*n.leaf);
+  out->children.reserve(n.children.size());
+  for (const auto& c : n.children) out->children.push_back(clone(*c));
+  return out;
+}
+
+WhiskerTree::WhiskerTree(const WhiskerTree& other)
+    : root_{clone(*other.root_)} {
+  rebuild_index();
+}
+
+WhiskerTree& WhiskerTree::operator=(const WhiskerTree& other) {
+  if (this != &other) {
+    root_ = clone(*other.root_);
+    rebuild_index();
+  }
+  return *this;
+}
+
+void WhiskerTree::rebuild_index() {
+  leaves_.clear();
+  index_of_.clear();
+  // Iterative DFS keeps leaf order stable under subdivision-in-place.
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf != nullptr) {
+      index_of_.emplace(n->leaf.get(), leaves_.size());
+      leaves_.push_back(n->leaf.get());
+    } else {
+      for (auto it = n->children.rbegin(); it != n->children.rend(); ++it)
+        stack.push_back(it->get());
+    }
+  }
+}
+
+const WhiskerTree::Node* WhiskerTree::descend(const Memory& m) const {
+  const Node* n = root_.get();
+  while (n->leaf == nullptr) {
+    const Node* next = nullptr;
+    for (const auto& c : n->children) {
+      if (c->domain.contains(m)) {
+        next = c.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      // Out-of-domain memory (signal beyond the global bound): fall into the
+      // child sharing the most dimensions; pick the last child, whose box is
+      // the upper corner, which is correct for overflow on any axis.
+      next = n->children.back().get();
+    }
+    n = next;
+  }
+  return n;
+}
+
+const Whisker& WhiskerTree::lookup(const Memory& m) const {
+  return *descend(m)->leaf;
+}
+
+std::size_t WhiskerTree::lookup_index(const Memory& m) const {
+  return index_of_.at(descend(m)->leaf.get());
+}
+
+void WhiskerTree::for_each(const std::function<void(const Whisker&)>& fn) const {
+  for (const Whisker* w : leaves_) fn(*w);
+}
+
+void WhiskerTree::set_all_generations(std::uint32_t g) {
+  for (Whisker* w : leaves_) w->set_generation(g);
+}
+
+bool WhiskerTree::split(std::size_t index, const Memory& point,
+                        std::uint32_t child_generation) {
+  Whisker* target = leaves_.at(index);
+  // Locate the node owning this leaf.
+  std::vector<Node*> stack{root_.get()};
+  Node* owner = nullptr;
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf.get() == target) {
+      owner = n;
+      break;
+    }
+    for (auto& c : n->children) stack.push_back(c.get());
+  }
+  if (owner == nullptr) throw std::logic_error{"WhiskerTree::split: stale index"};
+
+  const auto boxes = owner->domain.split(point);
+  if (boxes.empty()) return false;
+  const Action action = owner->leaf->action();
+  owner->leaf.reset();
+  owner->children.reserve(boxes.size());
+  for (const auto& box : boxes) {
+    owner->children.push_back(
+        std::make_unique<Node>(Whisker{box, action, child_generation}));
+  }
+  rebuild_index();
+  return true;
+}
+
+util::Json WhiskerTree::to_json() const {
+  util::JsonArray rules;
+  for_each([&rules](const Whisker& w) { rules.push_back(w.to_json()); });
+  util::JsonObject obj;
+  obj["format"] = "remycc-rule-table";
+  obj["version"] = 1;
+  obj["whiskers"] = util::Json{std::move(rules)};
+  return util::Json{std::move(obj)};
+}
+
+WhiskerTree WhiskerTree::from_json(const util::Json& j) {
+  // Whiskers are disjoint boxes covering the domain, so reconstruction can
+  // nest them directly under a fresh root as a flat one-level tree (lookup
+  // degrades from O(log n) to O(n) only at the root fanout, which is fine
+  // for the ~200-rule tables Remy produces).
+  if (j.contains("format") && j.at("format").as_string() != "remycc-rule-table")
+    throw util::JsonError{"not a RemyCC rule table"};
+  const auto& rules = j.at("whiskers").as_array();
+  if (rules.empty()) throw util::JsonError{"rule table with no whiskers"};
+  if (rules.size() == 1) return WhiskerTree{Whisker::from_json(rules.front())};
+
+  // Flat reconstruction: one root with all whiskers as direct children.
+  WhiskerTree tree;
+  tree.root_ = std::make_unique<Node>(MemoryRange{});
+  for (const auto& r : rules) {
+    tree.root_->children.push_back(
+        std::make_unique<Node>(Whisker::from_json(r)));
+  }
+  tree.rebuild_index();
+  return tree;
+}
+
+WhiskerTree WhiskerTree::load(const std::string& path) {
+  return from_json(util::json_from_file(path));
+}
+
+void WhiskerTree::save(const std::string& path) const {
+  util::json_to_file(to_json(), path);
+}
+
+std::string WhiskerTree::describe() const {
+  std::ostringstream out;
+  out << "RemyCC rule table with " << num_whiskers() << " whiskers:\n";
+  std::size_t i = 0;
+  for_each([&](const Whisker& w) { out << "  [" << i++ << "] " << w.describe() << "\n"; });
+  return out.str();
+}
+
+// --- UsageRecorder ---------------------------------------------------------
+
+UsageRecorder::UsageRecorder(std::size_t num_whiskers, std::size_t reservoir)
+    : reservoir_{reservoir}, entries_(num_whiskers) {}
+
+void UsageRecorder::resize(std::size_t num_whiskers) {
+  entries_.assign(num_whiskers, Entry{});
+}
+
+void UsageRecorder::note(std::size_t whisker_index, const Memory& m) {
+  Entry& e = entries_.at(whisker_index);
+  ++e.count;
+  for (std::size_t d = 0; d < kMemoryDims; ++d) {
+    auto& vec = e.samples[d];
+    if (vec.size() < reservoir_) {
+      vec.push_back(m.field(d));
+    } else {
+      // Reservoir sampling with a private splitmix stream (deterministic).
+      const std::uint64_t r = util::splitmix64(e.rng_state) % e.count;
+      if (r < reservoir_) vec[static_cast<std::size_t>(r)] = m.field(d);
+    }
+  }
+}
+
+void UsageRecorder::merge(const UsageRecorder& other) {
+  if (entries_.size() != other.entries_.size())
+    throw std::invalid_argument{"UsageRecorder::merge: size mismatch"};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& mine = entries_[i];
+    const Entry& theirs = other.entries_[i];
+    mine.count += theirs.count;
+    for (std::size_t d = 0; d < kMemoryDims; ++d) {
+      auto& vec = mine.samples[d];
+      for (const double v : theirs.samples[d]) {
+        if (vec.size() < reservoir_) {
+          vec.push_back(v);
+        } else {
+          const std::uint64_t r = util::splitmix64(mine.rng_state) % (vec.size() * 2);
+          if (r < reservoir_) vec[static_cast<std::size_t>(r)] = v;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t UsageRecorder::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) sum += e.count;
+  return sum;
+}
+
+std::optional<std::size_t> UsageRecorder::most_used(
+    const std::function<bool(std::size_t)>& eligible) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].count == 0) continue;
+    if (eligible && !eligible(i)) continue;
+    if (!best.has_value() || entries_[i].count > entries_[*best].count) best = i;
+  }
+  return best;
+}
+
+std::optional<Memory> UsageRecorder::median(std::size_t index) const {
+  const Entry& e = entries_.at(index);
+  if (e.samples[0].empty()) return std::nullopt;
+  std::array<double, kMemoryDims> med{};
+  for (std::size_t d = 0; d < kMemoryDims; ++d) {
+    std::vector<double> v = e.samples[d];
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    med[d] = *mid;
+  }
+  return Memory{med[0], med[1], med[2]};
+}
+
+}  // namespace remy::core

@@ -1,0 +1,119 @@
+// The RemyCC rule table: an octree over memory space whose leaves are
+// whiskers (Sec. 4.3). Lookup walks the tree; the optimizer mutates leaf
+// actions and subdivides the most-used leaf at the median observed memory.
+//
+// The tree has value semantics (the trainer copies it once per candidate
+// action) and lookups on a const tree are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/whisker.hh"
+
+namespace remy::core {
+
+class WhiskerTree {
+ public:
+  /// A single default whisker over the full memory domain (the paper's
+  /// starting rule table).
+  WhiskerTree();
+
+  explicit WhiskerTree(Whisker root);
+
+  /// The leaf whose domain contains `m`, and its stable index in
+  /// [0, num_whiskers()). Values outside the domain clamp to the nearest
+  /// cell edge (only possible for signals beyond kMemoryUpperBound).
+  const Whisker& lookup(const Memory& m) const;
+  std::size_t lookup_index(const Memory& m) const;
+
+  std::size_t num_whiskers() const noexcept { return leaves_.size(); }
+  const Whisker& whisker(std::size_t index) const { return *leaves_.at(index); }
+  /// Mutable access for the optimizer; structure is unchanged.
+  Whisker& whisker(std::size_t index) { return *leaves_.at(index); }
+
+  /// Applies `fn` to every leaf in index order.
+  void for_each(const std::function<void(const Whisker&)>& fn) const;
+
+  /// Sets every leaf's generation to `g` (trainer step 1).
+  void set_all_generations(std::uint32_t g);
+
+  /// Replaces leaf `index` by its octree subdivision at `point` (children
+  /// inherit the action; generations set to `child_generation`). Returns
+  /// false if the cell was too thin to split. Leaf indices are renumbered.
+  bool split(std::size_t index, const Memory& point,
+             std::uint32_t child_generation);
+
+  util::Json to_json() const;
+  static WhiskerTree from_json(const util::Json& j);
+  /// Convenience wrappers around util::json_{from,to}_file.
+  static WhiskerTree load(const std::string& path);
+  void save(const std::string& path) const;
+
+  std::string describe() const;
+
+  WhiskerTree(const WhiskerTree& other);
+  WhiskerTree& operator=(const WhiskerTree& other);
+  WhiskerTree(WhiskerTree&&) noexcept = default;
+  WhiskerTree& operator=(WhiskerTree&&) noexcept = default;
+  ~WhiskerTree() = default;
+
+ private:
+  struct Node {
+    MemoryRange domain;
+    std::unique_ptr<Whisker> leaf;         ///< engaged iff leaf node
+    std::vector<std::unique_ptr<Node>> children;
+
+    explicit Node(Whisker w);
+    explicit Node(MemoryRange d) : domain{std::move(d)} {}
+  };
+
+  static std::unique_ptr<Node> clone(const Node& n);
+  void rebuild_index();
+  const Node* descend(const Memory& m) const;
+
+  std::unique_ptr<Node> root_;
+  std::vector<Whisker*> leaves_;  ///< leaf whiskers in stable (DFS) order
+  std::unordered_map<const Whisker*, std::size_t> index_of_;
+};
+
+/// Per-simulation record of which whiskers fired and with what memories;
+/// merged across specimens to drive "most-used rule" selection and the
+/// median-split point. Sampling is a deterministic reservoir.
+class UsageRecorder {
+ public:
+  explicit UsageRecorder(std::size_t num_whiskers = 0,
+                         std::size_t reservoir = 1024);
+
+  void resize(std::size_t num_whiskers);
+  void note(std::size_t whisker_index, const Memory& m);
+  void merge(const UsageRecorder& other);
+
+  std::uint64_t count(std::size_t index) const { return entries_.at(index).count; }
+  std::uint64_t total() const noexcept;
+
+  /// Index of the most-used whisker among those for which `eligible`
+  /// returns true; nullopt if none fired.
+  std::optional<std::size_t> most_used(
+      const std::function<bool(std::size_t)>& eligible) const;
+
+  /// Per-dimension median of the memories recorded for whisker `index`;
+  /// nullopt if no samples.
+  std::optional<Memory> median(std::size_t index) const;
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::array<std::vector<double>, kMemoryDims> samples;
+    std::uint64_t rng_state = 0x5eed;
+  };
+  std::size_t reservoir_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace remy::core

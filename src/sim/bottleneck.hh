@@ -1,0 +1,21 @@
+// Common base for bottleneck elements: the fixed-rate Link and the
+// trace-driven cellular link both accept packets into a queue discipline and
+// release them downstream on their own schedule.
+#pragma once
+
+#include "sim/component.hh"
+#include "sim/queue_disc.hh"
+
+namespace remy::sim {
+
+class Bottleneck : public SimObject, public PacketSink {
+ public:
+  virtual QueueDisc& queue() noexcept = 0;
+  virtual const QueueDisc& queue() const noexcept = 0;
+  /// Long-term average drain rate in Mbps (exact for fixed links; the trace
+  /// average for cellular links). XCP uses this as its capacity estimate,
+  /// mirroring the paper's footnote 6.
+  virtual double rate_mbps() const noexcept = 0;
+};
+
+}  // namespace remy::sim

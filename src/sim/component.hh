@@ -1,0 +1,38 @@
+// The component model of the simulator.
+//
+// Every active element (sender, link, delay line, flow scheduler, ...)
+// exposes the time of its next self-scheduled event; the Network advances
+// the clock to the global minimum and ticks every component due at that
+// instant. Packet handoffs between components are direct synchronous calls
+// (PacketSink::accept), so same-instant pipelines need no event queue.
+// This is the original Remy simulator's design: allocation-free in the hot
+// loop and deterministic given a seed.
+#pragma once
+
+#include "sim/packet.hh"
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+/// Anything that consumes packets (links, delay lines, receivers, senders on
+/// their ACK-ingress side).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void accept(Packet&& packet, TimeMs now) = 0;
+};
+
+/// Anything that schedules its own future work.
+class SimObject {
+ public:
+  virtual ~SimObject() = default;
+
+  /// Absolute time of the next self-scheduled event, or kNever.
+  /// Must be >= the current simulation time.
+  virtual TimeMs next_event_time() const = 0;
+
+  /// Called when the clock reaches next_event_time().
+  virtual void tick(TimeMs now) = 0;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,41 @@
+#include "sim/delay_line.hh"
+
+#include <stdexcept>
+
+namespace remy::sim {
+
+DelayLine::DelayLine(TimeMs delay_ms, PacketSink* downstream)
+    : default_delay_{delay_ms}, downstream_{downstream} {
+  if (delay_ms < 0) throw std::invalid_argument{"DelayLine: negative delay"};
+  if (downstream_ == nullptr) throw std::invalid_argument{"DelayLine: null sink"};
+}
+
+void DelayLine::set_flow_delay(FlowId flow, TimeMs delay_ms) {
+  if (delay_ms < 0) throw std::invalid_argument{"DelayLine: negative delay"};
+  per_flow_delay_[flow] = delay_ms;
+}
+
+TimeMs DelayLine::delay_for(FlowId flow) const noexcept {
+  const auto it = per_flow_delay_.find(flow);
+  return it == per_flow_delay_.end() ? default_delay_ : it->second;
+}
+
+void DelayLine::accept(Packet&& packet, TimeMs now) {
+  heap_.push(Entry{now + delay_for(packet.flow), next_order_++, std::move(packet)});
+}
+
+TimeMs DelayLine::next_event_time() const {
+  return heap_.empty() ? kNever : heap_.top().deliver_at;
+}
+
+void DelayLine::tick(TimeMs now) {
+  while (!heap_.empty() && heap_.top().deliver_at <= now) {
+    // priority_queue::top() is const; the packet is moved via const_cast,
+    // which is safe because pop() immediately removes the moved-from entry.
+    Packet p = std::move(const_cast<Entry&>(heap_.top()).packet);
+    heap_.pop();
+    downstream_->accept(std::move(p), now);
+  }
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,52 @@
+// Fixed propagation delay element, with optional per-flow delay overrides
+// (used for the differing-RTT experiments of Sec. 5.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "sim/component.hh"
+
+namespace remy::sim {
+
+class DelayLine final : public SimObject, public PacketSink {
+ public:
+  /// @param delay_ms    default one-way propagation delay (>= 0)
+  /// @param downstream  not owned, not null
+  DelayLine(TimeMs delay_ms, PacketSink* downstream);
+
+  /// Overrides the delay for packets of `flow`. Takes effect for packets
+  /// accepted after the call.
+  void set_flow_delay(FlowId flow, TimeMs delay_ms);
+
+  TimeMs delay_for(FlowId flow) const noexcept;
+
+  void accept(Packet&& packet, TimeMs now) override;
+  TimeMs next_event_time() const override;
+  void tick(TimeMs now) override;
+
+  std::size_t in_transit() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimeMs deliver_at;
+    std::uint64_t order;  ///< FIFO tiebreak for equal delivery times
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.order > b.order;
+    }
+  };
+
+  TimeMs default_delay_;
+  PacketSink* downstream_;
+  std::map<FlowId, TimeMs> per_flow_delay_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,102 @@
+// The paper's evaluation topology (Fig. 2): n senders share one bottleneck;
+// ACKs return over a delay-only reverse path. Supports per-flow RTTs
+// (Sec. 5.4), pluggable queue disciplines / bottlenecks (DropTail, sfqCoDel,
+// XCP router, trace-driven cellular links), and the on/off traffic model.
+//
+// Typical use:
+//   DumbbellConfig cfg;
+//   cfg.link_mbps = 15; cfg.rtt_ms = 150; cfg.num_senders = 8;
+//   Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+//   net.run_for_seconds(100);
+//   net.metrics().flow(0).throughput_mbps();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/bottleneck.hh"
+#include "sim/delay_line.hh"
+#include "sim/flow_scheduler.hh"
+#include "sim/link.hh"
+#include "sim/metrics.hh"
+#include "sim/network.hh"
+#include "sim/receiver.hh"
+#include "sim/sender.hh"
+#include "util/rng.hh"
+
+namespace remy::sim {
+
+/// Builds a sender endpoint for flow `id`.
+using SenderFactory = std::function<std::unique_ptr<Sender>(FlowId id)>;
+
+/// Builds the bottleneck queue discipline (default: 1000-packet DropTail).
+using QueueFactory = std::function<std::unique_ptr<QueueDisc>()>;
+
+/// Builds the whole bottleneck element (overrides link_mbps/queue_factory;
+/// used for trace-driven cellular links).
+using BottleneckFactory =
+    std::function<std::unique_ptr<Bottleneck>(PacketSink* downstream)>;
+
+struct DumbbellConfig {
+  std::size_t num_senders = 2;
+  double link_mbps = 15.0;
+  TimeMs rtt_ms = 150.0;           ///< baseline two-way propagation delay
+  std::vector<TimeMs> flow_rtts;   ///< optional per-flow RTT overrides
+  QueueFactory queue_factory;      ///< default: DropTail-like unlimited FIFO
+  BottleneckFactory bottleneck_factory;  ///< optional; wins over link/queue
+  OnOffConfig workload = OnOffConfig::always_on();
+  std::uint64_t seed = 1;
+  bool record_deliveries = false;  ///< keep per-delivery records (Fig. 6)
+};
+
+class Dumbbell {
+ public:
+  Dumbbell(const DumbbellConfig& config, const SenderFactory& make_sender);
+
+  /// Advances the simulation. May be called repeatedly.
+  void run_until_ms(TimeMs t);
+  void run_for_seconds(double seconds) { run_until_ms(network_.now() + seconds * 1000.0); }
+
+  /// Credits partially-elapsed "on" intervals; called automatically by
+  /// metrics() / finish-time accessors, at the current clock.
+  void finish();
+
+  TimeMs now() const noexcept { return network_.now(); }
+  /// Per-flow stats; finish() must have been called (or call metrics_raw()).
+  MetricsHub& metrics();
+  MetricsHub& metrics_raw() noexcept { return metrics_hub_; }
+  Bottleneck& bottleneck() noexcept { return *bottleneck_; }
+  Sender& sender(std::size_t i) { return *senders_.at(i); }
+  FlowScheduler& scheduler(std::size_t i) { return *schedulers_.at(i); }
+  std::size_t num_senders() const noexcept { return senders_.size(); }
+  Network& network() noexcept { return network_; }
+
+ private:
+  /// Routes returning ACKs to the owning sender.
+  class AckDemux final : public PacketSink {
+   public:
+    explicit AckDemux(std::vector<std::unique_ptr<Sender>>* senders)
+        : senders_{senders} {}
+    void accept(Packet&& p, TimeMs now) override {
+      senders_->at(p.flow)->accept(std::move(p), now);
+    }
+
+   private:
+    std::vector<std::unique_ptr<Sender>>* senders_;
+  };
+
+  MetricsHub metrics_hub_;
+  std::vector<std::unique_ptr<Sender>> senders_;
+  AckDemux demux_;
+  std::unique_ptr<DelayLine> ack_path_;   // receiver -> senders (RTT/2)
+  std::unique_ptr<Receiver> receiver_;
+  std::unique_ptr<DelayLine> data_path_;  // bottleneck -> receiver (RTT/2)
+  std::unique_ptr<Bottleneck> bottleneck_;
+  std::vector<std::unique_ptr<FlowScheduler>> schedulers_;
+  Network network_;
+  bool finished_ = false;
+};
+
+}  // namespace remy::sim

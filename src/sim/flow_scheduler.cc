@@ -1,0 +1,84 @@
+#include "sim/flow_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace remy::sim {
+
+FlowScheduler::FlowScheduler(Sender* sender, MetricsHub* metrics,
+                             OnOffConfig config, util::Rng rng)
+    : sender_{sender},
+      metrics_{metrics},
+      config_{std::move(config)},
+      rng_{rng} {
+  if (sender_ == nullptr) throw std::invalid_argument{"FlowScheduler: null sender"};
+  if (config_.mode == OnMode::kAlwaysOn) {
+    next_transition_ = 0.0;  // switch on at t=0
+  } else {
+    next_transition_ = std::max(0.0, config_.off.sample(rng_));
+  }
+}
+
+TimeMs FlowScheduler::next_event_time() const { return next_transition_; }
+
+void FlowScheduler::tick(TimeMs now) {
+  if (now < next_transition_) return;
+  if (on_since_.has_value()) {
+    // By-time "on" interval expired.
+    go_off(now);
+  } else {
+    go_on(now);
+  }
+}
+
+void FlowScheduler::go_on(TimeMs now) {
+  on_since_ = now;
+  if (metrics_ != nullptr) ++metrics_->flow(sender_->flow_id()).transfers_started;
+  switch (config_.mode) {
+    case OnMode::kAlwaysOn:
+      next_transition_ = kNever;
+      sender_->start_flow(now, 0);
+      break;
+    case OnMode::kByTime:
+      next_transition_ = now + std::max(0.0, config_.on.sample(rng_));
+      sender_->start_flow(now, 0);
+      break;
+    case OnMode::kByBytes: {
+      // At least one segment, so every transfer does work.
+      const double draw = config_.on.sample(rng_);
+      const auto bytes = static_cast<std::uint64_t>(
+          std::max<double>(1.0, std::llround(draw)));
+      next_transition_ = kNever;  // ends via on_transfer_complete
+      sender_->start_flow(now, bytes);
+      break;
+    }
+  }
+}
+
+void FlowScheduler::go_off(TimeMs now) {
+  sender_->stop_flow(now);
+  if (metrics_ != nullptr) {
+    FlowStats& fs = metrics_->flow(sender_->flow_id());
+    fs.on_time_ms += now - *on_since_;
+    ++fs.transfers_completed;
+  }
+  on_since_.reset();
+  next_transition_ = now + std::max(0.0, config_.off.sample(rng_));
+}
+
+void FlowScheduler::on_transfer_complete(FlowId flow, TimeMs now) {
+  if (flow != sender_->flow_id()) return;
+  if (!on_since_.has_value()) return;  // stale completion after stop_flow
+  go_off(now);
+}
+
+void FlowScheduler::finish(TimeMs end_time) {
+  if (finished_) throw std::logic_error{"FlowScheduler::finish called twice"};
+  finished_ = true;
+  if (on_since_.has_value() && metrics_ != nullptr) {
+    metrics_->flow(sender_->flow_id()).on_time_ms += end_time - *on_since_;
+  }
+}
+
+}  // namespace remy::sim

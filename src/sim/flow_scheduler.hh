@@ -1,0 +1,72 @@
+// Drives one sender through the paper's on/off traffic model (Sec. 3.2):
+//   - "off" for an exponentially distributed time, then
+//   - "on" either for a sampled duration (by-time), for a sampled number of
+//     bytes (by-bytes / empirical flow lengths), or forever (always-on).
+// Accumulates per-flow "on" time for the Sec. 5.1 throughput definition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/sender.hh"
+#include "util/rng.hh"
+#include "workload/distributions.hh"
+
+namespace remy::sim {
+
+enum class OnMode { kByTime, kByBytes, kAlwaysOn };
+
+struct OnOffConfig {
+  OnMode mode = OnMode::kByBytes;
+  /// By-time: milliseconds of "on"; by-bytes: bytes per transfer. Unused for
+  /// always-on.
+  workload::Distribution on = workload::Distribution::exponential(5000.0);
+  /// Milliseconds of "off" (exponential in all the paper's experiments).
+  workload::Distribution off = workload::Distribution::exponential(5000.0);
+
+  static OnOffConfig by_time(workload::Distribution on_ms,
+                             workload::Distribution off_ms) {
+    return OnOffConfig{OnMode::kByTime, std::move(on_ms), std::move(off_ms)};
+  }
+  static OnOffConfig by_bytes(workload::Distribution bytes,
+                              workload::Distribution off_ms) {
+    return OnOffConfig{OnMode::kByBytes, std::move(bytes), std::move(off_ms)};
+  }
+  static OnOffConfig always_on() {
+    return OnOffConfig{OnMode::kAlwaysOn,
+                       workload::Distribution::constant(0.0),
+                       workload::Distribution::constant(0.0)};
+  }
+};
+
+class FlowScheduler final : public SimObject, public FlowObserver {
+ public:
+  /// @param sender  the driven endpoint (not owned)
+  /// @param rng     private stream for on/off draws
+  FlowScheduler(Sender* sender, MetricsHub* metrics, OnOffConfig config,
+                util::Rng rng);
+
+  TimeMs next_event_time() const override;
+  void tick(TimeMs now) override;
+  void on_transfer_complete(FlowId flow, TimeMs now) override;
+
+  /// Closes the books at simulation end: credits a partially elapsed "on"
+  /// interval to on-time. Call exactly once, after the run.
+  void finish(TimeMs end_time);
+
+  bool is_on() const noexcept { return on_since_.has_value(); }
+
+ private:
+  void go_on(TimeMs now);
+  void go_off(TimeMs now);
+
+  Sender* sender_;
+  MetricsHub* metrics_;
+  OnOffConfig config_;
+  util::Rng rng_;
+  std::optional<TimeMs> on_since_;
+  TimeMs next_transition_ = 0.0;  ///< next scheduled on/off switch (or kNever)
+  bool finished_ = false;
+};
+
+}  // namespace remy::sim

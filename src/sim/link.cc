@@ -1,0 +1,52 @@
+#include "sim/link.hh"
+
+#include <stdexcept>
+
+namespace remy::sim {
+
+Link::Link(double rate_mbps, std::unique_ptr<QueueDisc> queue,
+           PacketSink* downstream)
+    : rate_bytes_per_ms_{mbps_to_bytes_per_ms(rate_mbps)},
+      queue_{std::move(queue)},
+      downstream_{downstream} {
+  if (rate_mbps <= 0) throw std::invalid_argument{"Link: rate must be > 0"};
+  if (queue_ == nullptr) throw std::invalid_argument{"Link: null queue"};
+  if (downstream_ == nullptr) throw std::invalid_argument{"Link: null sink"};
+}
+
+double Link::rate_mbps() const noexcept {
+  return bytes_per_ms_to_mbps(rate_bytes_per_ms_);
+}
+
+void Link::accept(Packet&& packet, TimeMs now) {
+  if (!configured_) {
+    queue_->configure(rate_bytes_per_ms_, now);
+    configured_ = true;
+  }
+  queue_->enqueue(std::move(packet), now);
+  if (!in_flight_.has_value()) start_transmission(now);
+}
+
+void Link::start_transmission(TimeMs now) {
+  auto next = queue_->dequeue(now);
+  if (!next.has_value()) return;
+  completion_time_ = now + static_cast<double>(next->size_bytes) / rate_bytes_per_ms_;
+  in_flight_ = std::move(next);
+}
+
+TimeMs Link::next_event_time() const { return completion_time_; }
+
+void Link::tick(TimeMs now) {
+  if (now < completion_time_) return;
+  ++forwarded_;
+  bytes_forwarded_ += in_flight_->size_bytes;
+  Packet done = std::move(*in_flight_);
+  in_flight_.reset();
+  completion_time_ = kNever;
+  // Start the next transmission before delivering downstream so that a
+  // same-instant retransmission from the receiver side cannot jump the queue.
+  start_transmission(now);
+  downstream_->accept(std::move(done), now);
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,46 @@
+// Fixed-rate bottleneck link with an attached queue discipline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sim/bottleneck.hh"
+
+namespace remy::sim {
+
+/// Serializes packets at a constant rate. Accepting a packet enqueues it on
+/// the discipline; when idle, the link dequeues and schedules the completion
+/// of serialization, then hands the packet downstream.
+class Link final : public Bottleneck {
+ public:
+  /// @param rate_mbps    drain rate in megabits per second (> 0)
+  /// @param queue        owned queue discipline
+  /// @param downstream   where serialized packets go (not owned, not null)
+  Link(double rate_mbps, std::unique_ptr<QueueDisc> queue,
+       PacketSink* downstream);
+
+  void accept(Packet&& packet, TimeMs now) override;
+  TimeMs next_event_time() const override;
+  void tick(TimeMs now) override;
+
+  double rate_mbps() const noexcept override;
+  QueueDisc& queue() noexcept override { return *queue_; }
+  const QueueDisc& queue() const noexcept override { return *queue_; }
+  std::uint64_t packets_forwarded() const noexcept { return forwarded_; }
+  std::uint64_t bytes_forwarded() const noexcept { return bytes_forwarded_; }
+
+ private:
+  void start_transmission(TimeMs now);
+
+  double rate_bytes_per_ms_;
+  std::unique_ptr<QueueDisc> queue_;
+  PacketSink* downstream_;
+  std::optional<Packet> in_flight_;
+  TimeMs completion_time_ = kNever;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+  bool configured_ = false;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,88 @@
+// Per-flow measurement, following Sec. 5.1 of the paper:
+//   throughput of a sender-receiver pair = (sum of bytes received during
+//   "on" intervals) / (sum of "on" interval lengths);
+//   queueing delay = mean per-packet sojourn time at the bottleneck queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/packet.hh"
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+struct FlowStats {
+  std::uint64_t bytes_delivered = 0;    ///< unique data bytes at the receiver
+  std::uint64_t packets_delivered = 0;  ///< unique data packets
+  std::uint64_t dup_packets = 0;        ///< retransmitted duplicates seen
+  std::uint64_t packets_sent = 0;       ///< data packets leaving the sender
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+
+  double sum_queue_delay_ms = 0.0;  ///< over delivered packets
+  double sum_rtt_ms = 0.0;          ///< over sender RTT samples
+  std::uint64_t rtt_samples = 0;
+
+  TimeMs on_time_ms = 0.0;  ///< accumulated by the flow scheduler
+  std::uint64_t transfers_started = 0;
+  std::uint64_t transfers_completed = 0;
+
+  /// Mbps over accumulated on-time; 0 if the flow was never on.
+  double throughput_mbps() const noexcept {
+    if (on_time_ms <= 0.0) return 0.0;
+    return bytes_per_ms_to_mbps(static_cast<double>(bytes_delivered) / on_time_ms);
+  }
+  /// Mean bottleneck sojourn per delivered packet (ms).
+  double avg_queue_delay_ms() const noexcept {
+    if (packets_delivered == 0) return 0.0;
+    return sum_queue_delay_ms / static_cast<double>(packets_delivered);
+  }
+  /// Mean sender-measured RTT (ms); 0 if no samples.
+  double avg_rtt_ms() const noexcept {
+    if (rtt_samples == 0) return 0.0;
+    return sum_rtt_ms / static_cast<double>(rtt_samples);
+  }
+};
+
+/// One record per unique in-order delivery, for sequence plots (Fig. 6).
+struct DeliveryRecord {
+  TimeMs time;
+  FlowId flow;
+  SeqNum seq;
+  SeqNum cumulative;
+};
+
+/// Shared measurement sink for one simulation run.
+class MetricsHub {
+ public:
+  explicit MetricsHub(std::size_t num_flows) : flows_(num_flows) {}
+
+  FlowStats& flow(FlowId id) { return flows_.at(id); }
+  const FlowStats& flow(FlowId id) const { return flows_.at(id); }
+  std::size_t num_flows() const noexcept { return flows_.size(); }
+
+  /// Enables recording of every unique delivery (costs memory; off by default).
+  void record_deliveries(bool enable) { record_ = enable; }
+  void note_delivery(TimeMs t, FlowId f, SeqNum s, SeqNum cum) {
+    if (record_) deliveries_.push_back(DeliveryRecord{t, f, s, cum});
+  }
+  const std::vector<DeliveryRecord>& deliveries() const noexcept {
+    return deliveries_;
+  }
+
+  /// Total unique bytes delivered across flows.
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& f : flows_) sum += f.bytes_delivered;
+    return sum;
+  }
+
+ private:
+  std::vector<FlowStats> flows_;
+  bool record_ = false;
+  std::vector<DeliveryRecord> deliveries_;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,46 @@
+#include "sim/network.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace remy::sim {
+
+TimeMs Network::horizon() const noexcept {
+  TimeMs t = kNever;
+  for (const SimObject* obj : objects_) {
+    t = std::min(t, obj->next_event_time());
+  }
+  return t;
+}
+
+bool Network::step() {
+  const TimeMs t = horizon();
+  if (t == kNever) return false;
+  // A component must never schedule into the past; tolerate exact "now"
+  // re-fires (same-instant cascades are legal and resolve in later steps).
+  assert(t >= now_);
+  now_ = std::max(now_, t);
+  // Snapshot who is due before ticking: a tick may synchronously change
+  // other components' schedules (e.g. an ACK delivery re-arms a sender).
+  // Those run in a subsequent step at the same simulation time.
+  due_.clear();
+  for (SimObject* obj : objects_) {
+    if (obj->next_event_time() <= now_) due_.push_back(obj);
+  }
+  for (SimObject* obj : due_) {
+    obj->tick(now_);
+    ++events_;
+  }
+  return true;
+}
+
+void Network::run_until(TimeMs end) {
+  while (true) {
+    const TimeMs t = horizon();
+    if (t > end) break;  // also covers kNever
+    step();
+  }
+  now_ = std::max(now_, end);
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,39 @@
+// The simulation engine: advances the clock to the earliest pending event
+// and ticks every component due at that instant, until the horizon.
+#pragma once
+
+#include <vector>
+
+#include "sim/component.hh"
+
+namespace remy::sim {
+
+class Network {
+ public:
+  /// Registers a component (not owned). All registration must happen before
+  /// the first run call.
+  void add(SimObject& obj) { objects_.push_back(&obj); }
+
+  TimeMs now() const noexcept { return now_; }
+
+  /// Runs until the next event would be strictly after `end`; the clock is
+  /// left at exactly `end`.
+  void run_until(TimeMs end);
+
+  /// Processes the single earliest event batch. Returns false (and leaves
+  /// the clock untouched) if nothing is pending.
+  bool step();
+
+  std::uint64_t events_processed() const noexcept { return events_; }
+
+ private:
+  /// Earliest pending event time across components, or kNever.
+  TimeMs horizon() const noexcept;
+
+  std::vector<SimObject*> objects_;
+  std::vector<SimObject*> due_;  ///< scratch, reused across steps
+  TimeMs now_ = 0.0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,75 @@
+// The single packet type that flows through the simulator.
+//
+// Data segments and acknowledgments share one struct (an ACK is a Packet
+// with `is_ack` set); this keeps the pipeline element types uniform (one
+// DelayLine / queue implementation each) at the cost of a few unused fields
+// per direction, which is irrelevant for a simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+/// Default segment size; the paper's experiments use 1000-packet buffers of
+/// MTU-sized segments.
+inline constexpr std::uint32_t kMtuBytes = 1500;
+/// Nominal ACK size (the reverse path is not bandwidth-limited; this only
+/// documents intent).
+inline constexpr std::uint32_t kAckBytes = 40;
+
+using FlowId = std::uint32_t;
+using SeqNum = std::uint64_t;
+
+/// XCP congestion header (Katabi et al., SIGCOMM 2002). The sender fills
+/// `cwnd_bytes` and `rtt_ms`; routers overwrite `feedback_bytes`; the
+/// receiver echoes it back in the ACK.
+struct XcpHeader {
+  bool valid = false;
+  double cwnd_bytes = 0.0;
+  TimeMs rtt_ms = 0.0;
+  double feedback_bytes = 0.0;  ///< desired/granted window change
+};
+
+struct Packet {
+  FlowId flow = 0;
+  SeqNum seq = 0;          ///< data sequence number, in segments
+  /// First sequence number of the current flow incarnation ("on" period).
+  /// Lets the receiver forget holes left by an abandoned previous transfer.
+  SeqNum base_seq = 0;
+  TimeMs tick_sent = 0.0;  ///< sender clock at (re)transmission; echoed back
+  std::uint32_t size_bytes = kMtuBytes;
+  bool is_ack = false;
+
+  // ECN (RFC 3168 semantics, simplified to per-packet marks).
+  bool ecn_capable = false;
+  bool ecn_marked = false;
+
+  // ACK-only fields.
+  SeqNum ack_seq = 0;         ///< sequence number being acknowledged
+  SeqNum cumulative_ack = 0;  ///< receiver's next expected sequence number
+  TimeMs echo_tick_sent = 0.0;
+  bool ecn_echo = false;
+
+  /// SACK blocks: up to kMaxSackRanges half-open [start, end) runs of
+  /// segments received above the cumulative point (RFC 2018 semantics; the
+  /// lowest runs are reported first). Senders use these for scoreboard-based
+  /// recovery, like the SACK-enabled Linux stacks the paper's ns-2
+  /// baselines port. Gaps between the cumulative point and/or reported
+  /// blocks are known-lost; sequence space above the last reported block is
+  /// of unknown status.
+  static constexpr std::size_t kMaxSackRanges = 8;
+  std::array<std::pair<SeqNum, SeqNum>, kMaxSackRanges> sack_blocks{};
+  std::uint8_t sack_count = 0;
+
+  XcpHeader xcp{};
+
+  // Measurement fields, maintained by queue disciplines.
+  TimeMs enqueue_time = 0.0;
+  TimeMs queue_delay_ms = 0.0;  ///< bottleneck sojourn, set at dequeue
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,58 @@
+// Queue-discipline interface implemented by the AQM substrate
+// (DropTail, RED, ECN threshold, CoDel, sfqCoDel, XCP router).
+//
+// A Link owns exactly one QueueDisc. The discipline may drop on enqueue
+// (tail drop, RED), drop on dequeue (CoDel), mark ECN, or edit packet
+// headers (XCP). Dequeue happens when the link starts serializing a packet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sim/packet.hh"
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Called once when attached to a link, with the drain rate in
+  /// bytes per millisecond (CoDel and XCP need it; others may ignore it).
+  virtual void configure(double link_rate_bytes_per_ms, TimeMs now) {
+    (void)link_rate_bytes_per_ms;
+    (void)now;
+  }
+
+  /// Offers a packet; the discipline may silently drop it (counted).
+  virtual void enqueue(Packet&& packet, TimeMs now) = 0;
+
+  /// Removes the next packet to serialize, or nullopt if empty.
+  /// Implementations must stamp `queue_delay_ms` on the packet.
+  virtual std::optional<Packet> dequeue(TimeMs now) = 0;
+
+  virtual std::size_t packet_count() const = 0;
+  virtual std::size_t byte_count() const = 0;
+  bool empty() const { return packet_count() == 0; }
+
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t ecn_marks() const noexcept { return ecn_marks_; }
+
+ protected:
+  void count_drop() noexcept { ++drops_; }
+  void count_mark() noexcept { ++ecn_marks_; }
+
+  /// Helper for implementations: stamp measurement fields at enqueue/dequeue.
+  static void stamp_enqueue(Packet& p, TimeMs now) { p.enqueue_time = now; }
+  static void stamp_dequeue(Packet& p, TimeMs now) {
+    p.queue_delay_ms = now - p.enqueue_time;
+  }
+
+ private:
+  std::uint64_t drops_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,118 @@
+#include "sim/receiver.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remy::sim {
+
+Receiver::Receiver(PacketSink* ack_egress, MetricsHub* metrics)
+    : ack_egress_{ack_egress}, metrics_{metrics} {
+  if (ack_egress_ == nullptr) throw std::invalid_argument{"Receiver: null egress"};
+}
+
+SeqNum Receiver::cumulative(FlowId flow) const noexcept {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.next_expected;
+}
+
+bool Receiver::FlowState::covered(SeqNum seq) const noexcept {
+  auto it = runs.upper_bound(seq);  // first run starting after seq
+  if (it == runs.begin()) return false;
+  --it;
+  return seq >= it->first && seq < it->second;
+}
+
+std::pair<SeqNum, SeqNum> Receiver::FlowState::insert(SeqNum seq) {
+  SeqNum start = seq;
+  SeqNum end = seq + 1;
+  // Merge with a preceding adjacent/overlapping run.
+  auto it = runs.upper_bound(seq);
+  if (it != runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = runs.erase(prev);
+    }
+  }
+  // Merge with following runs.
+  while (it != runs.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = runs.erase(it);
+  }
+  runs.emplace(start, end);
+  return {start, end};
+}
+
+void Receiver::FlowState::advance_cumulative() {
+  const auto it = runs.find(next_expected);
+  if (it != runs.end()) {
+    next_expected = it->second;
+    runs.erase(it);
+  }
+}
+
+void Receiver::accept(Packet&& packet, TimeMs now) {
+  if (packet.is_ack) throw std::logic_error{"Receiver got an ACK"};
+  FlowState& st = flows_[packet.flow];
+
+  // A later incarnation (new "on" period) abandons any holes left by its
+  // predecessor: jump the cumulative point forward.
+  if (packet.base_seq > st.base) {
+    st.base = packet.base_seq;
+    st.next_expected = std::max(st.next_expected, st.base);
+    while (!st.runs.empty() && st.runs.begin()->second <= st.next_expected)
+      st.runs.erase(st.runs.begin());
+    st.advance_cumulative();
+  }
+
+  const bool duplicate =
+      packet.seq < st.next_expected || st.covered(packet.seq);
+  std::pair<SeqNum, SeqNum> fresh_run{0, 0};
+  if (!duplicate) {
+    if (packet.seq == st.next_expected) {
+      ++st.next_expected;
+      st.advance_cumulative();
+    } else {
+      fresh_run = st.insert(packet.seq);
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    FlowStats& fs = metrics_->flow(packet.flow);
+    if (duplicate) {
+      ++fs.dup_packets;
+    } else {
+      ++fs.packets_delivered;
+      fs.bytes_delivered += packet.size_bytes;
+      fs.sum_queue_delay_ms += packet.queue_delay_ms;
+      metrics_->note_delivery(now, packet.flow, packet.seq, st.next_expected);
+    }
+  }
+
+  Packet ack;
+  ack.is_ack = true;
+  ack.flow = packet.flow;
+  ack.size_bytes = kAckBytes;
+  ack.ack_seq = packet.seq;
+  ack.cumulative_ack = st.next_expected;
+  ack.echo_tick_sent = packet.tick_sent;
+  ack.ecn_echo = packet.ecn_marked;
+  ack.xcp = packet.xcp;  // feedback echo
+  ack.queue_delay_ms = packet.queue_delay_ms;
+
+  // SACK blocks (RFC 2018 style): the run containing the segment that
+  // triggered this ACK first, then the lowest runs in ascending order.
+  if (fresh_run.second > fresh_run.first) {
+    ack.sack_blocks[ack.sack_count++] = fresh_run;
+  }
+  for (const auto& [start, end] : st.runs) {
+    if (ack.sack_count >= Packet::kMaxSackRanges) break;
+    if (start == fresh_run.first && end == fresh_run.second) continue;
+    ack.sack_blocks[ack.sack_count++] = {start, end};
+  }
+
+  ack_egress_->accept(std::move(ack), now);
+}
+
+}  // namespace remy::sim

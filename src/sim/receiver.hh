@@ -1,0 +1,50 @@
+// The (unmodified) receiver: acknowledges every arriving data packet
+// immediately, echoing the sender's timestamp, the ECN mark, and the XCP
+// feedback header. Tracks the cumulative-ACK point and the out-of-order
+// runs per flow, and advertises SACK blocks (RFC 2018 style: the run
+// containing the newest segment first), so senders can run scoreboard loss
+// recovery.
+//
+// The paper keeps receivers stock ("No receiver changes are necessary");
+// this receiver is shared by every scheme in the repository.
+#pragma once
+
+#include <map>
+
+#include "sim/component.hh"
+#include "sim/metrics.hh"
+
+namespace remy::sim {
+
+class Receiver final : public PacketSink {
+ public:
+  /// @param ack_egress  reverse path for ACKs (not owned, not null)
+  /// @param metrics     measurement sink (not owned, may be null)
+  Receiver(PacketSink* ack_egress, MetricsHub* metrics);
+
+  void accept(Packet&& packet, TimeMs now) override;
+
+  /// Next expected sequence number for `flow` (0 if none seen).
+  SeqNum cumulative(FlowId flow) const noexcept;
+
+ private:
+  struct FlowState {
+    SeqNum next_expected = 0;
+    SeqNum base = 0;  ///< current incarnation; older segments are stale
+    /// Received runs above the cumulative point: start -> one-past-end.
+    /// Runs are disjoint and non-adjacent (adjacent runs are merged).
+    std::map<SeqNum, SeqNum> runs;
+
+    bool covered(SeqNum seq) const noexcept;
+    /// Inserts one segment, merging runs; returns the run containing it.
+    std::pair<SeqNum, SeqNum> insert(SeqNum seq);
+    /// Absorbs runs contiguous with next_expected.
+    void advance_cumulative();
+  };
+
+  PacketSink* ack_egress_;
+  MetricsHub* metrics_;
+  std::map<FlowId, FlowState> flows_;
+};
+
+}  // namespace remy::sim

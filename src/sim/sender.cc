@@ -1,0 +1,17 @@
+#include "sim/sender.hh"
+
+#include <stdexcept>
+
+namespace remy::sim {
+
+void Sender::wire(FlowId flow, PacketSink* data_egress, MetricsHub* metrics,
+                  FlowObserver* observer) {
+  if (data_egress == nullptr) throw std::invalid_argument{"Sender: null egress"};
+  if (egress_ != nullptr) throw std::logic_error{"Sender: wired twice"};
+  flow_ = flow;
+  egress_ = data_egress;
+  metrics_ = metrics;
+  observer_ = observer;
+}
+
+}  // namespace remy::sim

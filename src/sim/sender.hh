@@ -1,0 +1,53 @@
+// Abstract sender: the endpoint slot a congestion-control algorithm plugs
+// into. Concrete implementations live in src/cc (human-designed TCPs) and
+// src/core (RemyCC). The flow scheduler turns the on/off traffic model into
+// start_flow / stop_flow calls.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/component.hh"
+#include "sim/metrics.hh"
+
+namespace remy::sim {
+
+/// Notified when a byte-limited transfer finishes (all bytes acknowledged).
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  virtual void on_transfer_complete(FlowId flow, TimeMs now) = 0;
+};
+
+class Sender : public SimObject, public PacketSink {
+ public:
+  /// Wires the sender into a topology. Must be called exactly once before
+  /// the simulation starts. `observer` and `metrics` may be null.
+  void wire(FlowId flow, PacketSink* data_egress, MetricsHub* metrics,
+            FlowObserver* observer);
+
+  /// Begins an "on" period. `bytes_limit` == 0 means unbounded (by-time
+  /// workloads); otherwise the sender stops after delivering that many bytes
+  /// and reports completion to the observer. Congestion-control state resets
+  /// (each "on" period behaves like a fresh connection, per the paper).
+  virtual void start_flow(TimeMs now, std::uint64_t bytes_limit) = 0;
+
+  /// Ends a by-time "on" period: stop transmitting new data.
+  virtual void stop_flow(TimeMs now) = 0;
+
+  virtual bool flow_active() const noexcept = 0;
+
+  FlowId flow_id() const noexcept { return flow_; }
+
+ protected:
+  PacketSink* egress() const noexcept { return egress_; }
+  MetricsHub* metrics() const noexcept { return metrics_; }
+  FlowObserver* observer() const noexcept { return observer_; }
+
+ private:
+  FlowId flow_ = 0;
+  PacketSink* egress_ = nullptr;
+  MetricsHub* metrics_ = nullptr;
+  FlowObserver* observer_ = nullptr;
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,27 @@
+// Simulation time base.
+//
+// All times are double milliseconds (the original Remy implementation's
+// convention); all rates are configured in Mbps and converted to
+// bytes-per-millisecond internally (1 Mbps == 125 bytes/ms).
+#pragma once
+
+#include <limits>
+
+namespace remy::sim {
+
+using TimeMs = double;
+
+/// Sentinel for "no pending event".
+inline constexpr TimeMs kNever = std::numeric_limits<TimeMs>::infinity();
+
+/// Conversion: megabits/second -> bytes/millisecond.
+constexpr double mbps_to_bytes_per_ms(double mbps) noexcept {
+  return mbps * 1e6 / 8.0 / 1000.0;
+}
+
+/// Conversion: bytes/millisecond -> megabits/second.
+constexpr double bytes_per_ms_to_mbps(double bpms) noexcept {
+  return bpms * 8.0 * 1000.0 / 1e6;
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,84 @@
+#include "trace/lte_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/packet.hh"
+
+namespace remy::trace {
+
+LteModelParams LteModelParams::verizon() {
+  LteModelParams p;
+  p.mean_rate_mbps = 12.0;
+  p.log_sigma = 0.8;
+  p.correlation_ms = 2000.0;
+  p.outage_per_second = 0.05;
+  p.outage_mean_ms = 400.0;
+  return p;
+}
+
+LteModelParams LteModelParams::att() {
+  LteModelParams p;
+  p.mean_rate_mbps = 7.0;
+  p.log_sigma = 0.6;
+  p.correlation_ms = 5000.0;   // slower fades
+  p.outage_per_second = 0.08;  // more frequent...
+  p.outage_mean_ms = 700.0;    // ...and longer stalls
+  return p;
+}
+
+Trace generate_lte_trace(const LteModelParams& params, sim::TimeMs duration_ms,
+                         util::Rng rng) {
+  if (duration_ms <= 0) throw std::invalid_argument{"lte: duration <= 0"};
+  if (params.step_ms <= 0) throw std::invalid_argument{"lte: step <= 0"};
+  if (params.mean_rate_mbps <= 0) throw std::invalid_argument{"lte: mean rate <= 0"};
+
+  const double mu = std::log(params.mean_rate_mbps);
+  // OU discretization: x' = x + theta*(mu - x) + sigma_step*N(0,1), with
+  // sigma_step chosen so the stationary std-dev equals log_sigma.
+  const double theta =
+      std::min(1.0, params.step_ms / std::max(params.step_ms, params.correlation_ms));
+  const double sigma_step =
+      params.log_sigma * std::sqrt(std::max(1e-12, 2.0 * theta - theta * theta));
+
+  std::vector<sim::TimeMs> opportunities;
+  opportunities.reserve(static_cast<std::size_t>(
+      sim::mbps_to_bytes_per_ms(params.mean_rate_mbps) * duration_ms /
+      sim::kMtuBytes * 1.5));
+
+  double log_rate = mu;  // start at the mean
+  double credit_bytes = 0.0;
+  sim::TimeMs outage_until = -1.0;
+
+  for (sim::TimeMs t = 0.0; t < duration_ms; t += params.step_ms) {
+    log_rate += theta * (mu - log_rate) + sigma_step * rng.normal();
+
+    const bool in_outage = t < outage_until;
+    if (!in_outage &&
+        rng.bernoulli(params.outage_per_second * params.step_ms / 1000.0)) {
+      outage_until = t + rng.exponential(params.outage_mean_ms);
+    }
+
+    double rate_mbps =
+        t < outage_until ? 0.0
+                         : std::min(std::exp(log_rate), params.max_rate_mbps);
+    credit_bytes += sim::mbps_to_bytes_per_ms(rate_mbps) * params.step_ms;
+
+    // Emit MTU-sized opportunities evenly across the step.
+    const auto n = static_cast<std::size_t>(credit_bytes / sim::kMtuBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+      opportunities.push_back(t + params.step_ms * (static_cast<double>(i) + 0.5) /
+                                      static_cast<double>(n));
+      credit_bytes -= sim::kMtuBytes;
+    }
+  }
+  if (opportunities.empty()) {
+    // Degenerate draw (all outage): provide a single late opportunity so the
+    // trace is valid; callers will see ~zero rate.
+    opportunities.push_back(duration_ms);
+  }
+  return Trace{std::move(opportunities)};
+}
+
+}  // namespace remy::trace

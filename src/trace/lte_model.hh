@@ -1,0 +1,40 @@
+// Synthetic LTE downlink generator — the documented substitute for the
+// paper's proprietary Verizon/AT&T drive traces (see DESIGN.md Sec. 3).
+//
+// The model is a Markov-modulated delivery process: the instantaneous link
+// rate follows an Ornstein-Uhlenbeck process in log-rate space (slow fading
+// around a carrier-dependent mean, clamped to [0, 50] Mbps per the paper's
+// description), punctuated by outage periods (deep fades / handover stalls)
+// during which no packets are delivered. Delivery opportunities are emitted
+// by integrating the rate. This reproduces the *properties* the paper's
+// cellular experiments probe: throughput far outside the RemyCC design
+// range, strong temporal rate variation, and intermittent stalls.
+#pragma once
+
+#include "trace/trace.hh"
+#include "util/rng.hh"
+
+namespace remy::trace {
+
+struct LteModelParams {
+  double mean_rate_mbps = 12.0;  ///< geometric mean of the fading process
+  double log_sigma = 0.8;        ///< stationary std-dev of log-rate
+  sim::TimeMs correlation_ms = 2000.0;  ///< OU time constant of fades
+  double max_rate_mbps = 50.0;   ///< "varied 0-50 Mbps"
+  double outage_per_second = 0.05;      ///< outage onset rate (Poisson)
+  sim::TimeMs outage_mean_ms = 400.0;   ///< exponential outage length
+  sim::TimeMs step_ms = 10.0;    ///< rate-process discretization
+
+  /// Preset roughly matching the Verizon LTE downlink of Figs. 7-8
+  /// (aggregate ~12 Mbps, deep fast fades).
+  static LteModelParams verizon();
+  /// Preset roughly matching the AT&T LTE downlink of Fig. 9
+  /// (slower, steadier, longer stalls, higher delay).
+  static LteModelParams att();
+};
+
+/// Generates a delivery-opportunity trace of the given duration.
+Trace generate_lte_trace(const LteModelParams& params, sim::TimeMs duration_ms,
+                         util::Rng rng);
+
+}  // namespace remy::trace

@@ -1,0 +1,66 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/packet.hh"
+
+namespace remy::trace {
+
+Trace::Trace(std::vector<sim::TimeMs> opportunities)
+    : opportunities_{std::move(opportunities)} {
+  if (!std::is_sorted(opportunities_.begin(), opportunities_.end()))
+    throw std::invalid_argument{"Trace: timestamps must be non-decreasing"};
+  if (!opportunities_.empty() && opportunities_.front() < 0)
+    throw std::invalid_argument{"Trace: negative timestamp"};
+}
+
+Trace Trace::from_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open trace: " + path};
+  std::vector<sim::TimeMs> ts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ts.push_back(std::stod(line));
+  }
+  return Trace{std::move(ts)};
+}
+
+void Trace::to_file(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error{"cannot open trace for write: " + path};
+  out << "# delivery opportunities, one ms timestamp per line (MTU packets)\n";
+  for (const auto t : opportunities_) out << t << '\n';
+}
+
+sim::TimeMs Trace::duration_ms() const noexcept {
+  return opportunities_.empty() ? 0.0 : opportunities_.back();
+}
+
+double Trace::average_rate_mbps() const noexcept {
+  const sim::TimeMs dur = duration_ms();
+  if (dur <= 0.0) return 0.0;
+  const double bytes_per_ms =
+      static_cast<double>(size()) * sim::kMtuBytes / dur;
+  return sim::bytes_per_ms_to_mbps(bytes_per_ms);
+}
+
+sim::TimeMs Trace::opportunity_at(std::size_t i) const {
+  if (opportunities_.empty())
+    throw std::logic_error{"Trace::opportunity_at on empty trace"};
+  const std::size_t n = opportunities_.size();
+  const std::size_t wraps = i / n;
+  // Wrap period: last timestamp (treat the trace as ending right after its
+  // final opportunity). A zero-duration trace degenerates to back-to-back
+  // deliveries, which the constructor's sortedness check permits only for
+  // single-instant traces.
+  const sim::TimeMs period = std::max(duration_ms(), 1.0);
+  return opportunities_[i % n] + static_cast<double>(wraps) * period;
+}
+
+}  // namespace remy::trace

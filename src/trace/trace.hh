@@ -1,0 +1,47 @@
+// Delivery-opportunity traces for time-varying (cellular) links.
+//
+// A trace is a sorted list of timestamps (ms); each timestamp is an
+// opportunity to deliver one MTU-sized packet, exactly the format of the
+// paper's LTE experiments ("queueing packets until they are released to the
+// receiver at the same time they were released in the trace") and of
+// Mahimahi/cellsim recordings, so real traces can be swapped in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace remy::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  /// @param opportunities  non-decreasing timestamps in ms (validated)
+  explicit Trace(std::vector<sim::TimeMs> opportunities);
+
+  /// Loads "one ms-timestamp per line" text ('#' comments allowed).
+  static Trace from_file(const std::string& path);
+  void to_file(const std::string& path) const;
+
+  bool empty() const noexcept { return opportunities_.empty(); }
+  std::size_t size() const noexcept { return opportunities_.size(); }
+  const std::vector<sim::TimeMs>& opportunities() const noexcept {
+    return opportunities_;
+  }
+
+  /// Trace length: time of the last opportunity (ms).
+  sim::TimeMs duration_ms() const noexcept;
+
+  /// Long-term average delivery rate in Mbps assuming MTU packets.
+  double average_rate_mbps() const noexcept;
+
+  /// The i-th opportunity of the *cyclically repeated* trace: index i
+  /// beyond the end wraps around, shifted by whole trace durations.
+  sim::TimeMs opportunity_at(std::size_t i) const;
+
+ private:
+  std::vector<sim::TimeMs> opportunities_;
+};
+
+}  // namespace remy::trace

@@ -1,0 +1,44 @@
+#include "trace/trace_link.hh"
+
+#include <stdexcept>
+
+namespace remy::trace {
+
+TraceLink::TraceLink(Trace trace, std::unique_ptr<sim::QueueDisc> queue,
+                     sim::PacketSink* downstream)
+    : trace_{std::move(trace)},
+      queue_{std::move(queue)},
+      downstream_{downstream},
+      avg_rate_mbps_{trace_.average_rate_mbps()} {
+  if (trace_.empty()) throw std::invalid_argument{"TraceLink: empty trace"};
+  if (queue_ == nullptr) throw std::invalid_argument{"TraceLink: null queue"};
+  if (downstream_ == nullptr) throw std::invalid_argument{"TraceLink: null sink"};
+}
+
+void TraceLink::accept(sim::Packet&& packet, sim::TimeMs now) {
+  if (!configured_) {
+    queue_->configure(sim::mbps_to_bytes_per_ms(avg_rate_mbps_), now);
+    configured_ = true;
+  }
+  queue_->enqueue(std::move(packet), now);
+}
+
+sim::TimeMs TraceLink::next_event_time() const {
+  return trace_.opportunity_at(next_index_);
+}
+
+void TraceLink::tick(sim::TimeMs now) {
+  // Consume every opportunity that has come due; each may carry one packet.
+  while (trace_.opportunity_at(next_index_) <= now) {
+    ++next_index_;
+    auto p = queue_->dequeue(now);
+    if (p.has_value()) {
+      ++used_;
+      downstream_->accept(std::move(*p), now);
+    } else {
+      ++wasted_;
+    }
+  }
+}
+
+}  // namespace remy::trace

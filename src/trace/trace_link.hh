@@ -1,0 +1,44 @@
+// Trace-driven bottleneck: packets queue until the next delivery
+// opportunity of the (cyclically repeated) trace, reproducing the paper's
+// cellular-link methodology.
+#pragma once
+
+#include <memory>
+
+#include "sim/bottleneck.hh"
+#include "trace/trace.hh"
+
+namespace remy::trace {
+
+class TraceLink final : public sim::Bottleneck {
+ public:
+  /// @param trace       delivery schedule (must be non-empty)
+  /// @param queue       owned queue discipline
+  /// @param downstream  not owned, not null
+  TraceLink(Trace trace, std::unique_ptr<sim::QueueDisc> queue,
+            sim::PacketSink* downstream);
+
+  void accept(sim::Packet&& packet, sim::TimeMs now) override;
+  sim::TimeMs next_event_time() const override;
+  void tick(sim::TimeMs now) override;
+
+  sim::QueueDisc& queue() noexcept override { return *queue_; }
+  const sim::QueueDisc& queue() const noexcept override { return *queue_; }
+  /// Long-term trace average (what the paper feeds XCP, footnote 6).
+  double rate_mbps() const noexcept override { return avg_rate_mbps_; }
+
+  std::uint64_t opportunities_used() const noexcept { return used_; }
+  std::uint64_t opportunities_wasted() const noexcept { return wasted_; }
+
+ private:
+  Trace trace_;
+  std::unique_ptr<sim::QueueDisc> queue_;
+  sim::PacketSink* downstream_;
+  double avg_rate_mbps_;
+  std::size_t next_index_ = 0;
+  std::uint64_t used_ = 0;
+  std::uint64_t wasted_ = 0;
+  bool configured_ = false;
+};
+
+}  // namespace remy::trace

@@ -1,0 +1,60 @@
+#include "util/cli.hh"
+
+#include <stdexcept>
+
+namespace remy::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is itself a flag (or absent).
+    if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const noexcept {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Cli::get(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+std::int64_t Cli::get(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+bool Cli::get(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument{"bad boolean for --" + name + ": " + it->second};
+}
+
+}  // namespace remy::util

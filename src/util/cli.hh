@@ -1,0 +1,36 @@
+// Tiny command-line flag parser shared by benches, examples and tools.
+//
+// Accepted forms: --key value, --key=value, and bare --flag (boolean true).
+// Positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace remy::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was given (with or without a value).
+  bool has(const std::string& name) const noexcept;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get(const std::string& name, double fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // "" value means bare flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace remy::util

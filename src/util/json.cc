@@ -1,0 +1,330 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace remy::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what) { throw JsonError{std::string{what}}; }
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail(std::string{"expected '"} + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't': parse_literal("true"); return Json{true};
+      case 'f': parse_literal("false"); return Json{false};
+      case 'n': parse_literal("null"); return Json{nullptr};
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double out{};
+    const auto first = text_.data() + start;
+    const auto last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || ptr != last) fail("bad number");
+    return Json{out};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json{std::move(arr)};
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) return Json{std::move(arr)};
+      expect(',');
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json{std::move(obj)};
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (consume('}')) return Json{std::move(obj)};
+      expect(',');
+    }
+  }
+};
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double d) {
+  if (!std::isfinite(d)) fail("cannot serialize non-finite number");
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    // Integral: emit without decimal point for readability.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) fail("not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) fail("not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) fail("not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) fail("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonArray& Json::as_array() {
+  if (!is_array()) fail("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) fail("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& Json::as_object() {
+  if (!is_object()) fail("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(std::string{key});
+  if (it == obj.end()) fail(std::string{"missing key: "} + std::string{key});
+  return it->second;
+}
+
+bool Json::contains(std::string_view key) const noexcept {
+  if (!is_object()) return false;
+  const auto& obj = std::get<JsonObject>(value_);
+  return obj.find(std::string{key}) != obj.end();
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  if (!contains(key)) return fallback;
+  return at(key).as_number();
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    write_number(out, std::get<double>(value_));
+  } else if (is_string()) {
+    write_escaped(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const auto& arr = std::get<JsonArray>(value_);
+    out.push_back('[');
+    bool first = true;
+    for (const auto& v : arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      pad(depth + 1);
+      v.write(out, indent, depth + 1);
+    }
+    if (!arr.empty()) pad(depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = std::get<JsonObject>(value_);
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      pad(depth + 1);
+      write_escaped(out, k);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      v.write(out, indent, depth + 1);
+    }
+    if (!obj.empty()) pad(depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+Json json_from_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+void json_to_file(const Json& value, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) throw std::runtime_error{"cannot open " + tmp};
+    out << value.dump(2) << '\n';
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace remy::util

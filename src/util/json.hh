@@ -1,0 +1,92 @@
+// Minimal JSON value type with a recursive-descent parser and writer.
+//
+// Used to serialize RemyCC whisker trees (the artifacts Remy "publishes")
+// and experiment results. Supports the full JSON grammar except \u escapes
+// beyond the Basic Latin range (sufficient for our machine-generated files).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace remy::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map keeps keys ordered so emitted files are diff-stable.
+using JsonObject = std::map<std::string, Json>;
+
+/// Thrown on malformed input or wrong-type access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  Json() noexcept : value_{nullptr} {}
+  Json(std::nullptr_t) noexcept : value_{nullptr} {}
+  Json(bool b) noexcept : value_{b} {}
+  Json(double d) noexcept : value_{d} {}
+  Json(int i) noexcept : value_{static_cast<double>(i)} {}
+  Json(unsigned i) noexcept : value_{static_cast<double>(i)} {}
+  Json(long long i) noexcept : value_{static_cast<double>(i)} {}
+  Json(unsigned long long i) noexcept : value_{static_cast<double>(i)} {}
+  Json(long i) noexcept : value_{static_cast<double>(i)} {}
+  Json(unsigned long i) noexcept : value_{static_cast<double>(i)} {}
+  Json(const char* s) : value_{std::string{s}} {}
+  Json(std::string s) : value_{std::move(s)} {}
+  Json(JsonArray a) : value_{std::move(a)} {}
+  Json(JsonObject o) : value_{std::move(o)} {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member access; throws JsonError if not an object or key missing.
+  const Json& at(std::string_view key) const;
+  /// True if this is an object containing `key`.
+  bool contains(std::string_view key) const noexcept;
+  /// Member access with a fallback default.
+  double number_or(std::string_view key, double fallback) const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+/// Reads an entire file and parses it. Throws JsonError (parse) or
+/// std::runtime_error (I/O).
+Json json_from_file(const std::string& path);
+
+/// Writes `value.dump(2)` to the file, atomically via a temp file + rename.
+void json_to_file(const Json& value, const std::string& path);
+
+}  // namespace remy::util

@@ -1,0 +1,88 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace remy::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return (*this)();  // full range
+  // Rejection-free Lemire reduction is overkill here; modulo bias is
+  // negligible for the small spans used in config sampling, but we use
+  // 128-bit multiply-shift anyway since it is one instruction on x86-64.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>((*this)()) * span;
+  return lo + static_cast<std::uint64_t>(product >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+Rng Rng::split() noexcept { return Rng{(*this)()}; }
+
+}  // namespace remy::util

@@ -1,0 +1,108 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace remy::util {
+
+void Running::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Running::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Running::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Running::stderror() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument{"quantile of empty sample"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile q outside [0,1]"};
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+Ellipse2D fit_ellipse(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument{"fit_ellipse: size mismatch"};
+  Ellipse2D e;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.empty()) return e;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    e.mean_x += xs[i];
+    e.mean_y += ys[i];
+  }
+  e.mean_x /= n;
+  e.mean_y /= n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - e.mean_x;
+    const double dy = ys[i] - e.mean_y;
+    e.var_x += dx * dx;
+    e.var_y += dy * dy;
+    e.cov_xy += dx * dy;
+  }
+  e.var_x /= n;  // ML (population) estimator, as in the paper's contours
+  e.var_y /= n;
+  e.cov_xy /= n;
+  return e;
+}
+
+Ellipse2D::Axes Ellipse2D::axes(double k_sigma) const {
+  // Eigen-decomposition of the 2x2 covariance matrix.
+  const double tr = var_x + var_y;
+  const double det = var_x * var_y - cov_xy * cov_xy;
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+  const double l1 = tr / 2.0 + disc;  // larger eigenvalue
+  const double l2 = std::max(0.0, tr / 2.0 - disc);
+  Axes a;
+  a.semi_major = k_sigma * std::sqrt(std::max(0.0, l1));
+  a.semi_minor = k_sigma * std::sqrt(l2);
+  if (std::abs(cov_xy) > 1e-300) {
+    a.angle_rad = std::atan2(l1 - var_x, cov_xy);
+  } else {
+    a.angle_rad = var_x >= var_y ? 0.0 : std::atan(1.0) * 2.0;  // 0 or pi/2
+  }
+  return a;
+}
+
+double Ellipse2D::correlation() const {
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov_xy / std::sqrt(var_x * var_y);
+}
+
+double jain_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace remy::util

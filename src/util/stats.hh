@@ -1,0 +1,70 @@
+// Summary statistics used by the evaluation harness: running moments,
+// quantiles, and the 2-D Gaussian "throughput-delay ellipses" of the paper's
+// Figures 4-5 and 7-9.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remy::util {
+
+/// Online mean/variance accumulator (Welford).
+class Running {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 with fewer than two samples.
+  double stderror() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample by linear interpolation; q in [0,1].
+/// Copies and sorts; intended for end-of-run summaries, not hot paths.
+double quantile(std::vector<double> values, double q);
+
+/// Median (quantile 0.5).
+double median(std::vector<double> values);
+
+/// Maximum-likelihood 2-D Gaussian summary of (x, y) points: the paper draws
+/// the k-sigma elliptic contour of this distribution for each scheme.
+struct Ellipse2D {
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double var_x = 0.0;   ///< population variance in x
+  double var_y = 0.0;   ///< population variance in y
+  double cov_xy = 0.0;  ///< population covariance
+
+  /// Semi-axis lengths and rotation of the k-sigma contour.
+  struct Axes {
+    double semi_major = 0.0;
+    double semi_minor = 0.0;
+    double angle_rad = 0.0;  ///< rotation of the major axis from +x
+  };
+  Axes axes(double k_sigma = 1.0) const;
+
+  /// Pearson correlation; 0 if either variance is 0.
+  double correlation() const;
+};
+
+/// Fits the ML 2-D Gaussian to paired samples. Requires xs.size()==ys.size().
+Ellipse2D fit_ellipse(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = equal
+/// allocation. Returns 0 for empty or all-zero input.
+double jain_fairness(const std::vector<double>& allocations);
+
+}  // namespace remy::util

@@ -1,0 +1,142 @@
+#include "workload/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace remy::workload {
+
+namespace {
+enum class Kind { kConstant, kUniform, kExponential, kPareto, kEmpirical };
+}  // namespace
+
+struct Distribution::Impl {
+  Kind kind{};
+  double a = 0.0;      // constant value | lo | mean | xm
+  double b = 0.0;      // hi | alpha
+  double shift = 0.0;  // pareto shift
+  std::vector<std::pair<double, double>> cdf;  // empirical
+};
+
+Distribution::Distribution(std::shared_ptr<const Impl> impl)
+    : impl_{std::move(impl)} {}
+
+Distribution Distribution::constant(double value) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::kConstant;
+  impl->a = value;
+  return Distribution{std::move(impl)};
+}
+
+Distribution Distribution::uniform(double lo, double hi) {
+  if (hi < lo) throw std::invalid_argument{"uniform: hi < lo"};
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::kUniform;
+  impl->a = lo;
+  impl->b = hi;
+  return Distribution{std::move(impl)};
+}
+
+Distribution Distribution::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument{"exponential: mean <= 0"};
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::kExponential;
+  impl->a = mean;
+  return Distribution{std::move(impl)};
+}
+
+Distribution Distribution::pareto(double xm, double alpha, double shift) {
+  if (xm <= 0 || alpha <= 0) throw std::invalid_argument{"pareto: bad params"};
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::kPareto;
+  impl->a = xm;
+  impl->b = alpha;
+  impl->shift = shift;
+  return Distribution{std::move(impl)};
+}
+
+Distribution Distribution::icsi_flow_lengths(double extra_bytes) {
+  // Fig. 3: "Pareto(x+40) [ Xm = 147, alpha = 0.5 ]"; Sec. 5.1 adds 16 kB.
+  return pareto(147.0, 0.5, 40.0 + extra_bytes);
+}
+
+Distribution Distribution::empirical_cdf(
+    std::vector<std::pair<double, double>> points) {
+  if (points.size() < 2) throw std::invalid_argument{"empirical_cdf: need >= 2 points"};
+  if (!std::is_sorted(points.begin(), points.end(),
+                      [](const auto& x, const auto& y) { return x.second < y.second; }))
+    throw std::invalid_argument{"empirical_cdf: probabilities must be non-decreasing"};
+  if (std::abs(points.back().second - 1.0) > 1e-9)
+    throw std::invalid_argument{"empirical_cdf: must end at probability 1"};
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::kEmpirical;
+  impl->cdf = std::move(points);
+  return Distribution{std::move(impl)};
+}
+
+double Distribution::sample(util::Rng& rng) const {
+  const Impl& d = *impl_;
+  switch (d.kind) {
+    case Kind::kConstant: return d.a;
+    case Kind::kUniform: return rng.uniform(d.a, d.b);
+    case Kind::kExponential: return rng.exponential(d.a);
+    case Kind::kPareto: return rng.pareto(d.a, d.b) + d.shift;
+    case Kind::kEmpirical: {
+      const double u = rng.uniform01();
+      // First point with cumulative probability >= u; interpolate linearly
+      // from the previous point.
+      const auto it = std::lower_bound(
+          d.cdf.begin(), d.cdf.end(), u,
+          [](const auto& pt, double p) { return pt.second < p; });
+      if (it == d.cdf.begin()) return it->first;
+      if (it == d.cdf.end()) return d.cdf.back().first;
+      const auto& [v1, p1] = *std::prev(it);
+      const auto& [v2, p2] = *it;
+      if (p2 <= p1) return v2;
+      return v1 + (v2 - v1) * (u - p1) / (p2 - p1);
+    }
+  }
+  throw std::logic_error{"unreachable"};
+}
+
+double Distribution::mean() const {
+  const Impl& d = *impl_;
+  switch (d.kind) {
+    case Kind::kConstant: return d.a;
+    case Kind::kUniform: return (d.a + d.b) / 2.0;
+    case Kind::kExponential: return d.a;
+    case Kind::kPareto:
+      if (d.b <= 1.0) return std::numeric_limits<double>::quiet_NaN();
+      return d.a * d.b / (d.b - 1.0) + d.shift;
+    case Kind::kEmpirical: {
+      // Trapezoidal estimate over the tabulated CDF.
+      double acc = 0.0;
+      for (std::size_t i = 1; i < d.cdf.size(); ++i) {
+        const auto& [v1, p1] = d.cdf[i - 1];
+        const auto& [v2, p2] = d.cdf[i];
+        acc += (p2 - p1) * (v1 + v2) / 2.0;
+      }
+      return acc + d.cdf.front().first * d.cdf.front().second;
+    }
+  }
+  throw std::logic_error{"unreachable"};
+}
+
+std::string Distribution::describe() const {
+  std::ostringstream out;
+  const Impl& d = *impl_;
+  switch (d.kind) {
+    case Kind::kConstant: out << "constant(" << d.a << ")"; break;
+    case Kind::kUniform: out << "uniform(" << d.a << ", " << d.b << ")"; break;
+    case Kind::kExponential: out << "exponential(mean=" << d.a << ")"; break;
+    case Kind::kPareto:
+      out << "pareto(xm=" << d.a << ", alpha=" << d.b << ", shift=" << d.shift << ")";
+      break;
+    case Kind::kEmpirical: out << "empirical_cdf(" << d.cdf.size() << " points)"; break;
+  }
+  return out.str();
+}
+
+}  // namespace remy::workload

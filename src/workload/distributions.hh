@@ -1,0 +1,49 @@
+// Distributions for the traffic model of Sec. 3.2 / 5.1 of the paper:
+// exponential on/off processes, exponential byte counts, and the empirical
+// Internet flow-length distribution of Fig. 3 (Pareto Xm=147, alpha=0.5,
+// shifted by +40 bytes; the evaluation adds 16 kB to each sampled value).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace remy::workload {
+
+/// Value-semantic handle to an immutable sampling distribution.
+class Distribution {
+ public:
+  /// Degenerate distribution: always `value`.
+  static Distribution constant(double value);
+  /// Uniform on [lo, hi).
+  static Distribution uniform(double lo, double hi);
+  /// Exponential with the given mean.
+  static Distribution exponential(double mean);
+  /// Shifted Pareto: sample = pareto(xm, alpha) + shift.
+  static Distribution pareto(double xm, double alpha, double shift = 0.0);
+  /// The paper's Fig. 3 fit of the ICSI trace: Pareto(Xm=147, alpha=0.5)+40,
+  /// plus `extra_bytes` (the evaluation uses 16384 "to ensure the network is
+  /// loaded").
+  static Distribution icsi_flow_lengths(double extra_bytes = 16384.0);
+  /// Inverse-CDF sampling from tabulated (value, cumulative_probability)
+  /// points; probabilities must be non-decreasing and end at 1.
+  static Distribution empirical_cdf(std::vector<std::pair<double, double>> points);
+
+  double sample(util::Rng& rng) const;
+
+  /// Mean if finite and known in closed form; NaN for heavy tails
+  /// (Pareto with alpha <= 1) where the mean does not exist.
+  double mean() const;
+
+  /// Human-readable description, e.g. "exponential(mean=5000)".
+  std::string describe() const;
+
+ private:
+  struct Impl;
+  explicit Distribution(std::shared_ptr<const Impl> impl);
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace remy::workload

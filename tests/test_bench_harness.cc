@@ -1,0 +1,148 @@
+// The bench harness computes every number EXPERIMENTS.md reports; test it.
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+#include "workload/distributions.hh"
+
+namespace remy::bench {
+namespace {
+
+TEST(SchemeSummary, MediansAndMeans) {
+  SchemeSummary s;
+  s.points = {{1.0, 10.0, 100.0}, {2.0, 20.0, 200.0}, {3.0, 30.0, 300.0}};
+  EXPECT_DOUBLE_EQ(s.median_throughput(), 2.0);
+  EXPECT_DOUBLE_EQ(s.median_delay(), 20.0);
+  EXPECT_DOUBLE_EQ(s.median_rtt(), 200.0);
+  EXPECT_DOUBLE_EQ(s.mean_throughput(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_rtt(), 200.0);
+}
+
+TEST(SchemeSummary, EmptyIsZero) {
+  SchemeSummary s;
+  EXPECT_DOUBLE_EQ(s.median_throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median_delay(), 0.0);
+}
+
+TEST(Harness, PaperSchemesComplete) {
+  const auto schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 9u);  // 6 baselines + 3 RemyCCs
+  std::set<std::string> names;
+  for (const auto& s : schemes) {
+    names.insert(s.name);
+    ASSERT_TRUE(static_cast<bool>(s.make_sender)) << s.name;
+    EXPECT_NE(s.make_sender(), nullptr) << s.name;
+  }
+  for (const char* expected :
+       {"newreno", "vegas", "cubic", "compound", "cubic-sfqcodel", "xcp",
+        "remy-d0.1", "remy-d1", "remy-d10"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+  // Router-assisted schemes bring their own queue; end-to-end ones do not.
+  for (const auto& s : schemes) {
+    const bool router_assisted = s.name == "cubic-sfqcodel" || s.name == "xcp";
+    EXPECT_EQ(static_cast<bool>(s.make_queue), router_assisted) << s.name;
+  }
+}
+
+TEST(Harness, LoadTableFallsBackToDefault) {
+  const auto table = load_table("definitely-not-a-table");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->num_whiskers(), 1u);  // the untrained single rule
+}
+
+TEST(Harness, ApplyCliOverrides) {
+  Scenario s;
+  s.runs = 16;
+  s.duration_s = 40.0;
+  const char* argv[] = {"prog", "--runs", "5", "--duration", "12.5"};
+  apply_cli(util::Cli{5, argv}, s);
+  EXPECT_EQ(s.runs, 5u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 12.5);
+}
+
+TEST(Harness, FullFlagSetsPaperScale) {
+  Scenario s;
+  const char* argv[] = {"prog", "--full"};
+  apply_cli(util::Cli{2, argv}, s);
+  EXPECT_EQ(s.runs, 128u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 100.0);
+}
+
+TEST(Harness, FullThenRunsOverride) {
+  Scenario s;
+  const char* argv[] = {"prog", "--full", "--runs", "3"};
+  apply_cli(util::Cli{4, argv}, s);
+  EXPECT_EQ(s.runs, 3u);  // explicit --runs wins over --full
+}
+
+TEST(Harness, FilterSchemesSelectsOne) {
+  const char* argv[] = {"prog", "--scheme", "vegas"};
+  const auto out = filter_schemes(util::Cli{3, argv}, paper_schemes());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].name, "vegas");
+}
+
+TEST(Harness, FilterSchemesUnknownIsEmpty) {
+  const char* argv[] = {"prog", "--scheme", "carrier-pigeon"};
+  EXPECT_TRUE(filter_schemes(util::Cli{3, argv}, paper_schemes()).empty());
+}
+
+TEST(Harness, RunSchemeProducesPointsPerSenderPerRun) {
+  Scenario scenario;
+  scenario.base.num_senders = 2;
+  scenario.base.link_mbps = 10.0;
+  scenario.base.rtt_ms = 50.0;
+  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.runs = 3;
+  scenario.duration_s = 2.0;
+  const auto schemes = paper_schemes();
+  const auto result = run_scheme(scenario, schemes[0]);  // newreno
+  EXPECT_EQ(result.scheme, "newreno");
+  EXPECT_EQ(result.points.size(), 6u);  // 2 senders x 3 runs, all always-on
+  for (const auto& p : result.points) {
+    EXPECT_GT(p.throughput_mbps, 0.0);
+    EXPECT_GE(p.rtt_ms, 50.0);
+  }
+}
+
+TEST(Harness, RunSchemeHonorsSchemeQueue) {
+  // XCP through the harness must get its router: queueing delay stays tiny
+  // versus NewReno over default DropTail.
+  Scenario scenario;
+  scenario.base.num_senders = 2;
+  scenario.base.link_mbps = 10.0;
+  scenario.base.rtt_ms = 50.0;
+  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.runs = 2;
+  scenario.duration_s = 5.0;
+  const auto schemes = paper_schemes();
+  SchemeSummary xcp;
+  SchemeSummary reno;
+  for (const auto& s : schemes) {
+    if (s.name == "xcp") xcp = run_scheme(scenario, s);
+    if (s.name == "newreno") reno = run_scheme(scenario, s);
+  }
+  EXPECT_LT(xcp.median_delay(), reno.median_delay());
+}
+
+TEST(Harness, CustomBottleneckReceivesSchemeQueue) {
+  // A make_bottleneck hook must receive the *scheme's* discipline.
+  Scenario scenario;
+  scenario.base.num_senders = 1;
+  scenario.base.link_mbps = 10.0;
+  scenario.base.rtt_ms = 50.0;
+  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.runs = 1;
+  scenario.duration_s = 1.0;
+  bool saw_queue = false;
+  scenario.make_bottleneck = [&](std::unique_ptr<sim::QueueDisc> q,
+                                 sim::PacketSink* down) {
+    saw_queue = q != nullptr;
+    return std::make_unique<sim::Link>(10.0, std::move(q), down);
+  };
+  run_scheme(scenario, paper_schemes()[0]);
+  EXPECT_TRUE(saw_queue);
+}
+
+}  // namespace
+}  // namespace remy::bench

@@ -1,0 +1,123 @@
+#include "workload/distributions.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace remy::workload {
+namespace {
+
+TEST(Distribution, ConstantAlwaysSame) {
+  util::Rng rng{1};
+  const auto d = Distribution::constant(42.0);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 42.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+}
+
+TEST(Distribution, UniformBoundsAndMean) {
+  util::Rng rng{2};
+  const auto d = Distribution::uniform(5.0, 15.0);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 5.0);
+    ASSERT_LT(x, 15.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+}
+
+TEST(Distribution, UniformRejectsInverted) {
+  EXPECT_THROW(Distribution::uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distribution, ExponentialMeanMatches) {
+  util::Rng rng{3};
+  const auto d = Distribution::exponential(500.0);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kN, 500.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 500.0);
+}
+
+TEST(Distribution, ExponentialRejectsNonPositive) {
+  EXPECT_THROW(Distribution::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Distribution::exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Distribution, ParetoShiftApplied) {
+  util::Rng rng{4};
+  const auto d = Distribution::pareto(147.0, 0.5, 40.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.sample(rng), 187.0);
+}
+
+TEST(Distribution, ParetoHeavyTailHasNoMean) {
+  // The paper's Fig. 3 point: alpha = 0.5 implies the mean is not defined.
+  const auto d = Distribution::pareto(147.0, 0.5, 40.0);
+  EXPECT_TRUE(std::isnan(d.mean()));
+}
+
+TEST(Distribution, ParetoFiniteMeanWhenAlphaAboveOne) {
+  const auto d = Distribution::pareto(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 200.0);
+}
+
+TEST(Distribution, IcsiFlowLengthsMatchPaperParameters) {
+  util::Rng rng{5};
+  const auto d = Distribution::icsi_flow_lengths();
+  // Minimum possible value: Xm + 40 + 16384.
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.sample(rng), 147.0 + 40.0 + 16384.0);
+  // Median of Pareto(147, 0.5) is 147 * 2^2 = 588.
+  std::vector<double> v(50001);
+  for (auto& x : v) x = d.sample(rng) - 40.0 - 16384.0;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], 588.0, 25.0);
+}
+
+TEST(Distribution, IcsiWithoutLoadingOffset) {
+  util::Rng rng{6};
+  const auto d = Distribution::icsi_flow_lengths(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 187.0);
+}
+
+TEST(Distribution, EmpiricalCdfInterpolates) {
+  util::Rng rng{7};
+  const auto d = Distribution::empirical_cdf({{0.0, 0.0}, {10.0, 1.0}});
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 10.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);  // uniform via linear CDF
+}
+
+TEST(Distribution, EmpiricalCdfValidation) {
+  EXPECT_THROW(Distribution::empirical_cdf({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Distribution::empirical_cdf({{0.0, 0.5}, {1.0, 0.4}}),
+               std::invalid_argument);
+  EXPECT_THROW(Distribution::empirical_cdf({{0.0, 0.0}, {1.0, 0.9}}),
+               std::invalid_argument);
+}
+
+TEST(Distribution, DescribeMentionsKind) {
+  EXPECT_NE(Distribution::exponential(5.0).describe().find("exponential"),
+            std::string::npos);
+  EXPECT_NE(Distribution::pareto(1, 2).describe().find("pareto"),
+            std::string::npos);
+}
+
+TEST(Distribution, SamplingIsDeterministicGivenSeed) {
+  const auto d = Distribution::exponential(100.0);
+  util::Rng a{9};
+  util::Rng b{9};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(a), d.sample(b));
+}
+
+}  // namespace
+}  // namespace remy::workload

@@ -1,0 +1,228 @@
+// Dumbbell integration: conservation, utilization, fairness, per-flow RTTs,
+// determinism — parameterized across schemes where it matters.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "cc/compound.hh"
+#include "cc/cubic.hh"
+#include "cc/newreno.hh"
+#include "cc/vegas.hh"
+#include "sim/dumbbell.hh"
+#include "workload/distributions.hh"
+
+namespace remy::sim {
+namespace {
+
+SenderFactory factory_for(const std::string& scheme) {
+  if (scheme == "newreno")
+    return [](FlowId) { return std::make_unique<cc::NewReno>(); };
+  if (scheme == "cubic")
+    return [](FlowId) { return std::make_unique<cc::Cubic>(); };
+  if (scheme == "vegas")
+    return [](FlowId) { return std::make_unique<cc::Vegas>(); };
+  if (scheme == "compound")
+    return [](FlowId) { return std::make_unique<cc::Compound>(); };
+  throw std::invalid_argument{scheme};
+}
+
+class DumbbellSchemeTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DumbbellSchemeTest,
+                         ::testing::Values("newreno", "cubic", "vegas",
+                                           "compound"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(DumbbellSchemeTest, SingleFlowAchievesHighUtilization) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 1;
+  cfg.link_mbps = 10.0;
+  cfg.rtt_ms = 100.0;
+  cfg.seed = 1;
+  cfg.workload = OnOffConfig::always_on();
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  Dumbbell net{cfg, factory_for(GetParam())};
+  net.run_for_seconds(30);
+  EXPECT_GT(net.metrics().flow(0).throughput_mbps(), 8.0) << GetParam();
+}
+
+TEST_P(DumbbellSchemeTest, ThroughputNeverExceedsLinkRate) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 4;
+  cfg.link_mbps = 10.0;
+  cfg.rtt_ms = 100.0;
+  cfg.seed = 2;
+  cfg.workload = OnOffConfig::always_on();
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  Dumbbell net{cfg, factory_for(GetParam())};
+  net.run_for_seconds(20);
+  double total = 0.0;
+  for (FlowId f = 0; f < 4; ++f) total += net.metrics().flow(f).throughput_mbps();
+  EXPECT_LE(total, 10.0 * 1.01) << GetParam();
+}
+
+TEST_P(DumbbellSchemeTest, DeliveredNeverExceedsSent) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 3;
+  cfg.link_mbps = 8.0;
+  cfg.rtt_ms = 80.0;
+  cfg.seed = 3;
+  cfg.workload = OnOffConfig::by_bytes(
+      workload::Distribution::exponential(200e3),
+      workload::Distribution::exponential(200.0));
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(100); };
+  Dumbbell net{cfg, factory_for(GetParam())};
+  net.run_for_seconds(30);
+  for (FlowId f = 0; f < 3; ++f) {
+    const auto& fs = net.metrics().flow(f);
+    EXPECT_LE(fs.packets_delivered, fs.packets_sent) << GetParam();
+  }
+}
+
+TEST_P(DumbbellSchemeTest, ConservationSentEqualsDeliveredPlusDroppedPlusInFlight) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.link_mbps = 5.0;
+  cfg.rtt_ms = 60.0;
+  cfg.seed = 4;
+  cfg.workload = OnOffConfig::always_on();
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(50); };
+  Dumbbell net{cfg, factory_for(GetParam())};
+  net.run_for_seconds(20);
+  std::uint64_t sent = 0;
+  std::uint64_t arrived = 0;  // unique + duplicates
+  for (FlowId f = 0; f < 2; ++f) {
+    const auto& fs = net.metrics().flow(f);
+    sent += fs.packets_sent;
+    arrived += fs.packets_delivered + fs.dup_packets;
+  }
+  const std::uint64_t dropped = net.bottleneck().queue().drops();
+  const std::uint64_t queued = net.bottleneck().queue().packet_count();
+  // In-flight on the wire (serialization + propagation) accounts for the
+  // remainder; it is bounded by a few BDPs.
+  ASSERT_GE(sent, arrived + dropped);
+  EXPECT_LE(sent - arrived - dropped - queued, 200u) << GetParam();
+}
+
+TEST_P(DumbbellSchemeTest, LongRunFairnessAmongIdenticalFlows) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 4;
+  cfg.link_mbps = 12.0;
+  cfg.rtt_ms = 100.0;
+  cfg.seed = 5;
+  cfg.workload = OnOffConfig::always_on();
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(500); };
+  Dumbbell net{cfg, factory_for(GetParam())};
+  net.run_for_seconds(120);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (FlowId f = 0; f < 4; ++f) {
+    const double t = net.metrics().flow(f).throughput_mbps();
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  // Identical senders should share within a generous factor over 2 minutes.
+  EXPECT_GT(lo / hi, 0.3) << GetParam() << " lo=" << lo << " hi=" << hi;
+}
+
+TEST(Dumbbell, DeterministicGivenSeed) {
+  const auto run = [] {
+    DumbbellConfig cfg;
+    cfg.num_senders = 3;
+    cfg.link_mbps = 10.0;
+    cfg.rtt_ms = 100.0;
+    cfg.seed = 42;
+    cfg.workload = OnOffConfig::by_bytes(
+        workload::Distribution::exponential(100e3),
+        workload::Distribution::exponential(500.0));
+    cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+    Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+    net.run_for_seconds(20);
+    std::vector<std::uint64_t> bytes;
+    for (FlowId f = 0; f < 3; ++f)
+      bytes.push_back(net.metrics().flow(f).bytes_delivered);
+    return bytes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Dumbbell, DifferentSeedsDiffer) {
+  const auto run = [](std::uint64_t seed) {
+    DumbbellConfig cfg;
+    cfg.num_senders = 2;
+    cfg.link_mbps = 10.0;
+    cfg.rtt_ms = 100.0;
+    cfg.seed = seed;
+    cfg.workload = OnOffConfig::by_bytes(
+        workload::Distribution::exponential(100e3),
+        workload::Distribution::exponential(500.0));
+    Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+    net.run_for_seconds(10);
+    return net.metrics().flow(0).bytes_delivered;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(Dumbbell, PerFlowRttsRespected) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.link_mbps = 50.0;
+  cfg.rtt_ms = 100.0;
+  cfg.flow_rtts = {50.0, 200.0};
+  cfg.seed = 7;
+  cfg.workload = OnOffConfig::always_on();
+  // Small buffer bounds queueing delay: 50 pkts at 50 Mbps is 12 ms.
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(50); };
+  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  net.run_for_seconds(10);
+  EXPECT_GE(net.metrics().flow(0).avg_rtt_ms(), 50.0 - 1e-9);
+  EXPECT_LE(net.metrics().flow(0).avg_rtt_ms(), 65.0);
+  EXPECT_GE(net.metrics().flow(1).avg_rtt_ms(), 200.0 - 1e-9);
+  EXPECT_LE(net.metrics().flow(1).avg_rtt_ms(), 215.0);
+}
+
+TEST(Dumbbell, RttNeverBelowPropagation) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.link_mbps = 10.0;
+  cfg.rtt_ms = 120.0;
+  cfg.seed = 8;
+  cfg.workload = OnOffConfig::always_on();
+  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  net.run_for_seconds(10);
+  for (FlowId f = 0; f < 2; ++f)
+    EXPECT_GE(net.metrics().flow(f).avg_rtt_ms(), 120.0 - 1e-9);
+}
+
+TEST(Dumbbell, ValidatesConfig) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 0;
+  EXPECT_THROW(Dumbbell(cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }),
+               std::invalid_argument);
+  DumbbellConfig cfg2;
+  cfg2.num_senders = 2;
+  cfg2.flow_rtts = {100.0};  // size mismatch
+  EXPECT_THROW(Dumbbell(cfg2, [](FlowId) { return std::make_unique<cc::NewReno>(); }),
+               std::invalid_argument);
+}
+
+TEST(Dumbbell, OnOffWorkloadAccumulatesOnTime) {
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.link_mbps = 10.0;
+  cfg.rtt_ms = 100.0;
+  cfg.seed = 10;
+  cfg.workload = OnOffConfig::by_time(workload::Distribution::exponential(1000.0),
+                                      workload::Distribution::exponential(1000.0));
+  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  net.run_for_seconds(60);
+  for (FlowId f = 0; f < 2; ++f) {
+    const double on = net.metrics().flow(f).on_time_ms;
+    EXPECT_GT(on, 10e3);   // roughly half of 60s, loosely bounded
+    EXPECT_LT(on, 55e3);
+  }
+}
+
+}  // namespace
+}  // namespace remy::sim

@@ -1,0 +1,228 @@
+// ConfigRange sampling, Evaluator determinism, and a miniature end-to-end
+// Remy training run (small budgets so it stays test-sized).
+#include <gtest/gtest.h>
+
+#include "core/config_range.hh"
+#include "core/evaluator.hh"
+#include "core/trainer.hh"
+
+namespace remy::core {
+namespace {
+
+TEST(ConfigRange, PaperGeneralMatchesDesignTable) {
+  const ConfigRange r = ConfigRange::paper_general(1.0);
+  EXPECT_DOUBLE_EQ(r.min_link_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(r.max_link_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(r.min_rtt_ms, 100.0);
+  EXPECT_DOUBLE_EQ(r.max_rtt_ms, 200.0);
+  EXPECT_EQ(r.min_senders, 1u);
+  EXPECT_EQ(r.max_senders, 16u);
+  EXPECT_DOUBLE_EQ(r.mean_on, 5000.0);
+  EXPECT_DOUBLE_EQ(r.mean_off_ms, 5000.0);
+  EXPECT_DOUBLE_EQ(r.objective.delta, 1.0);
+}
+
+TEST(ConfigRange, PaperPresets) {
+  EXPECT_DOUBLE_EQ(ConfigRange::paper_1x().min_link_mbps, 15.0);
+  EXPECT_DOUBLE_EQ(ConfigRange::paper_10x().min_link_mbps, 4.7);
+  EXPECT_DOUBLE_EQ(ConfigRange::paper_10x().max_link_mbps, 47.0);
+  const ConfigRange dc = ConfigRange::paper_datacenter();
+  EXPECT_DOUBLE_EQ(dc.min_link_mbps, 10000.0);
+  EXPECT_EQ(dc.max_senders, 64u);
+  EXPECT_DOUBLE_EQ(dc.objective.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(dc.objective.delta, 0.0);
+}
+
+class ConfigRangeSamplingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigRangeSamplingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 100, 1000));
+
+TEST_P(ConfigRangeSamplingTest, SpecimensStayInsideRange) {
+  const ConfigRange r = ConfigRange::paper_general(1.0);
+  util::Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const NetConfig c = r.sample(rng);
+    EXPECT_GE(c.link_mbps, r.min_link_mbps);
+    EXPECT_LE(c.link_mbps, r.max_link_mbps);
+    EXPECT_GE(c.rtt_ms, r.min_rtt_ms);
+    EXPECT_LE(c.rtt_ms, r.max_rtt_ms);
+    EXPECT_GE(c.num_senders, r.min_senders);
+    EXPECT_LE(c.num_senders, r.max_senders);
+  }
+}
+
+TEST(ConfigRange, SamplingCoversSenderCounts) {
+  const ConfigRange r = ConfigRange::paper_general(1.0);
+  util::Rng rng{9};
+  std::set<unsigned> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.sample(rng).num_senders);
+  EXPECT_GE(seen.size(), 12u);  // most of 1..16 seen
+}
+
+TEST(ConfigRange, JsonRoundTrip) {
+  ConfigRange r = ConfigRange::paper_datacenter();
+  const ConfigRange back = ConfigRange::from_json(r.to_json());
+  EXPECT_DOUBLE_EQ(back.min_link_mbps, r.min_link_mbps);
+  EXPECT_EQ(back.max_senders, r.max_senders);
+  EXPECT_EQ(back.traffic_mode, r.traffic_mode);
+  EXPECT_DOUBLE_EQ(back.objective.alpha, r.objective.alpha);
+  EXPECT_EQ(back.buffer_packets, r.buffer_packets);
+}
+
+TEST(NetConfig, WorkloadMatchesMode) {
+  NetConfig c;
+  c.traffic_mode = sim::OnMode::kByTime;
+  EXPECT_EQ(c.workload().mode, sim::OnMode::kByTime);
+  c.traffic_mode = sim::OnMode::kByBytes;
+  EXPECT_EQ(c.workload().mode, sim::OnMode::kByBytes);
+}
+
+EvaluatorOptions small_eval() {
+  EvaluatorOptions opt;
+  opt.num_specimens = 3;
+  opt.simulation_ms = 2000.0;
+  opt.seed = 5;
+  return opt;
+}
+
+ConfigRange small_range() {
+  ConfigRange r = ConfigRange::paper_general(1.0);
+  r.max_senders = 4;
+  r.mean_on = 1000.0;
+  r.mean_off_ms = 1000.0;
+  return r;
+}
+
+TEST(Evaluator, FixedSpecimenSet) {
+  const Evaluator eval{small_range(), small_eval()};
+  EXPECT_EQ(eval.specimens().size(), 3u);
+  const Evaluator eval2{small_range(), small_eval()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(eval.specimens()[i].link_mbps, eval2.specimens()[i].link_mbps);
+  }
+}
+
+TEST(Evaluator, DeterministicScore) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  const double s1 = eval.evaluate(tree).score;
+  const double s2 = eval.evaluate(tree).score;
+  EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+TEST(Evaluator, ParallelMatchesSerial) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  util::ThreadPool pool{4};
+  EXPECT_DOUBLE_EQ(eval.evaluate(tree).score,
+                   eval.evaluate(tree, false, &pool).score);
+}
+
+TEST(Evaluator, UsageRecordedWhenRequested) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  const EvalResult res = eval.evaluate(tree, true);
+  EXPECT_GT(res.usage.total(), 0u);
+  EXPECT_EQ(res.usage.most_used({}), 0u);  // only one whisker exists
+}
+
+TEST(Evaluator, ScoreDiscriminatesBetweenActions) {
+  // A sane default action should beat an absurd one (send a packet every
+  // 500 ms regardless of the window).
+  const Evaluator eval{small_range(), small_eval()};
+  WhiskerTree good;
+  WhiskerTree bad;
+  bad.whisker(0).set_action(Action{0.0, 1.0, 500.0});
+  EXPECT_GT(eval.evaluate(good).score, eval.evaluate(bad).score);
+}
+
+TEST(Evaluator, SpecimenResultsCarryMetrics) {
+  const Evaluator eval{small_range(), small_eval()};
+  const EvalResult res = eval.evaluate(WhiskerTree{});
+  ASSERT_EQ(res.specimens.size(), 3u);
+  for (const auto& s : res.specimens) {
+    if (s.senders_scored == 0) continue;
+    EXPECT_GT(s.mean_throughput_mbps, 0.0);
+    EXPECT_GT(s.mean_delay_ms, 0.0);
+  }
+}
+
+TEST(Trainer, OneEpochImprovesScore) {
+  ConfigRange range = small_range();
+  TrainerOptions opt;
+  opt.eval.num_specimens = 3;
+  opt.eval.simulation_ms = 2000.0;
+  opt.eval.seed = 7;
+  opt.max_epochs = 1;
+  opt.max_improvement_rounds = 2;
+  opt.candidates.scales = 1;  // 27-ish candidates: keep the test quick
+  opt.threads = 4;
+  Trainer trainer{range, opt};
+
+  const Evaluator eval{range, opt.eval};
+  const double before = eval.evaluate(WhiskerTree{}).score;
+  const TrainResult result = trainer.run();
+  EXPECT_GE(result.score, before);
+  EXPECT_GT(result.actions_evaluated, 0u);
+}
+
+TEST(Trainer, SplitsOnScheduleAndGrowsTree) {
+  // Workload that reliably generates ACKs within the short simulations
+  // (1 s sims with 1 s mean off-times can leave whole specimens silent,
+  // in which case the trainer legitimately has nothing to split).
+  ConfigRange range = small_range();
+  range.mean_on = 2000.0;
+  range.mean_off_ms = 200.0;
+  TrainerOptions opt;
+  opt.eval.num_specimens = 2;
+  opt.eval.simulation_ms = 5000.0;
+  opt.eval.seed = 8;
+  opt.max_epochs = 4;  // K=4: exactly one split expected
+  opt.split_every = 4;
+  opt.max_improvement_rounds = 1;
+  opt.candidates.scales = 1;
+  opt.threads = 4;
+  Trainer trainer{range, opt};
+  const TrainResult result = trainer.run();
+  EXPECT_EQ(result.splits, 1u);
+  EXPECT_GT(result.tree.num_whiskers(), 1u);
+  EXPECT_EQ(result.epochs_completed, 4u);
+}
+
+TEST(Trainer, RespectsWhiskerBudget) {
+  ConfigRange range = small_range();
+  TrainerOptions opt;
+  opt.eval.num_specimens = 2;
+  opt.eval.simulation_ms = 500.0;
+  opt.eval.seed = 9;
+  opt.max_epochs = 12;
+  opt.split_every = 1;   // try to split every epoch
+  opt.max_whiskers = 8;  // but the budget stops growth
+  opt.max_improvement_rounds = 1;
+  opt.candidates.scales = 1;
+  opt.threads = 4;
+  Trainer trainer{range, opt};
+  const TrainResult result = trainer.run();
+  EXPECT_LE(result.tree.num_whiskers(), 8u * 8u);  // one split past budget max
+}
+
+TEST(Trainer, ResumesFromExistingTable) {
+  ConfigRange range = small_range();
+  TrainerOptions opt;
+  opt.eval.num_specimens = 2;
+  opt.eval.simulation_ms = 500.0;
+  opt.eval.seed = 10;
+  opt.max_epochs = 1;
+  opt.max_improvement_rounds = 1;
+  opt.candidates.scales = 1;
+  opt.threads = 4;
+  Trainer trainer{range, opt};
+  WhiskerTree start;
+  start.split(0, Memory{50, 50, 2}, 0);
+  const TrainResult result = trainer.run(std::move(start));
+  EXPECT_GE(result.tree.num_whiskers(), 8u);
+}
+
+}  // namespace
+}  // namespace remy::core

@@ -1,0 +1,165 @@
+#include "sim/flow_scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/distributions.hh"
+
+namespace remy::sim {
+namespace {
+
+/// Sender stub that records flow-control calls and can complete transfers.
+class StubSender final : public Sender {
+ public:
+  std::vector<std::pair<TimeMs, std::uint64_t>> starts;
+  std::vector<TimeMs> stops;
+  bool active = false;
+
+  void start_flow(TimeMs now, std::uint64_t bytes) override {
+    starts.emplace_back(now, bytes);
+    active = true;
+  }
+  void stop_flow(TimeMs now) override {
+    stops.push_back(now);
+    active = false;
+  }
+  bool flow_active() const noexcept override { return active; }
+  void accept(Packet&&, TimeMs) override {}
+  TimeMs next_event_time() const override { return kNever; }
+  void tick(TimeMs) override {}
+
+  void finish_transfer(FlowObserver& obs, TimeMs now) {
+    active = false;
+    obs.on_transfer_complete(flow_id(), now);
+  }
+};
+
+struct NullSink final : PacketSink {
+  void accept(Packet&&, TimeMs) override {}
+};
+
+class FlowSchedulerTest : public ::testing::Test {
+ protected:
+  StubSender sender;
+  NullSink sink;
+  MetricsHub metrics{1};
+
+  void wire_sender() { sender.wire(0, &sink, &metrics, nullptr); }
+};
+
+TEST_F(FlowSchedulerTest, AlwaysOnStartsImmediatelyUnbounded) {
+  wire_sender();
+  FlowScheduler sched{&sender, &metrics, OnOffConfig::always_on(), util::Rng{1}};
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 0.0);
+  sched.tick(0.0);
+  ASSERT_EQ(sender.starts.size(), 1u);
+  EXPECT_EQ(sender.starts[0].second, 0u);  // unbounded
+  EXPECT_EQ(sched.next_event_time(), kNever);
+  sched.finish(1000.0);
+  EXPECT_DOUBLE_EQ(metrics.flow(0).on_time_ms, 1000.0);
+}
+
+TEST_F(FlowSchedulerTest, ByTimeTogglesOnAndOff) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_time(workload::Distribution::constant(100.0),
+                                  workload::Distribution::constant(50.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 50.0);  // off draw first
+  sched.tick(50.0);                                 // on
+  ASSERT_EQ(sender.starts.size(), 1u);
+  EXPECT_TRUE(sched.is_on());
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 150.0);
+  sched.tick(150.0);  // off
+  ASSERT_EQ(sender.stops.size(), 1u);
+  EXPECT_FALSE(sched.is_on());
+  EXPECT_DOUBLE_EQ(metrics.flow(0).on_time_ms, 100.0);
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 200.0);
+  sched.tick(200.0);  // on again
+  EXPECT_EQ(sender.starts.size(), 2u);
+}
+
+TEST_F(FlowSchedulerTest, ByBytesWaitsForCompletion) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_bytes(workload::Distribution::constant(5000.0),
+                                   workload::Distribution::constant(10.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  sched.tick(10.0);
+  ASSERT_EQ(sender.starts.size(), 1u);
+  EXPECT_EQ(sender.starts[0].second, 5000u);
+  EXPECT_EQ(sched.next_event_time(), kNever);  // waits for completion
+  sender.finish_transfer(sched, 300.0);
+  EXPECT_FALSE(sched.is_on());
+  EXPECT_DOUBLE_EQ(metrics.flow(0).on_time_ms, 290.0);
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 310.0);  // off 10ms
+}
+
+TEST_F(FlowSchedulerTest, ByBytesMinimumOneByte) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_bytes(workload::Distribution::constant(0.0),
+                                   workload::Distribution::constant(1.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  sched.tick(1.0);
+  ASSERT_EQ(sender.starts.size(), 1u);
+  EXPECT_GE(sender.starts[0].second, 1u);
+}
+
+TEST_F(FlowSchedulerTest, TransferCountsTracked) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_bytes(workload::Distribution::constant(100.0),
+                                   workload::Distribution::constant(5.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  sched.tick(5.0);
+  sender.finish_transfer(sched, 20.0);
+  sched.tick(25.0);
+  sender.finish_transfer(sched, 40.0);
+  EXPECT_EQ(metrics.flow(0).transfers_started, 2u);
+  EXPECT_EQ(metrics.flow(0).transfers_completed, 2u);
+}
+
+TEST_F(FlowSchedulerTest, FinishCreditsPartialInterval) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_bytes(workload::Distribution::constant(1e9),
+                                   workload::Distribution::constant(5.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  sched.tick(5.0);
+  sched.finish(105.0);  // transfer incomplete at sim end
+  EXPECT_DOUBLE_EQ(metrics.flow(0).on_time_ms, 100.0);
+}
+
+TEST_F(FlowSchedulerTest, FinishTwiceThrows) {
+  wire_sender();
+  FlowScheduler sched{&sender, &metrics, OnOffConfig::always_on(), util::Rng{1}};
+  sched.finish(10.0);
+  EXPECT_THROW(sched.finish(20.0), std::logic_error);
+}
+
+TEST_F(FlowSchedulerTest, StaleCompletionIgnored) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_time(workload::Distribution::constant(100.0),
+                                  workload::Distribution::constant(10.0));
+  FlowScheduler sched{&sender, &metrics, cfg, util::Rng{1}};
+  sched.tick(10.0);   // on
+  sched.tick(110.0);  // off
+  const auto on_time = metrics.flow(0).on_time_ms;
+  sched.on_transfer_complete(0, 120.0);  // stale: already off
+  EXPECT_DOUBLE_EQ(metrics.flow(0).on_time_ms, on_time);
+}
+
+TEST_F(FlowSchedulerTest, NullSenderRejected) {
+  EXPECT_THROW(
+      FlowScheduler(nullptr, &metrics, OnOffConfig::always_on(), util::Rng{1}),
+      std::invalid_argument);
+}
+
+TEST_F(FlowSchedulerTest, ExponentialDrawsDiffer) {
+  wire_sender();
+  auto cfg = OnOffConfig::by_time(workload::Distribution::exponential(100.0),
+                                  workload::Distribution::exponential(100.0));
+  FlowScheduler a{&sender, nullptr, cfg, util::Rng{1}};
+  FlowScheduler b{&sender, nullptr, cfg, util::Rng{2}};
+  EXPECT_NE(a.next_event_time(), b.next_event_time());
+}
+
+}  // namespace
+}  // namespace remy::sim

@@ -1,0 +1,165 @@
+// Cross-module integration: the repository's own headline claims, checked
+// as tests. These use the shipped trained rule tables when present and are
+// skipped on a fresh checkout without data/.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "aqm/sfq_codel.hh"
+#include "cc/cubic.hh"
+#include "cc/newreno.hh"
+#include "core/remy_sender.hh"
+#include "sim/dumbbell.hh"
+#include "util/stats.hh"
+#include "workload/distributions.hh"
+
+namespace remy {
+namespace {
+
+std::shared_ptr<const core::WhiskerTree> table_or_skip(const std::string& name) {
+  const std::string path =
+      std::string{REMY_DATA_DIR} + "/remycc/" + name + ".json";
+  if (!std::filesystem::exists(path)) return nullptr;
+  return std::make_shared<const core::WhiskerTree>(core::WhiskerTree::load(path));
+}
+
+sim::DumbbellConfig paper_dumbbell(std::size_t senders, std::uint64_t seed) {
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.link_mbps = 15.0;
+  cfg.rtt_ms = 150.0;
+  cfg.seed = seed;
+  cfg.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::exponential(100e3),
+      workload::Distribution::exponential(500.0));
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  return cfg;
+}
+
+struct Outcome {
+  double median_tput;
+  double median_delay;
+};
+
+Outcome run(const sim::DumbbellConfig& cfg, const sim::SenderFactory& make,
+            double seconds = 30.0) {
+  sim::Dumbbell net{cfg, make};
+  net.run_for_seconds(seconds);
+  std::vector<double> tputs;
+  std::vector<double> delays;
+  for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
+    const auto& fs = net.metrics().flow(f);
+    if (fs.on_time_ms <= 0) continue;
+    tputs.push_back(fs.throughput_mbps());
+    delays.push_back(fs.avg_queue_delay_ms());
+  }
+  return Outcome{util::median(tputs), util::median(delays)};
+}
+
+TEST(PaperClaims, TrainedRemyBeatsNewRenoThroughputOnDesignRange) {
+  auto table = table_or_skip("delta0.1");
+  if (!table) GTEST_SKIP() << "train tables first (examples/train_remycc)";
+  const auto remy = run(paper_dumbbell(8, 41), [&](sim::FlowId) {
+    return std::make_unique<core::RemySender>(table);
+  });
+  const auto reno = run(paper_dumbbell(8, 41),
+                        [](sim::FlowId) { return std::make_unique<cc::NewReno>(); });
+  EXPECT_GT(remy.median_tput, 1.2 * reno.median_tput);
+}
+
+TEST(PaperClaims, DeltaTradesThroughputForDelay) {
+  auto d01 = table_or_skip("delta0.1");
+  auto d10 = table_or_skip("delta10");
+  if (!d01 || !d10) GTEST_SKIP() << "train tables first";
+  const auto lo = run(paper_dumbbell(8, 42), [&](sim::FlowId) {
+    return std::make_unique<core::RemySender>(d01);
+  });
+  const auto hi = run(paper_dumbbell(8, 42), [&](sim::FlowId) {
+    return std::make_unique<core::RemySender>(d10);
+  });
+  // Higher delta: less throughput, (much) less queueing delay.
+  EXPECT_GT(lo.median_tput, hi.median_tput);
+  EXPECT_GT(lo.median_delay, hi.median_delay);
+}
+
+TEST(PaperClaims, DelayConsciousRemyBeatsCubicOnBothAxes) {
+  auto table = table_or_skip("delta1");
+  if (!table) GTEST_SKIP() << "train tables first";
+  const auto remy = run(paper_dumbbell(8, 43), [&](sim::FlowId) {
+    return std::make_unique<core::RemySender>(table);
+  });
+  const auto cubic = run(paper_dumbbell(8, 43),
+                         [](sim::FlowId) { return std::make_unique<cc::Cubic>(); });
+  EXPECT_GT(remy.median_tput, cubic.median_tput);
+  EXPECT_LT(remy.median_delay, cubic.median_delay);
+}
+
+TEST(PaperClaims, EndToEndRemyMatchesRouterAssistedSfqCodel) {
+  auto table = table_or_skip("delta1");
+  if (!table) GTEST_SKIP() << "train tables first";
+  const auto remy = run(paper_dumbbell(8, 44), [&](sim::FlowId) {
+    return std::make_unique<core::RemySender>(table);
+  });
+  auto cfg = paper_dumbbell(8, 44);
+  cfg.queue_factory = [] {
+    aqm::SfqCodelParams p;
+    p.capacity_packets = 1000;
+    return std::make_unique<aqm::SfqCodel>(p);
+  };
+  const auto sfq = run(cfg, [](sim::FlowId) { return std::make_unique<cc::Cubic>(); });
+  // "Even a purely end-to-end scheme can outperform well-designed
+  // algorithms that involve active router participation."
+  EXPECT_GT(remy.median_tput, sfq.median_tput);
+}
+
+TEST(PaperClaims, RemyFlowsShareFairly) {
+  auto table = table_or_skip("delta1");
+  if (!table) GTEST_SKIP() << "train tables first";
+  sim::DumbbellConfig cfg = paper_dumbbell(4, 45);
+  cfg.workload = sim::OnOffConfig::always_on();
+  sim::Dumbbell net{cfg, [&](sim::FlowId) {
+                      return std::make_unique<core::RemySender>(table);
+                    }};
+  net.run_for_seconds(60);
+  std::vector<double> tputs;
+  for (sim::FlowId f = 0; f < 4; ++f)
+    tputs.push_back(net.metrics().flow(f).throughput_mbps());
+  EXPECT_GT(util::jain_fairness(tputs), 0.9);
+}
+
+TEST(JainFairness, Properties) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(util::jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({0.0, 0.0}), 0.0);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(util::jain_fairness({1.0, 2.0, 3.0}),
+                   util::jain_fairness({10.0, 20.0, 30.0}));
+}
+
+TEST(Determinism, WholePipelineBitReproducible) {
+  // Same seed, same everything: RemyCC + sfqCoDel + on/off workload.
+  auto table = std::make_shared<const core::WhiskerTree>();
+  const auto run_once = [&] {
+    sim::DumbbellConfig cfg = paper_dumbbell(4, 77);
+    cfg.queue_factory = [] { return std::make_unique<aqm::SfqCodel>(); };
+    sim::Dumbbell net{cfg, [&](sim::FlowId) {
+                        return std::make_unique<core::RemySender>(table);
+                      }};
+    net.run_for_seconds(20);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (sim::FlowId f = 0; f < 4; ++f) {
+      const auto& fs = net.metrics().flow(f);
+      h = (h ^ fs.bytes_delivered) * 1099511628211ULL;
+      h = (h ^ fs.packets_sent) * 1099511628211ULL;
+      h = (h ^ fs.retransmissions) * 1099511628211ULL;
+    }
+    return h;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace remy

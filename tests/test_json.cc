@@ -1,0 +1,132 @@
+#include "util/json.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace remy::util {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-7").as_number(), -7.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_EQ(j.at("c").as_string(), "x");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json j = Json::parse("  {\n\t\"k\" :\r 1 }  ");
+  EXPECT_DOUBLE_EQ(j.at("k").as_number(), 1.0);
+}
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string weird = "a\"b\\c\nd\te\rf\bg\fh";
+  const Json j{weird};
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), weird);
+}
+
+TEST(Json, UnicodeEscapeBasicLatin) {
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, RoundTripComplex) {
+  JsonObject obj;
+  obj["arr"] = JsonArray{Json{1.5}, Json{"two"}, Json{nullptr}, Json{true}};
+  obj["nested"] = JsonObject{{"x", Json{-2.0}}};
+  const Json j{std::move(obj)};
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(Json::parse(j.dump(2)), j);  // pretty-printing parses back too
+}
+
+TEST(Json, IntegersEmittedWithoutDecimal) {
+  EXPECT_EQ(Json{42}.dump(), "42");
+  EXPECT_EQ(Json{-3}.dump(), "-3");
+}
+
+TEST(Json, TrailingGarbageRejected) {
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("{} x"), JsonError);
+}
+
+TEST(Json, MalformedRejected) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("{1: 2}"), JsonError);
+}
+
+TEST(Json, WrongTypeAccessThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(j.as_number(), JsonError);
+  EXPECT_THROW(j.at("k"), JsonError);
+}
+
+TEST(Json, MissingKeyThrows) {
+  const Json j = Json::parse("{}");
+  EXPECT_THROW(j.at("absent"), JsonError);
+  EXPECT_FALSE(j.contains("absent"));
+}
+
+TEST(Json, NumberOrFallback) {
+  const Json j = Json::parse(R"({"x": 3})");
+  EXPECT_DOUBLE_EQ(j.number_or("x", 9.0), 3.0);
+  EXPECT_DOUBLE_EQ(j.number_or("y", 9.0), 9.0);
+}
+
+TEST(Json, NonFiniteSerializationThrows) {
+  const Json j{std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(j.dump(), JsonError);
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "remy_json_test.json";
+  JsonObject obj;
+  obj["hello"] = "world";
+  json_to_file(Json{std::move(obj)}, path);
+  const Json back = json_from_file(path);
+  EXPECT_EQ(back.at("hello").as_string(), "world");
+  std::filesystem::remove(path);
+}
+
+TEST(Json, MissingFileThrows) {
+  EXPECT_THROW(json_from_file("/nonexistent/definitely/missing.json"),
+               std::runtime_error);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").as_array().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").as_object().size(), 0u);
+  EXPECT_EQ(Json{JsonArray{}}.dump(), "[]");
+  EXPECT_EQ(Json{JsonObject{}}.dump(), "{}");
+}
+
+TEST(Json, DeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 64; ++i) deep += "]";
+  Json j = Json::parse(deep);
+  for (int i = 0; i < 64; ++i) {
+    Json inner = j.as_array()[0];  // copy first: j = j.as_array()[0] would
+    j = std::move(inner);          // self-assign through its own storage
+  }
+  EXPECT_DOUBLE_EQ(j.as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace remy::util

@@ -1,0 +1,186 @@
+// Parameterized invariant suite over EVERY queue discipline in the AQM
+// substrate: conservation (enqueued == dequeued + dropped + still queued),
+// sojourn-time stamping, monotone non-negative counters, and behavior under
+// a randomized offered-load schedule. These invariants must hold for any
+// discipline a Link or TraceLink can host.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "aqm/codel.hh"
+#include "aqm/droptail.hh"
+#include "aqm/ecn_threshold.hh"
+#include "aqm/red.hh"
+#include "aqm/sfq_codel.hh"
+#include "aqm/xcp_router.hh"
+#include "util/rng.hh"
+
+namespace remy::aqm {
+namespace {
+
+using sim::Packet;
+using sim::TimeMs;
+
+struct DiscCase {
+  std::string name;
+  std::function<std::unique_ptr<sim::QueueDisc>()> make;
+};
+
+std::vector<DiscCase> all_disciplines() {
+  return {
+      {"droptail1000", [] { return std::make_unique<DropTail>(1000); }},
+      {"droptail8", [] { return std::make_unique<DropTail>(8); }},
+      {"droptail_unlimited", [] { return DropTail::unlimited(); }},
+      {"ecn_threshold", [] { return std::make_unique<EcnThreshold>(20, 100); }},
+      {"red",
+       [] {
+         RedParams p;
+         p.capacity_packets = 100;
+         return std::make_unique<Red>(p);
+       }},
+      {"red_ecn",
+       [] {
+         RedParams p;
+         p.ecn = true;
+         p.capacity_packets = 100;
+         return std::make_unique<Red>(p);
+       }},
+      {"codel", [] { return std::make_unique<Codel>(CodelParams{}, 500); }},
+      {"sfqcodel",
+       [] {
+         SfqCodelParams p;
+         p.capacity_packets = 500;
+         return std::make_unique<SfqCodel>(p);
+       }},
+      {"sfqcodel_4bins",
+       [] {
+         SfqCodelParams p;
+         p.num_bins = 4;
+         p.capacity_packets = 64;
+         return std::make_unique<SfqCodel>(p);
+       }},
+      {"xcp",
+       [] {
+         XcpParams p;
+         p.capacity_packets = 200;
+         return std::make_unique<XcpRouter>(p);
+       }},
+  };
+}
+
+class QueueDiscInvariants : public ::testing::TestWithParam<DiscCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllDisciplines, QueueDiscInvariants,
+                         ::testing::ValuesIn(all_disciplines()),
+                         [](const auto& info) { return info.param.name; });
+
+Packet make_pkt(util::Rng& rng) {
+  Packet p;
+  p.flow = static_cast<sim::FlowId>(rng.uniform_int(0, 7));
+  p.seq = rng();
+  p.ecn_capable = rng.bernoulli(0.5);
+  p.xcp.valid = rng.bernoulli(0.5);
+  p.xcp.cwnd_bytes = rng.uniform(1500.0, 1.5e6);
+  p.xcp.rtt_ms = rng.uniform(1.0, 300.0);
+  p.xcp.feedback_bytes = 1e12;
+  return p;
+}
+
+TEST_P(QueueDiscInvariants, ConservationUnderRandomLoad) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(10.0), 0.0);
+  util::Rng rng{99};
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  TimeMs now = 0.0;
+  for (int step = 0; step < 20000; ++step) {
+    now += rng.uniform(0.0, 1.0);
+    // Bursty offered load: sometimes feed 3 packets, sometimes drain.
+    const int arrivals = static_cast<int>(rng.uniform_int(0, 3));
+    for (int a = 0; a < arrivals; ++a) {
+      q->enqueue(make_pkt(rng), now);
+      ++enqueued;
+    }
+    if (rng.bernoulli(0.6)) {
+      if (q->dequeue(now).has_value()) ++dequeued;
+    }
+  }
+  // Drain completely.
+  while (q->dequeue(now).has_value()) ++dequeued;
+  EXPECT_EQ(enqueued, dequeued + q->drops());
+  EXPECT_EQ(q->packet_count(), 0u);
+  EXPECT_EQ(q->byte_count(), 0u);
+}
+
+TEST_P(QueueDiscInvariants, SojournTimeStampedAndNonNegative) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(10.0), 0.0);
+  util::Rng rng{7};
+  TimeMs now = 100.0;
+  for (int i = 0; i < 50; ++i) q->enqueue(make_pkt(rng), now + i * 0.1);
+  now += 50.0;
+  // Upper bound: 50 ms head start + 0.5 ms per drained packet + the 5 ms
+  // enqueue spread.
+  while (auto p = q->dequeue(now)) {
+    EXPECT_GE(p->queue_delay_ms, 0.0);
+    EXPECT_LE(p->queue_delay_ms, 50.0 + 0.5 * 50 + 5.0 + 1e-9);
+    now += 0.5;
+  }
+}
+
+TEST_P(QueueDiscInvariants, EmptyDequeueIsNull) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(10.0), 0.0);
+  EXPECT_FALSE(q->dequeue(1.0).has_value());
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->byte_count(), 0u);
+}
+
+TEST_P(QueueDiscInvariants, CountsNeverGoNegative) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(5.0), 0.0);
+  util::Rng rng{13};
+  TimeMs now = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    now += 0.2;
+    if (rng.bernoulli(0.7)) q->enqueue(make_pkt(rng), now);
+    if (rng.bernoulli(0.7)) q->dequeue(now);
+    // packet_count and byte_count are size_t: a negative excursion would
+    // show up as an enormous value.
+    EXPECT_LT(q->packet_count(), 1u << 20);
+    EXPECT_LT(q->byte_count(), (1u << 20) * sim::kMtuBytes);
+    if (q->packet_count() == 0) EXPECT_EQ(q->byte_count(), 0u);
+  }
+}
+
+TEST_P(QueueDiscInvariants, SurvivesLongIdlePeriods) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(10.0), 0.0);
+  util::Rng rng{21};
+  TimeMs now = 0.0;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 20; ++i) q->enqueue(make_pkt(rng), now + i * 0.01);
+    while (q->dequeue(now + 5.0).has_value()) {}
+    now += 60'000.0;  // a minute of idle between bursts
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(QueueDiscInvariants, DropCounterMonotone) {
+  auto q = GetParam().make();
+  q->configure(sim::mbps_to_bytes_per_ms(1.0), 0.0);
+  util::Rng rng{31};
+  std::uint64_t last_drops = 0;
+  TimeMs now = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    now += 0.05;
+    q->enqueue(make_pkt(rng), now);  // heavy overload
+    if (i % 10 == 0) q->dequeue(now);
+    EXPECT_GE(q->drops(), last_drops);
+    last_drops = q->drops();
+  }
+}
+
+}  // namespace
+}  // namespace remy::aqm

@@ -1,0 +1,185 @@
+#include "sim/receiver.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace remy::sim {
+namespace {
+
+struct AckCapture final : PacketSink {
+  std::vector<Packet> acks;
+  void accept(Packet&& p, TimeMs) override { acks.push_back(std::move(p)); }
+  const Packet& last() const { return acks.back(); }
+};
+
+Packet seg(SeqNum seq, SeqNum base = 0, FlowId flow = 0) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.base_seq = base;
+  p.tick_sent = 1.0;
+  return p;
+}
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  AckCapture cap;
+  MetricsHub metrics{2};
+  Receiver rx{&cap, &metrics};
+
+  void feed(SeqNum s, FlowId flow = 0, SeqNum base = 0) {
+    rx.accept(seg(s, base, flow), 10.0);
+  }
+};
+
+TEST_F(ReceiverTest, InOrderAdvancesCumulative) {
+  feed(0);
+  feed(1);
+  feed(2);
+  EXPECT_EQ(rx.cumulative(0), 3u);
+  EXPECT_EQ(cap.last().cumulative_ack, 3u);
+  EXPECT_EQ(cap.last().sack_count, 0);
+}
+
+TEST_F(ReceiverTest, EveryPacketAcked) {
+  for (SeqNum s = 0; s < 5; ++s) feed(s);
+  EXPECT_EQ(cap.acks.size(), 5u);
+}
+
+TEST_F(ReceiverTest, AckEchoesTimestampAndSeq) {
+  feed(0);
+  EXPECT_TRUE(cap.last().is_ack);
+  EXPECT_EQ(cap.last().ack_seq, 0u);
+  EXPECT_DOUBLE_EQ(cap.last().echo_tick_sent, 1.0);
+}
+
+TEST_F(ReceiverTest, HoleFreezesCumulative) {
+  feed(0);
+  feed(2);  // 1 missing
+  EXPECT_EQ(rx.cumulative(0), 1u);
+  ASSERT_EQ(cap.last().sack_count, 1);
+  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{2, 3}));
+}
+
+TEST_F(ReceiverTest, FillingHoleAdvancesThroughRun) {
+  feed(0);
+  feed(2);
+  feed(3);
+  feed(1);  // fills the hole
+  EXPECT_EQ(rx.cumulative(0), 4u);
+  EXPECT_EQ(cap.last().cumulative_ack, 4u);
+  EXPECT_EQ(cap.last().sack_count, 0);
+}
+
+TEST_F(ReceiverTest, NewestRunReportedFirst) {
+  feed(0);
+  feed(2);
+  feed(5);  // two runs: [2,3) and [5,6); newest is [5,6)
+  ASSERT_GE(cap.last().sack_count, 2);
+  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{5, 6}));
+  EXPECT_EQ(cap.last().sack_blocks[1], (std::pair<SeqNum, SeqNum>{2, 3}));
+}
+
+TEST_F(ReceiverTest, AdjacentRunsMerge) {
+  feed(0);
+  feed(2);
+  feed(4);
+  feed(3);  // merges [2,3) + {3} + [4,5) into [2,5)
+  ASSERT_GE(cap.last().sack_count, 1);
+  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{2, 5}));
+}
+
+TEST_F(ReceiverTest, DuplicateDetectedBelowCumulative) {
+  feed(0);
+  feed(0);
+  EXPECT_EQ(metrics.flow(0).dup_packets, 1u);
+  EXPECT_EQ(metrics.flow(0).packets_delivered, 1u);
+}
+
+TEST_F(ReceiverTest, DuplicateDetectedInOutOfOrderRun) {
+  feed(0);
+  feed(2);
+  feed(2);
+  EXPECT_EQ(metrics.flow(0).dup_packets, 1u);
+}
+
+TEST_F(ReceiverTest, DuplicateStillAcked) {
+  feed(0);
+  feed(0);
+  EXPECT_EQ(cap.acks.size(), 2u);  // dup ACK generated
+  EXPECT_EQ(cap.last().cumulative_ack, 1u);
+}
+
+TEST_F(ReceiverTest, FlowsAreIndependent) {
+  feed(0, 0);
+  feed(5, 1);
+  EXPECT_EQ(rx.cumulative(0), 1u);
+  EXPECT_EQ(rx.cumulative(1), 0u);
+  EXPECT_EQ(metrics.flow(1).packets_delivered, 1u);
+}
+
+TEST_F(ReceiverTest, NewIncarnationSkipsOldHoles) {
+  feed(0);
+  feed(2);  // hole at 1; old incarnation abandoned mid-recovery
+  // New incarnation starts at 10.
+  feed(10, 0, 10);
+  EXPECT_EQ(rx.cumulative(0), 11u);
+  EXPECT_EQ(cap.last().sack_count, 0);
+}
+
+TEST_F(ReceiverTest, IncarnationKeepsCumulativeIfAhead) {
+  for (SeqNum s = 0; s < 5; ++s) feed(s);
+  feed(5, 0, 3);  // base below cumulative: no regression
+  EXPECT_EQ(rx.cumulative(0), 6u);
+}
+
+TEST_F(ReceiverTest, BytesCountedOncePerSegment) {
+  feed(0);
+  feed(1);
+  feed(1);  // dup
+  EXPECT_EQ(metrics.flow(0).bytes_delivered, 2u * kMtuBytes);
+}
+
+TEST_F(ReceiverTest, EcnEchoMirrorsMark) {
+  Packet p = seg(0);
+  p.ecn_marked = true;
+  rx.accept(std::move(p), 1.0);
+  EXPECT_TRUE(cap.last().ecn_echo);
+  feed(1);
+  EXPECT_FALSE(cap.last().ecn_echo);
+}
+
+TEST_F(ReceiverTest, XcpHeaderEchoed) {
+  Packet p = seg(0);
+  p.xcp.valid = true;
+  p.xcp.feedback_bytes = 1234.5;
+  rx.accept(std::move(p), 1.0);
+  EXPECT_TRUE(cap.last().xcp.valid);
+  EXPECT_DOUBLE_EQ(cap.last().xcp.feedback_bytes, 1234.5);
+}
+
+TEST_F(ReceiverTest, RejectsAcks) {
+  Packet p;
+  p.is_ack = true;
+  EXPECT_THROW(rx.accept(std::move(p), 0.0), std::logic_error);
+}
+
+TEST_F(ReceiverTest, ManyInterleavedHolesCapBlocks) {
+  feed(0);
+  // Every other segment arrives: runs {2},{4},{6},...
+  for (SeqNum s = 2; s < 40; s += 2) feed(s);
+  EXPECT_LE(cap.last().sack_count, Packet::kMaxSackRanges);
+  EXPECT_GE(cap.last().sack_count, 1);
+}
+
+TEST_F(ReceiverTest, DeliveryRecordsWhenEnabled) {
+  metrics.record_deliveries(true);
+  feed(0);
+  feed(1);
+  ASSERT_EQ(metrics.deliveries().size(), 2u);
+  EXPECT_EQ(metrics.deliveries()[1].cumulative, 2u);
+}
+
+}  // namespace
+}  // namespace remy::sim

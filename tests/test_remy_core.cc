@@ -1,0 +1,305 @@
+// Remy core types: Memory, Action, MemoryRange, Whisker, utility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/action.hh"
+#include "core/memory.hh"
+#include "core/memory_range.hh"
+#include "core/utility.hh"
+#include "core/whisker.hh"
+
+namespace remy::core {
+namespace {
+
+// ---------- Memory ----------
+
+TEST(Memory, StartsAllZero) {
+  const Memory m;
+  EXPECT_EQ(m.ack_ewma(), 0.0);
+  EXPECT_EQ(m.send_ewma(), 0.0);
+  EXPECT_EQ(m.rtt_ratio(), 0.0);
+}
+
+TEST(Memory, FirstAckOnlySetsReferences) {
+  Memory m;
+  m.on_ack(100.0, 50.0, 50.0);
+  EXPECT_EQ(m.ack_ewma(), 0.0);
+  EXPECT_EQ(m.send_ewma(), 0.0);
+  EXPECT_EQ(m.rtt_ratio(), 0.0);
+}
+
+TEST(Memory, EwmaGainIsOneEighth) {
+  Memory m;
+  m.on_ack(100.0, 50.0, 50.0);
+  m.on_ack(108.0, 57.0, 50.0);  // ack gap 8, send gap 7
+  EXPECT_DOUBLE_EQ(m.ack_ewma(), 8.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.send_ewma(), 7.0 / 8.0);
+}
+
+TEST(Memory, EwmaConvergesToSteadyGap) {
+  Memory m;
+  double t = 0.0;
+  m.on_ack(t, t - 50.0, 50.0);
+  for (int i = 0; i < 200; ++i) {
+    t += 10.0;
+    m.on_ack(t, t - 50.0, 50.0);
+  }
+  EXPECT_NEAR(m.ack_ewma(), 10.0, 0.01);
+  EXPECT_NEAR(m.send_ewma(), 10.0, 0.01);
+}
+
+TEST(Memory, RttRatioTracksLatestRtt) {
+  Memory m;
+  m.on_ack(100.0, 50.0, 50.0);       // establish reference
+  m.on_ack(210.0, 100.0, 50.0);      // rtt sample 110, min 50
+  EXPECT_DOUBLE_EQ(m.rtt_ratio(), 110.0 / 50.0);
+}
+
+TEST(Memory, ResetReturnsToZero) {
+  Memory m;
+  m.on_ack(0.0, -10.0, 10.0);
+  m.on_ack(5.0, -4.0, 10.0);
+  m.reset();
+  EXPECT_EQ(m, Memory{});
+}
+
+TEST(Memory, JsonRoundTrip) {
+  const Memory m{1.5, 2.5, 3.5};
+  const Memory back = Memory::from_json(m.to_json());
+  EXPECT_DOUBLE_EQ(back.ack_ewma(), 1.5);
+  EXPECT_DOUBLE_EQ(back.send_ewma(), 2.5);
+  EXPECT_DOUBLE_EQ(back.rtt_ratio(), 3.5);
+}
+
+TEST(Memory, FieldNamesStable) {
+  EXPECT_STREQ(Memory::field_name(0), "ack_ewma");
+  EXPECT_STREQ(Memory::field_name(1), "send_ewma");
+  EXPECT_STREQ(Memory::field_name(2), "rtt_ratio");
+  EXPECT_THROW(Memory::field_name(3), std::out_of_range);
+}
+
+// ---------- Action ----------
+
+TEST(Action, DefaultIsPaperInitialRule) {
+  const Action a;
+  EXPECT_DOUBLE_EQ(a.window_multiple, 1.0);
+  EXPECT_DOUBLE_EQ(a.window_increment, 1.0);
+  EXPECT_DOUBLE_EQ(a.intersend_ms, 0.01);
+}
+
+TEST(Action, ApplyWindow) {
+  const Action a{0.5, 10.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.apply_window(100.0), 60.0);
+}
+
+TEST(Action, ClampRespectsBounds) {
+  const Action wild{99.0, -4000.0, 1e6};
+  const Action c = wild.clamped();
+  const ActionBounds b;
+  EXPECT_DOUBLE_EQ(c.window_multiple, b.max_multiple);
+  EXPECT_DOUBLE_EQ(c.window_increment, b.min_increment);
+  EXPECT_DOUBLE_EQ(c.intersend_ms, b.max_intersend_ms);
+}
+
+TEST(Action, JsonRoundTrip) {
+  const Action a{0.7, -3.0, 2.25};
+  EXPECT_EQ(Action::from_json(a.to_json()), a);
+}
+
+// ---------- MemoryRange ----------
+
+TEST(MemoryRange, FullDomainContainsTypicalSignals) {
+  const MemoryRange full;
+  EXPECT_TRUE(full.contains(Memory{0.0, 0.0, 0.0}));
+  EXPECT_TRUE(full.contains(Memory{100.0, 50.0, 2.0}));
+  EXPECT_FALSE(full.contains(Memory{kMemoryUpperBound, 0.0, 0.0}));
+}
+
+TEST(MemoryRange, HalfOpenSemantics) {
+  const MemoryRange r{Memory{0, 0, 0}, Memory{10, 10, 10}};
+  EXPECT_TRUE(r.contains(Memory{0, 0, 0}));
+  EXPECT_FALSE(r.contains(Memory{10, 0, 0}));
+  EXPECT_FALSE(r.contains(Memory{0, 10, 0}));
+}
+
+TEST(MemoryRange, RejectsInvertedBounds) {
+  EXPECT_THROW(MemoryRange(Memory{5, 0, 0}, Memory{1, 10, 10}),
+               std::invalid_argument);
+}
+
+TEST(MemoryRange, SplitProducesEightDisjointCoveringBoxes) {
+  const MemoryRange r{Memory{0, 0, 0}, Memory{8, 8, 8}};
+  const auto children = r.split(Memory{4, 4, 4});
+  ASSERT_EQ(children.size(), 8u);
+  // Probe points: every point in the parent is in exactly one child.
+  for (double x : {1.0, 5.0}) {
+    for (double y : {1.0, 5.0}) {
+      for (double z : {1.0, 5.0}) {
+        const Memory probe{x, y, z};
+        int owners = 0;
+        for (const auto& c : children) owners += c.contains(probe);
+        EXPECT_EQ(owners, 1) << probe.describe();
+      }
+    }
+  }
+}
+
+TEST(MemoryRange, SplitAtBoundaryFallsBackToMidpoint) {
+  const MemoryRange r{Memory{0, 0, 0}, Memory{8, 8, 8}};
+  // Split point on the boundary in every dimension: falls back to center.
+  const auto children = r.split(Memory{0, 0, 0});
+  EXPECT_EQ(children.size(), 8u);
+}
+
+TEST(MemoryRange, DegenerateBoxCannotSplit) {
+  const MemoryRange r{Memory{1, 1, 1}, Memory{1, 1, 1}};
+  EXPECT_TRUE(r.split(Memory{1, 1, 1}).empty());
+}
+
+TEST(MemoryRange, PartialSplitWhenOneDimensionThin) {
+  const MemoryRange r{Memory{0, 0, 5}, Memory{8, 8, 5}};  // z is degenerate
+  const auto children = r.split(Memory{4, 4, 5});
+  EXPECT_EQ(children.size(), 4u);  // 2^2: x and y split, z whole
+}
+
+TEST(MemoryRange, CenterIsMidpoint) {
+  const MemoryRange r{Memory{0, 2, 4}, Memory{10, 4, 8}};
+  const Memory c = r.center();
+  EXPECT_DOUBLE_EQ(c.ack_ewma(), 5.0);
+  EXPECT_DOUBLE_EQ(c.send_ewma(), 3.0);
+  EXPECT_DOUBLE_EQ(c.rtt_ratio(), 6.0);
+}
+
+TEST(MemoryRange, JsonRoundTrip) {
+  const MemoryRange r{Memory{1, 2, 3}, Memory{4, 5, 6}};
+  EXPECT_EQ(MemoryRange::from_json(r.to_json()), r);
+}
+
+// ---------- Whisker ----------
+
+TEST(Whisker, DefaultWhiskerCoversFullDomain) {
+  const Whisker w = Whisker::default_whisker();
+  EXPECT_TRUE(w.domain().contains(Memory{0, 0, 0}));
+  EXPECT_EQ(w.action(), Action{});
+  EXPECT_EQ(w.generation(), 0u);
+}
+
+TEST(Whisker, CandidateActionsExcludeCurrent) {
+  const Whisker w = Whisker::default_whisker();
+  for (const Action& a : w.candidate_actions()) EXPECT_NE(a, w.action());
+}
+
+TEST(Whisker, CandidateCountRoughly125) {
+  // 5 ladder values per dimension -> 125 combinations, minus dedupe/current.
+  const Whisker w = Whisker::default_whisker();
+  const auto actions = w.candidate_actions();
+  EXPECT_GT(actions.size(), 80u);
+  EXPECT_LE(actions.size(), 125u);
+}
+
+TEST(Whisker, CandidatesRespectBounds) {
+  CandidateOptions opt;
+  const Whisker w = Whisker::default_whisker();
+  for (const Action& a : w.candidate_actions(opt)) {
+    EXPECT_GE(a.window_multiple, opt.bounds.min_multiple);
+    EXPECT_LE(a.window_multiple, opt.bounds.max_multiple);
+    EXPECT_GE(a.window_increment, opt.bounds.min_increment);
+    EXPECT_LE(a.window_increment, opt.bounds.max_increment);
+    EXPECT_GE(a.intersend_ms, opt.bounds.min_intersend_ms);
+    EXPECT_LE(a.intersend_ms, opt.bounds.max_intersend_ms);
+  }
+}
+
+TEST(Whisker, CandidateLadderIsGeometric) {
+  // The intersend ladder must include +-g and +-g*ratio.
+  CandidateOptions opt;
+  opt.scales = 2;
+  const Whisker w = Whisker::default_whisker();
+  bool saw_small = false;
+  bool saw_big = false;
+  for (const Action& a : w.candidate_actions(opt)) {
+    if (a.window_multiple == 1.0 && a.window_increment == 1.0) {
+      saw_small |= std::abs(a.intersend_ms - (0.01 + opt.intersend_step)) < 1e-12;
+      saw_big |= std::abs(a.intersend_ms -
+                          (0.01 + opt.intersend_step * opt.ratio)) < 1e-12;
+    }
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_big);
+}
+
+TEST(Whisker, GenerationBookkeeping) {
+  Whisker w = Whisker::default_whisker();
+  w.set_generation(3);
+  EXPECT_EQ(w.generation(), 3u);
+  w.bump_generation();
+  EXPECT_EQ(w.generation(), 4u);
+}
+
+TEST(Whisker, JsonRoundTrip) {
+  Whisker w{MemoryRange{Memory{0, 0, 0}, Memory{4, 4, 4}},
+            Action{0.5, -2.0, 1.5}, 7};
+  const Whisker back = Whisker::from_json(w.to_json());
+  EXPECT_EQ(back.action(), w.action());
+  EXPECT_EQ(back.domain(), w.domain());
+  EXPECT_EQ(back.generation(), 7u);
+}
+
+// ---------- Utility ----------
+
+TEST(Utility, AlphaOneIsLog) {
+  EXPECT_DOUBLE_EQ(alpha_fair_utility(std::exp(1.0), 1.0), 1.0);
+}
+
+TEST(Utility, AlphaTwoIsNegativeInverse) {
+  EXPECT_DOUBLE_EQ(alpha_fair_utility(4.0, 2.0), -0.25);
+}
+
+TEST(Utility, AlphaZeroIsLinear) {
+  EXPECT_DOUBLE_EQ(alpha_fair_utility(7.0, 0.0), 7.0);
+}
+
+TEST(Utility, MonotonicallyIncreasingInThroughput) {
+  for (const double alpha : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_LT(alpha_fair_utility(1.0, alpha), alpha_fair_utility(2.0, alpha))
+        << alpha;
+  }
+}
+
+TEST(Utility, ConcaveForPositiveAlpha) {
+  for (const double alpha : {0.5, 1.0, 2.0}) {
+    const double gain_low = alpha_fair_utility(2.0, alpha) - alpha_fair_utility(1.0, alpha);
+    const double gain_high = alpha_fair_utility(11.0, alpha) - alpha_fair_utility(10.0, alpha);
+    EXPECT_GT(gain_low, gain_high) << alpha;
+  }
+}
+
+TEST(Utility, FlowUtilityPenalizesDelay) {
+  const ObjectiveParams p = ObjectiveParams::proportional(1.0);
+  EXPECT_GT(flow_utility(1.0, 10.0, p), flow_utility(1.0, 100.0, p));
+}
+
+TEST(Utility, DeltaZeroIgnoresDelay) {
+  const ObjectiveParams p = ObjectiveParams::min_potential_delay();
+  EXPECT_DOUBLE_EQ(flow_utility(2.0, 10.0, p), flow_utility(2.0, 1000.0, p));
+  EXPECT_DOUBLE_EQ(flow_utility(2.0, 10.0, p), -0.5);
+}
+
+TEST(Utility, ZeroThroughputClampedFinite) {
+  const ObjectiveParams p = ObjectiveParams::proportional(1.0);
+  const double u = flow_utility(0.0, 100.0, p);
+  EXPECT_TRUE(std::isfinite(u));
+  EXPECT_LT(u, flow_utility(1.0, 100.0, p));
+}
+
+TEST(Utility, HigherDeltaWeighsDelayMore) {
+  const double fast = flow_utility(2.0, 5.0, ObjectiveParams::proportional(0.1));
+  const double slow = flow_utility(2.0, 500.0, ObjectiveParams::proportional(0.1));
+  const double fast10 = flow_utility(2.0, 5.0, ObjectiveParams::proportional(10.0));
+  const double slow10 = flow_utility(2.0, 500.0, ObjectiveParams::proportional(10.0));
+  EXPECT_GT((fast10 - slow10), (fast - slow));
+}
+
+}  // namespace
+}  // namespace remy::core

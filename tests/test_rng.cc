@@ -1,0 +1,162 @@
+#include "util/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace remy::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a{7};
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{9};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng{4};
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(10.0, 20.0);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{6};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(1, 16);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 16u);
+    saw_lo |= v == 1;
+    saw_hi |= v == 16;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{8};
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng{10};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(147.0, 0.5), 147.0);
+}
+
+TEST(Rng, ParetoMedian) {
+  // Median of Pareto(xm, alpha) is xm * 2^(1/alpha).
+  Rng rng{11};
+  std::vector<double> v(100001);
+  for (auto& x : v) x = rng.pareto(1.0, 2.0);
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], std::sqrt(2.0), 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{12};
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{13};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng{14};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  std::uint64_t state = 0;
+  const auto v1 = splitmix64(state);
+  const auto v2 = splitmix64(state);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(state, 0u);
+}
+
+/// Lognormal median should be exp(mu).
+TEST(Rng, LognormalMedian) {
+  Rng rng{15};
+  std::vector<double> v(50001);
+  for (auto& x : v) x = rng.lognormal(2.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], std::exp(2.0), 0.15);
+}
+
+}  // namespace
+}  // namespace remy::util

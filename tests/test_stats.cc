@@ -1,0 +1,111 @@
+#include "util/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace remy::util {
+namespace {
+
+TEST(Running, EmptyDefaults) {
+  Running r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.variance(), 0.0);
+  EXPECT_EQ(r.stderror(), 0.0);
+}
+
+TEST(Running, SingleValue) {
+  Running r;
+  r.add(5.0);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.min(), 5.0);
+  EXPECT_DOUBLE_EQ(r.max(), 5.0);
+}
+
+TEST(Running, KnownMoments) {
+  Running r;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 9.0);
+}
+
+TEST(Running, StderrShrinksWithN) {
+  Running a;
+  Running b;
+  for (int i = 0; i < 10; ++i) a.add(i % 2);
+  for (int i = 0; i < 1000; ++i) b.add(i % 2);
+  EXPECT_GT(a.stderror(), b.stderror());
+}
+
+TEST(Quantile, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Quantile, ThrowsOnBadQ) {
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Ellipse, DegenerateSinglePoint) {
+  const Ellipse2D e = fit_ellipse({2.0}, {3.0});
+  EXPECT_DOUBLE_EQ(e.mean_x, 2.0);
+  EXPECT_DOUBLE_EQ(e.mean_y, 3.0);
+  EXPECT_EQ(e.var_x, 0.0);
+  EXPECT_EQ(e.axes().semi_major, 0.0);
+}
+
+TEST(Ellipse, SizeMismatchThrows) {
+  EXPECT_THROW(fit_ellipse({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Ellipse, AxisAlignedSpread) {
+  // Points spread in x only: major axis along x, zero minor.
+  const Ellipse2D e = fit_ellipse({-1.0, 0.0, 1.0}, {5.0, 5.0, 5.0});
+  const auto axes = e.axes(1.0);
+  EXPECT_NEAR(axes.semi_major, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(axes.semi_minor, 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(std::remainder(axes.angle_rad, std::numbers::pi)), 0.0, 1e-9);
+}
+
+TEST(Ellipse, CorrelationSign) {
+  const Ellipse2D pos = fit_ellipse({0, 1, 2, 3}, {0, 1, 2, 3});
+  const Ellipse2D neg = fit_ellipse({0, 1, 2, 3}, {3, 2, 1, 0});
+  EXPECT_NEAR(pos.correlation(), 1.0, 1e-12);
+  EXPECT_NEAR(neg.correlation(), -1.0, 1e-12);
+}
+
+TEST(Ellipse, DiagonalSpreadAngle45) {
+  const Ellipse2D e = fit_ellipse({0, 1, 2, 3}, {0, 1, 2, 3});
+  EXPECT_NEAR(e.axes().angle_rad, std::numbers::pi / 4.0, 1e-9);
+}
+
+TEST(Ellipse, KSigmaScalesLinearly) {
+  const Ellipse2D e = fit_ellipse({-1, 0, 1}, {-2, 0, 2});
+  EXPECT_NEAR(e.axes(2.0).semi_major, 2.0 * e.axes(1.0).semi_major, 1e-12);
+}
+
+}  // namespace
+}  // namespace remy::util

@@ -1,0 +1,211 @@
+// Trace representation, trace-driven link and the synthetic LTE model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "cc/newreno.hh"
+#include "sim/dumbbell.hh"
+#include "trace/lte_model.hh"
+#include "trace/trace.hh"
+#include "trace/trace_link.hh"
+
+namespace remy::trace {
+namespace {
+
+using sim::Packet;
+using sim::TimeMs;
+
+TEST(Trace, ValidatesOrdering) {
+  EXPECT_NO_THROW(Trace({1.0, 2.0, 2.0, 5.0}));
+  EXPECT_THROW(Trace({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace({-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Trace, AverageRate) {
+  // 8 MTU packets over 8 ms = 1500 B/ms = 12 Mbps.
+  std::vector<TimeMs> ts;
+  for (int i = 1; i <= 8; ++i) ts.push_back(static_cast<TimeMs>(i));
+  const Trace t{std::move(ts)};
+  EXPECT_NEAR(t.average_rate_mbps(), 12.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.duration_ms(), 8.0);
+}
+
+TEST(Trace, CyclicOpportunityWrapsAround) {
+  const Trace t{{1.0, 3.0, 10.0}};
+  EXPECT_DOUBLE_EQ(t.opportunity_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.opportunity_at(2), 10.0);
+  EXPECT_DOUBLE_EQ(t.opportunity_at(3), 11.0);  // wrapped: 1 + 10
+  EXPECT_DOUBLE_EQ(t.opportunity_at(5), 20.0);
+  EXPECT_DOUBLE_EQ(t.opportunity_at(6), 21.0);  // second wrap
+}
+
+TEST(Trace, FileRoundTrip) {
+  const Trace t{{0.5, 1.5, 99.25}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "remy_trace_test.txt").string();
+  t.to_file(path);
+  const Trace back = Trace::from_file(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.opportunities()[2], 99.25);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, FileCommentsIgnored) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "remy_trace_comments.txt").string();
+  {
+    std::ofstream out{path};
+    out << "# header\n1.0\n  \n2.0 # inline\n";
+  }
+  const Trace t = Trace::from_file(path);
+  EXPECT_EQ(t.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(Trace::from_file("/no/such/trace.txt"), std::runtime_error);
+}
+
+struct CaptureSink final : sim::PacketSink {
+  std::vector<std::pair<TimeMs, Packet>> got;
+  void accept(Packet&& p, TimeMs now) override { got.emplace_back(now, std::move(p)); }
+};
+
+TEST(TraceLink, DeliversAtOpportunities) {
+  CaptureSink sink;
+  TraceLink link{Trace{{5.0, 10.0, 15.0}}, std::make_unique<aqm::DropTail>(),
+                 &sink};
+  Packet p;
+  p.seq = 0;
+  link.accept(std::move(p), 0.0);
+  EXPECT_DOUBLE_EQ(link.next_event_time(), 5.0);
+  link.tick(5.0);
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.got[0].first, 5.0);
+  EXPECT_EQ(link.opportunities_used(), 1u);
+}
+
+TEST(TraceLink, WastesOpportunitiesWhenIdle) {
+  CaptureSink sink;
+  TraceLink link{Trace{{1.0, 2.0, 3.0}}, std::make_unique<aqm::DropTail>(),
+                 &sink};
+  link.tick(2.0);  // two opportunities pass with nothing queued
+  EXPECT_EQ(link.opportunities_wasted(), 2u);
+  Packet p;
+  link.accept(std::move(p), 2.5);
+  link.tick(3.0);
+  EXPECT_EQ(link.opportunities_used(), 1u);
+}
+
+TEST(TraceLink, QueuesBetweenOpportunities) {
+  CaptureSink sink;
+  TraceLink link{Trace{{10.0, 20.0}}, std::make_unique<aqm::DropTail>(), &sink};
+  for (sim::SeqNum s = 0; s < 3; ++s) {
+    Packet p;
+    p.seq = s;
+    link.accept(std::move(p), 0.0);
+  }
+  link.tick(10.0);
+  EXPECT_EQ(sink.got.size(), 1u);  // one packet per opportunity
+  link.tick(20.0);
+  EXPECT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(link.queue().packet_count(), 1u);
+}
+
+TEST(TraceLink, RateIsTraceAverage) {
+  CaptureSink sink;
+  std::vector<TimeMs> ts;
+  for (int i = 1; i <= 100; ++i) ts.push_back(static_cast<TimeMs>(i));
+  TraceLink link{Trace{std::move(ts)}, std::make_unique<aqm::DropTail>(), &sink};
+  EXPECT_NEAR(link.rate_mbps(), 12.0, 0.2);
+}
+
+TEST(LteModel, AverageRateNearConfigured) {
+  LteModelParams params;
+  params.mean_rate_mbps = 10.0;
+  params.outage_per_second = 0.0;  // isolate the fading process
+  params.log_sigma = 0.3;
+  const Trace t = generate_lte_trace(params, 60'000.0, util::Rng{1});
+  // Lognormal fading: mean rate is e^(sigma^2/2) above the geometric mean.
+  EXPECT_GT(t.average_rate_mbps(), 5.0);
+  EXPECT_LT(t.average_rate_mbps(), 20.0);
+}
+
+TEST(LteModel, RateStaysBelowCap) {
+  LteModelParams params;
+  params.mean_rate_mbps = 30.0;
+  params.log_sigma = 1.2;
+  params.max_rate_mbps = 50.0;
+  const Trace t = generate_lte_trace(params, 30'000.0, util::Rng{2});
+  // Over any 100 ms window, delivered packets must respect the 50 Mbps cap.
+  const auto& ops = t.opportunities();
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < ops.size(); ++hi) {
+    while (ops[hi] - ops[lo] > 100.0) ++lo;
+    const double window_bytes = static_cast<double>(hi - lo + 1) * sim::kMtuBytes;
+    EXPECT_LT(sim::bytes_per_ms_to_mbps(window_bytes / 100.0), 55.0);
+  }
+}
+
+TEST(LteModel, OutagesCreateGaps) {
+  LteModelParams params;
+  params.mean_rate_mbps = 20.0;
+  params.outage_per_second = 2.0;      // frequent
+  params.outage_mean_ms = 500.0;       // long
+  const Trace t = generate_lte_trace(params, 60'000.0, util::Rng{3});
+  const auto& ops = t.opportunities();
+  TimeMs max_gap = 0.0;
+  for (std::size_t i = 1; i < ops.size(); ++i)
+    max_gap = std::max(max_gap, ops[i] - ops[i - 1]);
+  EXPECT_GT(max_gap, 200.0);
+}
+
+TEST(LteModel, DeterministicGivenSeed) {
+  const LteModelParams params = LteModelParams::verizon();
+  const Trace a = generate_lte_trace(params, 5'000.0, util::Rng{7});
+  const Trace b = generate_lte_trace(params, 5'000.0, util::Rng{7});
+  EXPECT_EQ(a.opportunities(), b.opportunities());
+}
+
+TEST(LteModel, PresetsDiffer) {
+  const Trace v =
+      generate_lte_trace(LteModelParams::verizon(), 30'000.0, util::Rng{4});
+  const Trace a =
+      generate_lte_trace(LteModelParams::att(), 30'000.0, util::Rng{4});
+  EXPECT_GT(v.average_rate_mbps(), a.average_rate_mbps());
+}
+
+TEST(LteModel, RejectsBadParameters) {
+  LteModelParams params;
+  EXPECT_THROW(generate_lte_trace(params, 0.0, util::Rng{1}), std::invalid_argument);
+  params.mean_rate_mbps = -1.0;
+  EXPECT_THROW(generate_lte_trace(params, 1000.0, util::Rng{1}),
+               std::invalid_argument);
+}
+
+TEST(LteIntegration, TcpRunsOverCellularDumbbell) {
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.rtt_ms = 50.0;
+  cfg.seed = 11;
+  cfg.workload = sim::OnOffConfig::always_on();
+  cfg.bottleneck_factory = [](sim::PacketSink* downstream) {
+    LteModelParams params = LteModelParams::verizon();
+    return std::make_unique<TraceLink>(
+        generate_lte_trace(params, 30'000.0, util::Rng{5}),
+        std::make_unique<aqm::DropTail>(1000), downstream);
+  };
+  sim::Dumbbell net{cfg, [](sim::FlowId) { return std::make_unique<cc::NewReno>(); }};
+  net.run_for_seconds(30);
+  double total = 0.0;
+  for (sim::FlowId f = 0; f < 2; ++f)
+    total += net.metrics().flow(f).throughput_mbps();
+  EXPECT_GT(total, 2.0);   // uses a decent share of the varying link
+  EXPECT_LT(total, 55.0);  // physically bounded
+}
+
+}  // namespace
+}  // namespace remy::trace

@@ -1,0 +1,115 @@
+// Thread pool and CLI parser tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/cli.hh"
+#include "util/thread_pool.hh"
+
+namespace remy::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{8};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error{"boom"};
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool{8};
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i)
+    futures.push_back(pool.submit([&sum] { sum += 1; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(ThreadPool, TaskExceptionDeliveredThroughFuture) {
+  ThreadPool pool{2};
+  auto f = pool.submit([]() -> int { throw std::logic_error{"x"}; });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--alpha", "1.5", "--name", "remy"};
+  const Cli cli{5, argv};
+  EXPECT_DOUBLE_EQ(cli.get("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get("name", std::string{}), "remy");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--flag"};
+  const Cli cli{3, argv};
+  EXPECT_DOUBLE_EQ(cli.get("alpha", 0.0), 2.5);
+  EXPECT_TRUE(cli.get("flag", false));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose", "--level", "3"};
+  const Cli cli{4, argv};
+  EXPECT_TRUE(cli.get("verbose", false));
+  EXPECT_EQ(cli.get("level", std::int64_t{0}), 3);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli{1, argv};
+  EXPECT_DOUBLE_EQ(cli.get("x", 7.5), 7.5);
+  EXPECT_EQ(cli.get("s", std::string{"d"}), "d");
+  EXPECT_FALSE(cli.has("x"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "input.json", "--k", "v", "output.json"};
+  const Cli cli{5, argv};
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.json");
+  EXPECT_EQ(cli.positional()[1], "output.json");
+}
+
+TEST(Cli, FlagFollowedByFlagIsBare) {
+  const char* argv[] = {"prog", "--a", "--b", "2"};
+  const Cli cli{4, argv};
+  EXPECT_TRUE(cli.get("a", false));
+  EXPECT_EQ(cli.get("b", std::int64_t{0}), 2);
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--flag", "banana"};
+  const Cli cli{3, argv};
+  EXPECT_THROW(cli.get("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, BooleanExplicitForms) {
+  const char* argv[] = {"prog", "--a", "true", "--b", "0"};
+  const Cli cli{5, argv};
+  EXPECT_TRUE(cli.get("a", false));
+  EXPECT_FALSE(cli.get("b", true));
+}
+
+}  // namespace
+}  // namespace remy::util

@@ -1,0 +1,219 @@
+// WhiskerTree structure: lookup, coverage, splitting, serialization, and
+// the usage recorder. Includes property-style sweeps over random memories.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/whisker_tree.hh"
+#include "util/rng.hh"
+
+namespace remy::core {
+namespace {
+
+Memory random_memory(util::Rng& rng) {
+  return Memory{rng.uniform(0.0, kMemoryUpperBound),
+                rng.uniform(0.0, kMemoryUpperBound),
+                rng.uniform(0.0, kMemoryUpperBound)};
+}
+
+TEST(WhiskerTree, StartsWithSingleDefaultRule) {
+  const WhiskerTree tree;
+  EXPECT_EQ(tree.num_whiskers(), 1u);
+  EXPECT_EQ(tree.whisker(0).action(), Action{});
+}
+
+TEST(WhiskerTree, LookupFindsTheOnlyRule) {
+  const WhiskerTree tree;
+  EXPECT_EQ(&tree.lookup(Memory{1, 2, 3}), &tree.whisker(0));
+  EXPECT_EQ(tree.lookup_index(Memory{100, 0, 1}), 0u);
+}
+
+TEST(WhiskerTree, SplitCreatesEightChildren) {
+  WhiskerTree tree;
+  ASSERT_TRUE(tree.split(0, Memory{100, 100, 2}, 1));
+  EXPECT_EQ(tree.num_whiskers(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(tree.whisker(i).action(), Action{});  // children inherit action
+    EXPECT_EQ(tree.whisker(i).generation(), 1u);
+  }
+}
+
+TEST(WhiskerTree, LookupAfterSplitRoutesByMemory) {
+  WhiskerTree tree;
+  tree.split(0, Memory{100, 100, 2}, 0);
+  const std::size_t low = tree.lookup_index(Memory{50, 50, 1});
+  const std::size_t high = tree.lookup_index(Memory{200, 200, 3});
+  EXPECT_NE(low, high);
+  EXPECT_TRUE(tree.whisker(low).domain().contains(Memory{50, 50, 1}));
+  EXPECT_TRUE(tree.whisker(high).domain().contains(Memory{200, 200, 3}));
+}
+
+TEST(WhiskerTree, EveryMemoryMapsToExactlyOneLeaf) {
+  // Property: after several random splits, lookup() agrees with a linear
+  // scan of leaf domains, and exactly one leaf contains each probe.
+  WhiskerTree tree;
+  util::Rng rng{17};
+  for (int s = 0; s < 5; ++s) {
+    const std::size_t victim = rng.uniform_int(0, tree.num_whiskers() - 1);
+    tree.split(victim, tree.whisker(victim).domain().center(), 0);
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const Memory m = random_memory(rng);
+    int owners = 0;
+    std::size_t owner_index = 0;
+    for (std::size_t i = 0; i < tree.num_whiskers(); ++i) {
+      if (tree.whisker(i).domain().contains(m)) {
+        ++owners;
+        owner_index = i;
+      }
+    }
+    ASSERT_EQ(owners, 1) << m.describe();
+    EXPECT_EQ(tree.lookup_index(m), owner_index);
+  }
+}
+
+TEST(WhiskerTree, OutOfDomainMemoryStillResolves) {
+  WhiskerTree tree;
+  tree.split(0, Memory{100, 100, 2}, 0);
+  // rtt_ratio beyond the global bound: lookup should not throw.
+  EXPECT_NO_THROW(tree.lookup(Memory{1.0, 1.0, kMemoryUpperBound * 2}));
+}
+
+TEST(WhiskerTree, SplitOnDegenerateCellFails) {
+  WhiskerTree tree{Whisker{
+      MemoryRange{Memory{1, 1, 1}, Memory{1, 1, 1}}, Action{}, 0}};
+  EXPECT_FALSE(tree.split(0, Memory{1, 1, 1}, 0));
+  EXPECT_EQ(tree.num_whiskers(), 1u);
+}
+
+TEST(WhiskerTree, SetAllGenerations) {
+  WhiskerTree tree;
+  tree.split(0, Memory{10, 10, 10}, 3);
+  tree.set_all_generations(9);
+  tree.for_each([](const Whisker& w) { EXPECT_EQ(w.generation(), 9u); });
+}
+
+TEST(WhiskerTree, CopyIsDeep) {
+  WhiskerTree a;
+  WhiskerTree b{a};
+  Action changed;
+  changed.window_increment = 42.0;
+  b.whisker(0).set_action(changed);
+  EXPECT_EQ(a.whisker(0).action(), Action{});
+  EXPECT_EQ(b.whisker(0).action().window_increment, 42.0);
+}
+
+TEST(WhiskerTree, CopyAssignReplacesStructure) {
+  WhiskerTree a;
+  a.split(0, Memory{10, 10, 10}, 0);
+  WhiskerTree b;
+  b = a;
+  EXPECT_EQ(b.num_whiskers(), a.num_whiskers());
+}
+
+TEST(WhiskerTree, JsonRoundTripPreservesLookupSemantics) {
+  WhiskerTree tree;
+  util::Rng rng{23};
+  for (int s = 0; s < 4; ++s) {
+    const std::size_t victim = rng.uniform_int(0, tree.num_whiskers() - 1);
+    tree.split(victim, random_memory(rng), 0);
+    Action a;
+    a.window_increment = static_cast<double>(s);
+    tree.whisker(rng.uniform_int(0, tree.num_whiskers() - 1)).set_action(a);
+  }
+  const WhiskerTree back = WhiskerTree::from_json(tree.to_json());
+  ASSERT_EQ(back.num_whiskers(), tree.num_whiskers());
+  for (int probe = 0; probe < 1000; ++probe) {
+    const Memory m = random_memory(rng);
+    EXPECT_EQ(back.lookup(m).action(), tree.lookup(m).action());
+  }
+}
+
+TEST(WhiskerTree, FileRoundTrip) {
+  WhiskerTree tree;
+  tree.split(0, Memory{5, 5, 5}, 0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "remy_tree_test.json").string();
+  tree.save(path);
+  const WhiskerTree back = WhiskerTree::load(path);
+  EXPECT_EQ(back.num_whiskers(), tree.num_whiskers());
+  std::filesystem::remove(path);
+}
+
+TEST(WhiskerTree, FromJsonRejectsGarbage) {
+  EXPECT_THROW(WhiskerTree::from_json(util::Json::parse(R"({"format":"x"})")),
+               util::JsonError);
+  EXPECT_THROW(
+      WhiskerTree::from_json(util::Json::parse(
+          R"({"format":"remycc-rule-table","whiskers":[]})")),
+      util::JsonError);
+}
+
+TEST(WhiskerTree, DescribeListsAllRules) {
+  WhiskerTree tree;
+  tree.split(0, Memory{10, 10, 10}, 0);
+  const std::string desc = tree.describe();
+  EXPECT_NE(desc.find("8 whiskers"), std::string::npos);
+}
+
+// ---------- UsageRecorder ----------
+
+TEST(UsageRecorder, CountsAndMedians) {
+  UsageRecorder rec{2};
+  for (int i = 0; i < 101; ++i)
+    rec.note(0, Memory{static_cast<double>(i), 0.0, 1.0});
+  rec.note(1, Memory{5, 5, 5});
+  EXPECT_EQ(rec.count(0), 101u);
+  EXPECT_EQ(rec.count(1), 1u);
+  EXPECT_EQ(rec.total(), 102u);
+  const auto med = rec.median(0);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->ack_ewma(), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(med->rtt_ratio(), 1.0);
+}
+
+TEST(UsageRecorder, MostUsedRespectsEligibility) {
+  UsageRecorder rec{3};
+  for (int i = 0; i < 10; ++i) rec.note(0, Memory{});
+  for (int i = 0; i < 5; ++i) rec.note(2, Memory{});
+  EXPECT_EQ(rec.most_used({}), 0u);
+  EXPECT_EQ(rec.most_used([](std::size_t i) { return i != 0; }), 2u);
+  EXPECT_EQ(rec.most_used([](std::size_t) { return false; }), std::nullopt);
+}
+
+TEST(UsageRecorder, EmptyHasNoMedian) {
+  UsageRecorder rec{1};
+  EXPECT_EQ(rec.median(0), std::nullopt);
+  EXPECT_EQ(rec.most_used({}), std::nullopt);
+}
+
+TEST(UsageRecorder, MergeAccumulates) {
+  UsageRecorder a{2};
+  UsageRecorder b{2};
+  a.note(0, Memory{1, 1, 1});
+  b.note(0, Memory{3, 3, 3});
+  b.note(1, Memory{5, 5, 5});
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+}
+
+TEST(UsageRecorder, MergeSizeMismatchThrows) {
+  UsageRecorder a{2};
+  UsageRecorder b{3};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(UsageRecorder, ReservoirBoundsMemory) {
+  UsageRecorder rec{1, 64};
+  for (int i = 0; i < 10000; ++i)
+    rec.note(0, Memory{static_cast<double>(i % 100), 0.0, 0.0});
+  EXPECT_EQ(rec.count(0), 10000u);
+  const auto med = rec.median(0);
+  ASSERT_TRUE(med.has_value());
+  // Reservoir median of uniform 0..99 is near 50 (loose: small reservoir).
+  EXPECT_NEAR(med->ack_ewma(), 50.0, 25.0);
+}
+
+}  // namespace
+}  // namespace remy::core

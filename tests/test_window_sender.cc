@@ -1,0 +1,308 @@
+// Transport-layer behavior of the shared WindowSender, tested through a
+// minimal concrete scheme with a fixed window.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+namespace {
+
+using sim::Packet;
+using sim::TimeMs;
+
+/// Fixed-window scheme: pure transport behavior, no congestion response.
+class FixedWindow final : public WindowSender {
+ public:
+  explicit FixedWindow(double window, TransportConfig config = {})
+      : WindowSender{config}, window_{window} {}
+
+  int loss_events = 0;
+  int timeouts_seen = 0;
+
+ protected:
+  void on_flow_start(TimeMs) override { set_cwnd(window_); }
+  void on_ack_received(const AckInfo&, TimeMs) override { set_cwnd(window_); }
+  void on_loss_event(TimeMs) override { ++loss_events; }
+  void on_timeout(TimeMs) override { ++timeouts_seen; }
+
+ private:
+  double window_;
+};
+
+struct WireCapture final : sim::PacketSink {
+  std::vector<Packet> sent;
+  void accept(Packet&& p, TimeMs) override { sent.push_back(std::move(p)); }
+};
+
+struct CompletionLog final : sim::FlowObserver {
+  std::vector<TimeMs> completions;
+  void on_transfer_complete(sim::FlowId, TimeMs now) override {
+    completions.push_back(now);
+  }
+};
+
+Packet make_ack(sim::SeqNum ack_seq, sim::SeqNum cumulative, TimeMs echo,
+                std::vector<std::pair<sim::SeqNum, sim::SeqNum>> blocks = {}) {
+  Packet a;
+  a.is_ack = true;
+  a.ack_seq = ack_seq;
+  a.cumulative_ack = cumulative;
+  a.echo_tick_sent = echo;
+  a.sack_count = static_cast<std::uint8_t>(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) a.sack_blocks[i] = blocks[i];
+  return a;
+}
+
+class WindowSenderTest : public ::testing::Test {
+ protected:
+  WireCapture wire;
+  CompletionLog log;
+  sim::MetricsHub metrics{1};
+
+  std::unique_ptr<FixedWindow> make(double window, TransportConfig cfg = {}) {
+    auto s = std::make_unique<FixedWindow>(window, cfg);
+    s->wire(0, &wire, &metrics, &log);
+    return s;
+  }
+};
+
+TEST_F(WindowSenderTest, SendsInitialWindowAtFlowStart) {
+  auto s = make(4);
+  s->start_flow(0.0, 0);
+  EXPECT_EQ(wire.sent.size(), 4u);
+  EXPECT_EQ(wire.sent[0].seq, 0u);
+  EXPECT_EQ(wire.sent[3].seq, 3u);
+}
+
+TEST_F(WindowSenderTest, RespectsWindowLimit) {
+  auto s = make(2);
+  s->start_flow(0.0, 0);
+  EXPECT_EQ(wire.sent.size(), 2u);
+  EXPECT_EQ(s->inflight(), 2u);
+  s->tick(100.0);  // no ack: nothing more to send
+  EXPECT_EQ(wire.sent.size(), 2u);
+}
+
+TEST_F(WindowSenderTest, AckOpensWindow) {
+  auto s = make(2);
+  s->start_flow(0.0, 0);
+  s->accept(make_ack(0, 1, 0.0), 50.0);
+  EXPECT_EQ(wire.sent.size(), 3u);  // one slot freed
+  EXPECT_EQ(wire.sent[2].seq, 2u);
+}
+
+TEST_F(WindowSenderTest, ByteLimitedFlowStopsAndCompletes) {
+  auto s = make(10);
+  s->start_flow(0.0, 3 * sim::kMtuBytes);  // exactly 3 segments
+  EXPECT_EQ(wire.sent.size(), 3u);
+  s->accept(make_ack(0, 1, 0.0), 10.0);
+  s->accept(make_ack(1, 2, 0.0), 11.0);
+  EXPECT_TRUE(log.completions.empty());
+  s->accept(make_ack(2, 3, 0.0), 12.0);
+  ASSERT_EQ(log.completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.completions[0], 12.0);
+  EXPECT_FALSE(s->flow_active());
+}
+
+TEST_F(WindowSenderTest, PartialSegmentRoundsUp) {
+  auto s = make(10);
+  s->start_flow(0.0, sim::kMtuBytes + 1);
+  EXPECT_EQ(wire.sent.size(), 2u);
+}
+
+TEST_F(WindowSenderTest, RttEstimatorTracksSamples) {
+  auto s = make(4);
+  s->start_flow(0.0, 0);
+  s->accept(make_ack(0, 1, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s->srtt_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(s->min_rtt_ms(), 100.0);
+  s->accept(make_ack(1, 2, 20.0), 140.0);  // 120ms sample
+  EXPECT_NEAR(s->srtt_ms(), 102.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s->min_rtt_ms(), 100.0);
+}
+
+TEST_F(WindowSenderTest, TripleDupAckTriggersFastRetransmit) {
+  auto s = make(8);
+  s->start_flow(0.0, 0);
+  const auto before = wire.sent.size();
+  // Segment 0 lost; acks of 1..3 are dups (cumulative stays 0).
+  for (int i = 1; i <= 3; ++i) {
+    s->accept(make_ack(static_cast<sim::SeqNum>(i), 0, 0.0,
+                       {{1, static_cast<sim::SeqNum>(i + 1)}}),
+              50.0 + i);
+  }
+  EXPECT_EQ(s->loss_events, 1);
+  ASSERT_GT(wire.sent.size(), before);
+  // The hole was retransmitted (possibly after limited-transmit new data).
+  bool retransmitted_hole = false;
+  for (std::size_t i = before; i < wire.sent.size(); ++i)
+    retransmitted_hole |= wire.sent[i].seq == 0;
+  EXPECT_TRUE(retransmitted_hole);
+  EXPECT_EQ(metrics.flow(0).retransmissions, 1u);
+  EXPECT_TRUE(s->in_recovery());
+  EXPECT_TRUE(s->in_fast_recovery());
+}
+
+TEST_F(WindowSenderTest, OnlyOneLossEventPerWindow) {
+  auto s = make(8);
+  s->start_flow(0.0, 0);
+  for (int i = 1; i <= 6; ++i) {
+    s->accept(make_ack(static_cast<sim::SeqNum>(i), 0, 0.0,
+                       {{1, static_cast<sim::SeqNum>(i + 1)}}),
+              50.0 + i);
+  }
+  EXPECT_EQ(s->loss_events, 1);
+}
+
+TEST_F(WindowSenderTest, SackLossInferenceWithoutDupAcks) {
+  auto s = make(16);
+  s->start_flow(0.0, 0);
+  // One ACK SACKing three segments above the hole: RFC 6675 rule says
+  // segment 0 is lost even though only one duplicate ACK arrived.
+  s->accept(make_ack(3, 0, 0.0, {{1, 4}}), 50.0);
+  EXPECT_EQ(s->loss_events, 1);
+  EXPECT_EQ(metrics.flow(0).retransmissions, 1u);
+}
+
+TEST_F(WindowSenderTest, RecoveryEndsAtRecoveryPoint) {
+  auto s = make(4);
+  s->start_flow(0.0, 0);  // sends 0..3
+  for (int i = 1; i <= 3; ++i)
+    s->accept(make_ack(static_cast<sim::SeqNum>(i), 0, 0.0,
+                       {{1, static_cast<sim::SeqNum>(i + 1)}}),
+              50.0 + i);
+  EXPECT_TRUE(s->in_recovery());
+  // Cumulative ack covering everything outstanding ends recovery.
+  s->accept(make_ack(0, s->next_seq(), 53.0), 110.0);
+  EXPECT_FALSE(s->in_recovery());
+  EXPECT_FALSE(s->in_fast_recovery());
+}
+
+TEST_F(WindowSenderTest, PipeExcludesSackedAndMissing) {
+  auto s = make(8);
+  // Byte-limited to exactly 8 segments so no new data can dilute the check.
+  s->start_flow(0.0, 8 * sim::kMtuBytes);
+  EXPECT_EQ(s->pipe(), 8u);
+  // SACK block covering 4 delivered segments; RFC 6675 then infers the
+  // segments below as lost (>= 3 SACKed above them).
+  s->accept(make_ack(7, 0, 0.0, {{4, 8}}), 50.0);
+  EXPECT_LT(s->pipe(), 8u);
+}
+
+TEST_F(WindowSenderTest, RtoFiresAndRetransmits) {
+  TransportConfig cfg;
+  cfg.initial_rto_ms = 300.0;
+  auto s = make(2, cfg);
+  s->start_flow(0.0, 0);
+  EXPECT_DOUBLE_EQ(s->next_event_time(), 300.0);
+  s->tick(300.0);
+  EXPECT_EQ(s->timeouts_seen, 1);
+  EXPECT_EQ(metrics.flow(0).timeouts, 1u);
+  // Go-back-N: segment 0 was retransmitted (the fixed window permits both).
+  bool resent0 = false;
+  for (const auto& p : wire.sent)
+    resent0 |= p.seq == 0 && metrics.flow(0).retransmissions > 0;
+  EXPECT_TRUE(resent0);
+  EXPECT_GE(metrics.flow(0).retransmissions, 1u);
+}
+
+TEST_F(WindowSenderTest, RtoBacksOffExponentially) {
+  TransportConfig cfg;
+  cfg.initial_rto_ms = 300.0;
+  auto s = make(2, cfg);
+  s->start_flow(0.0, 0);
+  s->tick(300.0);
+  EXPECT_DOUBLE_EQ(s->rto_ms(), 600.0);
+  s->tick(900.0);
+  EXPECT_DOUBLE_EQ(s->rto_ms(), 1200.0);
+}
+
+TEST_F(WindowSenderTest, StopFlowCancelsTimers) {
+  auto s = make(2);
+  s->start_flow(0.0, 0);
+  s->stop_flow(10.0);
+  EXPECT_EQ(s->next_event_time(), sim::kNever);
+  EXPECT_FALSE(s->flow_active());
+}
+
+TEST_F(WindowSenderTest, StaleAckFromPreviousIncarnationIgnored) {
+  auto s = make(4);
+  s->start_flow(0.0, 0);     // seqs 0..3
+  s->stop_flow(10.0);
+  s->start_flow(20.0, 0);    // base is now 4
+  const auto sent_before = wire.sent.size();
+  s->accept(make_ack(1, 2, 0.0), 25.0);  // ack for the old incarnation
+  EXPECT_EQ(wire.sent.size(), sent_before);
+  EXPECT_EQ(s->cumulative(), 4u);
+}
+
+TEST_F(WindowSenderTest, NewIncarnationCarriesBaseSeq) {
+  auto s = make(2);
+  s->start_flow(0.0, 0);
+  s->stop_flow(1.0);
+  s->start_flow(2.0, 0);
+  EXPECT_EQ(wire.sent.back().base_seq, 2u);
+}
+
+TEST_F(WindowSenderTest, PacingSpacesTransmissions) {
+  // Give the fixed-window scheme a pacing override via a subclass.
+  class Paced final : public WindowSender {
+   public:
+    Paced() : WindowSender{} {}
+
+   protected:
+    void on_flow_start(TimeMs) override { set_cwnd(10.0); }
+    void on_ack_received(const AckInfo&, TimeMs) override {}
+    void on_loss_event(TimeMs) override {}
+    void on_timeout(TimeMs) override {}
+    TimeMs pacing_interval_ms() const override { return 5.0; }
+  };
+  Paced s;
+  s.wire(0, &wire, &metrics, &log);
+  s.start_flow(0.0, 0);
+  EXPECT_EQ(wire.sent.size(), 1u);  // pacing: one segment per 5 ms
+  EXPECT_DOUBLE_EQ(s.next_event_time(), 5.0);
+  s.tick(5.0);
+  EXPECT_EQ(wire.sent.size(), 2u);
+  s.tick(10.0);
+  EXPECT_EQ(wire.sent.size(), 3u);
+}
+
+TEST_F(WindowSenderTest, BurstCapReleasesViaContinuation) {
+  TransportConfig cfg;
+  cfg.max_burst_segments = 4;
+  cfg.initial_cwnd = 2.0;
+  auto s = make(100, cfg);
+  s->start_flow(0.0, 0);
+  EXPECT_EQ(wire.sent.size(), 4u);  // capped
+  EXPECT_GT(s->next_event_time(), 0.0);
+  EXPECT_LT(s->next_event_time(), 1.0);  // continuation soon
+  s->tick(s->next_event_time());
+  EXPECT_EQ(wire.sent.size(), 8u);
+}
+
+TEST_F(WindowSenderTest, MetricsCountSends) {
+  auto s = make(5);
+  s->start_flow(0.0, 0);
+  EXPECT_EQ(metrics.flow(0).packets_sent, 5u);
+  EXPECT_EQ(metrics.flow(0).retransmissions, 0u);
+}
+
+TEST_F(WindowSenderTest, RejectsDataPacketOnAckPath) {
+  auto s = make(2);
+  Packet data;
+  data.is_ack = false;
+  EXPECT_THROW(s->accept(std::move(data), 0.0), std::logic_error);
+}
+
+TEST_F(WindowSenderTest, InvalidConfigRejected) {
+  TransportConfig bad;
+  bad.initial_cwnd = 0.5;
+  EXPECT_THROW(FixedWindow(1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace remy::cc
