@@ -16,9 +16,10 @@ using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  const auto runs = static_cast<std::size_t>(
+  auto runs = static_cast<std::size_t>(
       cli.get("runs", std::int64_t{cli.get("full", false) ? 128 : 16}));
-  const double duration_s = cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
+  double duration_s = cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
+  bench::apply_smoke(cli, runs, duration_s);
 
   const std::vector<double> rtts{50.0, 100.0, 150.0, 200.0};
 

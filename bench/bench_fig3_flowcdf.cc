@@ -13,6 +13,8 @@ using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // 200k draws run in ~20 ms, so even the --smoke run keeps the full sample
+  // count; fewer samples would flake the 0.01 CDF-error acceptance check.
   const auto samples =
       static_cast<std::size_t>(cli.get("samples", std::int64_t{200000}));
 

@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
   const double link_mbps = cli.get("mbps", 15.0);
   const double rtt_ms = cli.get("rtt", 150.0);
-  const double depart_s = cli.get("depart", 10.0);
-  const double end_s = cli.get("end", 20.0);
+  const bool smoke = cli.get("smoke", false);
+  const double depart_s = cli.get("depart", smoke ? 1.0 : 10.0);
+  const double end_s = cli.get("end", smoke ? 2.0 : 20.0);
 
   sim::DumbbellConfig cfg;
   cfg.num_senders = 2;

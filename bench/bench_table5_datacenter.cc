@@ -51,10 +51,11 @@ Result run(const bench::Scheme& scheme, std::size_t runs, double duration_s) {
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  const auto runs = static_cast<std::size_t>(
+  auto runs = static_cast<std::size_t>(
       cli.get("runs", std::int64_t{cli.get("full", false) ? 16 : 3}));
-  const double duration_s =
+  double duration_s =
       cli.get("duration", cli.get("full", false) ? 100.0 : 2.0);
+  bench::apply_smoke(cli, runs, duration_s);
 
   // Datacenter transports need a timeout floor well under the paper's WAN
   // default.

@@ -58,10 +58,11 @@ Pair run_pair(const std::shared_ptr<const core::WhiskerTree>& table,
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  const auto runs = static_cast<std::size_t>(
+  auto runs = static_cast<std::size_t>(
       cli.get("runs", std::int64_t{cli.get("full", false) ? 64 : 12}));
-  const double duration_s =
+  double duration_s =
       cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
+  bench::apply_smoke(cli, runs, duration_s);
 
   auto table = bench::load_table("coexist");
 

@@ -130,6 +130,13 @@ void apply_cli(const util::Cli& cli, Scenario& scenario) {
   scenario.runs = static_cast<std::size_t>(
       cli.get("runs", static_cast<std::int64_t>(scenario.runs)));
   scenario.duration_s = cli.get("duration", scenario.duration_s);
+  apply_smoke(cli, scenario.runs, scenario.duration_s);
+}
+
+void apply_smoke(const util::Cli& cli, std::size_t& runs, double& duration_s) {
+  if (!cli.get("smoke", false)) return;
+  runs = static_cast<std::size_t>(cli.get("runs", std::int64_t{1}));
+  duration_s = cli.get("duration", 1.0);
 }
 
 std::vector<Scheme> filter_schemes(const util::Cli& cli,

@@ -6,7 +6,8 @@
 // speedup tables against a reference scheme.
 //
 // Every bench accepts:  --runs N  --duration SECONDS  --full (128 x 100 s,
-// the paper's scale)  --scheme NAME (restrict to one scheme).
+// the paper's scale)  --smoke (1 x 1 s, the ctest bench-smoke run)
+// --scheme NAME (restrict to one scheme).
 #pragma once
 
 #include <functional>
@@ -75,8 +76,12 @@ struct Scenario {
 /// Runs one scheme over all seeds; returns the pooled per-sender points.
 SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme);
 
-/// Applies --runs/--duration/--full to a scenario.
+/// Applies --runs/--duration/--full/--smoke to a scenario.
 void apply_cli(const util::Cli& cli, Scenario& scenario);
+
+/// Same --smoke contract (1 run x 1 s, unless --runs/--duration override)
+/// for benches with standalone mains that don't build a Scenario.
+void apply_smoke(const util::Cli& cli, std::size_t& runs, double& duration_s);
 
 /// Filters schemes by --scheme, if given.
 std::vector<Scheme> filter_schemes(const util::Cli& cli, std::vector<Scheme> all);

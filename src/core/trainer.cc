@@ -1,7 +1,6 @@
 #include "core/trainer.hh"
 
 #include <algorithm>
-#include <future>
 #include <sstream>
 
 namespace remy::core {
@@ -26,24 +25,21 @@ bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
     if (candidates.empty()) break;
 
     // Score every candidate on the same specimens, in parallel. Each task
-    // copies the tree and swaps in the candidate action.
-    std::vector<std::future<double>> futures;
-    futures.reserve(candidates.size());
-    for (const Action& a : candidates) {
-      futures.push_back(pool_.submit([&tree, &a, index, this] {
-        WhiskerTree candidate_tree{tree};
-        candidate_tree.whisker(index).set_action(a);
-        return evaluator_.evaluate(candidate_tree).score;
-      }));
-    }
+    // copies the tree and swaps in the candidate action. map() drains the
+    // whole batch before rethrowing, so the frame references stay valid.
+    const std::vector<double> scores =
+        pool_.map(candidates.size(), [&](std::size_t i) {
+          WhiskerTree candidate_tree{tree};
+          candidate_tree.whisker(index).set_action(candidates[i]);
+          return evaluator_.evaluate(candidate_tree).score;
+        });
 
     double best_score = score;
     std::optional<std::size_t> best;
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      const double s = futures[i].get();
+    for (std::size_t i = 0; i < scores.size(); ++i) {
       ++stats.actions_evaluated;
-      if (s > best_score) {
-        best_score = s;
+      if (scores[i] > best_score) {
+        best_score = scores[i];
         best = i;
       }
     }

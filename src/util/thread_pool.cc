@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     const std::lock_guard lock{mutex_};
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -41,10 +45,24 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  // Wait for every task before rethrowing: queued tasks hold `&fn`, so
+  // unwinding on the first failure would leave workers reading a dead frame.
+  std::exception_ptr first;
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+  } catch (...) {
+    first = std::current_exception();  // e.g. stop() raced the submits
   }
-  for (auto& f : futures) f.get();
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace remy::util

@@ -24,6 +24,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Drains the queue and joins all workers. Safe to call repeatedly, but
+  /// only from one thread at a time (like the destructor, it must not race
+  /// other calls to stop()). Subsequent `submit` calls throw.
+  void stop();
+
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the future reports its result (or exception).
@@ -42,8 +47,40 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Exceptions from tasks are rethrown (the first one encountered), but
+  /// only after every task has finished, so fn may safely reference the
+  /// caller's frame.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and returns the n results
+  /// in index order. Same exception contract as parallel_for: the batch is
+  /// fully drained before the first exception is rethrown.
+  template <typename F>
+  auto map(std::size_t n, F&& fn)
+      -> std::vector<std::invoke_result_t<F, std::size_t>> {
+    using R = std::invoke_result_t<F, std::size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    std::exception_ptr first;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(submit([&fn, i] { return fn(i); }));
+      }
+    } catch (...) {
+      first = std::current_exception();  // e.g. stop() raced the submits
+    }
+    std::vector<R> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) {
+      try {
+        results.push_back(f.get());
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return results;
+  }
 
  private:
   void worker_loop();

@@ -1,0 +1,93 @@
+// Regression guard for the paper's paired-comparison variance reduction
+// (Sec. 4.3): every candidate action must be scored on identical specimen
+// networks with identical seeds, so repeated evaluations — serial or via a
+// ThreadPool — must be bit-identical, not merely close.
+#include <gtest/gtest.h>
+
+#include "core/config_range.hh"
+#include "core/evaluator.hh"
+#include "util/thread_pool.hh"
+
+namespace remy::core {
+namespace {
+
+ConfigRange small_range() {
+  ConfigRange r = ConfigRange::paper_general(1.0);
+  r.max_senders = 4;
+  r.mean_on = 1000.0;
+  r.mean_off_ms = 1000.0;
+  return r;
+}
+
+EvaluatorOptions small_eval() {
+  EvaluatorOptions opt;
+  opt.num_specimens = 4;
+  opt.simulation_ms = 2000.0;
+  opt.seed = 42;
+  return opt;
+}
+
+// EXPECT_EQ on doubles on purpose: the guarantee is bit-identical replay,
+// not approximate equality.
+void expect_identical(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.score, b.score);
+  ASSERT_EQ(a.specimens.size(), b.specimens.size());
+  for (std::size_t i = 0; i < a.specimens.size(); ++i) {
+    const SpecimenResult& sa = a.specimens[i];
+    const SpecimenResult& sb = b.specimens[i];
+    EXPECT_EQ(sa.utility_sum, sb.utility_sum) << "specimen " << i;
+    EXPECT_EQ(sa.utility_mean, sb.utility_mean) << "specimen " << i;
+    EXPECT_EQ(sa.senders_scored, sb.senders_scored) << "specimen " << i;
+    EXPECT_EQ(sa.mean_throughput_mbps, sb.mean_throughput_mbps)
+        << "specimen " << i;
+    EXPECT_EQ(sa.mean_delay_ms, sb.mean_delay_ms) << "specimen " << i;
+  }
+}
+
+TEST(EvaluatorDeterminism, RepeatedSerialRunsAreBitIdentical) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  expect_identical(eval.evaluate(tree), eval.evaluate(tree));
+}
+
+TEST(EvaluatorDeterminism, SameSeedAcrossEvaluatorInstances) {
+  const Evaluator a{small_range(), small_eval()};
+  const Evaluator b{small_range(), small_eval()};
+  const WhiskerTree tree;
+  expect_identical(a.evaluate(tree), b.evaluate(tree));
+}
+
+TEST(EvaluatorDeterminism, ThreadPoolRunMatchesSerialBitForBit) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  const EvalResult serial = eval.evaluate(tree);
+  util::ThreadPool pool{4};
+  expect_identical(serial, eval.evaluate(tree, false, &pool));
+  // A differently-sized pool must not change the schedule-visible results.
+  util::ThreadPool pool1{1};
+  expect_identical(serial, eval.evaluate(tree, false, &pool1));
+}
+
+TEST(EvaluatorDeterminism, RecordUsageDoesNotPerturbScores) {
+  const Evaluator eval{small_range(), small_eval()};
+  const WhiskerTree tree;
+  expect_identical(eval.evaluate(tree, false), eval.evaluate(tree, true));
+}
+
+TEST(EvaluatorDeterminism, DifferentSeedsProduceDifferentSpecimens) {
+  EvaluatorOptions other = small_eval();
+  other.seed = 43;
+  const Evaluator a{small_range(), small_eval()};
+  const Evaluator b{small_range(), other};
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.specimens().size(); ++i) {
+    if (a.specimens()[i].link_mbps != b.specimens()[i].link_mbps ||
+        a.specimens()[i].rtt_ms != b.specimens()[i].rtt_ms) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+}  // namespace
+}  // namespace remy::core

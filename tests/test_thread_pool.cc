@@ -1,0 +1,153 @@
+// Concurrency coverage for util::ThreadPool, the pool behind the trainer's
+// "embarrassingly parallel" candidate-evaluation step (Sec. 4.3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace remy::util {
+namespace {
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool{2};
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitFromManyThreads) {
+  ThreadPool pool{4};
+  constexpr int kThreads = 8;
+  constexpr int kTasksPerThread = 50;
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&pool, &count] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksPerThread);
+      for (int i = 0; i < kTasksPerThread; ++i) {
+        futures.push_back(pool.submit([&count] { ++count; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(count.load(), kThreads * kTasksPerThread);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool{2};
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error{"task failed"}; });
+  try {
+    f.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkers) {
+  ThreadPool pool{1};
+  auto bad = pool.submit([] { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool{2};
+  // Every task must have finished by the time the exception escapes: later
+  // tasks reference the caller's frame, so an early unwind would be a
+  // use-after-scope (regression test for exactly that bug).
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&ran](std::size_t i) {
+                                   ++ran;
+                                   if (i == 3) {
+                                     throw std::invalid_argument{"i==3"};
+                                   }
+                                 }),
+               std::invalid_argument);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, MapReturnsResultsInIndexOrder) {
+  ThreadPool pool{4};
+  const std::vector<std::size_t> out =
+      pool.map(16, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, MapDrainsBatchBeforeRethrowing) {
+  ThreadPool pool{2};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.map(8,
+                        [&ran](std::size_t i) -> int {
+                          ++ran;
+                          if (i == 0) throw std::runtime_error{"first"};
+                          return static_cast<int>(i);
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool{1};  // single worker: most tasks still queued at dtor time
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds{100});
+        ++done;
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool{2};
+  pool.stop();
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+  ThreadPool pool{2};
+  auto f = pool.submit([] { return 5; });
+  pool.stop();
+  pool.stop();
+  EXPECT_EQ(f.get(), 5);
+}
+
+}  // namespace
+}  // namespace remy::util
