@@ -2,83 +2,49 @@
 // (Sec. 4.1: ack_ewma, send_ewma, rtt_ratio) contribute?
 //
 // Runs a trained table on the design-range dumbbell with each signal
-// blinded (zeroed before rule lookup) and reports the change in median
-// throughput/delay and in the paper's objective. The paper argues all
-// three "roughly summarize the recent history"; the ablation quantifies
-// the marginal value of each on this table.
-#include <array>
+// blinded (the registry's remy "mask" parameter zeroes it before rule
+// lookup) and reports the change in median throughput/delay and in the
+// paper's objective. Scenario: data/scenarios/ablation_signals.json, whose
+// scheme list is five masked variants of the same table.
 #include <cstdio>
 
-#include "aqm/droptail.hh"
 #include "bench/harness.hh"
-#include "core/remy_sender.hh"
 #include "core/utility.hh"
 #include "util/stats.hh"
-#include "workload/distributions.hh"
 
 using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  auto runs = static_cast<std::size_t>(
-      cli.get("runs", std::int64_t{cli.get("full", false) ? 64 : 12}));
-  double duration_s =
-      cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
-  bench::apply_smoke(cli, runs, duration_s);
-  auto table = bench::load_table(cli.get("table", std::string{"delta1"}));
+  try {
+    const core::ScenarioSpec spec = bench::load_scenario(
+        cli.get("scenario", std::string{"ablation_signals"}));
+    bench::Scenario scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
 
-  struct Case {
-    const char* name;
-    std::array<bool, core::kMemoryDims> mask;
-  };
-  const std::vector<Case> cases{
-      {"all signals", {true, true, true}},
-      {"no ack_ewma", {false, true, true}},
-      {"no send_ewma", {true, false, true}},
-      {"no rtt_ratio", {true, true, false}},
-      {"blind (none)", {false, false, false}},
-  };
+    std::printf("== %s ==\n", spec.title.c_str());
+    std::printf("   dumbbell %.0f Mbps / %.0f ms / n=%zu, %zu runs x %.0f s\n",
+                scenario.base.link_mbps, scenario.base.rtt_ms,
+                scenario.base.num_senders, scenario.runs, scenario.duration_s);
+    std::printf("%-14s %12s %12s %14s\n", "variant", "tput(Mbps)",
+                "qdelay(ms)", "objective(d=1)");
 
-  std::printf("== Ablation: RemyCC congestion signals (Sec. 4.1) ==\n");
-  std::printf("   dumbbell 15 Mbps / 150 ms / n=8, %zu runs x %.0f s\n", runs,
-              duration_s);
-  std::printf("%-14s %12s %12s %14s\n", "variant", "tput(Mbps)", "qdelay(ms)",
-              "objective(d=1)");
-
-  const core::ObjectiveParams objective = core::ObjectiveParams::proportional(1.0);
-  for (const auto& c : cases) {
-    std::vector<double> tputs;
-    std::vector<double> delays;
-    util::Running score;
-    for (std::size_t run = 0; run < runs; ++run) {
-      sim::DumbbellConfig cfg;
-      cfg.num_senders = 8;
-      cfg.link_mbps = 15.0;
-      cfg.rtt_ms = 150.0;
-      cfg.seed = 3000 + run;
-      cfg.workload = sim::OnOffConfig::by_bytes(
-          workload::Distribution::exponential(100e3),
-          workload::Distribution::exponential(500.0));
-      cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-      sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                          auto s = std::make_unique<core::RemySender>(table);
-                          s->set_signal_mask(c.mask);
-                          return s;
-                        }};
-      net.run_for_seconds(duration_s);
-      for (sim::FlowId f = 0; f < 8; ++f) {
-        const auto& fs = net.metrics().flow(f);
-        if (fs.on_time_ms <= 0) continue;
-        tputs.push_back(fs.throughput_mbps());
-        delays.push_back(fs.avg_queue_delay_ms());
-        score.add(core::flow_utility(fs.throughput_mbps(), fs.avg_rtt_ms(),
-                                     objective));
+    const core::ObjectiveParams objective =
+        core::ObjectiveParams::proportional(1.0);
+    for (const auto& scheme : bench::schemes_for(spec, cli)) {
+      const bench::SchemeSummary r = bench::run_scheme(scenario, scheme);
+      util::Running score;
+      for (const auto& p : r.points) {
+        score.add(core::flow_utility(p.throughput_mbps, p.rtt_ms, objective));
       }
+      std::printf("%-14s %12.3f %12.2f %14.3f\n", r.scheme.c_str(),
+                  r.median_throughput(), r.median_delay(), score.mean());
     }
-    std::printf("%-14s %12.3f %12.2f %14.3f\n", c.name,
-                util::median(tputs), util::median(delays), score.mean());
+    std::printf(
+        "(objective is mean per-flow log(tput) - log(rtt); higher is better)\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::printf(
-      "(objective is mean per-flow log(tput) - log(rtt); higher is better)\n");
   return 0;
 }

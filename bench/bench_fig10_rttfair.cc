@@ -2,84 +2,66 @@
 // per-flow RTTs of 50/100/150/200 ms (ICSI flow lengths, exp(0.2 s) off).
 // Reports each flow's normalized throughput share (share * n); the paper's
 // result: RemyCCs are RTT-unfair, but less so than Cubic-over-sfqCoDel.
+// Scenario: data/scenarios/fig10_rttfair.json (per-flow shares are bespoke,
+// so the generic throughput-delay table does not apply).
 #include <cstdio>
 
-#include "aqm/droptail.hh"
-#include "aqm/sfq_codel.hh"
 #include "bench/harness.hh"
-#include "cc/cubic.hh"
-#include "core/remy_sender.hh"
 #include "util/stats.hh"
-#include "workload/distributions.hh"
 
 using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  auto runs = static_cast<std::size_t>(
-      cli.get("runs", std::int64_t{cli.get("full", false) ? 128 : 16}));
-  double duration_s = cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
-  bench::apply_smoke(cli, runs, duration_s);
-
-  const std::vector<double> rtts{50.0, 100.0, 150.0, 200.0};
-
-  std::vector<bench::Scheme> schemes;
-  schemes.push_back({"cubic-sfqcodel",
-                     [] { return std::make_unique<cc::Cubic>(); },
-                     [] {
-                       aqm::SfqCodelParams p;
-                       p.capacity_packets = 1000;
-                       return std::make_unique<aqm::SfqCodel>(p);
-                     }});
-  for (const char* delta : {"0.1", "1", "10"}) {
-    auto table = bench::load_table(std::string{"delta"} + delta);
-    schemes.push_back({std::string{"remy-d"} + delta,
-                       [table] { return std::make_unique<core::RemySender>(table); },
-                       {}});
-  }
-
-  std::printf(
-      "== Figure 10: normalized throughput share vs RTT (10 Mbps, n=4) ==\n");
-  std::printf("   %zu runs x %.0f s\n", runs, duration_s);
-  std::printf("%-16s", "scheme");
-  for (const double r : rtts) std::printf("  rtt=%3.0fms (+/-se)", r);
-  std::printf("\n");
-
-  for (const auto& scheme : bench::filter_schemes(cli, schemes)) {
-    std::vector<util::Running> share(rtts.size());
-    for (std::size_t run = 0; run < runs; ++run) {
-      sim::DumbbellConfig cfg;
-      cfg.num_senders = rtts.size();
-      cfg.link_mbps = 10.0;
-      cfg.rtt_ms = 150.0;
-      cfg.flow_rtts = rtts;
-      cfg.seed = 5000 + run;
-      cfg.workload = sim::OnOffConfig::by_bytes(
-          workload::Distribution::icsi_flow_lengths(),
-          workload::Distribution::exponential(200.0));
-      cfg.queue_factory = scheme.make_queue
-                              ? scheme.make_queue
-                              : [] { return std::make_unique<aqm::DropTail>(1000); };
-      sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
-      net.run_for_seconds(duration_s);
-      double total = 0.0;
-      std::vector<double> tput(rtts.size());
-      for (sim::FlowId f = 0; f < rtts.size(); ++f) {
-        tput[f] = net.metrics().flow(f).throughput_mbps();
-        total += tput[f];
-      }
-      if (total <= 0.0) continue;
-      for (std::size_t f = 0; f < rtts.size(); ++f) {
-        // Normalized share: 1.0 == equal split across the four flows.
-        share[f].add(tput[f] / total * static_cast<double>(rtts.size()));
-      }
+  try {
+    const core::ScenarioSpec spec =
+        bench::load_scenario(cli.get("scenario", std::string{"fig10_rttfair"}));
+    bench::Scenario scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
+    const std::vector<double>& rtts = spec.flow_rtts;
+    if (rtts.empty()) {
+      std::fprintf(stderr,
+                   "error: %s: RTT fairness needs topology.flow_rtts\n",
+                   spec.name.c_str());
+      return 1;
     }
-    std::printf("%-16s", scheme.name.c_str());
-    for (auto& s : share) std::printf("   %6.3f (%5.3f) ", s.mean(), s.stderror());
-    // Unfairness summary: share(50ms) / share(200ms).
-    std::printf("  [50ms/200ms = %.2f]\n",
-                share.back().mean() > 0 ? share.front().mean() / share.back().mean()
-                                        : 0.0);
+
+    std::printf("== %s ==\n", spec.title.c_str());
+    std::printf("   %zu runs x %.0f s\n", scenario.runs, scenario.duration_s);
+    std::printf("%-16s", "scheme");
+    for (const double r : rtts) std::printf("  rtt=%3.0fms (+/-se)", r);
+    std::printf("\n");
+
+    for (const auto& scheme : bench::schemes_for(spec, cli)) {
+      std::vector<util::Running> share(rtts.size());
+      for (std::size_t run = 0; run < scenario.runs; ++run) {
+        const sim::DumbbellConfig cfg =
+            bench::per_run_config(scenario, scheme, run);
+        sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
+        net.run_for_seconds(scenario.duration_s);
+        double total = 0.0;
+        std::vector<double> tput(rtts.size());
+        for (sim::FlowId f = 0; f < rtts.size(); ++f) {
+          tput[f] = net.metrics().flow(f).throughput_mbps();
+          total += tput[f];
+        }
+        if (total <= 0.0) continue;
+        for (std::size_t f = 0; f < rtts.size(); ++f) {
+          // Normalized share: 1.0 == equal split across the four flows.
+          share[f].add(tput[f] / total * static_cast<double>(rtts.size()));
+        }
+      }
+      std::printf("%-16s", scheme.name.c_str());
+      for (auto& s : share) std::printf("   %6.3f (%5.3f) ", s.mean(), s.stderror());
+      // Unfairness summary: share(50ms) / share(200ms).
+      std::printf("  [50ms/200ms = %.2f]\n",
+                  share.back().mean() > 0
+                      ? share.front().mean() / share.back().mean()
+                      : 0.0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

@@ -4,86 +4,68 @@
 // speeds. Score: log(normalized throughput) - log(queueing delay), per the
 // figure's y-axis. Expected shape: the 1x table wins at its design point
 // but collapses off-range; the 10x table wins across its range.
+// Scenario: data/scenarios/fig11_prior.json (the link-speed sweep mutates
+// the spec's link_mbps, everything else comes from the spec).
 #include <cmath>
 #include <cstdio>
 
-#include "aqm/droptail.hh"
-#include "aqm/sfq_codel.hh"
 #include "bench/harness.hh"
-#include "cc/cubic.hh"
-#include "core/remy_sender.hh"
 #include "util/stats.hh"
-#include "workload/distributions.hh"
 
 using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  auto runs = static_cast<std::size_t>(
-      cli.get("runs", std::int64_t{cli.get("full", false) ? 64 : 8}));
-  double duration_s = cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
-  bench::apply_smoke(cli, runs, duration_s);
+  try {
+    const core::ScenarioSpec spec =
+        bench::load_scenario(cli.get("scenario", std::string{"fig11_prior"}));
+    bench::Scenario scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
+    const std::vector<bench::Scheme> schemes = bench::schemes_for(spec, cli);
 
-  std::vector<bench::Scheme> schemes;
-  for (const char* name : {"1x", "10x"}) {
-    auto table = bench::load_table(name);
-    schemes.push_back({std::string{"remy-"} + name,
-                       [table] { return std::make_unique<core::RemySender>(table); },
-                       {}});
-  }
-  schemes.push_back({"cubic-sfqcodel",
-                     [] { return std::make_unique<cc::Cubic>(); },
-                     [] {
-                       aqm::SfqCodelParams p;
-                       p.capacity_packets = 1000;
-                       return std::make_unique<aqm::SfqCodel>(p);
-                     }});
+    // Geometric sweep over the figure's x-range (the 10x design region is
+    // 4.7-47; probe slightly beyond on both sides).
+    std::vector<double> speeds;
+    for (double s = 2.0; s <= 95.0; s *= 1.6) speeds.push_back(s);
 
-  // Geometric sweep over the figure's x-range (the 10x design region is
-  // 4.7-47; probe slightly beyond on both sides).
-  std::vector<double> speeds;
-  for (double s = 2.0; s <= 95.0; s *= 1.6) speeds.push_back(s);
-
-  std::printf(
-      "== Figure 11: log(norm throughput) - log(delay) vs link speed ==\n");
-  std::printf("   n=2 senders, RTT 150 ms, on/off exp(5 s); %zu runs x %.0f s\n",
-              runs, duration_s);
-  std::printf("%12s", "Mbps");
-  for (const auto& s : schemes) std::printf(" %16s", s.name.c_str());
-  std::printf("\n");
-
-  for (const double mbps : speeds) {
-    std::printf("%12.2f", mbps);
-    for (const auto& scheme : schemes) {
-      util::Running score;
-      for (std::size_t run = 0; run < runs; ++run) {
-        sim::DumbbellConfig cfg;
-        cfg.num_senders = 2;
-        cfg.link_mbps = mbps;
-        cfg.rtt_ms = 150.0;
-        cfg.seed = 9000 + run;
-        cfg.workload = sim::OnOffConfig::by_time(
-            workload::Distribution::exponential(5000.0),
-            workload::Distribution::exponential(5000.0));
-        cfg.queue_factory =
-            scheme.make_queue
-                ? scheme.make_queue
-                : [] { return std::make_unique<aqm::DropTail>(1000); };
-        sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
-        net.run_for_seconds(duration_s);
-        for (sim::FlowId f = 0; f < 2; ++f) {
-          const auto& fs = net.metrics().flow(f);
-          if (fs.on_time_ms <= 0.0) continue;
-          const double norm_tput =
-              std::max(fs.throughput_mbps() / (mbps / 2.0), 1e-4);
-          const double delay = std::max(fs.avg_queue_delay_ms(), 0.1);
-          score.add(std::log(norm_tput) - std::log(delay));
-        }
-      }
-      std::printf(" %16.3f", score.mean());
-    }
+    std::printf("== %s ==\n", spec.title.c_str());
+    std::printf(
+        "   n=%zu senders, RTT %.0f ms, on/off exp(5 s); %zu runs x %.0f s\n",
+        scenario.base.num_senders, scenario.base.rtt_ms, scenario.runs,
+        scenario.duration_s);
+    std::printf("%12s", "Mbps");
+    for (const auto& s : schemes) std::printf(" %16s", s.name.c_str());
     std::printf("\n");
+
+    for (const double mbps : speeds) {
+      std::printf("%12.2f", mbps);
+      for (const auto& scheme : schemes) {
+        util::Running score;
+        for (std::size_t run = 0; run < scenario.runs; ++run) {
+          sim::DumbbellConfig cfg = bench::per_run_config(scenario, scheme, run);
+          cfg.link_mbps = mbps;
+          sim::Dumbbell net{cfg,
+                            [&](sim::FlowId) { return scheme.make_sender(); }};
+          net.run_for_seconds(scenario.duration_s);
+          const double fair_share =
+              mbps / static_cast<double>(cfg.num_senders);
+          for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
+            const auto& fs = net.metrics().flow(f);
+            if (fs.on_time_ms <= 0.0) continue;
+            const double norm_tput =
+                std::max(fs.throughput_mbps() / fair_share, 1e-4);
+            const double delay = std::max(fs.avg_queue_delay_ms(), 0.1);
+            score.add(std::log(norm_tput) - std::log(delay));
+          }
+        }
+        std::printf(" %16.3f", score.mean());
+      }
+      std::printf("\n");
+    }
+    std::printf("(shaded 10x design range: 4.7 - 47 Mbps; 1x design point: 15)\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::printf("(shaded 10x design range: 4.7 - 47 Mbps; 1x design point: 15)\n");
   return 0;
 }

@@ -1,32 +1,9 @@
 // Figure 4: throughput-delay medians and 1-sigma ellipses for every scheme
 // on the 15 Mbps dumbbell, n=8 senders, exp(100 kB) transfers with
 // exp(0.5 s) off times. The RemyCCs should trace the efficient frontier,
-// ordered by delta.
+// ordered by delta. Scenario: data/scenarios/fig4_dumbbell8.json.
 #include "bench/harness.hh"
-#include "workload/distributions.hh"
-
-using namespace remy;
 
 int main(int argc, char** argv) {
-  const util::Cli cli{argc, argv};
-
-  bench::Scenario scenario;
-  scenario.base.num_senders = 8;
-  scenario.base.link_mbps = 15.0;
-  scenario.base.rtt_ms = 150.0;
-  scenario.base.workload = sim::OnOffConfig::by_bytes(
-      workload::Distribution::exponential(100e3),
-      workload::Distribution::exponential(500.0));
-  scenario.duration_s = 40.0;
-  scenario.runs = 12;
-  bench::apply_cli(cli, scenario);
-
-  bench::print_banner("Figure 4: dumbbell n=8 throughput vs queueing delay",
-                      scenario);
-  std::vector<bench::SchemeSummary> results;
-  for (const auto& scheme : bench::filter_schemes(cli, bench::paper_schemes())) {
-    results.push_back(bench::run_scheme(scenario, scheme));
-  }
-  bench::print_throughput_delay(results, 1.0);
-  return 0;
+  return remy::bench::spec_main(argc, argv, "fig4_dumbbell8");
 }

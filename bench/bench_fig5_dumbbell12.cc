@@ -1,31 +1,9 @@
 // Figure 5: the n=12 dumbbell with heavy-tailed (ICSI / Fig. 3) flow
 // lengths and exp(0.2 s) off times; half-sigma ellipses because of the
-// sending distribution's high variance.
+// sending distribution's high variance. Scenario:
+// data/scenarios/fig5_dumbbell12.json.
 #include "bench/harness.hh"
-#include "workload/distributions.hh"
-
-using namespace remy;
 
 int main(int argc, char** argv) {
-  const util::Cli cli{argc, argv};
-
-  bench::Scenario scenario;
-  scenario.base.num_senders = 12;
-  scenario.base.link_mbps = 15.0;
-  scenario.base.rtt_ms = 150.0;
-  scenario.base.workload = sim::OnOffConfig::by_bytes(
-      workload::Distribution::icsi_flow_lengths(),
-      workload::Distribution::exponential(200.0));
-  scenario.duration_s = 40.0;
-  scenario.runs = 12;
-  bench::apply_cli(cli, scenario);
-
-  bench::print_banner(
-      "Figure 5: dumbbell n=12, ICSI flow lengths, exp(0.2s) off", scenario);
-  std::vector<bench::SchemeSummary> results;
-  for (const auto& scheme : bench::filter_schemes(cli, bench::paper_schemes())) {
-    results.push_back(bench::run_scheme(scenario, scheme));
-  }
-  bench::print_throughput_delay(results, 0.5);
-  return 0;
+  return remy::bench::spec_main(argc, argv, "fig5_dumbbell12");
 }

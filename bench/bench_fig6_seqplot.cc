@@ -3,39 +3,48 @@
 // RTT after the competitor leaves, the RemyCC flow doubles its rate to
 // consume the full link.
 //
-// Prints (time, sequence) series for the RemyCC flow plus measured slopes
+// Topology and scheme come from data/scenarios/fig6_seqplot.json; the
+// departure choreography and the (time, sequence) series stay bespoke.
+// Prints the decimated series for flow 0 plus measured slopes
 // before/after the departure.
 #include <cstdio>
 #include <memory>
 
-#include "aqm/droptail.hh"
 #include "bench/harness.hh"
-#include "core/remy_sender.hh"
 #include "sim/dumbbell.hh"
 
 using namespace remy;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  const double link_mbps = cli.get("mbps", 15.0);
-  const double rtt_ms = cli.get("rtt", 150.0);
   const bool smoke = cli.get("smoke", false);
   const double depart_s = cli.get("depart", smoke ? 1.0 : 10.0);
-  const double end_s = cli.get("end", smoke ? 2.0 : 20.0);
 
-  sim::DumbbellConfig cfg;
-  cfg.num_senders = 2;
-  cfg.link_mbps = link_mbps;
-  cfg.rtt_ms = rtt_ms;
-  cfg.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{4}));
-  cfg.workload = sim::OnOffConfig::always_on();
-  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  core::ScenarioSpec spec;
+  bench::Scenario scenario;
+  bench::Scheme scheme;
+  try {
+    spec = bench::load_scenario(cli.get("scenario", std::string{"fig6_seqplot"}));
+    scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
+    const std::string table = cli.get("table", std::string{});
+    scheme = table.empty()
+                 ? bench::schemes_for(spec, cli).at(0)
+                 : cc::Registry::global().scheme("remy:table=" + table);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const double end_s = cli.get("end", scenario.duration_s);
+
+  sim::DumbbellConfig cfg = bench::per_run_config(scenario, scheme, 0);
+  cfg.link_mbps = cli.get("mbps", cfg.link_mbps);
+  cfg.rtt_ms = cli.get("rtt", cfg.rtt_ms);
+  cfg.seed = static_cast<std::uint64_t>(
+      cli.get("seed", static_cast<std::int64_t>(scenario.seed0)));
   cfg.record_deliveries = true;
 
-  auto table = bench::load_table(cli.get("table", std::string{"delta1"}));
-  sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<core::RemySender>(table);
-                    }};
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
 
   // Flow 0 is "the" RemyCC flow; flow 1 is the competing cross traffic that
   // departs at depart_s.
@@ -82,7 +91,7 @@ int main(int argc, char** argv) {
   };
   const double before = slope(depart_s - 5.0, depart_s);
   const double after = slope(depart_s + 1.0, depart_s + 6.0);
-  const double link_pkts = link_mbps * 1e6 / 8.0 / sim::kMtuBytes;
+  const double link_pkts = cfg.link_mbps * 1e6 / 8.0 / sim::kMtuBytes;
   std::printf("# slope before departure: %7.1f pkts/s (%.2fx link rate)\n",
               before, before / link_pkts);
   std::printf("# slope after departure:  %7.1f pkts/s (%.2fx link rate)\n",

@@ -1,9 +1,7 @@
 // Figure 7: Verizon LTE downlink (synthetic trace), n=4, throughput-delay
-// ellipses per scheme.
-#include "bench/cellular_common.hh"
+// ellipses per scheme. Scenario: data/scenarios/fig7_lte4.json.
+#include "bench/harness.hh"
 
 int main(int argc, char** argv) {
-  return remy::bench::run_cellular_bench(
-      argc, argv, "Figure 7: Verizon LTE downlink (synthetic), n=4",
-      remy::trace::LteModelParams::verizon(), 4, /*speedup_table=*/false);
+  return remy::bench::spec_main(argc, argv, "fig7_lte4");
 }

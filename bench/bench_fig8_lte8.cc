@@ -1,9 +1,8 @@
 // Figure 8: Verizon LTE downlink (synthetic trace), n=8. With higher
-// multiplexing the schemes bunch together and router-assisted ones catch up.
-#include "bench/cellular_common.hh"
+// multiplexing the schemes bunch together and router-assisted ones catch
+// up. Scenario: data/scenarios/fig8_lte8.json.
+#include "bench/harness.hh"
 
 int main(int argc, char** argv) {
-  return remy::bench::run_cellular_bench(
-      argc, argv, "Figure 8: Verizon LTE downlink (synthetic), n=8",
-      remy::trace::LteModelParams::verizon(), 8, /*speedup_table=*/false);
+  return remy::bench::spec_main(argc, argv, "fig8_lte8");
 }

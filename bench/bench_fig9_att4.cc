@@ -1,8 +1,7 @@
-// Figure 9: AT&T LTE downlink (synthetic trace), n=4.
-#include "bench/cellular_common.hh"
+// Figure 9: AT&T LTE downlink (synthetic trace), n=4. Scenario:
+// data/scenarios/fig9_att4.json.
+#include "bench/harness.hh"
 
 int main(int argc, char** argv) {
-  return remy::bench::run_cellular_bench(
-      argc, argv, "Figure 9: AT&T LTE downlink (synthetic), n=4",
-      remy::trace::LteModelParams::att(), 4, /*speedup_table=*/false);
+  return remy::bench::spec_main(argc, argv, "fig9_att4");
 }

@@ -8,9 +8,9 @@
 
 #include "aqm/codel.hh"
 #include "aqm/droptail.hh"
-#include "cc/newreno.hh"
+#include "cc/registry.hh"
 #include "core/evaluator.hh"
-#include "core/remy_sender.hh"
+#include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
 #include "trace/lte_model.hh"
 
@@ -20,6 +20,8 @@ namespace {
 
 void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   const auto senders = static_cast<std::size_t>(state.range(0));
+  core::install_builtin_schemes();
+  const cc::SchemeHandle scheme = cc::Registry::global().scheme("newreno");
   for (auto _ : state) {
     sim::DumbbellConfig cfg;
     cfg.num_senders = senders;
@@ -28,7 +30,7 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
     cfg.seed = 1;
     cfg.workload = sim::OnOffConfig::always_on();
     cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-    sim::Dumbbell net{cfg, [](sim::FlowId) { return std::make_unique<cc::NewReno>(); }};
+    sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
     net.run_for_seconds(1.0);
     benchmark::DoNotOptimize(net.metrics_raw().total_bytes());
   }
@@ -52,6 +54,19 @@ void BM_WhiskerLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_WhiskerLookup);
+
+void BM_RegistryMakeScheme(benchmark::State& state) {
+  // Spec parse + builder dispatch: the per-experiment cost of constructing
+  // schemes as data instead of code.
+  core::install_builtin_schemes();
+  const auto& registry = cc::Registry::global();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.scheme("cubic-sfqcodel:capacity=1000").make_sender());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryMakeScheme);
 
 void BM_CodelEnqueueDequeue(benchmark::State& state) {
   aqm::Codel q{};

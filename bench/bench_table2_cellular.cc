@@ -1,10 +1,9 @@
 // Table 2 (Sec. 1): speedups and delay reductions on the Verizon LTE
 // downlink with n=4 senders (trace-driven; synthetic LTE model, see
-// DESIGN.md Sec. 3 for the substitution).
-#include "bench/cellular_common.hh"
+// DESIGN.md Sec. 3 for the substitution). Scenario:
+// data/scenarios/table2_cellular.json.
+#include "bench/harness.hh"
 
 int main(int argc, char** argv) {
-  return remy::bench::run_cellular_bench(
-      argc, argv, "Table 2: Verizon LTE downlink (synthetic trace), n=4",
-      remy::trace::LteModelParams::verizon(), 4, /*speedup_table=*/true);
+  return remy::bench::spec_main(argc, argv, "table2_cellular");
 }

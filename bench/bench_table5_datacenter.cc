@@ -1,97 +1,50 @@
 // Sec. 5.5 table: datacenter. 64 senders share a 10 Gbps link, RTT 4 ms,
 // exp(20 MB) transfers with exp(0.1 s) off times. DCTCP runs over an
 // ECN-marking threshold gateway; the RemyCC (trained for alpha=2, delta=0:
-// minimum potential delay) runs over a 1000-packet DropTail.
+// minimum potential delay) runs over a 1000-packet DropTail — both built
+// from the registry specs in data/scenarios/table5_datacenter.json.
 // Paper shape: comparable throughput, RemyCC with higher per-packet RTT.
 #include <cstdio>
-#include <memory>
 
-#include "aqm/droptail.hh"
-#include "aqm/ecn_threshold.hh"
 #include "bench/harness.hh"
-#include "cc/dctcp.hh"
-#include "core/remy_sender.hh"
 #include "util/stats.hh"
-#include "workload/distributions.hh"
 
 using namespace remy;
 
-namespace {
-
-struct Result {
-  std::vector<double> tputs;
-  std::vector<double> rtts;
-};
-
-Result run(const bench::Scheme& scheme, std::size_t runs, double duration_s) {
-  Result out;
-  for (std::size_t run = 0; run < runs; ++run) {
-    sim::DumbbellConfig cfg;
-    cfg.num_senders = 64;
-    cfg.link_mbps = 10000.0;
-    cfg.rtt_ms = 4.0;
-    cfg.seed = 7000 + run;
-    cfg.workload = sim::OnOffConfig::by_bytes(
-        workload::Distribution::exponential(20e6),
-        workload::Distribution::exponential(100.0));
-    cfg.queue_factory = scheme.make_queue;
-    sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
-    net.run_for_seconds(duration_s);
-    for (sim::FlowId f = 0; f < 64; ++f) {
-      const auto& fs = net.metrics().flow(f);
-      if (fs.on_time_ms <= 0.0 || fs.rtt_samples == 0) continue;
-      out.tputs.push_back(fs.throughput_mbps());
-      out.rtts.push_back(fs.avg_rtt_ms());
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  auto runs = static_cast<std::size_t>(
-      cli.get("runs", std::int64_t{cli.get("full", false) ? 16 : 3}));
-  double duration_s =
-      cli.get("duration", cli.get("full", false) ? 100.0 : 2.0);
-  bench::apply_smoke(cli, runs, duration_s);
+  try {
+    const core::ScenarioSpec spec = bench::load_scenario(
+        cli.get("scenario", std::string{"table5_datacenter"}));
+    bench::Scenario scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
 
-  // Datacenter transports need a timeout floor well under the paper's WAN
-  // default.
-  cc::TransportConfig tc;
-  tc.min_rto_ms = 10.0;
-
-  std::vector<bench::Scheme> schemes;
-  schemes.push_back({"dctcp-ecn",
-                     [tc] { return std::make_unique<cc::Dctcp>(tc); },
-                     [] {
-                       // DCTCP marking threshold: K ~= 65 packets at 10 Gbps.
-                       return std::make_unique<aqm::EcnThreshold>(65, 1000);
-                     }});
-  auto table = bench::load_table("datacenter");
-  schemes.push_back({"remy-dc-droptail",
-                     [table, tc] {
-                       return std::make_unique<core::RemySender>(table, tc);
-                     },
-                     [] { return std::make_unique<aqm::DropTail>(1000); }});
-
-  std::printf(
-      "== Sec 5.5: datacenter, 10 Gbps, n=64, RTT 4 ms, exp(20MB) on / "
-      "exp(0.1s) off ==\n");
-  std::printf("   %zu runs x %.1f s\n", runs, duration_s);
-  std::printf("%-18s %12s %12s %10s %10s\n", "scheme", "tput mean",
-              "tput median", "rtt mean", "rtt med");
-  for (const auto& scheme : bench::filter_schemes(cli, schemes)) {
-    const Result r = run(scheme, runs, duration_s);
-    util::Running tput;
-    util::Running rtt;
-    for (const double t : r.tputs) tput.add(t);
-    for (const double t : r.rtts) rtt.add(t);
-    std::printf("%-18s %8.0f Mbps %8.0f Mbps %7.2f ms %7.2f ms\n",
-                scheme.name.c_str(), tput.mean(),
-                r.tputs.empty() ? 0.0 : util::median(r.tputs), rtt.mean(),
-                r.rtts.empty() ? 0.0 : util::median(r.rtts));
+    std::printf("== %s ==\n", spec.title.c_str());
+    std::printf("   %zu runs x %.1f s\n", scenario.runs, scenario.duration_s);
+    std::printf("%-18s %12s %12s %10s %10s\n", "scheme", "tput mean",
+                "tput median", "rtt mean", "rtt med");
+    for (const auto& scheme : bench::schemes_for(spec, cli)) {
+      const bench::SchemeSummary r = bench::run_scheme(scenario, scheme);
+      util::Running tput;
+      util::Running rtt;
+      std::vector<double> tputs;
+      std::vector<double> rtts;
+      for (const auto& p : r.points) {
+        if (p.rtt_ms <= 0.0) continue;  // no RTT sample: never delivered
+        tput.add(p.throughput_mbps);
+        rtt.add(p.rtt_ms);
+        tputs.push_back(p.throughput_mbps);
+        rtts.push_back(p.rtt_ms);
+      }
+      std::printf("%-18s %8.0f Mbps %8.0f Mbps %7.2f ms %7.2f ms\n",
+                  r.scheme.c_str(), tput.mean(),
+                  tputs.empty() ? 0.0 : util::median(std::move(tputs)),
+                  rtt.mean(),
+                  rtts.empty() ? 0.0 : util::median(std::move(rtts)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

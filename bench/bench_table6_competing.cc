@@ -6,16 +6,13 @@
 //            RemyCC vs Compound.
 //   Table B: exp transfers of mean {100 kB, 1 MB}, off exp(0.5 s),
 //            RemyCC vs Cubic.
-// Paper shape: RemyCC wins at low duty cycle, loses share at high duty
-// cycle, but stays close.
+// Topology and the RemyCC flow come from
+// data/scenarios/table6_competing.json (flow_schemes); the workload sweep
+// stays bespoke. Paper shape: RemyCC wins at low duty cycle, loses share
+// at high duty cycle, but stays close.
 #include <cstdio>
-#include <memory>
 
-#include "aqm/droptail.hh"
 #include "bench/harness.hh"
-#include "cc/compound.hh"
-#include "cc/cubic.hh"
-#include "core/remy_sender.hh"
 #include "util/stats.hh"
 #include "workload/distributions.hh"
 
@@ -28,28 +25,15 @@ struct Pair {
   util::Running other;
 };
 
-Pair run_pair(const std::shared_ptr<const core::WhiskerTree>& table,
-              const std::function<std::unique_ptr<sim::Sender>()>& other,
-              const sim::OnOffConfig& workload, std::size_t runs,
-              double duration_s) {
+Pair run_pair(bench::Scenario scenario, const bench::Scheme& remy_scheme,
+              const bench::Scheme& other, const sim::OnOffConfig& workload) {
+  scenario.base.workload = workload;
   Pair out;
-  for (std::size_t run = 0; run < runs; ++run) {
-    sim::DumbbellConfig cfg;
-    cfg.num_senders = 2;
-    cfg.link_mbps = 15.0;
-    cfg.rtt_ms = 150.0;
-    cfg.seed = 11000 + run;
-    cfg.workload = workload;
-    cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-    sim::Dumbbell net{cfg, [&](sim::FlowId f) -> std::unique_ptr<sim::Sender> {
-                        if (f == 0) return std::make_unique<core::RemySender>(table);
-                        return other();
-                      }};
-    net.run_for_seconds(duration_s);
-    const auto& remy_fs = net.metrics().flow(0);
-    const auto& other_fs = net.metrics().flow(1);
-    if (remy_fs.on_time_ms > 0) out.remy.add(remy_fs.throughput_mbps());
-    if (other_fs.on_time_ms > 0) out.other.add(other_fs.throughput_mbps());
+  for (const auto& summary :
+       bench::run_mixed(scenario, {remy_scheme, other})) {
+    util::Running& agg =
+        summary.scheme == remy_scheme.name ? out.remy : out.other;
+    for (const auto& p : summary.points) agg.add(p.throughput_mbps);
   }
   return out;
 }
@@ -58,43 +42,47 @@ Pair run_pair(const std::shared_ptr<const core::WhiskerTree>& table,
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
-  auto runs = static_cast<std::size_t>(
-      cli.get("runs", std::int64_t{cli.get("full", false) ? 64 : 12}));
-  double duration_s =
-      cli.get("duration", cli.get("full", false) ? 100.0 : 40.0);
-  bench::apply_smoke(cli, runs, duration_s);
+  try {
+    const core::ScenarioSpec spec = bench::load_scenario(
+        cli.get("scenario", std::string{"table6_competing"}));
+    bench::Scenario scenario = bench::make_scenario(spec);
+    bench::apply_cli(cli, scenario, &spec);
+    const cc::Registry& registry = cc::Registry::global();
+    const bench::Scheme remy_scheme = registry.scheme(spec.flow_schemes.at(0));
 
-  auto table = bench::load_table("coexist");
+    std::printf("== %s ==\n", spec.title.c_str());
+    std::printf("   %zu runs x %.0f s; values are mean (stddev) Mbps\n\n",
+                scenario.runs, scenario.duration_s);
 
-  std::printf("== Sec 5.6: competing protocols (15 Mbps, RTT 150 ms) ==\n");
-  std::printf("   %zu runs x %.0f s; values are mean (stddev) Mbps\n\n", runs,
-              duration_s);
+    std::printf("RemyCC vs Compound, ICSI flow lengths:\n");
+    std::printf("%14s %20s %20s\n", "mean off time", "RemyCC tput",
+                "Compound tput");
+    for (const double off_ms : {200.0, 100.0, 10.0}) {
+      const Pair p = run_pair(
+          scenario, remy_scheme, registry.scheme("compound"),
+          sim::OnOffConfig::by_bytes(
+              workload::Distribution::icsi_flow_lengths(),
+              workload::Distribution::exponential(off_ms)));
+      std::printf("%11.0f ms %13.2f (%.2f) %13.2f (%.2f)\n", off_ms,
+                  p.remy.mean(), p.remy.stddev(), p.other.mean(),
+                  p.other.stddev());
+    }
 
-  std::printf("RemyCC vs Compound, ICSI flow lengths:\n");
-  std::printf("%14s %20s %20s\n", "mean off time", "RemyCC tput",
-              "Compound tput");
-  for (const double off_ms : {200.0, 100.0, 10.0}) {
-    const Pair p = run_pair(
-        table, [] { return std::make_unique<cc::Compound>(); },
-        sim::OnOffConfig::by_bytes(workload::Distribution::icsi_flow_lengths(),
-                                   workload::Distribution::exponential(off_ms)),
-        runs, duration_s);
-    std::printf("%11.0f ms %13.2f (%.2f) %13.2f (%.2f)\n", off_ms,
-                p.remy.mean(), p.remy.stddev(), p.other.mean(),
-                p.other.stddev());
-  }
-
-  std::printf("\nRemyCC vs Cubic, exp transfers, off exp(0.5 s):\n");
-  std::printf("%14s %20s %20s\n", "mean size", "RemyCC tput", "Cubic tput");
-  for (const double bytes : {100e3, 1e6}) {
-    const Pair p = run_pair(
-        table, [] { return std::make_unique<cc::Cubic>(); },
-        sim::OnOffConfig::by_bytes(workload::Distribution::exponential(bytes),
-                                   workload::Distribution::exponential(500.0)),
-        runs, duration_s);
-    std::printf("%11.0f kB %13.2f (%.2f) %13.2f (%.2f)\n", bytes / 1e3,
-                p.remy.mean(), p.remy.stddev(), p.other.mean(),
-                p.other.stddev());
+    std::printf("\nRemyCC vs Cubic, exp transfers, off exp(0.5 s):\n");
+    std::printf("%14s %20s %20s\n", "mean size", "RemyCC tput", "Cubic tput");
+    for (const double bytes : {100e3, 1e6}) {
+      const Pair p = run_pair(
+          scenario, remy_scheme, registry.scheme("cubic"),
+          sim::OnOffConfig::by_bytes(
+              workload::Distribution::exponential(bytes),
+              workload::Distribution::exponential(500.0)));
+      std::printf("%11.0f kB %13.2f (%.2f) %13.2f (%.2f)\n", bytes / 1e3,
+                  p.remy.mean(), p.remy.stddev(), p.other.mean(),
+                  p.other.stddev());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

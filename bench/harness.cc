@@ -1,63 +1,38 @@
 #include "bench/harness.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 
 #include "aqm/droptail.hh"
-#include "aqm/sfq_codel.hh"
-#include "aqm/xcp_router.hh"
-#include "cc/compound.hh"
-#include "cc/cubic.hh"
-#include "cc/newreno.hh"
-#include "cc/vegas.hh"
-#include "cc/xcp_sender.hh"
-#include "core/remy_sender.hh"
+#include "trace/lte_model.hh"
+#include "trace/trace_link.hh"
 #include "util/stats.hh"
 
 namespace remy::bench {
 
 std::shared_ptr<const core::WhiskerTree> load_table(const std::string& name) {
-  const std::string path =
-      std::string{REMY_DATA_DIR} + "/remycc/" + name + ".json";
-  if (std::filesystem::exists(path)) {
-    return std::make_shared<const core::WhiskerTree>(
-        core::WhiskerTree::load(path));
-  }
-  std::fprintf(stderr,
-               "warning: %s not found; using the untrained single-rule table "
-               "(run examples/train_remycc to regenerate)\n",
-               path.c_str());
-  return std::make_shared<const core::WhiskerTree>();
+  return core::load_remy_table(name);
+}
+
+std::vector<std::string> paper_scheme_specs(std::size_t queue_capacity) {
+  const std::string cap = std::to_string(queue_capacity);
+  return {"newreno",
+          "vegas",
+          "cubic",
+          "compound",
+          "cubic-sfqcodel:capacity=" + cap,
+          "xcp:capacity=" + cap,
+          "remy:delta=0.1",
+          "remy:delta=1",
+          "remy:delta=10"};
 }
 
 std::vector<Scheme> paper_schemes(std::size_t queue_capacity) {
-  std::vector<Scheme> schemes;
-  schemes.push_back({"newreno", [] { return std::make_unique<cc::NewReno>(); }, {}});
-  schemes.push_back({"vegas", [] { return std::make_unique<cc::Vegas>(); }, {}});
-  schemes.push_back({"cubic", [] { return std::make_unique<cc::Cubic>(); }, {}});
-  schemes.push_back(
-      {"compound", [] { return std::make_unique<cc::Compound>(); }, {}});
-  schemes.push_back({"cubic-sfqcodel",
-                     [] { return std::make_unique<cc::Cubic>(); },
-                     [queue_capacity] {
-                       aqm::SfqCodelParams p;
-                       p.capacity_packets = queue_capacity;
-                       return std::make_unique<aqm::SfqCodel>(p);
-                     }});
-  schemes.push_back({"xcp", [] { return std::make_unique<cc::XcpSender>(); },
-                     [queue_capacity] {
-                       aqm::XcpParams p;
-                       p.capacity_packets = queue_capacity;
-                       return std::make_unique<aqm::XcpRouter>(p);
-                     }});
-  for (const char* delta : {"0.1", "1", "10"}) {
-    auto table = load_table(std::string{"delta"} + delta);
-    schemes.push_back({std::string{"remy-d"} + delta,
-                       [table] { return std::make_unique<core::RemySender>(table); },
-                       {}});
-  }
-  return schemes;
+  core::install_builtin_schemes();
+  return cc::Registry::global().schemes(paper_scheme_specs(queue_capacity));
 }
 
 double SchemeSummary::median_throughput() const {
@@ -90,28 +65,64 @@ double SchemeSummary::median_rtt() const {
   return v.empty() ? 0.0 : util::median(std::move(v));
 }
 
+Scenario make_scenario(const core::ScenarioSpec& spec) {
+  core::install_builtin_schemes();
+  Scenario s;
+  s.base.num_senders = spec.num_senders;
+  s.base.link_mbps = spec.link_mbps;
+  s.base.rtt_ms = spec.rtt_ms;
+  s.base.flow_rtts = spec.flow_rtts;
+  s.base.workload = spec.workload.materialize();
+  s.duration_s = spec.duration_s;
+  s.runs = spec.runs;
+  s.seed0 = spec.seed0;
+  s.default_queue = cc::Registry::global().queue_factory(spec.queue);
+  if (spec.link.kind == core::LinkSpec::Kind::kLte) {
+    // One trace per experiment, replayed cyclically: every scheme and run
+    // sees identical link behavior shifted only by the workload seed.
+    auto shared_trace = std::make_shared<trace::Trace>(
+        trace::generate_lte_trace(spec.link.lte, spec.link.trace_duration_ms,
+                                  util::Rng{spec.link.trace_seed}));
+    s.make_bottleneck =
+        [shared_trace](std::unique_ptr<sim::QueueDisc> queue,
+                       sim::PacketSink* downstream)
+        -> std::unique_ptr<sim::Bottleneck> {
+      return std::make_unique<trace::TraceLink>(*shared_trace,
+                                                std::move(queue), downstream);
+    };
+  }
+  return s;
+}
+
+sim::DumbbellConfig per_run_config(const Scenario& scenario,
+                                   const Scheme& scheme, std::size_t run) {
+  sim::DumbbellConfig cfg = scenario.base;
+  cfg.seed = scenario.seed0 + run;
+  const auto make_queue = [&scenario,
+                           &scheme]() -> std::unique_ptr<sim::QueueDisc> {
+    if (scheme.make_queue) return scheme.make_queue();
+    if (scenario.default_queue) return scenario.default_queue();
+    return std::make_unique<aqm::DropTail>(1000);
+  };
+  if (scenario.make_bottleneck) {
+    const auto& build = scenario.make_bottleneck;
+    cfg.bottleneck_factory = [&build, make_queue](sim::PacketSink* down) {
+      return build(make_queue(), down);
+    };
+  } else if (!cfg.bottleneck_factory) {
+    cfg.queue_factory = make_queue;
+  }
+  return cfg;
+}
+
 SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
   SchemeSummary out;
   out.scheme = scheme.name;
   for (std::size_t run = 0; run < scenario.runs; ++run) {
-    sim::DumbbellConfig cfg = scenario.base;
-    cfg.seed = scenario.seed0 + run;
-    const auto make_queue = [&]() -> std::unique_ptr<sim::QueueDisc> {
-      if (scheme.make_queue) return scheme.make_queue();
-      if (scenario.default_queue) return scenario.default_queue();
-      return std::make_unique<aqm::DropTail>(1000);
-    };
-    if (scenario.make_bottleneck) {
-      const auto& build = scenario.make_bottleneck;
-      cfg.bottleneck_factory = [&build, &make_queue](sim::PacketSink* down) {
-        return build(make_queue(), down);
-      };
-    } else if (!cfg.bottleneck_factory) {
-      cfg.queue_factory = make_queue;
-    }
+    const sim::DumbbellConfig cfg = per_run_config(scenario, scheme, run);
     sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
     net.run_for_seconds(scenario.duration_s);
-    const sim::MetricsHub& metrics = net.metrics();
+    sim::MetricsHub& metrics = net.metrics();
     for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
       const sim::FlowStats& fs = metrics.flow(f);
       if (fs.on_time_ms <= 0.0) continue;  // never participated
@@ -122,21 +133,84 @@ SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
   return out;
 }
 
-void apply_cli(const util::Cli& cli, Scenario& scenario) {
+std::vector<SchemeSummary> run_mixed(const Scenario& scenario,
+                                     const std::vector<Scheme>& per_flow) {
+  std::vector<SchemeSummary> out;
+  std::map<std::string, std::size_t> index;
+  for (const auto& s : per_flow) {
+    if (index.emplace(s.name, out.size()).second) {
+      out.push_back(SchemeSummary{s.name, {}});
+    }
+  }
+  const Scheme scenario_default{};  // mixed flows share the default queue
+  for (std::size_t run = 0; run < scenario.runs; ++run) {
+    const sim::DumbbellConfig cfg =
+        per_run_config(scenario, scenario_default, run);
+    sim::Dumbbell net{cfg, [&](sim::FlowId f) {
+                        return per_flow[f % per_flow.size()].make_sender();
+                      }};
+    net.run_for_seconds(scenario.duration_s);
+    sim::MetricsHub& metrics = net.metrics();
+    for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
+      const sim::FlowStats& fs = metrics.flow(f);
+      if (fs.on_time_ms <= 0.0) continue;
+      out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(
+          Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
+                fs.avg_rtt_ms()});
+    }
+  }
+  return out;
+}
+
+void apply_cli(const util::Cli& cli, Scenario& scenario,
+               const core::ScenarioSpec* spec) {
   if (cli.get("full", false)) {
     scenario.runs = 128;
     scenario.duration_s = 100.0;
   }
+  if (cli.get("smoke", false)) {
+    scenario.runs = 1;
+    scenario.duration_s = 1.0;
+    if (spec != nullptr && spec->smoke.has_value()) {
+      if (spec->smoke->runs.has_value()) scenario.runs = *spec->smoke->runs;
+      if (spec->smoke->duration_s.has_value()) {
+        scenario.duration_s = *spec->smoke->duration_s;
+      }
+    }
+  }
   scenario.runs = static_cast<std::size_t>(
       cli.get("runs", static_cast<std::int64_t>(scenario.runs)));
   scenario.duration_s = cli.get("duration", scenario.duration_s);
-  apply_smoke(cli, scenario.runs, scenario.duration_s);
 }
 
-void apply_smoke(const util::Cli& cli, std::size_t& runs, double& duration_s) {
-  if (!cli.get("smoke", false)) return;
-  runs = static_cast<std::size_t>(cli.get("runs", std::int64_t{1}));
-  duration_s = cli.get("duration", 1.0);
+namespace {
+
+/// "--schemes a,b,c": commas separate specs; ';' inside one spec stands in
+/// for ',' between its parameters (e.g. "red:min_th=5;max_th=15").
+std::vector<std::string> split_scheme_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string item = list.substr(start, comma - start);
+    std::replace(item.begin(), item.end(), ';', ',');
+    if (!item.empty()) out.push_back(std::move(item));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Scheme> schemes_for(const core::ScenarioSpec& spec,
+                                const util::Cli& cli) {
+  core::install_builtin_schemes();
+  const std::string override_list = cli.get("schemes", std::string{});
+  const std::vector<std::string> specs = override_list.empty()
+                                             ? spec.schemes
+                                             : split_scheme_list(override_list);
+  return filter_schemes(cli, cc::Registry::global().schemes(specs));
 }
 
 std::vector<Scheme> filter_schemes(const util::Cli& cli,
@@ -151,6 +225,109 @@ std::vector<Scheme> filter_schemes(const util::Cli& cli,
     std::fprintf(stderr, "unknown --scheme %s\n", only.c_str());
   }
   return out;
+}
+
+SpecRun execute_spec(const core::ScenarioSpec& spec, const util::Cli& cli) {
+  core::install_builtin_schemes();
+  if (cli.get("require-tables", false)) {
+    cc::Registry::global().set_require_tables(true);
+  }
+  SpecRun run;
+  run.spec = spec;
+  run.scenario = make_scenario(spec);
+  apply_cli(cli, run.scenario, &spec);
+  if (!spec.flow_schemes.empty() && !cli.has("schemes")) {
+    run.results = run_mixed(
+        run.scenario, cc::Registry::global().schemes(spec.flow_schemes));
+  } else {
+    const std::vector<Scheme> schemes = schemes_for(spec, cli);
+    // --schemes/--scheme change the experiment; reflect the set that
+    // actually ran into the embedded spec so it stays replayable.
+    run.spec.schemes.clear();
+    run.spec.flow_schemes.clear();
+    for (const auto& scheme : schemes) {
+      run.spec.schemes.push_back(scheme.spec);
+      run.results.push_back(run_scheme(run.scenario, scheme));
+    }
+  }
+  // Likewise for --runs/--duration/--full/--smoke.
+  run.spec.runs = run.scenario.runs;
+  run.spec.duration_s = run.scenario.duration_s;
+  return run;
+}
+
+void print_spec_run(const SpecRun& run) {
+  print_banner(run.spec.title.empty() ? run.spec.name : run.spec.title,
+               run.scenario);
+  print_throughput_delay(run.results, run.spec.ellipse_sigma);
+  for (const auto& reference : run.spec.references) {
+    print_speedups(run.results, reference);
+  }
+}
+
+util::Json results_json(const SpecRun& run) {
+  util::JsonObject o;
+  o["scenario"] = run.spec.to_json();
+  o["runs"] = run.scenario.runs;
+  o["duration_s"] = run.scenario.duration_s;
+  util::JsonArray schemes;
+  for (const auto& r : run.results) {
+    util::JsonObject s;
+    s["name"] = r.scheme;
+    s["median_throughput_mbps"] = r.median_throughput();
+    s["median_queue_delay_ms"] = r.median_delay();
+    s["median_rtt_ms"] = r.median_rtt();
+    util::JsonArray points;
+    for (const auto& p : r.points) {
+      points.emplace_back(util::JsonArray{
+          util::Json{p.throughput_mbps}, util::Json{p.queue_delay_ms},
+          util::Json{p.rtt_ms}});
+    }
+    s["points"] = std::move(points);
+    schemes.emplace_back(std::move(s));
+  }
+  o["schemes"] = std::move(schemes);
+  return util::Json{std::move(o)};
+}
+
+std::uint64_t results_hash(const util::Json& results) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const unsigned char ch : results.dump()) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+core::ScenarioSpec load_scenario(const std::string& path_or_name) {
+  if (std::filesystem::exists(path_or_name)) {
+    return core::ScenarioSpec::load(path_or_name);
+  }
+  const std::string shipped =
+      std::string{REMY_DATA_DIR} + "/scenarios/" + path_or_name + ".json";
+  if (std::filesystem::exists(shipped)) {
+    return core::ScenarioSpec::load(shipped);
+  }
+  throw std::runtime_error{"scenario not found: " + path_or_name + " (nor " +
+                           shipped + ")"};
+}
+
+int spec_main(int argc, char** argv, const std::string& default_scenario) {
+  const util::Cli cli{argc, argv};
+  try {
+    const core::ScenarioSpec spec =
+        load_scenario(cli.get("scenario", default_scenario));
+    const SpecRun run = execute_spec(spec, cli);
+    print_spec_run(run);
+    const std::string json_path = cli.get("json", std::string{});
+    if (!json_path.empty()) {
+      util::json_to_file(results_json(run), json_path);
+    }
+    return run.results.empty() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 void print_banner(const std::string& experiment, const Scenario& scenario) {

@@ -1,43 +1,59 @@
-// Shared experiment harness for the per-table / per-figure benchmarks.
+// Shared experiment harness for the per-table / per-figure benchmarks and
+// the universal remy-run driver.
 //
-// Runs a scenario (dumbbell or cellular trace link) N times per scheme with
-// different seeds, collects per-sender (throughput, queueing delay) points,
-// and prints the paper's summaries: medians, k-sigma Gaussian ellipses, and
-// speedup tables against a reference scheme.
+// Experiments are data: a core::ScenarioSpec (usually loaded from
+// data/scenarios/<name>.json) names the topology, link, workload, default
+// queue disc and scheme set; schemes and queues are built through
+// cc::Registry from spec strings like "remy:delta=0.1". The harness runs a
+// scenario N times per scheme with different seeds, collects per-sender
+// (throughput, queueing delay, rtt) points, and prints the paper's
+// summaries: medians, k-sigma Gaussian ellipses, and speedup tables.
 //
-// Every bench accepts:  --runs N  --duration SECONDS  --full (128 x 100 s,
-// the paper's scale)  --smoke (1 x 1 s, the ctest bench-smoke run)
-// --scheme NAME (restrict to one scheme).
+// Every spec-driven bench accepts:
+//   --scenario FILE       load a different spec (path or data/scenarios name)
+//   --runs N --duration S --full (128 x 100 s)  --smoke (spec smoke block,
+//                         default 1 x 1 s; the ctest bench-smoke run)
+//   --scheme NAME         restrict to one scheme by display name
+//   --schemes a,b,c       replace the scheme set (registry specs; use ';'
+//                         instead of ',' between a single spec's parameters.
+//                         Because ';' is rewritten globally, a nested
+//                         queue= value can carry at most one parameter
+//                         here — put richer experiments in a spec file)
+//   --require-tables      fail fast on missing RemyCC tables
+//   --json FILE           also write machine-readable results
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/whisker_tree.hh"
+#include "cc/registry.hh"
+#include "core/scenario_spec.hh"
+#include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 
 namespace remy::bench {
 
-/// One scheme entry: sender factory + bottleneck queue for the scheme
-/// (Cubic-over-sfqCoDel and XCP bring their own gateway).
-struct Scheme {
-  std::string name;
-  std::function<std::unique_ptr<sim::Sender>()> make_sender;
-  /// Empty: use the scenario's default queue (DropTail).
-  std::function<std::unique_ptr<sim::QueueDisc>()> make_queue;
-};
+/// One runnable scheme: display name + sender factory + optional gateway
+/// queue (empty: the scenario's default). Built through cc::Registry.
+using Scheme = cc::SchemeHandle;
 
 /// Loads a trained RemyCC table from data/remycc/<name>.json, or returns
-/// the default single-rule table (with a warning) when missing.
+/// the default single-rule table (with a once-per-table warning) when
+/// missing — unless require-tables mode is on, which throws instead.
 std::shared_ptr<const core::WhiskerTree> load_table(const std::string& name);
 
-/// The paper's standard scheme set: NewReno, Vegas, Cubic, Compound,
-/// Cubic-over-sfqCoDel, XCP, and the three general-purpose RemyCCs.
+/// Registry spec strings for the paper's standard scheme set: NewReno,
+/// Vegas, Cubic, Compound, Cubic-over-sfqCoDel, XCP, and the three
+/// general-purpose RemyCCs.
+std::vector<std::string> paper_scheme_specs(
+    std::size_t queue_capacity_packets = 1000);
+
+/// The paper's standard scheme set, built through the registry.
 std::vector<Scheme> paper_schemes(std::size_t queue_capacity_packets = 1000);
 
 /// Per-sender observation from one run.
@@ -58,7 +74,8 @@ struct SchemeSummary {
   double median_rtt() const;
 };
 
-/// Scenario: everything but the scheme.
+/// Scenario: everything but the scheme (the materialized, runnable form of
+/// a core::ScenarioSpec).
 struct Scenario {
   sim::DumbbellConfig base;          ///< queue_factory is overridden per scheme
   double duration_s = 100.0;
@@ -73,18 +90,74 @@ struct Scenario {
       make_bottleneck;
 };
 
+/// Materializes a spec: workload distributions, default queue via the
+/// registry, and (for LTE links) one shared trace generated from
+/// trace_seed and replayed for every scheme and run.
+Scenario make_scenario(const core::ScenarioSpec& spec);
+
+/// The dumbbell config for one (scheme, run) pair: per-run seed, the
+/// scheme's gateway (else the scenario default, else 1000-pkt DropTail),
+/// and the scenario's custom bottleneck (trace link) when present. The
+/// returned config's factories reference `scenario` and `scheme`, which
+/// must outlive it. Bespoke mains that can't use run_scheme() should
+/// still build their configs here so trace-driven links are honored.
+sim::DumbbellConfig per_run_config(const Scenario& scenario,
+                                   const Scheme& scheme, std::size_t run);
+
 /// Runs one scheme over all seeds; returns the pooled per-sender points.
 SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme);
 
-/// Applies --runs/--duration/--full/--smoke to a scenario.
-void apply_cli(const util::Cli& cli, Scenario& scenario);
+/// Competing-protocols mode: one experiment where flow i runs
+/// per_flow[i % per_flow.size()], over the scenario's default queue.
+/// Points are pooled per distinct scheme name.
+std::vector<SchemeSummary> run_mixed(const Scenario& scenario,
+                                     const std::vector<Scheme>& per_flow);
 
-/// Same --smoke contract (1 run x 1 s, unless --runs/--duration override)
-/// for benches with standalone mains that don't build a Scenario.
-void apply_smoke(const util::Cli& cli, std::size_t& runs, double& duration_s);
+/// Applies --runs/--duration/--full/--smoke to a scenario; when a spec is
+/// given, --smoke honors its smoke block.
+void apply_cli(const util::Cli& cli, Scenario& scenario,
+               const core::ScenarioSpec* spec = nullptr);
 
-/// Filters schemes by --scheme, if given.
+/// Resolves the scheme set for a spec-driven run: --schemes (registry
+/// specs) wins over spec.schemes, then --scheme filters by display name.
+std::vector<Scheme> schemes_for(const core::ScenarioSpec& spec,
+                                const util::Cli& cli);
+
+/// Filters schemes by --scheme (display name), if given.
 std::vector<Scheme> filter_schemes(const util::Cli& cli, std::vector<Scheme> all);
+
+// ---- spec-driven driver ----------------------------------------------------
+
+/// One executed experiment: the spec, its materialized scenario (after CLI
+/// overrides), and the per-scheme results.
+struct SpecRun {
+  core::ScenarioSpec spec;
+  Scenario scenario;
+  std::vector<SchemeSummary> results;
+};
+
+/// Runs a spec end to end (no printing): install registry, apply CLI
+/// overrides, run every scheme (or the mixed flow set).
+SpecRun execute_spec(const core::ScenarioSpec& spec, const util::Cli& cli);
+
+/// Prints the paper-style banner, throughput-delay table and any
+/// reference speedup tables for an executed spec.
+void print_spec_run(const SpecRun& run);
+
+/// Machine-readable results: the spec itself plus per-scheme medians and
+/// raw points, replayable bit-identically.
+util::Json results_json(const SpecRun& run);
+
+/// FNV-1a over the serialized results; equal hashes = identical replay.
+std::uint64_t results_hash(const util::Json& results);
+
+/// Resolves a --scenario argument: an existing path is used as-is,
+/// anything else is looked up as data/scenarios/<name>.json.
+core::ScenarioSpec load_scenario(const std::string& path_or_name);
+
+/// Whole main() of a spec-driven bench: load (default_scenario unless
+/// --scenario), execute, print, optionally --json. Returns exit status.
+int spec_main(int argc, char** argv, const std::string& default_scenario);
 
 // ---- printing helpers ------------------------------------------------------
 

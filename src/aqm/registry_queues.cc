@@ -1,0 +1,83 @@
+#include "aqm/registry_queues.hh"
+
+#include "aqm/codel.hh"
+#include "aqm/droptail.hh"
+#include "aqm/ecn_threshold.hh"
+#include "aqm/red.hh"
+#include "aqm/sfq_codel.hh"
+#include "aqm/xcp_router.hh"
+
+namespace remy::aqm {
+
+namespace {
+
+CodelParams codel_params(const cc::Params& p) {
+  CodelParams cp;
+  cp.target_ms = p.number("target", cp.target_ms);
+  cp.interval_ms = p.number("interval", cp.interval_ms);
+  return cp;
+}
+
+}  // namespace
+
+void register_builtin_queues(cc::Registry& registry) {
+  registry.register_queue(
+      "droptail", "tail-drop FIFO [capacity (pkts; 0 = unlimited)]",
+      [](const cc::Params& p) {
+        return std::make_unique<DropTail>(p.capacity("capacity", 1000));
+      });
+  registry.register_queue(
+      "red",
+      "Random Early Detection [min_th, max_th, max_p, wq, ecn, capacity]",
+      [](const cc::Params& p) {
+        RedParams rp;
+        rp.min_threshold_packets = p.number("min_th", rp.min_threshold_packets);
+        rp.max_threshold_packets = p.number("max_th", rp.max_threshold_packets);
+        rp.max_probability = p.number("max_p", rp.max_probability);
+        rp.ewma_weight = p.number("wq", rp.ewma_weight);
+        rp.ecn = p.flag("ecn", rp.ecn);
+        rp.capacity_packets = p.capacity("capacity", rp.capacity_packets);
+        return std::make_unique<Red>(rp);
+      });
+  registry.register_queue(
+      "codel", "CoDel AQM [target (ms), interval (ms), capacity]",
+      [](const cc::Params& p) {
+        return std::make_unique<Codel>(
+            codel_params(p),
+            p.capacity("capacity", std::numeric_limits<std::size_t>::max()));
+      });
+  registry.register_queue(
+      "sfqcodel",
+      "stochastic fair queueing + per-bin CoDel [target, interval, bins, "
+      "quantum, capacity]",
+      [](const cc::Params& p) {
+        SfqCodelParams sp;
+        sp.codel = codel_params(p);
+        sp.num_bins =
+            static_cast<std::size_t>(p.integer("bins", static_cast<std::int64_t>(sp.num_bins)));
+        sp.quantum_bytes = static_cast<std::uint32_t>(
+            p.integer("quantum", sp.quantum_bytes));
+        sp.capacity_packets = p.capacity("capacity", sp.capacity_packets);
+        return std::make_unique<SfqCodel>(sp);
+      });
+  registry.register_queue(
+      "ecn", "DCTCP marking-threshold gateway [k (pkts), capacity]",
+      [](const cc::Params& p) {
+        return std::make_unique<EcnThreshold>(
+            static_cast<std::size_t>(p.integer("k", 65)),
+            p.capacity("capacity", 1000));
+      });
+  registry.register_queue(
+      "xcp", "XCP router [alpha, beta, gamma, interval (ms), capacity]",
+      [](const cc::Params& p) {
+        XcpParams xp;
+        xp.alpha = p.number("alpha", xp.alpha);
+        xp.beta = p.number("beta", xp.beta);
+        xp.gamma = p.number("gamma", xp.gamma);
+        xp.initial_interval_ms = p.number("interval", xp.initial_interval_ms);
+        xp.capacity_packets = p.capacity("capacity", xp.capacity_packets);
+        return std::make_unique<XcpRouter>(xp);
+      });
+}
+
+}  // namespace remy::aqm

@@ -1,0 +1,12 @@
+// Registration of this layer's queue disciplines into the cc::Registry:
+// droptail, red, codel, sfqcodel, ecn (DCTCP threshold gateway), xcp.
+// Called by core::install_builtin_schemes().
+#pragma once
+
+#include "cc/registry.hh"
+
+namespace remy::aqm {
+
+void register_builtin_queues(cc::Registry& registry);
+
+}  // namespace remy::aqm

@@ -1,0 +1,296 @@
+#include "cc/registry.hh"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+
+#include "cc/compound.hh"
+#include "cc/cubic.hh"
+#include "cc/newreno.hh"
+#include "cc/vegas.hh"
+#include "cc/window_sender.hh"
+
+namespace remy::cc {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return std::string{s};
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw RegistryError{"bad spec \"" + spec + "\": " + why};
+}
+
+std::string known_names(
+    const std::vector<std::pair<std::string, std::string>>& list) {
+  std::string out;
+  for (const auto& [name, summary] : list) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+SpecKey SpecKey::parse(const std::string& spec) {
+  SpecKey out;
+  const auto colon = spec.find(':');
+  out.name = trim(std::string_view{spec}.substr(0, colon));
+  if (out.name.empty()) bad_spec(spec, "empty name");
+  if (colon == std::string::npos) return out;
+
+  std::string_view rest = std::string_view{spec}.substr(colon + 1);
+  if (trim(rest).empty()) bad_spec(spec, "trailing ':' without parameters");
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec(spec, "parameter \"" + trim(item) + "\" is not key=value");
+    }
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key.empty()) bad_spec(spec, "empty parameter key");
+    for (const auto& [k, v] : out.params) {
+      if (k == key) bad_spec(spec, "duplicate parameter key \"" + key + "\"");
+    }
+    out.params.emplace_back(key, value);
+  }
+  return out;
+}
+
+std::string SpecKey::canonical() const {
+  std::string out = name;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += params[i].first;
+    out += '=';
+    out += params[i].second;
+  }
+  return out;
+}
+
+Params::Params(SpecKey key) : key_{std::move(key)} {
+  used_.assign(key_.params.size(), false);
+}
+
+const std::string* Params::find(const std::string& key) const noexcept {
+  for (std::size_t i = 0; i < key_.params.size(); ++i) {
+    if (key_.params[i].first == key) {
+      used_[i] = true;
+      return &key_.params[i].second;
+    }
+  }
+  return nullptr;
+}
+
+bool Params::has(const std::string& key) const noexcept {
+  return find(key) != nullptr;
+}
+
+double Params::number(const std::string& key, double fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t end = 0;
+    const double out = std::stod(*v, &end);
+    if (end != v->size()) throw std::invalid_argument{""};
+    return out;
+  } catch (const std::exception&) {
+    throw RegistryError{"\"" + key_.name + "\": parameter " + key +
+                        ": not a number: \"" + *v + "\""};
+  }
+}
+
+std::int64_t Params::integer(const std::string& key,
+                             std::int64_t fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw RegistryError{"\"" + key_.name + "\": parameter " + key +
+                        ": not an integer: \"" + *v + "\""};
+  }
+  return out;
+}
+
+std::size_t Params::capacity(const std::string& key,
+                             std::size_t fallback) const {
+  if (!has(key)) return fallback;
+  const std::int64_t v = integer(key, 0);
+  if (v < 0) {
+    throw RegistryError{"\"" + key_.name + "\": parameter " + key +
+                        ": negative capacity"};
+  }
+  if (v == 0) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(v);
+}
+
+bool Params::flag(const std::string& key, bool fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  throw RegistryError{"\"" + key_.name + "\": parameter " + key +
+                      ": not a boolean: \"" + *v + "\""};
+}
+
+std::string Params::str(const std::string& key,
+                        const std::string& fallback) const {
+  const std::string* v = find(key);
+  return v == nullptr ? fallback : *v;
+}
+
+void Params::finish() const {
+  std::string unknown;
+  for (std::size_t i = 0; i < key_.params.size(); ++i) {
+    if (used_[i]) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += key_.params[i].first;
+  }
+  if (!unknown.empty()) {
+    throw RegistryError{"\"" + key_.name + "\": unknown parameter(s): " +
+                        unknown};
+  }
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::register_scheme(const std::string& name,
+                               const std::string& summary,
+                               SchemeBuilder builder) {
+  const auto [it, inserted] =
+      schemes_.emplace(name, Entry{summary, std::move(builder), {}});
+  if (!inserted) {
+    throw RegistryError{"duplicate scheme registration: \"" + name + "\""};
+  }
+}
+
+void Registry::register_queue(const std::string& name,
+                              const std::string& summary,
+                              QueueBuilder builder) {
+  const auto [it, inserted] =
+      queues_.emplace(name, Entry{summary, {}, std::move(builder)});
+  if (!inserted) {
+    throw RegistryError{"duplicate queue registration: \"" + name + "\""};
+  }
+}
+
+bool Registry::has_scheme(const std::string& name) const noexcept {
+  return schemes_.contains(name);
+}
+
+bool Registry::has_queue(const std::string& name) const noexcept {
+  return queues_.contains(name);
+}
+
+SchemeHandle Registry::scheme(const std::string& spec) const {
+  const SpecKey key = SpecKey::parse(spec);
+  const auto it = schemes_.find(key.name);
+  if (it == schemes_.end()) {
+    throw RegistryError{"unknown scheme \"" + key.name + "\" (known: " +
+                        known_names(scheme_list()) + ")"};
+  }
+  const Params params{key};
+  const std::string label = params.str("label", "");
+  SchemeHandle handle = it->second.scheme(params);
+  params.finish();
+  if (!label.empty()) handle.name = label;
+  handle.spec = key.canonical();
+  return handle;
+}
+
+std::vector<SchemeHandle> Registry::schemes(
+    const std::vector<std::string>& specs) const {
+  std::vector<SchemeHandle> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) out.push_back(scheme(s));
+  return out;
+}
+
+std::unique_ptr<sim::QueueDisc> Registry::queue(const std::string& spec) const {
+  const SpecKey key = SpecKey::parse(spec);
+  const auto it = queues_.find(key.name);
+  if (it == queues_.end()) {
+    throw RegistryError{"unknown queue disc \"" + key.name + "\" (known: " +
+                        known_names(queue_list()) + ")"};
+  }
+  const Params params{key};
+  auto out = it->second.queue(params);
+  params.finish();
+  return out;
+}
+
+std::function<std::unique_ptr<sim::QueueDisc>()> Registry::queue_factory(
+    const std::string& spec) const {
+  queue(spec);  // validate eagerly so errors surface at configuration time
+  return [this, spec] { return queue(spec); };
+}
+
+std::vector<std::pair<std::string, std::string>> Registry::scheme_list()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, entry] : schemes_) out.emplace_back(name, entry.summary);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Registry::queue_list() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, entry] : queues_) out.emplace_back(name, entry.summary);
+  return out;
+}
+
+TransportConfig transport_params(const Params& p) {
+  TransportConfig tc;
+  tc.initial_cwnd = p.number("init_cwnd", tc.initial_cwnd);
+  tc.min_rto_ms = p.number("min_rto", tc.min_rto_ms);
+  tc.segment_bytes = static_cast<std::uint32_t>(
+      p.integer("segment_bytes", tc.segment_bytes));
+  return tc;
+}
+
+void register_builtin_senders(Registry& registry) {
+  registry.register_scheme(
+      "newreno", "TCP NewReno (RFC 6582) over the shared SACK transport",
+      [](const Params& p) {
+        const TransportConfig tc = transport_params(p);
+        return SchemeHandle{
+            "newreno", [tc] { return std::make_unique<NewReno>(tc); }, {}};
+      });
+  registry.register_scheme(
+      "vegas", "TCP Vegas (delay-based; Brakmo & Peterson 1995)",
+      [](const Params& p) {
+        const TransportConfig tc = transport_params(p);
+        return SchemeHandle{
+            "vegas", [tc] { return std::make_unique<Vegas>(tc); }, {}};
+      });
+  registry.register_scheme(
+      "cubic", "TCP Cubic (Ha, Rhee & Xu 2008)", [](const Params& p) {
+        const TransportConfig tc = transport_params(p);
+        return SchemeHandle{
+            "cubic", [tc] { return std::make_unique<Cubic>(tc); }, {}};
+      });
+  registry.register_scheme(
+      "compound", "Compound TCP (Tan et al. 2006)", [](const Params& p) {
+        const TransportConfig tc = transport_params(p);
+        return SchemeHandle{
+            "compound", [tc] { return std::make_unique<Compound>(tc); }, {}};
+      });
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,152 @@
+// String-keyed registries of congestion-control schemes and queue
+// disciplines, so experiments are data rather than code.
+//
+// A *spec* is a compact string of the form
+//     name[:key=value[,key=value...]]
+// e.g. "cubic", "remy:delta=0.1", "red:min_th=5,max_th=15,ecn=true".
+// Every sender scheme and every queue disc registers a builder under its
+// name; builders receive the parsed, typed parameters and must consume
+// every key (unknown keys are an error, so typos fail fast instead of
+// silently running a default).
+//
+// The registry itself lives in the cc layer (it only depends on sim);
+// builders are contributed per layer: plain TCP senders here
+// (register_builtin_senders), queue discs by aqm, and composite schemes
+// that pair a sender with a gateway (xcp, cubic-sfqcodel, dctcp, remy)
+// by core::install_builtin_schemes(), which is the one call that wires
+// everything together.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/queue_disc.hh"
+#include "sim/sender.hh"
+
+namespace remy::cc {
+
+struct TransportConfig;
+
+/// Thrown on malformed specs, unknown names, bad or unknown parameters,
+/// duplicate registration, and (in require-tables mode) missing tables.
+class RegistryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed spec string: name plus key=value parameters in source order.
+struct SpecKey {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Parses "name:key=value,...". Throws RegistryError on empty names,
+  /// parameters without '=', empty keys, or duplicate keys.
+  static SpecKey parse(const std::string& spec);
+
+  /// Re-serializes as "name:key=value,..." (source parameter order).
+  std::string canonical() const;
+};
+
+/// Typed accessors over a spec's parameters. Reads mark keys as consumed;
+/// finish() rejects any key no accessor asked about.
+class Params {
+ public:
+  explicit Params(SpecKey key);
+
+  bool has(const std::string& key) const noexcept;
+  double number(const std::string& key, double fallback) const;
+  std::int64_t integer(const std::string& key, std::int64_t fallback) const;
+  /// Queue-capacity convention: 0 means unlimited.
+  std::size_t capacity(const std::string& key, std::size_t fallback) const;
+  bool flag(const std::string& key, bool fallback) const;
+  std::string str(const std::string& key, const std::string& fallback) const;
+
+  const std::string& scheme_name() const noexcept { return key_.name; }
+  /// Throws RegistryError naming every parameter nothing consumed.
+  void finish() const;
+
+ private:
+  const std::string* find(const std::string& key) const noexcept;
+
+  SpecKey key_;
+  mutable std::vector<bool> used_;
+};
+
+/// A scheme instance ready to run: a display name plus factories. The
+/// sender factory is called once per flow per run; make_queue, when set,
+/// overrides the scenario's default bottleneck discipline (router-assisted
+/// schemes bring their own gateway).
+struct SchemeHandle {
+  std::string name;
+  std::function<std::unique_ptr<sim::Sender>()> make_sender;
+  std::function<std::unique_ptr<sim::QueueDisc>()> make_queue;
+  std::string spec;  ///< canonical spec this handle was built from
+};
+
+class Registry {
+ public:
+  using SchemeBuilder = std::function<SchemeHandle(const Params&)>;
+  using QueueBuilder = std::function<std::unique_ptr<sim::QueueDisc>(const Params&)>;
+
+  /// The process-wide registry. Populated by core::install_builtin_schemes().
+  static Registry& global();
+
+  /// Registration; throws RegistryError on a duplicate name.
+  void register_scheme(const std::string& name, const std::string& summary,
+                       SchemeBuilder builder);
+  void register_queue(const std::string& name, const std::string& summary,
+                      QueueBuilder builder);
+
+  bool has_scheme(const std::string& name) const noexcept;
+  bool has_queue(const std::string& name) const noexcept;
+
+  /// Builds a scheme from a spec string. The reserved parameter
+  /// `label=<text>` overrides the display name of any scheme.
+  SchemeHandle scheme(const std::string& spec) const;
+  /// Builds every spec in a comma-free list (specs contain commas, so the
+  /// list is a vector, not a joined string).
+  std::vector<SchemeHandle> schemes(const std::vector<std::string>& specs) const;
+
+  /// Builds a queue disc instance from a spec string.
+  std::unique_ptr<sim::QueueDisc> queue(const std::string& spec) const;
+  /// Validates the spec now, returns a factory building fresh instances.
+  std::function<std::unique_ptr<sim::QueueDisc>()> queue_factory(
+      const std::string& spec) const;
+
+  /// (name, summary) pairs, sorted by name.
+  std::vector<std::pair<std::string, std::string>> scheme_list() const;
+  std::vector<std::pair<std::string, std::string>> queue_list() const;
+
+  /// Strict-table mode (--require-tables): when set, schemes that load
+  /// trained RemyCC tables throw instead of falling back to the untrained
+  /// single-rule table.
+  void set_require_tables(bool v) noexcept { require_tables_ = v; }
+  bool require_tables() const noexcept { return require_tables_; }
+
+ private:
+  struct Entry {
+    std::string summary;
+    SchemeBuilder scheme;
+    QueueBuilder queue;
+  };
+
+  std::map<std::string, Entry> schemes_;
+  std::map<std::string, Entry> queues_;
+  bool require_tables_ = false;
+};
+
+/// Shared transport-level parameters accepted by every sender scheme:
+/// init_cwnd (segments), min_rto (ms), segment_bytes.
+TransportConfig transport_params(const Params& p);
+
+/// Registers the plain end-to-end TCP senders that live in this layer:
+/// newreno, vegas, cubic, compound.
+void register_builtin_senders(Registry& registry);
+
+}  // namespace remy::cc

@@ -1,15 +1,17 @@
 #include "core/evaluator.hh"
 
 #include <algorithm>
+#include <limits>
 
-#include "aqm/droptail.hh"
-#include "core/remy_sender.hh"
+#include "cc/registry.hh"
+#include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
 
 namespace remy::core {
 
 Evaluator::Evaluator(const ConfigRange& range, EvaluatorOptions options)
     : range_{range}, options_{options} {
+  install_builtin_schemes();  // senders/queues are built through the registry
   util::Rng rng{options_.seed};
   specimens_.reserve(options_.num_specimens);
   seeds_.reserve(options_.num_specimens);
@@ -29,18 +31,21 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
   cfg.rtt_ms = config.rtt_ms;
   cfg.workload = config.workload();
   cfg.seed = seed;
-  cfg.queue_factory = [&config] {
-    return std::make_unique<aqm::DropTail>(config.buffer_packets);
-  };
+  // The specimen's gateway and senders are built through the same registry
+  // path the benchmarks use ("droptail:capacity=0" = unlimited).
+  const std::string queue_spec =
+      config.buffer_packets == std::numeric_limits<std::size_t>::max()
+          ? "droptail:capacity=0"
+          : "droptail:capacity=" + std::to_string(config.buffer_packets);
+  cfg.queue_factory = cc::Registry::global().queue_factory(queue_spec);
 
   // The tree outlives the simulation; alias it into a shared_ptr without
   // ownership so senders can share it.
   const std::shared_ptr<const WhiskerTree> shared{std::shared_ptr<void>{},
                                                   &tree};
-  sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<RemySender>(
-                          shared, cc::TransportConfig{}, usage);
-                    }};
+  const cc::SchemeHandle candidate =
+      remy_scheme_handle(shared, cc::TransportConfig{}, usage);
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return candidate.make_sender(); }};
   net.run_for_seconds(options_.simulation_ms / 1000.0);
 
   SpecimenResult out;

@@ -1,0 +1,387 @@
+#include "core/scenario_spec.hh"
+
+#include <initializer_list>
+#include <string_view>
+
+namespace remy::core {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonError;
+using util::JsonObject;
+
+namespace {
+
+/// Strictness: a document key no reader asked for is an error, so typos
+/// and bit-rotted specs fail fast instead of silently running defaults.
+void expect_keys(const Json& j, std::initializer_list<std::string_view> allowed,
+                 const char* context) {
+  for (const auto& [key, value] : j.as_object()) {
+    bool known = false;
+    for (const auto& a : allowed) known = known || key == a;
+    if (!known) {
+      throw JsonError{std::string{"scenario spec: unknown key \""} + key +
+                      "\" in " + context};
+    }
+  }
+}
+
+double get_number(const Json& j, std::string_view key, double fallback) {
+  return j.contains(key) ? j.at(key).as_number() : fallback;
+}
+
+std::string mode_name(sim::OnMode mode) {
+  switch (mode) {
+    case sim::OnMode::kAlwaysOn: return "always_on";
+    case sim::OnMode::kByTime: return "by_time";
+    case sim::OnMode::kByBytes: return "by_bytes";
+  }
+  throw JsonError{"scenario spec: bad OnMode"};
+}
+
+sim::OnMode mode_from_name(const std::string& name) {
+  if (name == "always_on") return sim::OnMode::kAlwaysOn;
+  if (name == "by_time") return sim::OnMode::kByTime;
+  if (name == "by_bytes") return sim::OnMode::kByBytes;
+  throw JsonError{"scenario spec: unknown workload mode \"" + name +
+                  "\" (want always_on | by_time | by_bytes)"};
+}
+
+}  // namespace
+
+// ---- DistSpec --------------------------------------------------------------
+
+workload::Distribution DistSpec::materialize() const {
+  switch (kind) {
+    case Kind::kConstant: return workload::Distribution::constant(a);
+    case Kind::kUniform: return workload::Distribution::uniform(a, b);
+    case Kind::kExponential: return workload::Distribution::exponential(a);
+    case Kind::kPareto: return workload::Distribution::pareto(a, b, c);
+    case Kind::kIcsi: return workload::Distribution::icsi_flow_lengths(a);
+  }
+  throw JsonError{"scenario spec: bad distribution kind"};
+}
+
+Json DistSpec::to_json() const {
+  JsonObject o;
+  switch (kind) {
+    case Kind::kConstant:
+      o["type"] = "constant";
+      o["value"] = a;
+      break;
+    case Kind::kUniform:
+      o["type"] = "uniform";
+      o["lo"] = a;
+      o["hi"] = b;
+      break;
+    case Kind::kExponential:
+      o["type"] = "exponential";
+      o["mean"] = a;
+      break;
+    case Kind::kPareto:
+      o["type"] = "pareto";
+      o["xm"] = a;
+      o["alpha"] = b;
+      o["shift"] = c;
+      break;
+    case Kind::kIcsi:
+      o["type"] = "icsi";
+      o["extra_bytes"] = a;
+      break;
+  }
+  return Json{std::move(o)};
+}
+
+DistSpec DistSpec::from_json(const Json& j) {
+  const std::string type = j.at("type").as_string();
+  if (type == "constant") {
+    expect_keys(j, {"type", "value"}, "distribution");
+    return constant(j.at("value").as_number());
+  }
+  if (type == "uniform") {
+    expect_keys(j, {"type", "lo", "hi"}, "distribution");
+    return uniform(j.at("lo").as_number(), j.at("hi").as_number());
+  }
+  if (type == "exponential") {
+    expect_keys(j, {"type", "mean"}, "distribution");
+    return exponential(j.at("mean").as_number());
+  }
+  if (type == "pareto") {
+    expect_keys(j, {"type", "xm", "alpha", "shift"}, "distribution");
+    return pareto(j.at("xm").as_number(), j.at("alpha").as_number(),
+                  get_number(j, "shift", 0.0));
+  }
+  if (type == "icsi") {
+    expect_keys(j, {"type", "extra_bytes"}, "distribution");
+    return icsi(get_number(j, "extra_bytes", 16384.0));
+  }
+  throw JsonError{"scenario spec: unknown distribution type \"" + type + "\""};
+}
+
+// ---- WorkloadSpec ----------------------------------------------------------
+
+sim::OnOffConfig WorkloadSpec::materialize() const {
+  switch (mode) {
+    case sim::OnMode::kAlwaysOn: return sim::OnOffConfig::always_on();
+    case sim::OnMode::kByTime:
+      return sim::OnOffConfig::by_time(on.materialize(), off.materialize());
+    case sim::OnMode::kByBytes:
+      return sim::OnOffConfig::by_bytes(on.materialize(), off.materialize());
+  }
+  throw JsonError{"scenario spec: bad workload mode"};
+}
+
+Json WorkloadSpec::to_json() const {
+  JsonObject o;
+  o["mode"] = mode_name(mode);
+  if (mode != sim::OnMode::kAlwaysOn) {
+    o["on"] = on.to_json();
+    o["off"] = off.to_json();
+  }
+  return Json{std::move(o)};
+}
+
+WorkloadSpec WorkloadSpec::from_json(const Json& j) {
+  expect_keys(j, {"mode", "on", "off"}, "workload");
+  WorkloadSpec out;
+  out.mode = mode_from_name(j.at("mode").as_string());
+  if (out.mode != sim::OnMode::kAlwaysOn) {
+    out.on = DistSpec::from_json(j.at("on"));
+    out.off = DistSpec::from_json(j.at("off"));
+  } else if (j.contains("on") || j.contains("off")) {
+    throw JsonError{"scenario spec: always_on workload takes no on/off"};
+  }
+  return out;
+}
+
+// ---- LinkSpec --------------------------------------------------------------
+
+namespace {
+
+trace::LteModelParams lte_params_for_preset(const std::string& preset) {
+  if (preset == "verizon") return trace::LteModelParams::verizon();
+  if (preset == "att") return trace::LteModelParams::att();
+  if (preset == "custom") return trace::LteModelParams{};
+  throw JsonError{"scenario spec: unknown LTE preset \"" + preset +
+                  "\" (want verizon | att | custom)"};
+}
+
+Json lte_params_json(const trace::LteModelParams& p) {
+  JsonObject o;
+  o["mean_rate_mbps"] = p.mean_rate_mbps;
+  o["log_sigma"] = p.log_sigma;
+  o["correlation_ms"] = p.correlation_ms;
+  o["max_rate_mbps"] = p.max_rate_mbps;
+  o["outage_per_second"] = p.outage_per_second;
+  o["outage_mean_ms"] = p.outage_mean_ms;
+  o["step_ms"] = p.step_ms;
+  return Json{std::move(o)};
+}
+
+trace::LteModelParams lte_params_from_json(const Json& j,
+                                           trace::LteModelParams base) {
+  expect_keys(j,
+              {"mean_rate_mbps", "log_sigma", "correlation_ms",
+               "max_rate_mbps", "outage_per_second", "outage_mean_ms",
+               "step_ms"},
+              "link.params");
+  base.mean_rate_mbps = get_number(j, "mean_rate_mbps", base.mean_rate_mbps);
+  base.log_sigma = get_number(j, "log_sigma", base.log_sigma);
+  base.correlation_ms = get_number(j, "correlation_ms", base.correlation_ms);
+  base.max_rate_mbps = get_number(j, "max_rate_mbps", base.max_rate_mbps);
+  base.outage_per_second =
+      get_number(j, "outage_per_second", base.outage_per_second);
+  base.outage_mean_ms = get_number(j, "outage_mean_ms", base.outage_mean_ms);
+  base.step_ms = get_number(j, "step_ms", base.step_ms);
+  return base;
+}
+
+}  // namespace
+
+LinkSpec LinkSpec::lte_preset(const std::string& preset_name,
+                              std::uint64_t seed) {
+  LinkSpec out;
+  out.kind = Kind::kLte;
+  out.preset = preset_name;
+  out.lte = lte_params_for_preset(preset_name);
+  out.trace_seed = seed;
+  return out;
+}
+
+Json LinkSpec::to_json() const {
+  JsonObject o;
+  if (kind == Kind::kFixed) {
+    o["kind"] = "fixed";
+    return Json{std::move(o)};
+  }
+  o["kind"] = "lte";
+  o["preset"] = preset;
+  o["trace_seed"] = trace_seed;
+  o["trace_duration_ms"] = trace_duration_ms;
+  o["params"] = lte_params_json(lte);
+  return Json{std::move(o)};
+}
+
+LinkSpec LinkSpec::from_json(const Json& j) {
+  LinkSpec out;
+  const std::string kind = j.at("kind").as_string();
+  if (kind == "fixed") {
+    expect_keys(j, {"kind"}, "link");
+    out.kind = Kind::kFixed;
+    return out;
+  }
+  if (kind != "lte") {
+    throw JsonError{"scenario spec: unknown link kind \"" + kind +
+                    "\" (want fixed | lte)"};
+  }
+  expect_keys(j, {"kind", "preset", "trace_seed", "trace_duration_ms", "params"},
+              "link");
+  out.kind = Kind::kLte;
+  out.preset = j.contains("preset") ? j.at("preset").as_string() : "custom";
+  out.lte = lte_params_for_preset(out.preset);
+  if (j.contains("params")) {
+    out.lte = lte_params_from_json(j.at("params"), out.lte);
+  }
+  out.trace_seed = j.contains("trace_seed")
+                       ? static_cast<std::uint64_t>(j.at("trace_seed").as_number())
+                       : 777;
+  out.trace_duration_ms = get_number(j, "trace_duration_ms", 300'000.0);
+  return out;
+}
+
+bool operator==(const LinkSpec& a, const LinkSpec& b) {
+  return a.to_json() == b.to_json();
+}
+
+// ---- ScenarioSpec ----------------------------------------------------------
+
+Json ScenarioSpec::to_json() const {
+  JsonObject topology;
+  topology["num_senders"] = num_senders;
+  topology["link_mbps"] = link_mbps;
+  topology["rtt_ms"] = rtt_ms;
+  if (!flow_rtts.empty()) {
+    JsonArray rtts;
+    for (const double r : flow_rtts) rtts.emplace_back(r);
+    topology["flow_rtts"] = std::move(rtts);
+  }
+
+  JsonObject o;
+  o["name"] = name;
+  if (!title.empty()) o["title"] = title;
+  o["topology"] = std::move(topology);
+  o["link"] = link.to_json();
+  o["workload"] = workload.to_json();
+  o["queue"] = queue;
+  o["duration_s"] = duration_s;
+  o["runs"] = runs;
+  o["seed0"] = seed0;
+  if (!schemes.empty()) {
+    JsonArray a;
+    for (const auto& s : schemes) a.emplace_back(s);
+    o["schemes"] = std::move(a);
+  }
+  if (!flow_schemes.empty()) {
+    JsonArray a;
+    for (const auto& s : flow_schemes) a.emplace_back(s);
+    o["flow_schemes"] = std::move(a);
+  }
+  if (!references.empty()) {
+    JsonArray a;
+    for (const auto& s : references) a.emplace_back(s);
+    o["references"] = std::move(a);
+  }
+  o["ellipse_sigma"] = ellipse_sigma;
+  if (smoke.has_value()) {
+    JsonObject s;
+    if (smoke->runs.has_value()) s["runs"] = *smoke->runs;
+    if (smoke->duration_s.has_value()) s["duration_s"] = *smoke->duration_s;
+    o["smoke"] = std::move(s);
+  }
+  return Json{std::move(o)};
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j) {
+  expect_keys(j,
+              {"name", "title", "topology", "link", "workload", "queue",
+               "duration_s", "runs", "seed0", "schemes", "flow_schemes",
+               "references", "ellipse_sigma", "smoke"},
+              "scenario");
+  ScenarioSpec out;
+  out.name = j.at("name").as_string();
+  if (j.contains("title")) out.title = j.at("title").as_string();
+
+  const Json& topology = j.at("topology");
+  expect_keys(topology, {"num_senders", "link_mbps", "rtt_ms", "flow_rtts"},
+              "topology");
+  out.num_senders =
+      static_cast<std::size_t>(topology.at("num_senders").as_number());
+  if (out.num_senders == 0) {
+    throw JsonError{"scenario spec: num_senders must be positive"};
+  }
+  out.link_mbps = topology.at("link_mbps").as_number();
+  out.rtt_ms = topology.at("rtt_ms").as_number();
+  if (topology.contains("flow_rtts")) {
+    for (const auto& r : topology.at("flow_rtts").as_array()) {
+      out.flow_rtts.push_back(r.as_number());
+    }
+  }
+
+  if (j.contains("link")) out.link = LinkSpec::from_json(j.at("link"));
+  out.workload = WorkloadSpec::from_json(j.at("workload"));
+  if (j.contains("queue")) out.queue = j.at("queue").as_string();
+  out.duration_s = j.at("duration_s").as_number();
+  out.runs = static_cast<std::size_t>(j.at("runs").as_number());
+  out.seed0 = static_cast<std::uint64_t>(get_number(j, "seed0", 1000.0));
+  if (j.contains("schemes")) {
+    for (const auto& s : j.at("schemes").as_array()) {
+      out.schemes.push_back(s.as_string());
+    }
+  }
+  if (j.contains("flow_schemes")) {
+    for (const auto& s : j.at("flow_schemes").as_array()) {
+      out.flow_schemes.push_back(s.as_string());
+    }
+  }
+  if (out.schemes.empty() && out.flow_schemes.empty()) {
+    throw JsonError{"scenario spec \"" + out.name +
+                    "\": needs schemes or flow_schemes"};
+  }
+  if (j.contains("references")) {
+    for (const auto& s : j.at("references").as_array()) {
+      out.references.push_back(s.as_string());
+    }
+  }
+  out.ellipse_sigma = get_number(j, "ellipse_sigma", 1.0);
+  if (j.contains("smoke")) {
+    const Json& s = j.at("smoke");
+    expect_keys(s, {"runs", "duration_s"}, "smoke");
+    Smoke smoke;
+    if (s.contains("runs")) {
+      smoke.runs = static_cast<std::size_t>(s.at("runs").as_number());
+    }
+    if (s.contains("duration_s")) {
+      smoke.duration_s = s.at("duration_s").as_number();
+    }
+    out.smoke = smoke;
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  try {
+    return from_json(util::json_from_file(path));
+  } catch (const JsonError& e) {
+    throw JsonError{path + ": " + e.what()};
+  }
+}
+
+void ScenarioSpec::save(const std::string& path) const {
+  util::json_to_file(to_json(), path);
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.to_json() == b.to_json();
+}
+
+}  // namespace remy::core

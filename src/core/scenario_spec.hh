@@ -1,0 +1,142 @@
+// Declarative experiment description: everything a benchmark run needs —
+// topology, link (fixed-rate or synthetic LTE trace), workload, default
+// queue disc, duration/runs/seeds, scheme set — as a value type that
+// round-trips through JSON bit-identically, so any experiment can be
+// saved under data/scenarios/, diffed, and replayed.
+//
+// Schemes and queue discs are referenced by registry spec strings
+// ("remy:delta=0.1", "droptail:capacity=1000"); the bench harness and the
+// remy-run driver materialize them through cc::Registry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/flow_scheduler.hh"
+#include "trace/lte_model.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+/// A serializable sampling distribution (mirrors workload::Distribution's
+/// constructors; that class is deliberately opaque, this one is data).
+struct DistSpec {
+  enum class Kind { kConstant, kUniform, kExponential, kPareto, kIcsi };
+  Kind kind = Kind::kConstant;
+  double a = 0.0;  ///< constant: value; uniform: lo; exponential: mean; pareto: xm; icsi: extra_bytes
+  double b = 0.0;  ///< uniform: hi; pareto: alpha
+  double c = 0.0;  ///< pareto: shift
+
+  static DistSpec constant(double value) { return {Kind::kConstant, value, 0, 0}; }
+  static DistSpec uniform(double lo, double hi) { return {Kind::kUniform, lo, hi, 0}; }
+  static DistSpec exponential(double mean) { return {Kind::kExponential, mean, 0, 0}; }
+  static DistSpec pareto(double xm, double alpha, double shift = 0.0) {
+    return {Kind::kPareto, xm, alpha, shift};
+  }
+  static DistSpec icsi(double extra_bytes = 16384.0) {
+    return {Kind::kIcsi, extra_bytes, 0, 0};
+  }
+
+  workload::Distribution materialize() const;
+  util::Json to_json() const;
+  static DistSpec from_json(const util::Json& j);
+
+  friend bool operator==(const DistSpec&, const DistSpec&) = default;
+};
+
+/// The on/off traffic model (Sec. 3.2).
+struct WorkloadSpec {
+  sim::OnMode mode = sim::OnMode::kAlwaysOn;
+  DistSpec on;   ///< by_time: on ms; by_bytes: transfer bytes. Unused always-on.
+  DistSpec off;  ///< off ms. Unused always-on.
+
+  static WorkloadSpec always_on() { return {}; }
+  static WorkloadSpec by_time(DistSpec on_ms, DistSpec off_ms) {
+    return {sim::OnMode::kByTime, on_ms, off_ms};
+  }
+  static WorkloadSpec by_bytes(DistSpec bytes, DistSpec off_ms) {
+    return {sim::OnMode::kByBytes, bytes, off_ms};
+  }
+
+  sim::OnOffConfig materialize() const;
+  util::Json to_json() const;
+  static WorkloadSpec from_json(const util::Json& j);
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// The bottleneck link: a fixed-rate link (rate given by the topology's
+/// link_mbps) or a trace-driven cellular link generated from the synthetic
+/// LTE model. The trace is generated once per experiment from trace_seed
+/// and replayed cyclically, so every scheme and run sees identical link
+/// behavior (the paper's methodology).
+struct LinkSpec {
+  enum class Kind { kFixed, kLte };
+  Kind kind = Kind::kFixed;
+  std::string preset = "verizon";  ///< "verizon" | "att" | "custom"
+  trace::LteModelParams lte{};     ///< effective parameters (preset-resolved)
+  double trace_duration_ms = 300'000.0;
+  std::uint64_t trace_seed = 777;
+
+  static LinkSpec fixed() { return {}; }
+  static LinkSpec lte_preset(const std::string& preset_name,
+                             std::uint64_t seed = 777);
+
+  util::Json to_json() const;
+  static LinkSpec from_json(const util::Json& j);
+
+  friend bool operator==(const LinkSpec&, const LinkSpec&);
+};
+
+struct ScenarioSpec {
+  std::string name;   ///< file-stem identity, e.g. "fig4_dumbbell8"
+  std::string title;  ///< banner line, e.g. "Figure 4: ..."
+
+  // Topology.
+  std::size_t num_senders = 2;
+  double link_mbps = 15.0;
+  double rtt_ms = 150.0;
+  std::vector<double> flow_rtts;  ///< optional per-flow RTT overrides
+
+  LinkSpec link;
+  WorkloadSpec workload;
+  /// Default bottleneck discipline (registry queue spec); schemes with
+  /// their own gateway override it.
+  std::string queue = "droptail:capacity=1000";
+
+  double duration_s = 100.0;
+  std::size_t runs = 16;
+  std::uint64_t seed0 = 1000;
+
+  /// Scheme spec strings run one-at-a-time, each over all runs.
+  std::vector<std::string> schemes;
+  /// When non-empty: a single mixed experiment instead — flow i runs
+  /// flow_schemes[i % size] (competing-protocols scenarios).
+  std::vector<std::string> flow_schemes;
+  /// Reference schemes (display names) for the speedup table; empty: none.
+  std::vector<std::string> references;
+  double ellipse_sigma = 1.0;  ///< k-sigma of the printed ellipses
+
+  /// Reduced settings applied by --smoke (absent fields fall back to
+  /// 1 run x 1 s).
+  struct Smoke {
+    std::optional<std::size_t> runs;
+    std::optional<double> duration_s;
+    friend bool operator==(const Smoke&, const Smoke&) = default;
+  };
+  std::optional<Smoke> smoke;
+
+  util::Json to_json() const;
+  /// Strict: unknown keys anywhere in the document are an error, so a
+  /// misspelled field fails fast instead of silently running defaults.
+  static ScenarioSpec from_json(const util::Json& j);
+
+  static ScenarioSpec load(const std::string& path);
+  void save(const std::string& path) const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&);
+};
+
+}  // namespace remy::core

@@ -1,0 +1,163 @@
+#include "core/scheme_registry.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+
+#include "aqm/ecn_threshold.hh"
+#include "aqm/registry_queues.hh"
+#include "aqm/sfq_codel.hh"
+#include "aqm/xcp_router.hh"
+#include "cc/cubic.hh"
+#include "cc/dctcp.hh"
+#include "cc/xcp_sender.hh"
+#include "core/remy_sender.hh"
+
+namespace remy::core {
+
+namespace {
+
+/// A nested queue spec rides inside a scheme parameter value, where ','
+/// already separates the scheme's own parameters; ';' stands in for it
+/// (e.g. "remy:queue=red:min_th=5;max_th=15").
+std::string unescape_queue_spec(std::string spec) {
+  std::replace(spec.begin(), spec.end(), ';', ',');
+  return spec;
+}
+
+cc::SchemeHandle build_remy(const cc::Params& p) {
+  std::string table_name;
+  std::string display;
+  if (p.has("table")) {
+    table_name = p.str("table", "");
+    display = "remy-" + table_name;
+  } else {
+    const std::string delta = p.str("delta", "1");
+    table_name = "delta" + delta;
+    display = "remy-d" + delta;
+  }
+  cc::SchemeHandle handle = remy_scheme_handle(
+      load_remy_table(table_name), cc::transport_params(p), nullptr, display);
+  if (p.has("mask")) {
+    const std::string mask_str = p.str("mask", "");
+    if (mask_str.size() != kMemoryDims ||
+        mask_str.find_first_not_of("01") != std::string::npos) {
+      throw cc::RegistryError{
+          "\"remy\": parameter mask: want " + std::to_string(kMemoryDims) +
+          " chars of 0/1 (ack_ewma, send_ewma, rtt_ratio), got \"" +
+          mask_str + "\""};
+    }
+    std::array<bool, kMemoryDims> mask{};
+    for (std::size_t i = 0; i < kMemoryDims; ++i) mask[i] = mask_str[i] == '1';
+    const auto make_masked = [inner = handle.make_sender, mask] {
+      auto sender = inner();
+      static_cast<RemySender*>(sender.get())->set_signal_mask(mask);
+      return sender;
+    };
+    handle.make_sender = make_masked;
+  }
+  if (p.has("queue")) {
+    handle.make_queue = cc::Registry::global().queue_factory(
+        unescape_queue_spec(p.str("queue", "")));
+  }
+  return handle;
+}
+
+void register_composite_schemes(cc::Registry& registry) {
+  registry.register_scheme(
+      "remy",
+      "RemyCC table interpreter [delta=<d> | table=<name>, mask, queue, "
+      "min_rto, init_cwnd]",
+      build_remy);
+  registry.register_scheme(
+      "cubic-sfqcodel",
+      "Cubic over a stochastic-fair-queueing CoDel gateway [capacity, "
+      "target, interval]",
+      [](const cc::Params& p) {
+        const cc::TransportConfig tc = cc::transport_params(p);
+        aqm::SfqCodelParams sp;
+        sp.capacity_packets = p.capacity("capacity", 1000);
+        sp.codel.target_ms = p.number("target", sp.codel.target_ms);
+        sp.codel.interval_ms = p.number("interval", sp.codel.interval_ms);
+        return cc::SchemeHandle{
+            "cubic-sfqcodel",
+            [tc] { return std::make_unique<cc::Cubic>(tc); },
+            [sp] { return std::make_unique<aqm::SfqCodel>(sp); }};
+      });
+  registry.register_scheme(
+      "xcp", "XCP sender over an XCP router [capacity, alpha, beta]",
+      [](const cc::Params& p) {
+        const cc::TransportConfig tc = cc::transport_params(p);
+        aqm::XcpParams xp;
+        xp.alpha = p.number("alpha", xp.alpha);
+        xp.beta = p.number("beta", xp.beta);
+        xp.capacity_packets = p.capacity("capacity", 1000);
+        return cc::SchemeHandle{
+            "xcp", [tc] { return std::make_unique<cc::XcpSender>(tc); },
+            [xp] { return std::make_unique<aqm::XcpRouter>(xp); }};
+      });
+  registry.register_scheme(
+      "dctcp",
+      "DCTCP over a marking-threshold gateway [k (pkts), capacity, min_rto]",
+      [](const cc::Params& p) {
+        const cc::TransportConfig tc = cc::transport_params(p);
+        const auto k = static_cast<std::size_t>(p.integer("k", 65));
+        const std::size_t cap = p.capacity("capacity", 1000);
+        return cc::SchemeHandle{
+            "dctcp", [tc] { return std::make_unique<cc::Dctcp>(tc); },
+            [k, cap] { return std::make_unique<aqm::EcnThreshold>(k, cap); }};
+      });
+}
+
+}  // namespace
+
+void install_builtin_schemes() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    cc::Registry& registry = cc::Registry::global();
+    cc::register_builtin_senders(registry);
+    aqm::register_builtin_queues(registry);
+    register_composite_schemes(registry);
+  });
+}
+
+std::shared_ptr<const WhiskerTree> load_remy_table(const std::string& name) {
+  const std::string path =
+      std::string{REMY_DATA_DIR} + "/remycc/" + name + ".json";
+  if (std::filesystem::exists(path)) {
+    return std::make_shared<const WhiskerTree>(WhiskerTree::load(path));
+  }
+  if (cc::Registry::global().require_tables()) {
+    throw cc::RegistryError{"RemyCC table missing: " + path +
+                            " (require-tables mode; run examples/train_remycc "
+                            "or drop --require-tables)"};
+  }
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  {
+    const std::lock_guard<std::mutex> lock{mu};
+    if (warned.insert(name).second) {
+      std::fprintf(stderr,
+                   "warning: %s not found; using the untrained single-rule "
+                   "table (run examples/train_remycc to regenerate)\n",
+                   path.c_str());
+    }
+  }
+  return std::make_shared<const WhiskerTree>();
+}
+
+cc::SchemeHandle remy_scheme_handle(std::shared_ptr<const WhiskerTree> table,
+                                    cc::TransportConfig config,
+                                    UsageRecorder* usage, std::string name) {
+  cc::SchemeHandle handle;
+  handle.name = std::move(name);
+  handle.make_sender = [table = std::move(table), config, usage] {
+    return std::make_unique<RemySender>(table, config, usage);
+  };
+  return handle;
+}
+
+}  // namespace remy::core

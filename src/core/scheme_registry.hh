@@ -1,0 +1,37 @@
+// Wires the whole scheme/queue registry together (core is the only layer
+// that sees senders, gateways and RemyCC tables at once) and provides the
+// single path through which both training (core::Evaluator) and
+// benchmarking construct RemyCC senders.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/registry.hh"
+#include "cc/window_sender.hh"
+#include "core/whisker_tree.hh"
+
+namespace remy::core {
+
+/// Registers every built-in scheme and queue disc into
+/// cc::Registry::global(): the cc senders, the aqm queue discs, and the
+/// composite schemes defined here (cubic-sfqcodel, xcp, dctcp, remy).
+/// Idempotent; call before any registry lookup.
+void install_builtin_schemes();
+
+/// Loads a trained RemyCC table from data/remycc/<name>.json. When the file
+/// is missing: in require-tables mode (cc::Registry::global()) throws
+/// cc::RegistryError; otherwise warns once per table name and returns the
+/// untrained single-rule table.
+std::shared_ptr<const WhiskerTree> load_remy_table(const std::string& name);
+
+/// A RemyCC scheme handle around an in-memory table — the one sender
+/// construction path shared by the registry's "remy" builder, the bench
+/// harness, and the training Evaluator (which scores candidate tables that
+/// exist nowhere on disk).
+cc::SchemeHandle remy_scheme_handle(std::shared_ptr<const WhiskerTree> table,
+                                    cc::TransportConfig config = {},
+                                    UsageRecorder* usage = nullptr,
+                                    std::string name = "remy");
+
+}  // namespace remy::core

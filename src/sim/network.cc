@@ -15,7 +15,8 @@ TimeMs Network::horizon() const noexcept {
 
 bool Network::step() {
   const TimeMs t = horizon();
-  if (t == kNever) return false;
+  if (t == kNever) return false;  // an idle probe is not a run: add() stays legal
+  started_ = true;
   // A component must never schedule into the past; tolerate exact "now"
   // re-fires (same-instant cascades are legal and resolve in later steps).
   assert(t >= now_);
@@ -35,6 +36,7 @@ bool Network::step() {
 }
 
 void Network::run_until(TimeMs end) {
+  started_ = true;
   while (true) {
     const TimeMs t = horizon();
     if (t > end) break;  // also covers kNever

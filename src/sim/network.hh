@@ -2,6 +2,7 @@
 // and ticks every component due at that instant, until the horizon.
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/component.hh"
@@ -11,8 +12,17 @@ namespace remy::sim {
 class Network {
  public:
   /// Registers a component (not owned). All registration must happen before
-  /// the first run call.
-  void add(SimObject& obj) { objects_.push_back(&obj); }
+  /// the first run call — a late joiner would silently miss events already
+  /// scheduled, so this throws once anything has run. (A step() that found
+  /// nothing pending doesn't count: nothing happened.)
+  void add(SimObject& obj) {
+    if (started_) {
+      throw std::logic_error{
+          "sim::Network::add called after the first run/step; all "
+          "registration must happen before the simulation starts"};
+    }
+    objects_.push_back(&obj);
+  }
 
   TimeMs now() const noexcept { return now_; }
 
@@ -34,6 +44,7 @@ class Network {
   std::vector<SimObject*> due_;  ///< scratch, reused across steps
   TimeMs now_ = 0.0;
   std::uint64_t events_ = 0;
+  bool started_ = false;  ///< a run/step has happened; add() is now an error
 };
 
 }  // namespace remy::sim

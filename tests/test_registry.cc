@@ -1,0 +1,149 @@
+// The scheme/queue registry: spec parsing, typed parameters, error
+// handling (unknown scheme, malformed parameter, duplicate key), strict
+// table mode, and the built-in registrations.
+#include <gtest/gtest.h>
+
+#include "aqm/droptail.hh"
+#include "aqm/ecn_threshold.hh"
+#include "cc/registry.hh"
+#include "core/scheme_registry.hh"
+
+namespace remy::cc {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::install_builtin_schemes(); }
+};
+
+TEST_F(RegistryTest, ParseBareName) {
+  const SpecKey key = SpecKey::parse("cubic");
+  EXPECT_EQ(key.name, "cubic");
+  EXPECT_TRUE(key.params.empty());
+  EXPECT_EQ(key.canonical(), "cubic");
+}
+
+TEST_F(RegistryTest, ParseParamsKeepOrder) {
+  const SpecKey key = SpecKey::parse("red: min_th = 5 , max_th = 15");
+  EXPECT_EQ(key.name, "red");
+  ASSERT_EQ(key.params.size(), 2u);
+  EXPECT_EQ(key.params[0].first, "min_th");
+  EXPECT_EQ(key.params[0].second, "5");
+  EXPECT_EQ(key.canonical(), "red:min_th=5,max_th=15");
+}
+
+TEST_F(RegistryTest, ParseErrors) {
+  EXPECT_THROW(SpecKey::parse(""), RegistryError);
+  EXPECT_THROW(SpecKey::parse(":min_th=5"), RegistryError);
+  EXPECT_THROW(SpecKey::parse("red:"), RegistryError);
+  EXPECT_THROW(SpecKey::parse("red:min_th"), RegistryError);  // no '='
+  EXPECT_THROW(SpecKey::parse("red:=5"), RegistryError);      // empty key
+  // Duplicate parameter key.
+  EXPECT_THROW(SpecKey::parse("red:min_th=5,min_th=6"), RegistryError);
+}
+
+TEST_F(RegistryTest, UnknownSchemeNamesTheKnownOnes) {
+  try {
+    Registry::global().scheme("carrier-pigeon");
+    FAIL() << "expected RegistryError";
+  } catch (const RegistryError& e) {
+    EXPECT_NE(std::string{e.what()}.find("carrier-pigeon"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("cubic"), std::string::npos);
+  }
+}
+
+TEST_F(RegistryTest, UnknownParameterRejected) {
+  EXPECT_THROW(Registry::global().scheme("newreno:bogus=1"), RegistryError);
+  EXPECT_THROW(Registry::global().queue("droptail:bogus=1"), RegistryError);
+}
+
+TEST_F(RegistryTest, MalformedParameterValueRejected) {
+  EXPECT_THROW(Registry::global().scheme("newreno:min_rto=fast"),
+               RegistryError);
+  EXPECT_THROW(Registry::global().queue("droptail:capacity=many"),
+               RegistryError);
+  EXPECT_THROW(Registry::global().queue("red:ecn=maybe"), RegistryError);
+  EXPECT_THROW(Registry::global().queue("droptail:capacity=-1"),
+               RegistryError);
+}
+
+TEST_F(RegistryTest, DuplicateRegistrationThrows) {
+  Registry local;
+  local.register_scheme("x", "", [](const Params&) { return SchemeHandle{}; });
+  EXPECT_THROW(
+      local.register_scheme("x", "", [](const Params&) { return SchemeHandle{}; }),
+      RegistryError);
+  local.register_queue("q", "", [](const Params&) {
+    return std::make_unique<aqm::DropTail>(1);
+  });
+  EXPECT_THROW(local.register_queue("q", "",
+                                    [](const Params&) {
+                                      return std::make_unique<aqm::DropTail>(1);
+                                    }),
+               RegistryError);
+}
+
+TEST_F(RegistryTest, QueueParamsApplied) {
+  auto q = Registry::global().queue("droptail:capacity=7");
+  auto* dt = dynamic_cast<aqm::DropTail*>(q.get());
+  ASSERT_NE(dt, nullptr);
+  EXPECT_EQ(dt->capacity(), 7u);
+  // capacity=0 means unlimited.
+  auto unlimited = Registry::global().queue("droptail:capacity=0");
+  EXPECT_EQ(dynamic_cast<aqm::DropTail*>(unlimited.get())->capacity(),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(RegistryTest, SchemeDisplayNames) {
+  EXPECT_EQ(Registry::global().scheme("remy:delta=0.1").name, "remy-d0.1");
+  EXPECT_EQ(Registry::global().scheme("remy:table=coexist").name,
+            "remy-coexist");
+  EXPECT_EQ(Registry::global().scheme("cubic:label=my-cubic").name,
+            "my-cubic");
+  EXPECT_EQ(Registry::global().scheme("remy:delta=0.1").spec,
+            "remy:delta=0.1");
+}
+
+TEST_F(RegistryTest, RouterAssistedSchemesBringTheirQueue) {
+  EXPECT_TRUE(static_cast<bool>(Registry::global().scheme("xcp").make_queue));
+  EXPECT_TRUE(static_cast<bool>(
+      Registry::global().scheme("cubic-sfqcodel").make_queue));
+  EXPECT_TRUE(static_cast<bool>(Registry::global().scheme("dctcp").make_queue));
+  EXPECT_FALSE(static_cast<bool>(Registry::global().scheme("cubic").make_queue));
+  auto q = Registry::global().scheme("dctcp:k=3,capacity=9").make_queue();
+  EXPECT_NE(dynamic_cast<aqm::EcnThreshold*>(q.get()), nullptr);
+}
+
+TEST_F(RegistryTest, RemyMaskValidated) {
+  EXPECT_NO_THROW(Registry::global().scheme("remy:table=delta1,mask=011"));
+  EXPECT_THROW(Registry::global().scheme("remy:table=delta1,mask=01"),
+               RegistryError);
+  EXPECT_THROW(Registry::global().scheme("remy:table=delta1,mask=21x"),
+               RegistryError);
+}
+
+TEST_F(RegistryTest, RequireTablesFailsFastOnMissingTable) {
+  Registry& registry = Registry::global();
+  ASSERT_FALSE(registry.require_tables());
+  registry.set_require_tables(true);
+  EXPECT_THROW(registry.scheme("remy:table=definitely-not-a-table"),
+               RegistryError);
+  EXPECT_THROW(core::load_remy_table("definitely-not-a-table"), RegistryError);
+  registry.set_require_tables(false);
+  // Lenient mode: untrained single-rule fallback.
+  const auto table = core::load_remy_table("definitely-not-a-table");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->num_whiskers(), 1u);
+}
+
+TEST_F(RegistryTest, SenderFactoriesProduceFreshSenders) {
+  const SchemeHandle handle = Registry::global().scheme("newreno");
+  auto a = handle.make_sender();
+  auto b = handle.make_sender();
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace remy::cc

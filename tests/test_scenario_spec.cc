@@ -1,0 +1,135 @@
+// ScenarioSpec: JSON round-trip fidelity (spec -> JSON -> spec -> identical
+// results hash), strict parsing, and the shipped data/scenarios/ catalog.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bench/harness.hh"
+#include "core/scenario_spec.hh"
+#include "util/cli.hh"
+
+namespace remy::core {
+namespace {
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.title = "round-trip probe";
+  spec.num_senders = 2;
+  spec.link_mbps = 10.0;
+  spec.rtt_ms = 50.0;
+  spec.workload = WorkloadSpec::by_bytes(DistSpec::exponential(100e3),
+                                         DistSpec::exponential(500.0));
+  spec.queue = "droptail:capacity=1000";
+  spec.duration_s = 1.0;
+  spec.runs = 2;
+  spec.seed0 = 42;
+  spec.schemes = {"newreno", "cubic-sfqcodel"};
+  return spec;
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsIdentity) {
+  ScenarioSpec spec = tiny_spec();
+  spec.flow_rtts = {40.0, 60.0};
+  spec.references = {"newreno"};
+  spec.ellipse_sigma = 0.5;
+  spec.smoke = ScenarioSpec::Smoke{1, 0.25};
+  const util::Json j = spec.to_json();
+  const ScenarioSpec back = ScenarioSpec::from_json(j);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.to_json().dump(2), j.dump(2));
+}
+
+TEST(ScenarioSpec, LteLinkRoundTrips) {
+  ScenarioSpec spec = tiny_spec();
+  spec.link = LinkSpec::lte_preset("att", 123);
+  spec.link.lte.mean_rate_mbps = 7.5;  // an override survives the trip
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.link.kind, LinkSpec::Kind::kLte);
+  EXPECT_DOUBLE_EQ(back.link.lte.mean_rate_mbps, 7.5);
+  EXPECT_EQ(back.link.trace_seed, 123u);
+}
+
+TEST(ScenarioSpec, RoundTrippedSpecReplaysBitIdentically) {
+  const ScenarioSpec spec = tiny_spec();
+  const ScenarioSpec replay =
+      ScenarioSpec::from_json(ScenarioSpec::from_json(spec.to_json()).to_json());
+  const char* argv[] = {"prog"};
+  const util::Cli cli{1, argv};
+  const auto hash_of = [&](const ScenarioSpec& s) {
+    return bench::results_hash(bench::results_json(bench::execute_spec(s, cli)));
+  };
+  EXPECT_EQ(hash_of(spec), hash_of(replay));
+}
+
+TEST(ScenarioSpec, DifferentSeedChangesTheHash) {
+  const ScenarioSpec spec = tiny_spec();
+  ScenarioSpec other = spec;
+  other.seed0 = spec.seed0 + 1;
+  const char* argv[] = {"prog"};
+  const util::Cli cli{1, argv};
+  EXPECT_NE(
+      bench::results_hash(bench::results_json(bench::execute_spec(spec, cli))),
+      bench::results_hash(bench::results_json(bench::execute_spec(other, cli))));
+}
+
+TEST(ScenarioSpec, UnknownKeysRejected) {
+  util::Json j = tiny_spec().to_json();
+  j.as_object()["typo_field"] = 1;
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  util::Json nested = tiny_spec().to_json();
+  nested.as_object()["topology"].as_object()["bandwidth"] = 9;
+  EXPECT_THROW(ScenarioSpec::from_json(nested), util::JsonError);
+}
+
+TEST(ScenarioSpec, InvalidValuesRejected) {
+  util::Json no_schemes = tiny_spec().to_json();
+  no_schemes.as_object().erase("schemes");
+  EXPECT_THROW(ScenarioSpec::from_json(no_schemes), util::JsonError);
+
+  util::Json bad_mode = tiny_spec().to_json();
+  bad_mode.as_object()["workload"].as_object()["mode"] = "sometimes";
+  EXPECT_THROW(ScenarioSpec::from_json(bad_mode), util::JsonError);
+
+  util::Json bad_dist = tiny_spec().to_json();
+  bad_dist.as_object()["workload"].as_object()["on"].as_object()["type"] =
+      "gaussianish";
+  EXPECT_THROW(ScenarioSpec::from_json(bad_dist), util::JsonError);
+
+  util::Json zero_senders = tiny_spec().to_json();
+  zero_senders.as_object()["topology"].as_object()["num_senders"] = 0;
+  EXPECT_THROW(ScenarioSpec::from_json(zero_senders), util::JsonError);
+}
+
+TEST(ScenarioSpec, ShippedSpecsAllParseAndMatchTheirFilenames) {
+  const std::string dir = std::string{REMY_DATA_DIR} + "/scenarios";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    SCOPED_TRACE(entry.path().string());
+    const ScenarioSpec spec = ScenarioSpec::load(entry.path().string());
+    EXPECT_EQ(spec.name, entry.path().stem().string());
+    // Round-trip stability holds for every shipped spec.
+    EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()), spec);
+    // Every referenced scheme and queue builds through the registry.
+    core::install_builtin_schemes();
+    EXPECT_NO_THROW(cc::Registry::global().schemes(spec.schemes));
+    EXPECT_NO_THROW(cc::Registry::global().schemes(spec.flow_schemes));
+    EXPECT_NO_THROW(cc::Registry::global().queue(spec.queue));
+    ++count;
+  }
+  EXPECT_GE(count, 14u);  // the paper catalog plus the new scenarios
+}
+
+TEST(ScenarioSpec, PaperSchemesComeFromTheRegistry) {
+  const auto schemes = bench::paper_schemes();
+  ASSERT_EQ(schemes.size(), 9u);
+  EXPECT_EQ(schemes.front().spec, "newreno");
+  EXPECT_EQ(schemes.back().spec, "remy:delta=10");
+}
+
+}  // namespace
+}  // namespace remy::core

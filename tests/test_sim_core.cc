@@ -191,10 +191,41 @@ TEST(Network, StepReturnsFalseWhenIdle) {
   EXPECT_FALSE(net.step());
   Firecracker a;
   a.schedule = {1.0};
-  net.add(a);
+  net.add(a);  // legal: the idle probe above processed nothing
   EXPECT_TRUE(net.step());
   EXPECT_FALSE(net.step());
   EXPECT_EQ(net.events_processed(), 1u);
+}
+
+TEST(Network, AddAfterRunThrows) {
+  // "All registration must happen before the first run call" is enforced:
+  // a late joiner would silently miss already-scheduled events.
+  Network net;
+  Firecracker a;
+  a.schedule = {1.0};
+  net.add(a);
+  net.run_until(2.0);
+  Firecracker late;
+  EXPECT_THROW(net.add(late), std::logic_error);
+}
+
+TEST(Network, AddAfterStepThrows) {
+  Network net;
+  Firecracker a;
+  a.schedule = {1.0};
+  net.add(a);
+  ASSERT_TRUE(net.step());
+  Firecracker late;
+  EXPECT_THROW(net.add(late), std::logic_error);
+}
+
+TEST(Network, AddAfterEmptyRunUntilThrows) {
+  // run_until moves the clock even with no components; joining at t > 0
+  // is exactly the hazard the rule exists for.
+  Network net;
+  net.run_until(5.0);
+  Firecracker late;
+  EXPECT_THROW(net.add(late), std::logic_error);
 }
 
 TEST(Network, PipelineLinkIntoDelay) {
