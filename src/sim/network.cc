@@ -13,10 +13,7 @@ TimeMs Network::horizon() const noexcept {
   return t;
 }
 
-bool Network::step() {
-  const TimeMs t = horizon();
-  if (t == kNever) return false;  // an idle probe is not a run: add() stays legal
-  started_ = true;
+void Network::step_at(TimeMs t) {
   // A component must never schedule into the past; tolerate exact "now"
   // re-fires (same-instant cascades are legal and resolve in later steps).
   assert(t >= now_);
@@ -32,6 +29,13 @@ bool Network::step() {
     obj->tick(now_);
     ++events_;
   }
+}
+
+bool Network::step() {
+  const TimeMs t = horizon();
+  if (t == kNever) return false;  // an idle probe is not a run: add() stays legal
+  started_ = true;
+  step_at(t);
   return true;
 }
 
@@ -40,7 +44,7 @@ void Network::run_until(TimeMs end) {
   while (true) {
     const TimeMs t = horizon();
     if (t > end) break;  // also covers kNever
-    step();
+    step_at(t);
   }
   now_ = std::max(now_, end);
 }

@@ -40,6 +40,10 @@ class Network {
   /// Earliest pending event time across components, or kNever.
   TimeMs horizon() const noexcept;
 
+  /// Processes the event batch at `t`, a freshly computed horizon(). Split
+  /// out so run_until doesn't pay a second full horizon scan per batch.
+  void step_at(TimeMs t);
+
   std::vector<SimObject*> objects_;
   std::vector<SimObject*> due_;  ///< scratch, reused across steps
   TimeMs now_ = 0.0;
