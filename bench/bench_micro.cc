@@ -2,9 +2,17 @@
 // lookup, CoDel, the LTE trace generator, and one Remy evaluator step —
 // the costs behind the paper's "a few hours of wall-clock time
 // (one or two CPU-weeks)" search budget.
+//
+// Extra flag on top of the standard google-benchmark set:
+//   --json FILE   also write {benchmark name -> items/sec and counters} as
+//                 JSON, the format bench/record_bench.py archives and
+//                 bench/check_perf.py gates CI on.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "aqm/codel.hh"
 #include "aqm/droptail.hh"
@@ -13,6 +21,7 @@
 #include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
 #include "trace/lte_model.hh"
+#include "util/json.hh"
 
 using namespace remy;
 
@@ -22,6 +31,7 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   const auto senders = static_cast<std::size_t>(state.range(0));
   core::install_builtin_schemes();
   const cc::SchemeHandle scheme = cc::Registry::global().scheme("newreno");
+  std::uint64_t events = 0;
   for (auto _ : state) {
     sim::DumbbellConfig cfg;
     cfg.num_senders = senders;
@@ -32,11 +42,17 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
     cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
     sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
     net.run_for_seconds(1.0);
+    events += net.network().events_processed();
     benchmark::DoNotOptimize(net.metrics_raw().total_bytes());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  // Wall-clock event throughput: the direct measure of simulator speed the
+  // ROADMAP's "as fast as the hardware allows" target is judged by.
+  state.counters["sim_events_per_second"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(2)->Arg(8)->Arg(16);
+BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(2)->Arg(8)->Arg(16)->Arg(256)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WhiskerLookup(benchmark::State& state) {
   core::WhiskerTree tree;
@@ -106,6 +122,69 @@ void BM_RemyEvaluatorSpecimen(benchmark::State& state) {
 }
 BENCHMARK(BM_RemyEvaluatorSpecimen);
 
+/// Console output as usual, plus a machine-readable record of every run:
+/// name -> { items_per_second, real_time_s, iterations, counters... }.
+class JsonCaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    // Only fields stable across google-benchmark releases are read here
+    // (e.g. no error/skip flags: v1.8 renamed them).
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      util::JsonObject entry;
+      entry["iterations"] = static_cast<std::uint64_t>(run.iterations);
+      entry["real_time_s"] = run.real_accumulated_time;
+      for (const auto& [name, counter] : run.counters) {
+        entry[name] = static_cast<double>(counter);
+      }
+      benchmarks_[run.benchmark_name()] = util::Json{std::move(entry)};
+    }
+  }
+
+  util::Json document() const {
+    util::JsonObject doc;
+    doc["format"] = "remy-bench-results";
+    doc["version"] = 1;
+    doc["benchmarks"] = util::Json{benchmarks_};
+    return util::Json{std::move(doc)};
+  }
+
+ private:
+  util::JsonObject benchmarks_;
+};
+
+/// Pulls `--json FILE` / `--json=FILE` out of argv (google-benchmark rejects
+/// flags it doesn't know); returns the path, or empty if absent.
+std::string extract_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = extract_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    util::json_to_file(reporter.document(), json_path);
+    std::printf("bench results written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

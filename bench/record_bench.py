@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Record the repo's perf trajectory: run bench_micro and archive its JSON.
+
+Writes bench/BENCH_<date>.json (benchmark name -> items/sec and counters),
+so successive PRs leave a machine-readable record of simulator throughput.
+
+Usage:
+  bench/record_bench.py [--bin build/bench_micro] [--out bench/BENCH_<date>.json]
+                        [--filter REGEX] [--min-time SECONDS] [--label NOTE]
+"""
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", default=os.path.join(repo, "build", "bench_micro"),
+                        help="bench_micro binary (default: build/bench_micro)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: bench/BENCH_<date>.json)")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed through")
+    parser.add_argument("--min-time", default="0.5",
+                        help="--benchmark_min_time per case (default 0.5)")
+    parser.add_argument("--label", default="",
+                        help="free-form note stored in the file (e.g. 'pre-rewrite')")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.bin):
+        print(f"error: {args.bin} not found; build the 'bench' target first",
+              file=sys.stderr)
+        return 1
+
+    out = args.out or os.path.join(
+        repo, "bench", f"BENCH_{datetime.date.today().isoformat()}.json")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd = [args.bin, f"--benchmark_min_time={args.min_time}",
+               "--json", tmp_path]
+        if args.filter:
+            cmd.append(f"--benchmark_filter={args.filter}")
+        subprocess.run(cmd, check=True)
+        with open(tmp_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+    doc["date"] = datetime.date.today().isoformat()
+    if args.label:
+        doc["label"] = args.label
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"recorded {len(doc['benchmarks'])} benchmarks -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
