@@ -17,7 +17,7 @@ std::optional<sim::Packet> CodelState::pop(std::deque<sim::Packet>& fifo,
 
 bool CodelState::should_drop(const sim::Packet& p, std::size_t bytes,
                              sim::TimeMs now) {
-  const sim::TimeMs sojourn = now - p.enqueue_time;
+  const sim::TimeMs sojourn = now - sim::QueueDisc::queued_since(p);
   if (sojourn < params_.target_ms || bytes <= params_.mtu_bytes) {
     first_above_time_ = 0.0;
     return false;

@@ -46,12 +46,14 @@ void WindowSender::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
   next_send_ok_ = now;
   on_flow_start(now);
   maybe_send(now);
+  schedule_changed();  // called by the flow scheduler, not our own tick
 }
 
 void WindowSender::stop_flow(sim::TimeMs now) {
   (void)now;
   active_ = false;
   rto_deadline_ = sim::kNever;
+  schedule_changed();
 }
 
 void WindowSender::send_segment(sim::SeqNum seq, sim::TimeMs now,
@@ -130,7 +132,7 @@ void WindowSender::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
 void WindowSender::absorb_sack(const sim::Packet& ack) {
   // Mark advertised runs as delivered.
   for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
-    const auto [start, end] = ack.sack_blocks[i];
+    const auto [start, end] = ack.sack_block(i);
     for (sim::SeqNum s = std::max(start, cumulative_); s < end; ++s) {
       if (sacked_.insert(s).second) missing_.erase(s);
     }
@@ -215,9 +217,11 @@ void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
     active_ = false;
     rto_deadline_ = sim::kNever;
     if (observer() != nullptr) observer()->on_transfer_complete(flow_id(), now);
+    schedule_changed();
     return;
   }
   maybe_send(now);
+  schedule_changed();  // ACK ingress runs inside another component's tick
 }
 
 sim::TimeMs WindowSender::next_event_time() const {

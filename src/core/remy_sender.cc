@@ -1,6 +1,7 @@
 #include "core/remy_sender.hh"
 
 #include <stdexcept>
+#include <tuple>
 
 namespace remy::core {
 
@@ -25,12 +26,18 @@ void RemySender::on_ack_received(const AckInfo& info, sim::TimeMs now) {
                            signal_mask_[1] ? memory_.send_ewma() : 0.0,
                            signal_mask_[2] ? memory_.rtt_ratio() : 0.0};
   }
-  const Whisker& rule = tree_->lookup(lookup_memory);
+  if (cached_whisker_ == nullptr ||
+      cached_tree_generation_ != tree_->structure_generation() ||
+      !cached_whisker_->domain().contains(lookup_memory)) {
+    std::tie(cached_whisker_, cached_index_) =
+        tree_->lookup_with_index(lookup_memory);
+    cached_tree_generation_ = tree_->structure_generation();
+  }
   if (usage_ != nullptr) {
-    usage_->note(tree_->lookup_index(lookup_memory), lookup_memory);
+    usage_->note(cached_index_, lookup_memory);
   }
 
-  const Action& action = rule.action();
+  const Action& action = cached_whisker_->action();
   set_cwnd(action.apply_window(cwnd()));
   intersend_ms_ = action.intersend_ms;
 }

@@ -49,6 +49,15 @@ class RemySender : public cc::WindowSender {
   Memory memory_{};
   std::array<bool, kMemoryDims> signal_mask_{true, true, true};
   sim::TimeMs intersend_ms_ = 0.0;
+
+  // Last-whisker cache: consecutive ACKs usually land in the same rule cell,
+  // so remember the last hit and revalidate with one box-containment test
+  // instead of a tree descent + pointer hash. The structure generation is
+  // checked before the pointer is dereferenced, so a split/assignment on the
+  // tree (which destroys leaves) safely invalidates the cache.
+  const Whisker* cached_whisker_ = nullptr;
+  std::size_t cached_index_ = 0;
+  std::uint64_t cached_tree_generation_ = 0;
 };
 
 }  // namespace remy::core

@@ -41,6 +41,7 @@ WhiskerTree& WhiskerTree::operator=(const WhiskerTree& other) {
 }
 
 void WhiskerTree::rebuild_index() {
+  ++structure_generation_;
   leaves_.clear();
   index_of_.clear();
   // Iterative DFS keeps leaf order stable under subdivision-in-place.
@@ -85,6 +86,12 @@ const Whisker& WhiskerTree::lookup(const Memory& m) const {
 
 std::size_t WhiskerTree::lookup_index(const Memory& m) const {
   return index_of_.at(descend(m)->leaf.get());
+}
+
+std::pair<const Whisker*, std::size_t> WhiskerTree::lookup_with_index(
+    const Memory& m) const {
+  const Whisker* leaf = descend(m)->leaf.get();
+  return {leaf, index_of_.at(leaf)};
 }
 
 void WhiskerTree::for_each(const std::function<void(const Whisker&)>& fn) const {

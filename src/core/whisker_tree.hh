@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/whisker.hh"
@@ -31,6 +32,16 @@ class WhiskerTree {
   /// cell edge (only possible for signals beyond kMemoryUpperBound).
   const Whisker& lookup(const Memory& m) const;
   std::size_t lookup_index(const Memory& m) const;
+  /// Both in one descent (callers that record usage need leaf and index).
+  std::pair<const Whisker*, std::size_t> lookup_with_index(const Memory& m) const;
+
+  /// Bumped whenever the leaf set changes (split, assignment, load): lets
+  /// per-sender lookup caches validate a stored leaf pointer before
+  /// dereferencing it. Mutating a leaf's action does not count — cached
+  /// pointers observe it in place.
+  std::uint64_t structure_generation() const noexcept {
+    return structure_generation_;
+  }
 
   std::size_t num_whiskers() const noexcept { return leaves_.size(); }
   const Whisker& whisker(std::size_t index) const { return *leaves_.at(index); }
@@ -80,6 +91,7 @@ class WhiskerTree {
   std::unique_ptr<Node> root_;
   std::vector<Whisker*> leaves_;  ///< leaf whiskers in stable (DFS) order
   std::unordered_map<const Whisker*, std::size_t> index_of_;
+  std::uint64_t structure_generation_ = 0;
 };
 
 /// Per-simulation record of which whiskers fired and with what memories;

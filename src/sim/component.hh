@@ -1,13 +1,28 @@
 // The component model of the simulator.
 //
 // Every active element (sender, link, delay line, flow scheduler, ...)
-// exposes the time of its next self-scheduled event; the Network advances
-// the clock to the global minimum and ticks every component due at that
-// instant. Packet handoffs between components are direct synchronous calls
+// exposes the time of its next self-scheduled event; the Network keeps the
+// components indexed in a min-heap, advances the clock to the earliest
+// pending event, and ticks every component due at that instant. Packet
+// handoffs between components are direct synchronous calls
 // (PacketSink::accept), so same-instant pipelines need no event queue.
-// This is the original Remy simulator's design: allocation-free in the hot
-// loop and deterministic given a seed.
+//
+// Schedule-change protocol: after a component's own tick() the Network
+// re-reads next_event_time() automatically, but any *other* mutation that
+// may move the next event — a packet arriving via accept(), start_flow /
+// stop_flow from the flow scheduler, a transfer completing — must end with
+// a schedule_changed() call so the scheduler can re-index the component.
+// Detached components (unit tests driving tick()/accept() directly) have no
+// scheduler attached and schedule_changed() is a no-op, so every component
+// also works standalone.
+//
+// This keeps the original Remy simulator's hot loop allocation-free and
+// deterministic given a seed, while making per-event cost O(log n) in the
+// number of components instead of O(n).
 #pragma once
+
+#include <cstdint>
+#include <stdexcept>
 
 #include "sim/packet.hh"
 #include "sim/time.hh"
@@ -22,6 +37,15 @@ class PacketSink {
   virtual void accept(Packet&& packet, TimeMs now) = 0;
 };
 
+/// The scheduling half of the Network, as seen by components: a handle for
+/// publishing "my next_event_time() may have moved" without a full rescan.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Re-reads component `id`'s next_event_time() and re-indexes it.
+  virtual void reschedule(std::uint32_t id) = 0;
+};
+
 /// Anything that schedules its own future work.
 class SimObject {
  public:
@@ -33,6 +57,34 @@ class SimObject {
 
   /// Called when the clock reaches next_event_time().
   virtual void tick(TimeMs now) = 0;
+
+  /// Called once by the Network at registration; the id is the component's
+  /// stable index (registration order — also the FIFO tiebreak rank for
+  /// same-instant events). A component can belong to at most one Network.
+  void attach_scheduler(Scheduler* scheduler, std::uint32_t id) {
+    if (scheduler_ != nullptr) {
+      throw std::logic_error{
+          "SimObject: attached to a second Network; components cannot be "
+          "shared between simulations"};
+    }
+    scheduler_ = scheduler;
+    id_ = id;
+  }
+
+  /// Stable component id within its Network (0 until attached).
+  std::uint32_t component_id() const noexcept { return id_; }
+
+ protected:
+  /// Publishes a possible next_event_time() change to the scheduler (no-op
+  /// when detached). Call at the end of any externally-invoked mutation;
+  /// the Network re-reads the schedule after tick() on its own.
+  void schedule_changed() const {
+    if (scheduler_ != nullptr) scheduler_->reschedule(id_);
+  }
+
+ private:
+  Scheduler* scheduler_ = nullptr;
+  std::uint32_t id_ = 0;
 };
 
 }  // namespace remy::sim

@@ -4,6 +4,10 @@
 
 namespace remy::sim {
 
+namespace {
+constexpr TimeMs kNoOverride = -1.0;
+}  // namespace
+
 DelayLine::DelayLine(TimeMs delay_ms, PacketSink* downstream)
     : default_delay_{delay_ms}, downstream_{downstream} {
   if (delay_ms < 0) throw std::invalid_argument{"DelayLine: negative delay"};
@@ -12,16 +16,22 @@ DelayLine::DelayLine(TimeMs delay_ms, PacketSink* downstream)
 
 void DelayLine::set_flow_delay(FlowId flow, TimeMs delay_ms) {
   if (delay_ms < 0) throw std::invalid_argument{"DelayLine: negative delay"};
+  if (flow >= per_flow_delay_.size()) {
+    per_flow_delay_.resize(flow + 1, kNoOverride);
+  }
   per_flow_delay_[flow] = delay_ms;
 }
 
 TimeMs DelayLine::delay_for(FlowId flow) const noexcept {
-  const auto it = per_flow_delay_.find(flow);
-  return it == per_flow_delay_.end() ? default_delay_ : it->second;
+  if (flow < per_flow_delay_.size() && per_flow_delay_[flow] >= 0.0) {
+    return per_flow_delay_[flow];
+  }
+  return default_delay_;
 }
 
 void DelayLine::accept(Packet&& packet, TimeMs now) {
   heap_.push(Entry{now + delay_for(packet.flow), next_order_++, std::move(packet)});
+  schedule_changed();  // the new packet may be the earliest delivery
 }
 
 TimeMs DelayLine::next_event_time() const {

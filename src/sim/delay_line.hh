@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -44,7 +43,11 @@ class DelayLine final : public SimObject, public PacketSink {
 
   TimeMs default_delay_;
   PacketSink* downstream_;
-  std::map<FlowId, TimeMs> per_flow_delay_;
+  /// Flow-indexed override table (flow ids are dense, assigned 0..n-1 by the
+  /// topology); entries < 0 mean "use the default". Flat so the per-packet
+  /// delay lookup on accept() is one bounds check + one load, not a
+  /// red-black-tree walk.
+  std::vector<TimeMs> per_flow_delay_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_order_ = 0;
 };

@@ -71,6 +71,7 @@ void FlowScheduler::on_transfer_complete(FlowId flow, TimeMs now) {
   if (flow != sender_->flow_id()) return;
   if (!on_since_.has_value()) return;  // stale completion after stop_flow
   go_off(now);
+  schedule_changed();  // completions arrive from the sender's ACK path
 }
 
 void FlowScheduler::finish(TimeMs end_time) {

@@ -24,7 +24,10 @@ void Link::accept(Packet&& packet, TimeMs now) {
     configured_ = true;
   }
   queue_->enqueue(std::move(packet), now);
-  if (!in_flight_.has_value()) start_transmission(now);
+  if (!in_flight_.has_value()) {
+    start_transmission(now);
+    schedule_changed();  // an idle link just scheduled a completion
+  }
 }
 
 void Link::start_transmission(TimeMs now) {

@@ -1,33 +1,33 @@
 #include "sim/network.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace remy::sim {
 
-TimeMs Network::horizon() const noexcept {
-  TimeMs t = kNever;
-  for (const SimObject* obj : objects_) {
-    t = std::min(t, obj->next_event_time());
-  }
-  return t;
-}
-
-void Network::step_at(TimeMs t) {
+void Network::run_batch(TimeMs t) {
   // A component must never schedule into the past; tolerate exact "now"
   // re-fires (same-instant cascades are legal and resolve in later steps).
   assert(t >= now_);
   now_ = std::max(now_, t);
-  // Snapshot who is due before ticking: a tick may synchronously change
-  // other components' schedules (e.g. an ACK delivery re-arms a sender).
-  // Those run in a subsequent step at the same simulation time.
   due_.clear();
-  for (SimObject* obj : objects_) {
-    if (obj->next_event_time() <= now_) due_.push_back(obj);
+  while (!heap_.empty() && key_[heap_.front()] <= now_) {
+    due_.push_back(heap_.front());
+    pop_top();
   }
-  for (SimObject* obj : due_) {
-    obj->tick(now_);
+  // due_ is (key, id)-ordered from the heap; within one instant that is
+  // registration order — the old poll loop's FIFO tiebreak.
+  for (const std::uint32_t id : due_) {
+    objects_[id]->tick(now_);
     ++events_;
+  }
+  // Re-index the batch with fresh schedules. reschedule() calls for these
+  // ids were no-ops while they sat popped; this re-read picks up anything
+  // that happened to them mid-batch, before or after their own tick.
+  for (const std::uint32_t id : due_) {
+    key_[id] = objects_[id]->next_event_time();
+    pos_[id] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(id);
+    sift_up(heap_.size() - 1);
   }
 }
 
@@ -35,7 +35,7 @@ bool Network::step() {
   const TimeMs t = horizon();
   if (t == kNever) return false;  // an idle probe is not a run: add() stays legal
   started_ = true;
-  step_at(t);
+  run_batch(t);
   return true;
 }
 
@@ -44,7 +44,7 @@ void Network::run_until(TimeMs end) {
   while (true) {
     const TimeMs t = horizon();
     if (t > end) break;  // also covers kNever
-    step_at(t);
+    run_batch(t);
   }
   now_ = std::max(now_, end);
 }

@@ -1,7 +1,23 @@
-// The simulation engine: advances the clock to the earliest pending event
-// and ticks every component due at that instant, until the horizon.
+// The simulation engine: an event-driven scheduler over registered
+// components. An indexed binary min-heap keyed by (next event time,
+// component id) advances the clock to the earliest pending event and ticks
+// every component due at that instant, until the horizon.
+//
+// Cost model: one event batch costs O(k log n) for k due components instead
+// of the old poll-everything loop's O(n) scans; idle components (kNever)
+// sink to the bottom of the heap and cost nothing until they wake. The id
+// tiebreak preserves the poll loop's FIFO semantics exactly: same-instant
+// events fire in registration order.
+//
+// Schedule changes reach the heap two ways (see component.hh): the Network
+// re-reads next_event_time() after ticking a component, and components
+// publish out-of-tick changes (packet arrivals, flow starts) through their
+// Scheduler handle, which re-indexes just that component in O(log n).
 #pragma once
 
+#include <cassert>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -9,19 +25,33 @@
 
 namespace remy::sim {
 
-class Network {
+class Network final : public Scheduler {
  public:
-  /// Registers a component (not owned). All registration must happen before
-  /// the first run call — a late joiner would silently miss events already
-  /// scheduled, so this throws once anything has run. (A step() that found
-  /// nothing pending doesn't count: nothing happened.)
+  Network() = default;
+  // Registered components hold a raw Scheduler* back-pointer to this
+  // Network; moving or copying it would leave them publishing schedule
+  // changes to a stale address.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a component (not owned) and assigns it the next id. All
+  /// registration must happen before the first run call — a late joiner
+  /// would silently miss events already scheduled, so this throws once
+  /// anything has run. (A step() that found nothing pending doesn't count:
+  /// nothing happened.)
   void add(SimObject& obj) {
     if (started_) {
       throw std::logic_error{
           "sim::Network::add called after the first run/step; all "
           "registration must happen before the simulation starts"};
     }
+    const auto id = static_cast<std::uint32_t>(objects_.size());
+    obj.attach_scheduler(this, id);
     objects_.push_back(&obj);
+    key_.push_back(obj.next_event_time());
+    pos_.push_back(static_cast<std::uint32_t>(heap_.size()));
+    heap_.push_back(id);
+    sift_up(heap_.size() - 1);
   }
 
   TimeMs now() const noexcept { return now_; }
@@ -35,17 +65,99 @@ class Network {
   bool step();
 
   std::uint64_t events_processed() const noexcept { return events_; }
+  std::size_t num_components() const noexcept { return objects_.size(); }
+
+  // --- Scheduler ------------------------------------------------------------
+  /// Component `id` says its next_event_time() may have moved: refresh the
+  /// cached key and restore the heap around it. O(log n); O(1) when the key
+  /// is unchanged. Ignored while `id` sits popped in the current batch —
+  /// its schedule is re-read after its tick anyway.
+  void reschedule(std::uint32_t id) override {
+    assert(id < objects_.size());
+    if (pos_[id] == kNotInHeap) return;
+    const TimeMs t = objects_[id]->next_event_time();
+    if (t == key_[id]) return;
+    key_[id] = t;
+    const std::size_t i = pos_[id];
+    if (!sift_up(i)) sift_down(i);
+  }
 
  private:
-  /// Earliest pending event time across components, or kNever.
-  TimeMs horizon() const noexcept;
+  static constexpr std::uint32_t kNotInHeap =
+      std::numeric_limits<std::uint32_t>::max();
 
-  /// Processes the event batch at `t`, a freshly computed horizon(). Split
-  /// out so run_until doesn't pay a second full horizon scan per batch.
-  void step_at(TimeMs t);
+  /// Earliest pending event time, or kNever. O(1): the heap top.
+  TimeMs horizon() const noexcept {
+    return heap_.empty() ? kNever : key_[heap_.front()];
+  }
 
-  std::vector<SimObject*> objects_;
-  std::vector<SimObject*> due_;  ///< scratch, reused across steps
+  /// Heap order: earliest key first; registration id breaks ties, giving
+  /// deterministic FIFO batch order for same-instant events.
+  bool before(std::uint32_t a, std::uint32_t b) const noexcept {
+    return key_[a] < key_[b] || (key_[a] == key_[b] && a < b);
+  }
+
+  /// Moves heap slot `i` up while it beats its parent. Returns true if it
+  /// moved (then no sift_down is needed).
+  bool sift_up(std::size_t i) noexcept {
+    const std::uint32_t id = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(id, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = parent;
+      moved = true;
+    }
+    heap_[i] = id;
+    pos_[id] = static_cast<std::uint32_t>(i);
+    return moved;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::uint32_t id = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t best = 2 * i + 1;
+      if (best >= n) break;
+      const std::size_t right = best + 1;
+      if (right < n && before(heap_[right], heap_[best])) best = right;
+      if (!before(heap_[best], id)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = id;
+    pos_[id] = static_cast<std::uint32_t>(i);
+  }
+
+  /// Removes the top entry, marking it kNotInHeap (it is due for a tick).
+  void pop_top() noexcept {
+    pos_[heap_.front()] = kNotInHeap;
+    const std::uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      pos_[last] = 0;
+      sift_down(0);
+    }
+  }
+
+  /// Processes the event batch at horizon `t`: pops everything due, ticks
+  /// it in id order, then re-inserts with fresh schedules. Popping the whole
+  /// batch before ticking snapshots who is due — a tick may synchronously
+  /// change other components' schedules (e.g. an ACK delivery re-arms a
+  /// sender); components that became due during the batch run in a
+  /// subsequent step at the same simulation time, exactly like the original
+  /// poll loop.
+  void run_batch(TimeMs t);
+
+  std::vector<SimObject*> objects_;  ///< id -> component
+  std::vector<TimeMs> key_;          ///< id -> cached next event time
+  std::vector<std::uint32_t> heap_;  ///< binary min-heap of ids
+  std::vector<std::uint32_t> pos_;   ///< id -> heap slot, or kNotInHeap
+  std::vector<std::uint32_t> due_;   ///< scratch, reused across batches
   TimeMs now_ = 0.0;
   std::uint64_t events_ = 0;
   bool started_ = false;  ///< a run/step has happened; add() is now an error

@@ -4,10 +4,21 @@
 // with `is_ack` set); this keeps the pipeline element types uniform (one
 // DelayLine / queue implementation each) at the cost of a few unused fields
 // per direction, which is irrelevant for a simulator.
+//
+// Packets move by value through every pipeline element (delay-line heaps,
+// queue deques, sink handoffs), so the layout is size-budgeted and ordered
+// hot-to-cold: the sequencing/timestamp fields every element touches fill
+// the first cache line, flags follow, and the SACK scoreboard — only read
+// by senders in loss recovery — is the cold tail. SACK ranges are stored as
+// 32-bit offsets from `cumulative_ack` (a window never spans 2^32 segments)
+// at half the footprint of absolute ranges; use push_sack_block() /
+// sack_block() rather than touching the encoding directly.
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "sim/time.hh"
@@ -28,31 +39,39 @@ using SeqNum = std::uint64_t;
 /// `cwnd_bytes` and `rtt_ms`; routers overwrite `feedback_bytes`; the
 /// receiver echoes it back in the ACK.
 struct XcpHeader {
-  bool valid = false;
   double cwnd_bytes = 0.0;
   TimeMs rtt_ms = 0.0;
   double feedback_bytes = 0.0;  ///< desired/granted window change
+  bool valid = false;
 };
 
 struct Packet {
-  FlowId flow = 0;
+  // --- sequencing and timestamps (hot: every element reads these) ----------
   SeqNum seq = 0;          ///< data sequence number, in segments
   /// First sequence number of the current flow incarnation ("on" period).
   /// Lets the receiver forget holes left by an abandoned previous transfer.
   SeqNum base_seq = 0;
   TimeMs tick_sent = 0.0;  ///< sender clock at (re)transmission; echoed back
-  std::uint32_t size_bytes = kMtuBytes;
-  bool is_ack = false;
-
-  // ECN (RFC 3168 semantics, simplified to per-packet marks).
-  bool ecn_capable = false;
-  bool ecn_marked = false;
-
   // ACK-only fields.
   SeqNum ack_seq = 0;         ///< sequence number being acknowledged
   SeqNum cumulative_ack = 0;  ///< receiver's next expected sequence number
   TimeMs echo_tick_sent = 0.0;
-  bool ecn_echo = false;
+  /// Bottleneck sojourn, maintained by queue disciplines: holds the enqueue
+  /// timestamp while the packet sits in a queue, and the sojourn time after
+  /// dequeue (see QueueDisc's stamp helpers).
+  TimeMs queue_delay_ms = 0.0;
+  FlowId flow = 0;
+  std::uint32_t size_bytes = kMtuBytes;
+
+  // --- flags ---------------------------------------------------------------
+  bool is_ack = false;
+  // ECN (RFC 3168 semantics, simplified to per-packet marks).
+  bool ecn_capable = false;
+  bool ecn_marked = false;
+  bool ecn_echo = false;  ///< ACK-only
+  std::uint8_t sack_count = 0;
+
+  XcpHeader xcp{};
 
   /// SACK blocks: up to kMaxSackRanges half-open [start, end) runs of
   /// segments received above the cumulative point (RFC 2018 semantics; the
@@ -62,14 +81,42 @@ struct Packet {
   /// blocks are known-lost; sequence space above the last reported block is
   /// of unknown status.
   static constexpr std::size_t kMaxSackRanges = 8;
-  std::array<std::pair<SeqNum, SeqNum>, kMaxSackRanges> sack_blocks{};
-  std::uint8_t sack_count = 0;
+  struct SackBlock {
+    std::uint32_t start_off = 0;  ///< offsets from cumulative_ack
+    std::uint32_t end_off = 0;
+  };
+  std::array<SackBlock, kMaxSackRanges> sack_blocks{};
 
-  XcpHeader xcp{};
+  /// Appends the run [start, end); `cumulative_ack` must already be set and
+  /// `start` must lie at or above it (receivers only report runs above the
+  /// cumulative point).
+  void push_sack_block(SeqNum start, SeqNum end) noexcept {
+    assert(sack_count < kMaxSackRanges);
+    assert(start >= cumulative_ack && end > start);
+    assert(end - cumulative_ack <= 0xffffffffull);
+    sack_blocks[sack_count++] =
+        SackBlock{static_cast<std::uint32_t>(start - cumulative_ack),
+                  static_cast<std::uint32_t>(end - cumulative_ack)};
+  }
 
-  // Measurement fields, maintained by queue disciplines.
-  TimeMs enqueue_time = 0.0;
-  TimeMs queue_delay_ms = 0.0;  ///< bottleneck sojourn, set at dequeue
+  /// Decodes block `i` back to absolute sequence numbers.
+  std::pair<SeqNum, SeqNum> sack_block(std::size_t i) const noexcept {
+    assert(i < sack_count);
+    return {cumulative_ack + sack_blocks[i].start_off,
+            cumulative_ack + sack_blocks[i].end_off};
+  }
 };
+
+/// Size budget: 168 bytes — one hot cache line of sequencing state, then
+/// flags + XCP, then the 64-byte SACK tail. A new field must either fit the
+/// existing padding or come with a measured justification for growing the
+/// budget (every byte here is moved several times per simulated packet).
+inline constexpr std::size_t kPacketSizeBudget = 168;
+static_assert(sizeof(Packet) <= kPacketSizeBudget,
+              "sim::Packet outgrew its size budget; see the layout note");
+// The pipeline moves and the delay-line heap shuffles Packets as raw bytes;
+// keep the type trivially copyable/destructible so those stay memmoves.
+static_assert(std::is_trivially_copyable_v<Packet>);
+static_assert(std::is_trivially_destructible_v<Packet>);
 
 }  // namespace remy::sim

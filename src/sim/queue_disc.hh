@@ -40,14 +40,21 @@ class QueueDisc {
   std::uint64_t drops() const noexcept { return drops_; }
   std::uint64_t ecn_marks() const noexcept { return ecn_marks_; }
 
+  /// Enqueue timestamp of a packet currently sitting in a queue (valid
+  /// between stamp_enqueue and stamp_dequeue; sojourn-control laws like
+  /// CoDel read it at the head).
+  static TimeMs queued_since(const Packet& p) noexcept { return p.queue_delay_ms; }
+
  protected:
   void count_drop() noexcept { ++drops_; }
   void count_mark() noexcept { ++ecn_marks_; }
 
-  /// Helper for implementations: stamp measurement fields at enqueue/dequeue.
-  static void stamp_enqueue(Packet& p, TimeMs now) { p.enqueue_time = now; }
+  /// Helpers for implementations: stamp measurement state at enqueue/dequeue.
+  /// queue_delay_ms holds the enqueue timestamp while the packet is queued
+  /// (read it via queued_since()) and the sojourn time after stamp_dequeue.
+  static void stamp_enqueue(Packet& p, TimeMs now) { p.queue_delay_ms = now; }
   static void stamp_dequeue(Packet& p, TimeMs now) {
-    p.queue_delay_ms = now - p.enqueue_time;
+    p.queue_delay_ms = now - p.queue_delay_ms;
   }
 
  private:

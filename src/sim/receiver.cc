@@ -11,8 +11,7 @@ Receiver::Receiver(PacketSink* ack_egress, MetricsHub* metrics)
 }
 
 SeqNum Receiver::cumulative(FlowId flow) const noexcept {
-  const auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.next_expected;
+  return flow < flows_.size() ? flows_[flow].next_expected : 0;
 }
 
 bool Receiver::FlowState::covered(SeqNum seq) const noexcept {
@@ -54,6 +53,7 @@ void Receiver::FlowState::advance_cumulative() {
 
 void Receiver::accept(Packet&& packet, TimeMs now) {
   if (packet.is_ack) throw std::logic_error{"Receiver got an ACK"};
+  if (packet.flow >= flows_.size()) flows_.resize(packet.flow + 1);
   FlowState& st = flows_[packet.flow];
 
   // A later incarnation (new "on" period) abandons any holes left by its
@@ -104,12 +104,12 @@ void Receiver::accept(Packet&& packet, TimeMs now) {
   // SACK blocks (RFC 2018 style): the run containing the segment that
   // triggered this ACK first, then the lowest runs in ascending order.
   if (fresh_run.second > fresh_run.first) {
-    ack.sack_blocks[ack.sack_count++] = fresh_run;
+    ack.push_sack_block(fresh_run.first, fresh_run.second);
   }
   for (const auto& [start, end] : st.runs) {
     if (ack.sack_count >= Packet::kMaxSackRanges) break;
     if (start == fresh_run.first && end == fresh_run.second) continue;
-    ack.sack_blocks[ack.sack_count++] = {start, end};
+    ack.push_sack_block(start, end);
   }
 
   ack_egress_->accept(std::move(ack), now);

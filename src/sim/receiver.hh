@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "sim/component.hh"
 #include "sim/metrics.hh"
@@ -44,7 +45,11 @@ class Receiver final : public PacketSink {
 
   PacketSink* ack_egress_;
   MetricsHub* metrics_;
-  std::map<FlowId, FlowState> flows_;
+  /// Flow-indexed (topologies assign dense ids 0..n-1; grown on demand), so
+  /// the per-packet state lookup is a bounds check + load instead of a tree
+  /// walk. The out-of-order `runs` map inside each state stays a std::map —
+  /// it is empty except during loss episodes.
+  std::vector<FlowState> flows_;
 };
 
 }  // namespace remy::sim

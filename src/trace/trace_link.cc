@@ -21,6 +21,8 @@ void TraceLink::accept(sim::Packet&& packet, sim::TimeMs now) {
     configured_ = true;
   }
   queue_->enqueue(std::move(packet), now);
+  // No schedule_changed(): the next event is always the next trace
+  // opportunity, which arrivals cannot move.
 }
 
 sim::TimeMs TraceLink::next_event_time() const {

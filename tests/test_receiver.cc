@@ -59,7 +59,7 @@ TEST_F(ReceiverTest, HoleFreezesCumulative) {
   feed(2);  // 1 missing
   EXPECT_EQ(rx.cumulative(0), 1u);
   ASSERT_EQ(cap.last().sack_count, 1);
-  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{2, 3}));
+  EXPECT_EQ(cap.last().sack_block(0), (std::pair<SeqNum, SeqNum>{2, 3}));
 }
 
 TEST_F(ReceiverTest, FillingHoleAdvancesThroughRun) {
@@ -77,8 +77,8 @@ TEST_F(ReceiverTest, NewestRunReportedFirst) {
   feed(2);
   feed(5);  // two runs: [2,3) and [5,6); newest is [5,6)
   ASSERT_GE(cap.last().sack_count, 2);
-  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{5, 6}));
-  EXPECT_EQ(cap.last().sack_blocks[1], (std::pair<SeqNum, SeqNum>{2, 3}));
+  EXPECT_EQ(cap.last().sack_block(0), (std::pair<SeqNum, SeqNum>{5, 6}));
+  EXPECT_EQ(cap.last().sack_block(1), (std::pair<SeqNum, SeqNum>{2, 3}));
 }
 
 TEST_F(ReceiverTest, AdjacentRunsMerge) {
@@ -87,7 +87,7 @@ TEST_F(ReceiverTest, AdjacentRunsMerge) {
   feed(4);
   feed(3);  // merges [2,3) + {3} + [4,5) into [2,5)
   ASSERT_GE(cap.last().sack_count, 1);
-  EXPECT_EQ(cap.last().sack_blocks[0], (std::pair<SeqNum, SeqNum>{2, 5}));
+  EXPECT_EQ(cap.last().sack_block(0), (std::pair<SeqNum, SeqNum>{2, 5}));
 }
 
 TEST_F(ReceiverTest, DuplicateDetectedBelowCumulative) {

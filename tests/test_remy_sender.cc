@@ -121,8 +121,7 @@ TEST(RemySender, LossDoesNotChangeWindowRule) {
   // Three dup acks (data packet 0 lost).
   for (int i = 1; i <= 3; ++i) {
     Packet a = ack_for(wire.sent[static_cast<std::size_t>(i)], 0, 0.0);
-    a.sack_count = 1;
-    a.sack_blocks[0] = {1, static_cast<sim::SeqNum>(i + 1)};
+    a.push_sack_block(1, static_cast<sim::SeqNum>(i + 1));
     s.accept(std::move(a), 50.0 + i);
   }
   EXPECT_DOUBLE_EQ(s.cwnd(), w);  // unchanged by the loss event itself

@@ -1,0 +1,262 @@
+// Event-driven scheduler edge cases: same-instant cascades, idle (kNever)
+// components waking through the schedule-change protocol, FIFO tiebreak
+// order, events_processed() accounting, and a randomized check of the
+// indexed heap against a brute-force poll-everything reference.
+// test_determinism holds the complementary end-to-end guarantee (bit
+// identical replay of full simulations).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/network.hh"
+#include "util/rng.hh"
+
+namespace remy::sim {
+namespace {
+
+/// One-shot component: fires at `next`, goes idle, optionally runs a
+/// side-effect (arming peers models tick-driven schedule changes). arm()
+/// models an external wake (packet arrival): it publishes the change via
+/// schedule_changed(), which is a no-op when detached.
+struct Pulse final : SimObject {
+  TimeMs next = kNever;
+  std::vector<TimeMs> fired;
+  std::function<void(TimeMs)> on_tick;
+
+  TimeMs next_event_time() const override { return next; }
+  void tick(TimeMs now) override {
+    fired.push_back(now);
+    next = kNever;
+    if (on_tick) on_tick(now);
+  }
+  void arm(TimeMs t) {
+    next = t;
+    schedule_changed();
+  }
+};
+
+TEST(Scheduler, SameInstantCascadeResolvesWithinTheInstant) {
+  // A's tick re-arms B at `now`; B must fire in a later step at the same
+  // simulation time, not at some later instant (and not be skipped).
+  Pulse a, b;
+  a.arm(5.0);
+  a.on_tick = [&](TimeMs now) { b.arm(now); };
+  Network net;
+  net.add(a);
+  net.add(b);
+  net.run_until(5.0);
+  ASSERT_EQ(a.fired, (std::vector<TimeMs>{5.0}));
+  ASSERT_EQ(b.fired, (std::vector<TimeMs>{5.0}));
+  EXPECT_EQ(net.events_processed(), 2u);
+  EXPECT_DOUBLE_EQ(net.now(), 5.0);
+}
+
+TEST(Scheduler, CascadeChainsThroughSeveralComponents) {
+  Pulse a, b, c;
+  a.arm(3.0);
+  a.on_tick = [&](TimeMs now) { b.arm(now); };
+  b.on_tick = [&](TimeMs now) { c.arm(now); };
+  Network net;
+  net.add(a);
+  net.add(b);
+  net.add(c);
+  net.run_until(3.0);
+  EXPECT_EQ(b.fired, (std::vector<TimeMs>{3.0}));
+  EXPECT_EQ(c.fired, (std::vector<TimeMs>{3.0}));
+  EXPECT_EQ(net.events_processed(), 3u);
+}
+
+TEST(Scheduler, CascadeIntoAlreadyTickedComponentRefiresSameInstant) {
+  // B ticks first (lower id), then A's tick re-arms B at the same instant:
+  // B must run again in a follow-up step at that time.
+  Pulse b_then_refired, a;
+  Network net;
+  net.add(b_then_refired);
+  net.add(a);
+  b_then_refired.arm(2.0);
+  a.arm(2.0);
+  a.on_tick = [&](TimeMs now) { b_then_refired.arm(now); };
+  net.run_until(2.0);
+  EXPECT_EQ(b_then_refired.fired, (std::vector<TimeMs>{2.0, 2.0}));
+  EXPECT_EQ(net.events_processed(), 3u);
+}
+
+TEST(Scheduler, IdleComponentWakesAndSleepsRepeatedly) {
+  // The kNever lifecycle: registered idle, woken by a peer, idle again,
+  // woken again — the heap must keep re-indexing it correctly.
+  Pulse driver, sleeper;
+  driver.arm(3.0);
+  int round = 0;
+  driver.on_tick = [&](TimeMs now) {
+    sleeper.arm(now + 4.0);
+    if (++round < 3) driver.arm(now + 10.0);
+  };
+  Network net;
+  net.add(driver);
+  net.add(sleeper);
+  EXPECT_EQ(sleeper.next_event_time(), kNever);
+  net.run_until(100.0);
+  EXPECT_EQ(driver.fired, (std::vector<TimeMs>{3.0, 13.0, 23.0}));
+  EXPECT_EQ(sleeper.fired, (std::vector<TimeMs>{7.0, 17.0, 27.0}));
+}
+
+TEST(Scheduler, ExternalWakeBeforeFirstRunIsIndexed) {
+  // arm() after add() but before any run must re-index the component (the
+  // add()-time key was kNever).
+  Pulse p;
+  Network net;
+  net.add(p);
+  p.arm(4.0);
+  net.run_until(10.0);
+  EXPECT_EQ(p.fired, (std::vector<TimeMs>{4.0}));
+}
+
+TEST(Scheduler, ReschedulingEarlierAndLaterBothTakeEffect) {
+  Pulse p, q;
+  Network net;
+  net.add(p);
+  net.add(q);
+  p.arm(10.0);
+  p.arm(4.0);  // earlier wins
+  q.arm(5.0);
+  q.arm(20.0);  // later wins
+  net.run_until(30.0);
+  EXPECT_EQ(p.fired, (std::vector<TimeMs>{4.0}));
+  EXPECT_EQ(q.fired, (std::vector<TimeMs>{20.0}));
+}
+
+TEST(Scheduler, FifoTiebreakIsRegistrationOrder) {
+  // Same-instant events fire in add() order regardless of arming order —
+  // the poll loop's FIFO semantics, now enforced by the (time, id) heap key.
+  std::vector<int> order;
+  Pulse a, b, c;
+  a.on_tick = [&](TimeMs) { order.push_back(0); };
+  b.on_tick = [&](TimeMs) { order.push_back(1); };
+  c.on_tick = [&](TimeMs) { order.push_back(2); };
+  Network net;
+  net.add(a);
+  net.add(b);
+  net.add(c);
+  c.arm(6.0);
+  a.arm(6.0);
+  b.arm(6.0);
+  net.run_until(6.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, EventsProcessedCountsEveryTick) {
+  Pulse a, b;
+  Network net;
+  net.add(a);
+  net.add(b);
+  a.arm(1.0);
+  b.arm(1.0);
+  net.run_until(1.0);
+  EXPECT_EQ(net.events_processed(), 2u);
+  a.arm(2.0);
+  net.run_until(5.0);
+  EXPECT_EQ(net.events_processed(), 3u);
+  net.run_until(50.0);  // idle span: no events
+  EXPECT_EQ(net.events_processed(), 3u);
+}
+
+TEST(Scheduler, DetachedScheduleChangeIsANoop) {
+  Pulse p;
+  p.arm(5.0);  // no network attached; must not crash
+  EXPECT_EQ(p.next_event_time(), 5.0);
+}
+
+TEST(Scheduler, ComponentCannotJoinTwoNetworks) {
+  Pulse p;
+  Network a, b;
+  a.add(p);
+  EXPECT_THROW(b.add(p), std::logic_error);
+}
+
+TEST(Scheduler, StepProcessesOneInstantAtATime) {
+  Pulse a, b;
+  Network net;
+  net.add(a);
+  net.add(b);
+  a.arm(1.0);
+  b.arm(2.0);
+  EXPECT_TRUE(net.step());
+  EXPECT_DOUBLE_EQ(net.now(), 1.0);
+  EXPECT_EQ(a.fired.size(), 1u);
+  EXPECT_TRUE(b.fired.empty());
+  EXPECT_TRUE(net.step());
+  EXPECT_DOUBLE_EQ(net.now(), 2.0);
+  EXPECT_EQ(b.fired.size(), 1u);
+  EXPECT_FALSE(net.step());
+}
+
+/// A component that re-arms itself pseudo-randomly (sometimes going idle),
+/// from a private deterministic stream — the workload for the reference
+/// comparison below.
+struct Churner final : SimObject {
+  util::Rng rng{1};
+  TimeMs next = kNever;
+  std::vector<TimeMs>* log = nullptr;
+  int id_tag = 0;
+
+  TimeMs next_event_time() const override { return next; }
+  void tick(TimeMs now) override {
+    log->push_back(now * 1000.0 + id_tag);  // encode (time, who) in one value
+    const double r = rng.uniform(0.0, 1.0);
+    next = r < 0.3 ? kNever : now + rng.uniform(0.01, 5.0);
+  }
+};
+
+/// Brute-force poll-everything loop (the old Network), as the test oracle.
+template <typename Objs>
+std::vector<TimeMs> reference_run(Objs& objs, TimeMs end) {
+  std::vector<TimeMs> log;
+  for (auto& o : objs) o.log = &log;
+  TimeMs now = 0.0;
+  while (true) {
+    TimeMs t = kNever;
+    for (const auto& o : objs) t = std::min(t, o.next_event_time());
+    if (t > end) break;
+    now = std::max(now, t);
+    std::vector<Churner*> due;
+    for (auto& o : objs) {
+      if (o.next_event_time() <= now) due.push_back(&o);
+    }
+    for (Churner* o : due) o->tick(now);
+  }
+  return log;
+}
+
+TEST(Scheduler, RandomChurnMatchesPollEverythingReference) {
+  constexpr int kComponents = 57;  // off power-of-two to exercise odd heaps
+  constexpr TimeMs kEnd = 200.0;
+
+  const auto make = [] {
+    std::vector<Churner> objs(kComponents);
+    for (int i = 0; i < kComponents; ++i) {
+      objs[i].rng = util::Rng{static_cast<std::uint64_t>(i) + 7};
+      objs[i].id_tag = i;
+      // Start times collide on purpose (i % 5) to stress the tiebreak.
+      objs[i].next = static_cast<TimeMs>(i % 5);
+    }
+    return objs;
+  };
+
+  auto ref_objs = make();
+  const std::vector<TimeMs> expected = reference_run(ref_objs, kEnd);
+
+  auto heap_objs = make();
+  std::vector<TimeMs> got;
+  for (auto& o : heap_objs) o.log = &got;
+  Network net;
+  for (auto& o : heap_objs) net.add(o);
+  net.run_until(kEnd);
+
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(net.events_processed(), expected.size());
+}
+
+}  // namespace
+}  // namespace remy::sim

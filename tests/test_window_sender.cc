@@ -51,8 +51,7 @@ Packet make_ack(sim::SeqNum ack_seq, sim::SeqNum cumulative, TimeMs echo,
   a.ack_seq = ack_seq;
   a.cumulative_ack = cumulative;
   a.echo_tick_sent = echo;
-  a.sack_count = static_cast<std::uint8_t>(blocks.size());
-  for (std::size_t i = 0; i < blocks.size(); ++i) a.sack_blocks[i] = blocks[i];
+  for (const auto& [start, end] : blocks) a.push_sack_block(start, end);
   return a;
 }
 
