@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail when a benchmark drops below its committed floor.
+
+The floor file (bench/perf_floor.json) maps benchmark name -> metric ->
+minimum acceptable value. Floors are set conservatively (baseline minus the
+allowed regression margin, derated for slower CI hardware); raise them when
+a perf PR lands, lower them only with a written rationale.
+
+Usage:
+  bench/check_perf.py RESULTS.json [FLOOR.json] [--scale X]
+
+--scale (or env REMY_BENCH_FLOOR_SCALE) multiplies every floor, so a one-off
+run on a slow machine can be gated at e.g. --scale 0.5 without editing the
+committed floors.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_micro --json output")
+    parser.add_argument("floor", nargs="?",
+                        default=os.path.join(repo, "bench", "perf_floor.json"))
+    parser.add_argument("--scale",
+                        type=float,
+                        default=float(os.environ.get("REMY_BENCH_FLOOR_SCALE", "1.0")),
+                        help="multiply all floors (default 1.0; env REMY_BENCH_FLOOR_SCALE)")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as f:
+        results = json.load(f)["benchmarks"]
+    with open(args.floor, encoding="utf-8") as f:
+        floors = json.load(f)["floors"]
+
+    failures = []
+    for bench, metrics in sorted(floors.items()):
+        run = results.get(bench)
+        if run is None:
+            failures.append(f"{bench}: not present in results")
+            continue
+        for metric, floor in sorted(metrics.items()):
+            scaled = floor * args.scale
+            measured = run.get(metric)
+            if measured is None:
+                failures.append(f"{bench}: metric {metric} missing from results")
+            elif measured < scaled:
+                failures.append(
+                    f"{bench}: {metric} = {measured:.3g} below floor "
+                    f"{scaled:.3g} (committed {floor:.3g} x scale {args.scale})")
+            else:
+                print(f"ok: {bench} {metric} = {measured:.3g} "
+                      f">= floor {scaled:.3g}")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
