@@ -15,7 +15,8 @@
 #include "cc/cubic.hh"
 #include "cc/newreno.hh"
 #include "cc/vegas.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "sim/dumbbell.hh"
 #include "trace/lte_model.hh"
 #include "trace/trace_link.hh"
@@ -63,13 +64,14 @@ int main(int argc, char** argv) {
     const std::string path =
         cli.get("table", std::string{REMY_DATA_DIR} + "/remycc/delta1.json");
     table = std::make_shared<const core::WhiskerTree>(core::WhiskerTree::load(path));
-    factory = [&table](sim::FlowId) { return std::make_unique<core::RemySender>(table); };
+    factory = [&table](sim::FlowId) { return std::make_unique<cc::Transport>(
+          std::make_unique<core::RemyController>(table)); };
   } else if (scheme == "cubic") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::Cubic>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Cubic>()); };
   } else if (scheme == "newreno") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::NewReno>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>()); };
   } else if (scheme == "vegas") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::Vegas>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Vegas>()); };
   } else {
     std::fprintf(stderr, "unknown scheme %s\n", scheme.c_str());
     return 1;

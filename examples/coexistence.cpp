@@ -10,7 +10,8 @@
 #include "aqm/droptail.hh"
 #include "cc/compound.hh"
 #include "cc/cubic.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "sim/dumbbell.hh"
 #include "util/cli.hh"
 #include "workload/distributions.hh"
@@ -46,10 +47,11 @@ int main(int argc, char** argv) {
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
 
   sim::Dumbbell net{cfg, [&](sim::FlowId f) -> std::unique_ptr<sim::Sender> {
-                      if (f == 0) return std::make_unique<core::RemySender>(table);
+                      if (f == 0) return std::make_unique<cc::Transport>(
+          std::make_unique<core::RemyController>(table));
                       if (against == "compound")
-                        return std::make_unique<cc::Compound>();
-                      return std::make_unique<cc::Cubic>();
+                        return std::make_unique<cc::Transport>(std::make_unique<cc::Compound>());
+                      return std::make_unique<cc::Transport>(std::make_unique<cc::Cubic>());
                     }};
   net.run_for_seconds(seconds);
 

@@ -10,7 +10,8 @@
 #include "aqm/droptail.hh"
 #include "aqm/ecn_threshold.hh"
 #include "cc/dctcp.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "sim/dumbbell.hh"
 #include "util/cli.hh"
 #include "util/stats.hh"
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
               senders);
   if (only.empty() || only == "dctcp") {
     auto net = scenario([] { return std::make_unique<aqm::EcnThreshold>(65, 1000); },
-                        [&](sim::FlowId) { return std::make_unique<cc::Dctcp>(tc); });
+                        [&](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Dctcp>(), tc); });
     report("dctcp (ECN)", *net, senders);
   }
   if (only.empty() || only == "remy") {
@@ -80,7 +81,8 @@ int main(int argc, char** argv) {
     }
     auto net = scenario([] { return std::make_unique<aqm::DropTail>(1000); },
                         [&](sim::FlowId) {
-                          return std::make_unique<core::RemySender>(table, tc);
+                          return std::make_unique<cc::Transport>(
+                              std::make_unique<core::RemyController>(table), tc);
                         });
     report("remy (DropTail)", *net, senders);
   }

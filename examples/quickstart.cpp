@@ -13,7 +13,8 @@
 #include "cc/compound.hh"
 #include "cc/newreno.hh"
 #include "cc/vegas.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "core/whisker_tree.hh"
 #include "sim/dumbbell.hh"
 #include "util/cli.hh"
@@ -56,17 +57,18 @@ int main(int argc, char** argv) {
   std::shared_ptr<const core::WhiskerTree> table;
   sim::SenderFactory factory;
   if (scheme == "newreno") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::NewReno>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>()); };
   } else if (scheme == "cubic") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::Cubic>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Cubic>()); };
   } else if (scheme == "vegas") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::Vegas>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Vegas>()); };
   } else if (scheme == "compound") {
-    factory = [](sim::FlowId) { return std::make_unique<cc::Compound>(); };
+    factory = [](sim::FlowId) { return std::make_unique<cc::Transport>(std::make_unique<cc::Compound>()); };
   } else if (scheme == "remy") {
     table = load_table(table_path);
     factory = [&table](sim::FlowId) {
-      return std::make_unique<core::RemySender>(table);
+      return std::make_unique<cc::Transport>(
+          std::make_unique<core::RemyController>(table));
     };
   } else {
     std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());

@@ -5,21 +5,18 @@
 
 namespace remy::cc {
 
-Compound::Compound(TransportConfig config, CompoundParams params)
-    : WindowSender{config}, params_{params}, lwnd_{config.initial_cwnd} {}
-
 void Compound::on_flow_start(sim::TimeMs now) {
   (void)now;
   ssthresh_ = 1e9;
   lwnd_ = config().initial_cwnd;
   dwnd_ = 0.0;
-  rtt_mark_ = next_seq();
+  rtt_mark_ = transport().next_seq();
   rtt_sum_this_round_ = 0.0;
   rtt_count_this_round_ = 0;
   sync_cwnd();
 }
 
-void Compound::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void Compound::on_ack(const AckInfo& info, sim::TimeMs now) {
   (void)now;
   if (info.newly_acked == 0 || info.during_recovery) return;
 
@@ -36,13 +33,13 @@ void Compound::on_ack_received(const AckInfo& info, sim::TimeMs now) {
   // Delay-based component, once per RTT round (mean RTT of the round).
   rtt_sum_this_round_ += info.rtt_sample_ms;
   ++rtt_count_this_round_;
-  if (cumulative() >= rtt_mark_) {
-    const double base = min_rtt_ms();
+  if (transport().cumulative() >= rtt_mark_) {
+    const double base = transport().min_rtt_ms();
     const double rtt = rtt_count_this_round_ > 0
                            ? rtt_sum_this_round_ /
                                  static_cast<double>(rtt_count_this_round_)
                            : 0.0;
-    rtt_mark_ = next_seq();
+    rtt_mark_ = transport().next_seq();
     rtt_sum_this_round_ = 0.0;
     rtt_count_this_round_ = 0;
     if (base > 0.0 && rtt > 0.0 && lwnd_ >= ssthresh_) {

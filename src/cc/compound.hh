@@ -5,7 +5,7 @@
 // of congestion). Standard published parameters.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
@@ -17,16 +17,15 @@ struct CompoundParams {
   double zeta = 0.5;     ///< dwnd decrease gain per queued segment
 };
 
-class Compound : public WindowSender {
+class Compound : public CongestionController {
  public:
-  explicit Compound(TransportConfig config = {}, CompoundParams params = {});
+  explicit Compound(CompoundParams params = {}) : params_{params} {}
 
   double dwnd() const noexcept { return dwnd_; }
   double loss_window() const noexcept { return lwnd_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
 
@@ -35,8 +34,8 @@ class Compound : public WindowSender {
 
   CompoundParams params_;
   double ssthresh_ = 1e9;
-  double lwnd_;       ///< loss-based window (Reno)
-  double dwnd_ = 0.0; ///< delay-based window
+  double lwnd_ = 0.0;  ///< loss-based window (Reno)
+  double dwnd_ = 0.0;  ///< delay-based window
   sim::SeqNum rtt_mark_ = 0;
   sim::TimeMs rtt_sum_this_round_ = 0.0;
   std::uint64_t rtt_count_this_round_ = 0;

@@ -1,0 +1,27 @@
+#include "cc/congestion_controller.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remy::cc {
+
+void CongestionController::attach(const TransportView& transport) {
+  if (transport_ != nullptr) {
+    throw std::logic_error{
+        "CongestionController: already attached (controllers hold per-flow "
+        "state; build one per transport)"};
+  }
+  transport_ = &transport;
+  cwnd_ = transport.config().initial_cwnd;
+}
+
+void CongestionController::set_cwnd(double cwnd) noexcept {
+  cwnd_ = std::clamp(cwnd, 1.0, config().max_cwnd);
+}
+
+void CongestionController::flow_start(sim::TimeMs now) {
+  cwnd_ = config().initial_cwnd;
+  on_flow_start(now);
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,141 @@
+// The congestion-controller API: the seam between *what* a scheme does on
+// each congestion signal and *how* segments move on the wire.
+//
+// A scheme is a cc::CongestionController — a small object owning only the
+// congestion window and its control law — installed into the shared
+// cc::Transport engine, which owns everything else: sequencing, the SACK
+// scoreboard, RTO estimation/backoff, burst pacing. This mirrors Linux's
+// `struct tcp_congestion_ops` registration pattern and the paper's note
+// that RemyCCs "inherit the loss-recovery behavior of whatever TCP sender
+// they are added to": any controller composes with any TransportConfig,
+// and scheme comparisons isolate the congestion response itself.
+//
+// Hook ordering contract (per flow, enforced by test_congestion_ops):
+//   attach            exactly once, at install, before any other hook
+//   on_flow_start     per "on" period, after cwnd reseeds to initial_cwnd
+//                     and transport state resets (fresh-connection rule),
+//                     before the first segment of the period is sent
+//   prepare_packet    per outgoing segment, before it reaches the wire
+//   on_loss_event     on a dup-ACK/SACK-inferred loss (at most once per
+//                     window), *before* on_ack for the ACK that exposed it
+//   on_ack            per ACK, after transport bookkeeping (RTT estimator,
+//                     scoreboard, loss detection), before window-driven
+//                     sends; skipped once a flow completes or stops
+//   on_timeout        when the RTO fires, before the go-back-N resend
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hh"
+#include "sim/time.hh"
+
+namespace remy::cc {
+
+struct TransportConfig {
+  double initial_cwnd = 2.0;      ///< segments
+  double max_cwnd = 1e6;          ///< segments
+  sim::TimeMs initial_rto_ms = 1000.0;
+  sim::TimeMs min_rto_ms = 200.0;
+  sim::TimeMs max_rto_ms = 60000.0;
+  std::uint32_t segment_bytes = sim::kMtuBytes;
+  /// Most segments released by one event (ACK arrival or timer), ns-2
+  /// "maxburst" style: a sudden window opening (e.g. recovery entry) must
+  /// not blast a queue-sized burst into the bottleneck. Remaining capacity
+  /// is released shortly after via a continuation timer.
+  std::uint32_t max_burst_segments = 64;
+  /// Continuation-timer spacing used when the burst cap binds.
+  sim::TimeMs burst_continuation_ms = 0.01;
+};
+
+/// Everything a congestion-control hook needs to know about one ACK.
+struct AckInfo {
+  const sim::Packet& ack;
+  sim::TimeMs rtt_sample_ms;      ///< now - echoed send timestamp
+  std::uint64_t newly_acked;      ///< cumulative advance, in segments
+  bool is_dup;                    ///< duplicate cumulative ACK
+  /// In dup-ACK fast recovery when this ACK arrived: schemes conventionally
+  /// pause window growth (post-RTO slow start is NOT flagged).
+  bool during_recovery;
+};
+
+/// Read-only view of the hosting transport, handed to a controller at
+/// attach time (the moral equivalent of `struct sock *sk` in
+/// tcp_congestion_ops callbacks). Also the introspection surface tests and
+/// benches use.
+class TransportView {
+ public:
+  virtual const TransportConfig& config() const noexcept = 0;
+  virtual sim::TimeMs srtt_ms() const noexcept = 0;
+  virtual sim::TimeMs min_rtt_ms() const noexcept = 0;
+  virtual sim::TimeMs rto_ms() const noexcept = 0;
+  virtual sim::SeqNum next_seq() const noexcept = 0;
+  virtual sim::SeqNum cumulative() const noexcept = 0;
+  /// Outstanding sequence span (includes segments believed lost or already
+  /// delivered out of order).
+  virtual std::uint64_t inflight() const noexcept = 0;
+  /// RFC 6675-style pipe: outstanding minus known-lost minus known-delivered.
+  virtual std::uint64_t pipe() const noexcept = 0;
+  /// Segments acked since flow start.
+  virtual std::uint64_t acked_in_flow() const noexcept = 0;
+  virtual sim::TimeMs last_send_time() const noexcept = 0;
+  /// Retransmissions pending/outstanding (dup-ack recovery or post-RTO).
+  virtual bool in_recovery() const noexcept = 0;
+  /// Dup-ACK fast recovery specifically (window growth pauses here, but not
+  /// during post-timeout slow start).
+  virtual bool in_fast_recovery() const noexcept = 0;
+
+ protected:
+  ~TransportView() = default;  ///< never owned through this interface
+};
+
+/// One congestion-control scheme: owns the congestion window and decides
+/// how it reacts to ACKs, losses and timeouts. Installed into exactly one
+/// cc::Transport, which drives the hooks (ordering contract above).
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  /// Called by the hosting transport exactly once, at install time.
+  /// Seeds cwnd to initial_cwnd. Throws std::logic_error on re-attach: a
+  /// controller instance holds per-flow state and cannot be shared.
+  void attach(const TransportView& transport);
+  bool attached() const noexcept { return transport_ != nullptr; }
+
+  /// The congestion window, in segments. The controller owns this value;
+  /// the transport reads it to gate sends.
+  double cwnd() const noexcept { return cwnd_; }
+
+  /// Fresh-connection rule, applied by the transport at every "on" period:
+  /// reseeds cwnd to initial_cwnd, then runs the on_flow_start hook.
+  void flow_start(sim::TimeMs now);
+
+  // --- hooks (see the ordering contract in the header comment) -------------
+  /// A new "on" period began; reset scheme state. cwnd has already been
+  /// reseeded to initial_cwnd when this runs.
+  virtual void on_flow_start(sim::TimeMs now) { (void)now; }
+  /// Called for every ACK, after transport bookkeeping, before sending.
+  virtual void on_ack(const AckInfo& info, sim::TimeMs now) = 0;
+  /// Third duplicate ACK: a loss event (at most once per window).
+  virtual void on_loss_event(sim::TimeMs now) = 0;
+  /// Retransmission timeout fired.
+  virtual void on_timeout(sim::TimeMs now) = 0;
+  /// Last chance to edit an outgoing segment (ECN capability, XCP header).
+  virtual void prepare_packet(sim::Packet& p) { (void)p; }
+  /// Minimum spacing between successive sends (RemyCC's action r); 0 = none.
+  virtual sim::TimeMs pacing_interval_ms() const { return 0.0; }
+
+ protected:
+  /// Clamped to [1, max_cwnd].
+  void set_cwnd(double cwnd) noexcept;
+  /// The hosting transport's state; valid once attached.
+  const TransportView& transport() const noexcept { return *transport_; }
+  const TransportConfig& config() const noexcept {
+    return transport_->config();
+  }
+
+ private:
+  const TransportView* transport_ = nullptr;
+  double cwnd_ = 0.0;
+};
+
+}  // namespace remy::cc

@@ -5,9 +5,6 @@
 
 namespace remy::cc {
 
-Cubic::Cubic(TransportConfig config, CubicParams params)
-    : WindowSender{config}, params_{params} {}
-
 void Cubic::on_flow_start(sim::TimeMs now) {
   (void)now;
   ssthresh_ = 1e9;
@@ -26,7 +23,7 @@ double Cubic::target_window(double t_sec) const noexcept {
   return origin_ + params_.c * dt * dt * dt;
 }
 
-void Cubic::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void Cubic::on_ack(const AckInfo& info, sim::TimeMs now) {
   if (info.newly_acked == 0 || info.during_recovery) return;
 
   if (cwnd() < ssthresh_) {
@@ -48,7 +45,7 @@ void Cubic::on_ack_received(const AckInfo& info, sim::TimeMs now) {
 
   // Elapsed time plus one smoothed RTT: the standard "target after the next
   // RTT" look-ahead.
-  const double t_sec = (now - epoch_start_ + srtt_ms()) / 1000.0;
+  const double t_sec = (now - epoch_start_ + transport().srtt_ms()) / 1000.0;
   const double target = target_window(t_sec);
   double w = cwnd();
   if (target > w) {

@@ -3,7 +3,7 @@
 // RTT, with fast convergence and a TCP-friendliness (Reno-tracking) floor.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
@@ -14,15 +14,14 @@ struct CubicParams {
   bool tcp_friendliness = true;
 };
 
-class Cubic : public WindowSender {
+class Cubic : public CongestionController {
  public:
-  explicit Cubic(TransportConfig config = {}, CubicParams params = {});
+  explicit Cubic(CubicParams params = {}) : params_{params} {}
 
   double w_max() const noexcept { return w_max_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
 

@@ -4,21 +4,18 @@
 
 namespace remy::cc {
 
-Dctcp::Dctcp(TransportConfig config, DctcpParams params)
-    : WindowSender{config}, params_{params} {}
-
 void Dctcp::prepare_packet(sim::Packet& p) { p.ecn_capable = true; }
 
 void Dctcp::on_flow_start(sim::TimeMs now) {
   (void)now;
   ssthresh_ = 1e9;
   alpha_ = 0.0;
-  window_end_ = next_seq();
+  window_end_ = transport().next_seq();
   acked_in_window_ = 0;
   marked_in_window_ = 0;
 }
 
-void Dctcp::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void Dctcp::on_ack(const AckInfo& info, sim::TimeMs now) {
   (void)now;
   if (info.newly_acked == 0) return;
 
@@ -37,7 +34,7 @@ void Dctcp::on_ack_received(const AckInfo& info, sim::TimeMs now) {
     set_cwnd(w);
   }
 
-  if (cumulative() >= window_end_) {
+  if (transport().cumulative() >= window_end_) {
     // One window's worth of feedback gathered.
     if (acked_in_window_ > 0) {
       const double frac = static_cast<double>(marked_in_window_) /
@@ -48,7 +45,7 @@ void Dctcp::on_ack_received(const AckInfo& info, sim::TimeMs now) {
         ssthresh_ = cwnd();
       }
     }
-    window_end_ = next_seq();
+    window_end_ = transport().next_seq();
     acked_in_window_ = 0;
     marked_in_window_ = 0;
   }

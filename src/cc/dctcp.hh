@@ -5,7 +5,7 @@
 // the window by (1 - alpha/2). Loss handling is Reno's.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
@@ -13,15 +13,14 @@ struct DctcpParams {
   double g = 1.0 / 16.0;  ///< EWMA gain for the marked fraction
 };
 
-class Dctcp : public WindowSender {
+class Dctcp : public CongestionController {
  public:
-  explicit Dctcp(TransportConfig config = {}, DctcpParams params = {});
+  explicit Dctcp(DctcpParams params = {}) : params_{params} {}
 
   double alpha() const noexcept { return alpha_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
   void prepare_packet(sim::Packet& p) override;

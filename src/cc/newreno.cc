@@ -4,14 +4,12 @@
 
 namespace remy::cc {
 
-NewReno::NewReno(TransportConfig config) : WindowSender{config} {}
-
 void NewReno::on_flow_start(sim::TimeMs now) {
   (void)now;
   ssthresh_ = 1e9;
 }
 
-void NewReno::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void NewReno::on_ack(const AckInfo& info, sim::TimeMs now) {
   (void)now;
   if (info.newly_acked == 0) return;
   // No window growth while recovering from a loss.

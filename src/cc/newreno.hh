@@ -1,22 +1,21 @@
-// TCP NewReno (Hoe 1996; RFC 6582 behavior on our shared transport):
+// TCP NewReno (Hoe 1996; RFC 6582 behavior on the shared transport):
 // slow start, AIMD congestion avoidance, half-window reduction on triple
 // duplicate ACK, window collapse to one segment on timeout.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
-class NewReno : public WindowSender {
+class NewReno : public CongestionController {
  public:
-  explicit NewReno(TransportConfig config = {});
+  NewReno() = default;
 
   double ssthresh() const noexcept { return ssthresh_; }
   bool in_slow_start() const noexcept { return cwnd() < ssthresh_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
 

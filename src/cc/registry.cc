@@ -7,8 +7,8 @@
 #include "cc/compound.hh"
 #include "cc/cubic.hh"
 #include "cc/newreno.hh"
+#include "cc/transport.hh"
 #include "cc/vegas.hh"
-#include "cc/window_sender.hh"
 
 namespace remy::cc {
 
@@ -39,6 +39,10 @@ std::string known_names(
 }
 
 }  // namespace
+
+std::unique_ptr<sim::Sender> SchemeHandle::make_sender() const {
+  return std::make_unique<Transport>(make_controller(), transport);
+}
 
 SpecKey SpecKey::parse(const std::string& spec) {
   SpecKey out;
@@ -264,32 +268,32 @@ TransportConfig transport_params(const Params& p) {
   return tc;
 }
 
-void register_builtin_senders(Registry& registry) {
+void register_builtin_controllers(Registry& registry) {
   registry.register_scheme(
       "newreno", "TCP NewReno (RFC 6582) over the shared SACK transport",
       [](const Params& p) {
-        const TransportConfig tc = transport_params(p);
         return SchemeHandle{
-            "newreno", [tc] { return std::make_unique<NewReno>(tc); }, {}};
+            "newreno", transport_params(p),
+            [] { return std::make_unique<NewReno>(); }, {}, {}};
       });
   registry.register_scheme(
       "vegas", "TCP Vegas (delay-based; Brakmo & Peterson 1995)",
       [](const Params& p) {
-        const TransportConfig tc = transport_params(p);
         return SchemeHandle{
-            "vegas", [tc] { return std::make_unique<Vegas>(tc); }, {}};
+            "vegas", transport_params(p),
+            [] { return std::make_unique<Vegas>(); }, {}, {}};
       });
   registry.register_scheme(
       "cubic", "TCP Cubic (Ha, Rhee & Xu 2008)", [](const Params& p) {
-        const TransportConfig tc = transport_params(p);
         return SchemeHandle{
-            "cubic", [tc] { return std::make_unique<Cubic>(tc); }, {}};
+            "cubic", transport_params(p),
+            [] { return std::make_unique<Cubic>(); }, {}, {}};
       });
   registry.register_scheme(
       "compound", "Compound TCP (Tan et al. 2006)", [](const Params& p) {
-        const TransportConfig tc = transport_params(p);
         return SchemeHandle{
-            "compound", [tc] { return std::make_unique<Compound>(tc); }, {}};
+            "compound", transport_params(p),
+            [] { return std::make_unique<Compound>(); }, {}, {}};
       });
 }
 

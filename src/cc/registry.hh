@@ -10,11 +10,13 @@
 // silently running a default).
 //
 // The registry itself lives in the cc layer (it only depends on sim);
-// builders are contributed per layer: plain TCP senders here
-// (register_builtin_senders), queue discs by aqm, and composite schemes
-// that pair a sender with a gateway (xcp, cubic-sfqcodel, dctcp, remy)
+// builders are contributed per layer: plain end-to-end controllers here
+// (register_builtin_controllers), queue discs by aqm, and composite schemes
+// that pair a controller with a gateway (xcp, cubic-sfqcodel, dctcp, remy)
 // by core::install_builtin_schemes(), which is the one call that wires
-// everything together.
+// everything together. A scheme builder produces a (TransportConfig,
+// controller factory) pair; the shared cc::Transport engine is never
+// subclassed.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +28,11 @@
 #include <utility>
 #include <vector>
 
+#include "cc/congestion_controller.hh"
 #include "sim/queue_disc.hh"
 #include "sim/sender.hh"
 
 namespace remy::cc {
-
-struct TransportConfig;
 
 /// Thrown on malformed specs, unknown names, bad or unknown parameters,
 /// duplicate registration, and (in require-tables mode) missing tables.
@@ -78,15 +79,22 @@ class Params {
   mutable std::vector<bool> used_;
 };
 
-/// A scheme instance ready to run: a display name plus factories. The
-/// sender factory is called once per flow per run; make_queue, when set,
-/// overrides the scenario's default bottleneck discipline (router-assisted
-/// schemes bring their own gateway).
+/// A scheme ready to run: a display name plus a (TransportConfig,
+/// controller factory) pair — the tcp_congestion_ops-style cut: the
+/// transport engine is shared, the congestion response is the plugin. The
+/// controller factory is called once per flow per run; make_queue, when
+/// set, overrides the scenario's default bottleneck discipline
+/// (router-assisted schemes bring their own gateway).
 struct SchemeHandle {
   std::string name;
-  std::function<std::unique_ptr<sim::Sender>()> make_sender;
+  TransportConfig transport;
+  std::function<std::unique_ptr<CongestionController>()> make_controller;
   std::function<std::unique_ptr<sim::QueueDisc>()> make_queue;
   std::string spec;  ///< canonical spec this handle was built from
+
+  /// Convenience: a fully wired endpoint — a cc::Transport configured with
+  /// `transport`, hosting a fresh controller.
+  std::unique_ptr<sim::Sender> make_sender() const;
 };
 
 class Registry {
@@ -141,12 +149,12 @@ class Registry {
   bool require_tables_ = false;
 };
 
-/// Shared transport-level parameters accepted by every sender scheme:
+/// Shared transport-level parameters accepted by every scheme:
 /// init_cwnd (segments), min_rto (ms), segment_bytes.
 TransportConfig transport_params(const Params& p);
 
-/// Registers the plain end-to-end TCP senders that live in this layer:
+/// Registers the plain end-to-end TCP controllers that live in this layer:
 /// newreno, vegas, cubic, compound.
-void register_builtin_senders(Registry& registry);
+void register_builtin_controllers(Registry& registry);
 
 }  // namespace remy::cc

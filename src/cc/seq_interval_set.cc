@@ -1,0 +1,156 @@
+#include "cc/seq_interval_set.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace remy::cc {
+
+std::size_t SeqIntervalSet::lower_bound(sim::SeqNum s) const noexcept {
+  // First interval whose hi > s: intervals are sorted by lo (equivalently
+  // by hi, being disjoint), so binary-search on hi.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), s,
+      [](sim::SeqNum v, const Interval& iv) { return v < iv.hi; });
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+bool SeqIntervalSet::contains(sim::SeqNum s) const noexcept {
+  const std::size_t i = lower_bound(s);
+  return i < intervals_.size() && intervals_[i].lo <= s;
+}
+
+bool SeqIntervalSet::insert(sim::SeqNum s) {
+  if (contains(s)) return false;
+  insert_range(s, s + 1);
+  return true;
+}
+
+void SeqIntervalSet::insert_range(sim::SeqNum lo, sim::SeqNum hi) {
+  if (hi <= lo) return;
+  // All intervals overlapping or adjacent to [lo, hi) merge into one.
+  // first: earliest interval with iv.hi >= lo (adjacency on the left);
+  // last: intervals with iv.lo <= hi are absorbed (adjacency on the right).
+  std::size_t first = static_cast<std::size_t>(
+      std::upper_bound(intervals_.begin(), intervals_.end(), lo,
+                       [](sim::SeqNum v, const Interval& iv) {
+                         return v <= iv.hi;  // adjacent counts
+                       }) -
+      intervals_.begin());
+  std::size_t last = first;
+  sim::SeqNum new_lo = lo;
+  sim::SeqNum new_hi = hi;
+  std::uint64_t absorbed = 0;
+  while (last < intervals_.size() && intervals_[last].lo <= hi) {
+    new_lo = std::min(new_lo, intervals_[last].lo);
+    new_hi = std::max(new_hi, intervals_[last].hi);
+    absorbed += intervals_[last].hi - intervals_[last].lo;
+    ++last;
+  }
+  count_ += (new_hi - new_lo) - absorbed;
+  if (last == first) {
+    intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(first),
+                      Interval{new_lo, new_hi});
+  } else {
+    intervals_[first] = Interval{new_lo, new_hi};
+    intervals_.erase(intervals_.begin() + static_cast<std::ptrdiff_t>(first + 1),
+                     intervals_.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+}
+
+void SeqIntervalSet::erase_range(sim::SeqNum lo, sim::SeqNum hi) {
+  if (hi <= lo) return;
+  std::size_t i = lower_bound(lo);  // first interval with iv.hi > lo
+  std::size_t erase_from = i;
+  std::size_t erase_to = i;
+  Interval left_keep{0, 0};
+  Interval right_keep{0, 0};
+  bool have_left = false;
+  bool have_right = false;
+  while (erase_to < intervals_.size() && intervals_[erase_to].lo < hi) {
+    Interval& iv = intervals_[erase_to];
+    const sim::SeqNum cut_lo = std::max(iv.lo, lo);
+    const sim::SeqNum cut_hi = std::min(iv.hi, hi);
+    count_ -= cut_hi - cut_lo;
+    if (iv.lo < lo) {
+      left_keep = Interval{iv.lo, lo};
+      have_left = true;
+    }
+    if (iv.hi > hi) {
+      right_keep = Interval{hi, iv.hi};
+      have_right = true;
+    }
+    ++erase_to;
+  }
+  if (erase_from == erase_to) return;  // nothing overlapped
+  std::vector<Interval> keep;
+  if (have_left) keep.push_back(left_keep);
+  if (have_right) keep.push_back(right_keep);
+  const auto from = intervals_.begin() + static_cast<std::ptrdiff_t>(erase_from);
+  const auto to = intervals_.begin() + static_cast<std::ptrdiff_t>(erase_to);
+  const auto it = intervals_.erase(from, to);
+  intervals_.insert(it, keep.begin(), keep.end());
+}
+
+void SeqIntervalSet::erase_below(sim::SeqNum bound) {
+  std::size_t i = 0;
+  while (i < intervals_.size() && intervals_[i].hi <= bound) {
+    count_ -= intervals_[i].hi - intervals_[i].lo;
+    ++i;
+  }
+  intervals_.erase(intervals_.begin(),
+                   intervals_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (!intervals_.empty() && intervals_.front().lo < bound) {
+    count_ -= bound - intervals_.front().lo;
+    intervals_.front().lo = bound;
+  }
+}
+
+void SeqIntervalSet::pop_front() {
+  assert(!intervals_.empty());
+  Interval& iv = intervals_.front();
+  --count_;
+  if (++iv.lo >= iv.hi) intervals_.erase(intervals_.begin());
+}
+
+sim::SeqNum SeqIntervalSet::nth_from_top(std::uint64_t k) const noexcept {
+  assert(k >= 1 && count_ >= k);
+  for (std::size_t i = intervals_.size(); i-- > 0;) {
+    const std::uint64_t len = intervals_[i].hi - intervals_[i].lo;
+    if (k <= len) return intervals_[i].hi - k;
+    k -= len;
+  }
+  return 0;  // unreachable given the precondition
+}
+
+void insert_uncovered(const SeqIntervalSet& a, const SeqIntervalSet& b,
+                      sim::SeqNum lo, sim::SeqNum hi, SeqIntervalSet& out) {
+  if (hi <= lo) return;
+  const auto& ia = a.intervals();
+  const auto& ib = b.intervals();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  sim::SeqNum cur = lo;
+  while (cur < hi) {
+    // Skip covering intervals wholly below cur.
+    while (i < ia.size() && ia[i].hi <= cur) ++i;
+    while (j < ib.size() && ib[j].hi <= cur) ++j;
+    // The nearest covered point at or above cur.
+    sim::SeqNum next_cover_lo = hi;
+    if (i < ia.size()) next_cover_lo = std::min(next_cover_lo, ia[i].lo);
+    if (j < ib.size()) next_cover_lo = std::min(next_cover_lo, ib[j].lo);
+    if (next_cover_lo > cur) {
+      out.insert_range(cur, std::min(next_cover_lo, hi));
+      cur = next_cover_lo;
+      continue;
+    }
+    // cur is covered; advance past every interval containing it.
+    sim::SeqNum covered_until = cur;
+    if (i < ia.size() && ia[i].lo <= cur)
+      covered_until = std::max(covered_until, ia[i].hi);
+    if (j < ib.size() && ib[j].lo <= cur)
+      covered_until = std::max(covered_until, ib[j].hi);
+    cur = covered_until;
+  }
+}
+
+}  // namespace remy::cc

@@ -1,0 +1,75 @@
+// A set of sequence numbers stored as flat sorted half-open intervals.
+//
+// The transport's SACK scoreboard is run-structured by nature: SACK blocks
+// arrive as ranges, loss inference marks ranges, and the cumulative point
+// prunes prefixes. A std::set<SeqNum> pays a node allocation and a pointer
+// chase per sequence number; this representation merges on insert, keeps a
+// cached element count (so pipe() is O(1)), and makes range operations one
+// binary search plus a small vector splice. Intervals are maintained
+// sorted, disjoint, and coalesced (never adjacent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.hh"
+
+namespace remy::cc {
+
+class SeqIntervalSet {
+ public:
+  /// Half-open [lo, hi), hi > lo.
+  struct Interval {
+    sim::SeqNum lo;
+    sim::SeqNum hi;
+    bool operator==(const Interval&) const = default;
+  };
+
+  void clear() noexcept {
+    intervals_.clear();
+    count_ = 0;
+  }
+  bool empty() const noexcept { return intervals_.empty(); }
+  /// Number of sequence numbers in the set (cached; O(1)).
+  std::uint64_t count() const noexcept { return count_; }
+
+  bool contains(sim::SeqNum s) const noexcept;
+
+  /// Inserts one sequence number; returns true if it was new.
+  bool insert(sim::SeqNum s);
+  /// Inserts every s in [lo, hi); no-op when hi <= lo.
+  void insert_range(sim::SeqNum lo, sim::SeqNum hi);
+
+  /// Erases every s in [lo, hi); no-op when hi <= lo.
+  void erase_range(sim::SeqNum lo, sim::SeqNum hi);
+  /// Erases every s < bound (cumulative-point pruning).
+  void erase_below(sim::SeqNum bound);
+
+  /// Lowest member; set must be non-empty.
+  sim::SeqNum front() const noexcept { return intervals_.front().lo; }
+  /// Removes the lowest member; set must be non-empty.
+  void pop_front();
+
+  /// The k-th largest member (k >= 1); requires count() >= k.
+  sim::SeqNum nth_from_top(std::uint64_t k) const noexcept;
+
+  const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+ private:
+  /// Index of the first interval with hi > s (candidate container of s).
+  std::size_t lower_bound(sim::SeqNum s) const noexcept;
+
+  std::vector<Interval> intervals_;
+  std::uint64_t count_ = 0;
+};
+
+/// Inserts into `out` every s in [lo, hi) covered by neither `a` nor `b` —
+/// the scoreboard's loss-inference scan ("not SACKed and not already
+/// retransmitted") as one merged interval sweep instead of a per-sequence
+/// probe.
+void insert_uncovered(const SeqIntervalSet& a, const SeqIntervalSet& b,
+                      sim::SeqNum lo, sim::SeqNum hi, SeqIntervalSet& out);
+
+}  // namespace remy::cc

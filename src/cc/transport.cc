@@ -1,4 +1,4 @@
-#include "cc/window_sender.hh"
+#include "cc/transport.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -6,23 +6,25 @@
 
 namespace remy::cc {
 
-WindowSender::WindowSender(TransportConfig config)
-    : config_{config}, cwnd_{config.initial_cwnd}, rto_{config.initial_rto_ms} {
+Transport::Transport(std::unique_ptr<CongestionController> controller,
+                     TransportConfig config)
+    : config_{config},
+      controller_{std::move(controller)},
+      rto_{config.initial_rto_ms} {
+  if (controller_ == nullptr)
+    throw std::invalid_argument{"Transport: null controller"};
   if (config_.initial_cwnd < 1.0)
     throw std::invalid_argument{"TransportConfig: initial_cwnd < 1"};
   if (config_.segment_bytes == 0)
     throw std::invalid_argument{"TransportConfig: zero segment size"};
+  controller_->attach(*this);
 }
 
-void WindowSender::set_cwnd(double cwnd) noexcept {
-  cwnd_ = std::clamp(cwnd, 1.0, config_.max_cwnd);
-}
-
-bool WindowSender::transfer_done() const noexcept {
+bool Transport::transfer_done() const noexcept {
   return limit_segments_ > 0 && cumulative_ - base_seq_ >= limit_segments_;
 }
 
-void WindowSender::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
+void Transport::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
   active_ = true;
   base_seq_ = next_seq_;
   cumulative_ = next_seq_;
@@ -32,7 +34,6 @@ void WindowSender::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
       bytes_limit == 0
           ? 0
           : (bytes_limit + config_.segment_bytes - 1) / config_.segment_bytes;
-  cwnd_ = config_.initial_cwnd;
   dup_acks_ = 0;
   missing_.clear();
   sacked_.clear();
@@ -44,43 +45,43 @@ void WindowSender::start_flow(sim::TimeMs now, std::uint64_t bytes_limit) {
   rto_ = config_.initial_rto_ms;
   rto_deadline_ = sim::kNever;
   next_send_ok_ = now;
-  on_flow_start(now);
+  controller_->flow_start(now);  // fresh-connection rule: cwnd reseeds too
   maybe_send(now);
   schedule_changed();  // called by the flow scheduler, not our own tick
 }
 
-void WindowSender::stop_flow(sim::TimeMs now) {
+void Transport::stop_flow(sim::TimeMs now) {
   (void)now;
   active_ = false;
   rto_deadline_ = sim::kNever;
   schedule_changed();
 }
 
-void WindowSender::send_segment(sim::SeqNum seq, sim::TimeMs now,
-                                bool is_retransmit) {
+void Transport::send_segment(sim::SeqNum seq, sim::TimeMs now,
+                             bool is_retransmit) {
   sim::Packet p;
   p.flow = flow_id();
   p.seq = seq;
   p.base_seq = base_seq_;
   p.tick_sent = now;
   p.size_bytes = config_.segment_bytes;
-  prepare_packet(p);
+  controller_->prepare_packet(p);
   if (metrics() != nullptr) {
     auto& fs = metrics()->flow(flow_id());
     ++fs.packets_sent;
     if (is_retransmit) ++fs.retransmissions;
   }
   last_send_time_ = now;
-  next_send_ok_ = now + pacing_interval_ms();
+  next_send_ok_ = now + controller_->pacing_interval_ms();
   if (rto_deadline_ == sim::kNever) arm_rto(now);
   egress()->accept(std::move(p), now);
 }
 
-bool WindowSender::window_has_room() const noexcept {
-  return static_cast<double>(pipe() + 1) <= cwnd_;
+bool Transport::window_has_room() const noexcept {
+  return static_cast<double>(pipe() + 1) <= controller_->cwnd();
 }
 
-void WindowSender::maybe_send(sim::TimeMs now) {
+void Transport::maybe_send(sim::TimeMs now) {
   if (!active_) return;
   std::uint32_t sent = 0;
   while (now >= next_send_ok_ && window_has_room()) {
@@ -92,8 +93,8 @@ void WindowSender::maybe_send(sim::TimeMs now) {
     }
     if (!missing_.empty() && in_recovery()) {
       // Retransmissions first (lowest hole).
-      const sim::SeqNum seq = *missing_.begin();
-      missing_.erase(missing_.begin());
+      const sim::SeqNum seq = missing_.front();
+      missing_.pop_front();
       retransmitted_.insert(seq);
       send_segment(seq, now, true);
     } else if (limit_segments_ == 0 || next_seq_ - base_seq_ < limit_segments_) {
@@ -106,9 +107,9 @@ void WindowSender::maybe_send(sim::TimeMs now) {
   }
 }
 
-void WindowSender::arm_rto(sim::TimeMs now) { rto_deadline_ = now + rto_; }
+void Transport::arm_rto(sim::TimeMs now) { rto_deadline_ = now + rto_; }
 
-void WindowSender::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
+void Transport::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
   (void)now;
   if (sample < 0) return;
   if (!min_rtt_.has_value() || sample < *min_rtt_) min_rtt_ = sample;
@@ -129,34 +130,31 @@ void WindowSender::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
   }
 }
 
-void WindowSender::absorb_sack(const sim::Packet& ack) {
-  // Mark advertised runs as delivered.
+void Transport::absorb_sack(const sim::Packet& ack) {
+  // Mark advertised runs as delivered. (Erasing the whole run from
+  // missing_ is equivalent to erasing only newly-sacked members: the
+  // transport never holds a sequence number in both sets.)
   for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
     const auto [start, end] = ack.sack_block(i);
-    for (sim::SeqNum s = std::max(start, cumulative_); s < end; ++s) {
-      if (sacked_.insert(s).second) missing_.erase(s);
-    }
+    const sim::SeqNum lo = std::max(start, cumulative_);
+    sacked_.insert_range(lo, end);
+    missing_.erase_range(lo, end);
   }
   // RFC 6675-style loss inference: a segment is lost once at least
   // kDupThresh segments above it have been SACKed. Equivalently, every
   // unsacked segment below the kDupThresh-highest sacked segment is lost.
-  // The watermark makes the scan incremental (each sequence number is
+  // The watermark makes the scan incremental (each sequence range is
   // examined once per incarnation outside timeouts).
-  static constexpr std::size_t kDupThresh = 3;
-  if (sacked_.size() < kDupThresh) return;
-  auto it = sacked_.rbegin();
-  std::advance(it, kDupThresh - 1);
-  const sim::SeqNum lost_below = *it;
-  for (sim::SeqNum s = std::max(loss_scan_, cumulative_); s < lost_below; ++s) {
-    if (!sacked_.contains(s) && !retransmitted_.contains(s)) {
-      missing_.insert(s);
-    }
-  }
+  static constexpr std::uint64_t kDupThresh = 3;
+  if (sacked_.count() < kDupThresh) return;
+  const sim::SeqNum lost_below = sacked_.nth_from_top(kDupThresh);
+  insert_uncovered(sacked_, retransmitted_,
+                   std::max(loss_scan_, cumulative_), lost_below, missing_);
   loss_scan_ = std::max(loss_scan_, lost_below);
 }
 
-void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
-  if (!ack.is_ack) throw std::logic_error{"WindowSender got a data packet"};
+void Transport::accept(sim::Packet&& ack, sim::TimeMs now) {
+  if (!ack.is_ack) throw std::logic_error{"Transport got a data packet"};
   // Stale ACK from a previous incarnation: its segment predates this flow.
   if (ack.ack_seq < base_seq_) return;
 
@@ -173,10 +171,9 @@ void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
     dup_acks_ = 0;
     if (cumulative_ >= recovery_point_) fast_recovery_ = false;
     // Prune the scoreboard below the new cumulative point.
-    missing_.erase(missing_.begin(), missing_.lower_bound(cumulative_));
-    sacked_.erase(sacked_.begin(), sacked_.lower_bound(cumulative_));
-    retransmitted_.erase(retransmitted_.begin(),
-                         retransmitted_.lower_bound(cumulative_));
+    missing_.erase_below(cumulative_);
+    sacked_.erase_below(cumulative_);
+    retransmitted_.erase_below(cumulative_);
     rto_ = std::clamp(srtt_ + std::max(1.0, 4.0 * rttvar_),
                       config_.min_rto_ms, config_.max_rto_ms);  // undo backoff
     if (inflight() > 0) {
@@ -199,19 +196,19 @@ void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
     if (missing_.empty() && !retransmitted_.contains(cumulative_)) {
       missing_.insert(cumulative_);
     }
-    on_loss_event(now);
+    controller_->on_loss_event(now);
     // Retransmit the first hole immediately (ahead of pacing), keeping the
     // ACK clock alive.
     if (!missing_.empty()) {
-      const sim::SeqNum seq = *missing_.begin();
-      missing_.erase(missing_.begin());
+      const sim::SeqNum seq = missing_.front();
+      missing_.pop_front();
       retransmitted_.insert(seq);
       send_segment(seq, now, true);
     }
   }
 
   const AckInfo info{ack, rtt_sample, newly_acked, is_dup, was_in_fast_recovery};
-  if (active_) on_ack_received(info, now);
+  if (active_) controller_->on_ack(info, now);
 
   if (active_ && transfer_done()) {
     active_ = false;
@@ -224,7 +221,7 @@ void WindowSender::accept(sim::Packet&& ack, sim::TimeMs now) {
   schedule_changed();  // ACK ingress runs inside another component's tick
 }
 
-sim::TimeMs WindowSender::next_event_time() const {
+sim::TimeMs Transport::next_event_time() const {
   sim::TimeMs t = rto_deadline_;
   if (active_ && window_has_room() &&
       ((!missing_.empty() && in_recovery()) || limit_segments_ == 0 ||
@@ -234,7 +231,7 @@ sim::TimeMs WindowSender::next_event_time() const {
   return t;
 }
 
-void WindowSender::tick(sim::TimeMs now) {
+void Transport::tick(sim::TimeMs now) {
   if (now >= rto_deadline_) {
     // Timeout: back off and go-back-N — everything outstanding that is not
     // known-delivered is presumed lost and eligible for retransmission.
@@ -243,16 +240,15 @@ void WindowSender::tick(sim::TimeMs now) {
     dup_acks_ = 0;
     retransmitted_.clear();
     missing_.clear();
-    for (sim::SeqNum s = cumulative_; s < next_seq_; ++s) {
-      if (!sacked_.contains(s)) missing_.insert(s);
-    }
+    insert_uncovered(sacked_, retransmitted_, cumulative_, next_seq_,
+                     missing_);
     loss_scan_ = cumulative_;
     recovery_point_ = next_seq_;
     fast_recovery_ = false;  // post-RTO slow start may grow the window
-    on_timeout(now);
+    controller_->on_timeout(now);
     if (!missing_.empty()) {
-      const sim::SeqNum seq = *missing_.begin();
-      missing_.erase(missing_.begin());
+      const sim::SeqNum seq = missing_.front();
+      missing_.pop_front();
       retransmitted_.insert(seq);
       send_segment(seq, now, true);
     }

@@ -1,0 +1,136 @@
+// The shared window-based transport engine: sequencing, cumulative-ACK
+// tracking, duplicate-ACK loss detection, SACK-scoreboard retransmission
+// with pipe accounting (RFC 6675 style — the paper's ns-2 baselines port
+// SACK-enabled Linux stacks), RFC 6298 RTO estimation with exponential
+// backoff, and optional pacing.
+//
+// The congestion response itself is NOT here: it lives in the hosted
+// cc::CongestionController (see congestion_controller.hh for the API and
+// hook-ordering contract). Every scheme in the repository — the
+// human-designed TCPs, XCP, and RemyCC — is a controller installed into
+// this one engine, so scheme comparisons isolate the congestion response
+// while the loss-recovery machinery stays identical, and any controller
+// runs over any TransportConfig.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cc/congestion_controller.hh"
+#include "cc/seq_interval_set.hh"
+#include "sim/sender.hh"
+
+namespace remy::cc {
+
+class Transport final : public sim::Sender, public TransportView {
+ public:
+  /// Takes ownership of `controller` and attaches it (exactly once).
+  /// Throws std::invalid_argument on a null controller or a bad config.
+  explicit Transport(std::unique_ptr<CongestionController> controller,
+                     TransportConfig config = {});
+
+  // --- sim::Sender -------------------------------------------------------
+  void start_flow(sim::TimeMs now, std::uint64_t bytes_limit) override;
+  void stop_flow(sim::TimeMs now) override;
+  bool flow_active() const noexcept override { return active_; }
+  void accept(sim::Packet&& ack, sim::TimeMs now) override;
+  sim::TimeMs next_event_time() const override;
+  void tick(sim::TimeMs now) override;
+
+  // --- TransportView (also the test/bench inspection surface) ------------
+  const TransportConfig& config() const noexcept override { return config_; }
+  sim::TimeMs srtt_ms() const noexcept override { return srtt_; }
+  sim::TimeMs min_rtt_ms() const noexcept override {
+    return min_rtt_.value_or(0.0);
+  }
+  sim::TimeMs rto_ms() const noexcept override { return rto_; }
+  sim::SeqNum next_seq() const noexcept override { return next_seq_; }
+  sim::SeqNum cumulative() const noexcept override { return cumulative_; }
+  std::uint64_t inflight() const noexcept override {
+    return next_seq_ - cumulative_;
+  }
+  std::uint64_t pipe() const noexcept override {
+    return inflight() - missing_.count() - sacked_.count();
+  }
+  std::uint64_t acked_in_flow() const noexcept override {
+    return cumulative_ - base_seq_;
+  }
+  sim::TimeMs last_send_time() const noexcept override {
+    return last_send_time_;
+  }
+  bool in_recovery() const noexcept override {
+    return cumulative_ < recovery_point_;
+  }
+  bool in_fast_recovery() const noexcept override {
+    return fast_recovery_ && in_recovery();
+  }
+
+  /// The controller's window (the transport reads it to gate sends).
+  double cwnd() const noexcept { return controller_->cwnd(); }
+
+  // --- installed controller ----------------------------------------------
+  CongestionController& controller() noexcept { return *controller_; }
+  const CongestionController& controller() const noexcept {
+    return *controller_;
+  }
+  /// Typed access for tests/benches that know the scheme they installed.
+  template <typename C>
+  C& controller_as() {
+    return static_cast<C&>(*controller_);
+  }
+  template <typename C>
+  const C& controller_as() const {
+    return static_cast<const C&>(*controller_);
+  }
+
+ private:
+  void send_segment(sim::SeqNum seq, sim::TimeMs now, bool is_retransmit);
+  void maybe_send(sim::TimeMs now);
+  void update_rtt(sim::TimeMs sample, sim::TimeMs now);
+  void arm_rto(sim::TimeMs now);
+  bool transfer_done() const noexcept;
+  /// Folds an ACK's SACK hole report into the scoreboard.
+  void absorb_sack(const sim::Packet& ack);
+  bool window_has_room() const noexcept;
+
+  TransportConfig config_;
+  std::unique_ptr<CongestionController> controller_;
+  bool active_ = false;
+
+  // Sequence space is monotone across "on" periods; each period is a new
+  // incarnation starting at base_seq_ (carried in packets so the receiver
+  // can discard holes left by a previous incarnation).
+  sim::SeqNum next_seq_ = 0;
+  sim::SeqNum base_seq_ = 0;
+  sim::SeqNum cumulative_ = 0;
+  sim::SeqNum recovery_point_ = 0;
+  sim::SeqNum loss_scan_ = 0;  ///< loss-inference watermark (see absorb_sack)
+  std::uint64_t limit_segments_ = 0;  ///< 0 = unbounded
+  bool fast_recovery_ = false;
+
+  int dup_acks_ = 0;
+
+  // SACK scoreboard (all pruned below the cumulative point), kept as flat
+  // sorted interval vectors with cached counts (pipe() is O(1)):
+  //   missing_       known lost, awaiting retransmission
+  //   sacked_        delivered out of order (counted out of the pipe)
+  //   retransmitted_ resent once already; a stale loss report must not
+  //                  trigger a duplicate resend (lost retransmissions are
+  //                  the RTO's job)
+  SeqIntervalSet missing_;
+  SeqIntervalSet sacked_;
+  SeqIntervalSet retransmitted_;
+
+  sim::TimeMs srtt_ = 0.0;
+  sim::TimeMs rttvar_ = 0.0;
+  std::optional<sim::TimeMs> min_rtt_;
+  bool have_rtt_ = false;
+  sim::TimeMs rto_;
+  sim::TimeMs rto_deadline_ = sim::kNever;
+
+  sim::TimeMs last_send_time_ = -1e18;
+  sim::TimeMs next_send_ok_ = 0.0;  ///< pacing gate
+};
+
+}  // namespace remy::cc

@@ -4,20 +4,17 @@
 
 namespace remy::cc {
 
-Vegas::Vegas(TransportConfig config, VegasParams params)
-    : WindowSender{config}, params_{params} {}
-
 void Vegas::on_flow_start(sim::TimeMs now) {
   (void)now;
   slow_start_ = true;
   grow_this_rtt_ = true;
-  rtt_mark_ = next_seq();
+  rtt_mark_ = transport().next_seq();
   rtt_sum_this_round_ = 0.0;
   rtt_count_this_round_ = 0;
   last_diff_ = 0.0;
 }
 
-void Vegas::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void Vegas::on_ack(const AckInfo& info, sim::TimeMs now) {
   (void)now;
   if (info.newly_acked == 0) return;
   // Mean RTT of the round's samples: reflects the queue the *current*
@@ -25,15 +22,15 @@ void Vegas::on_ack_received(const AckInfo& info, sim::TimeMs now) {
   // during slow start's doubling).
   rtt_sum_this_round_ += info.rtt_sample_ms;
   ++rtt_count_this_round_;
-  if (cumulative() < rtt_mark_) return;  // round still in progress
+  if (transport().cumulative() < rtt_mark_) return;  // round still in progress
 
   // One RTT round completed.
-  const double base = min_rtt_ms();
+  const double base = transport().min_rtt_ms();
   const double rtt = rtt_count_this_round_ > 0
                          ? rtt_sum_this_round_ /
                                static_cast<double>(rtt_count_this_round_)
                          : 0.0;
-  rtt_mark_ = next_seq();
+  rtt_mark_ = transport().next_seq();
   rtt_sum_this_round_ = 0.0;
   rtt_count_this_round_ = 0;
   if (base <= 0.0 || rtt <= 0.0) return;

@@ -6,7 +6,7 @@
 // Slow start doubles every *other* RTT and exits when diff exceeds gamma.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
@@ -16,17 +16,16 @@ struct VegasParams {
   double gamma = 1.0;  ///< slow-start exit threshold (segments)
 };
 
-class Vegas : public WindowSender {
+class Vegas : public CongestionController {
  public:
-  explicit Vegas(TransportConfig config = {}, VegasParams params = {});
+  explicit Vegas(VegasParams params = {}) : params_{params} {}
 
   /// Latest once-per-RTT backlog estimate (diff), in segments.
   double last_diff() const noexcept { return last_diff_; }
   bool in_slow_start() const noexcept { return slow_start_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
 

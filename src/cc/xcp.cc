@@ -1,47 +1,43 @@
-#include "cc/xcp_sender.hh"
+#include "cc/xcp.hh"
 
 #include <algorithm>
 
 namespace remy::cc {
 
-XcpSender::XcpSender(TransportConfig config)
-    : WindowSender{config},
-      cwnd_bytes_{config.initial_cwnd * config.segment_bytes} {}
-
-void XcpSender::sync_cwnd() {
+void Xcp::sync_cwnd() {
   cwnd_bytes_ = std::clamp(cwnd_bytes_, double{sim::kMtuBytes},
                            config().max_cwnd * config().segment_bytes);
   set_cwnd(cwnd_bytes_ / config().segment_bytes);
 }
 
-void XcpSender::on_flow_start(sim::TimeMs now) {
+void Xcp::on_flow_start(sim::TimeMs now) {
   (void)now;
   cwnd_bytes_ = config().initial_cwnd * config().segment_bytes;
   sync_cwnd();
 }
 
-void XcpSender::prepare_packet(sim::Packet& p) {
+void Xcp::prepare_packet(sim::Packet& p) {
   p.xcp.valid = true;
   p.xcp.cwnd_bytes = cwnd_bytes_;
-  p.xcp.rtt_ms = srtt_ms();
+  p.xcp.rtt_ms = transport().srtt_ms();
   // Desired feedback: ask for a lot; routers clamp to their allocation.
   p.xcp.feedback_bytes = 1e12;
 }
 
-void XcpSender::on_ack_received(const AckInfo& info, sim::TimeMs now) {
+void Xcp::on_ack(const AckInfo& info, sim::TimeMs now) {
   (void)now;
   if (!info.ack.xcp.valid) return;
   cwnd_bytes_ += info.ack.xcp.feedback_bytes;
   sync_cwnd();
 }
 
-void XcpSender::on_loss_event(sim::TimeMs now) {
+void Xcp::on_loss_event(sim::TimeMs now) {
   (void)now;
   cwnd_bytes_ = std::max(cwnd_bytes_ / 2.0, double{sim::kMtuBytes});
   sync_cwnd();
 }
 
-void XcpSender::on_timeout(sim::TimeMs now) {
+void Xcp::on_timeout(sim::TimeMs now) {
   (void)now;
   cwnd_bytes_ = double{sim::kMtuBytes};
   sync_cwnd();

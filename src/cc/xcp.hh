@@ -6,19 +6,18 @@
 // falls back to a half-window reduction.
 #pragma once
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 
 namespace remy::cc {
 
-class XcpSender : public WindowSender {
+class Xcp : public CongestionController {
  public:
-  explicit XcpSender(TransportConfig config = {});
+  Xcp() = default;
 
   double cwnd_bytes() const noexcept { return cwnd_bytes_; }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const AckInfo& info, sim::TimeMs now) override;
   void on_loss_event(sim::TimeMs now) override;
   void on_timeout(sim::TimeMs now) override;
   void prepare_packet(sim::Packet& p) override;
@@ -26,7 +25,7 @@ class XcpSender : public WindowSender {
  private:
   void sync_cwnd();
 
-  double cwnd_bytes_;
+  double cwnd_bytes_ = 0.0;
 };
 
 }  // namespace remy::cc

@@ -1,24 +1,25 @@
-#include "core/remy_sender.hh"
+#include "core/remy_controller.hh"
 
 #include <stdexcept>
 #include <tuple>
 
 namespace remy::core {
 
-RemySender::RemySender(std::shared_ptr<const WhiskerTree> tree,
-                       cc::TransportConfig config, UsageRecorder* usage)
-    : cc::WindowSender{config}, tree_{std::move(tree)}, usage_{usage} {
-  if (tree_ == nullptr) throw std::invalid_argument{"RemySender: null tree"};
+RemyController::RemyController(std::shared_ptr<const WhiskerTree> tree,
+                               UsageRecorder* usage)
+    : tree_{std::move(tree)}, usage_{usage} {
+  if (tree_ == nullptr)
+    throw std::invalid_argument{"RemyController: null tree"};
 }
 
-void RemySender::on_flow_start(sim::TimeMs now) {
+void RemyController::on_flow_start(sim::TimeMs now) {
   (void)now;
   memory_.reset();
   intersend_ms_ = 0.0;
 }
 
-void RemySender::on_ack_received(const AckInfo& info, sim::TimeMs now) {
-  memory_.on_ack(now, info.ack.echo_tick_sent, min_rtt_ms());
+void RemyController::on_ack(const cc::AckInfo& info, sim::TimeMs now) {
+  memory_.on_ack(now, info.ack.echo_tick_sent, transport().min_rtt_ms());
 
   Memory lookup_memory = memory_;
   if (!signal_mask_[0] || !signal_mask_[1] || !signal_mask_[2]) {

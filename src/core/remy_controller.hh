@@ -1,29 +1,29 @@
 // The RemyCC interpreter: runs a whisker tree at an endpoint (Sec. 4.2).
 //
-// On every incoming ACK the sender updates its three-signal memory, looks
-// up the matching whisker, and applies the action:
+// On every incoming ACK the controller updates its three-signal memory,
+// looks up the matching whisker, and applies the action:
 //   cwnd <- m * cwnd + b     (clamped to >= 0 outstanding)
 //   pace sends at least r ms apart
 // Congestion state (memory, window, pacing) resets at every "on" period;
-// loss recovery is inherited from the shared window transport, and loss is
-// *not* a congestion signal (Sec. 4.1).
+// loss recovery is inherited from the hosting cc::Transport — whatever its
+// configuration — and loss is *not* a congestion signal (Sec. 4.1).
 #pragma once
 
+#include <array>
 #include <memory>
 
-#include "cc/window_sender.hh"
+#include "cc/congestion_controller.hh"
 #include "core/memory.hh"
 #include "core/whisker_tree.hh"
 
 namespace remy::core {
 
-class RemySender : public cc::WindowSender {
+class RemyController : public cc::CongestionController {
  public:
   /// @param tree     the rule table; shared, not modified
   /// @param usage    optional recorder of whisker activations (training)
-  explicit RemySender(std::shared_ptr<const WhiskerTree> tree,
-                      cc::TransportConfig config = {},
-                      UsageRecorder* usage = nullptr);
+  explicit RemyController(std::shared_ptr<const WhiskerTree> tree,
+                          UsageRecorder* usage = nullptr);
 
   const Memory& memory() const noexcept { return memory_; }
   const WhiskerTree& tree() const noexcept { return *tree_; }
@@ -35,9 +35,8 @@ class RemySender : public cc::WindowSender {
     signal_mask_ = mask;
   }
 
- protected:
   void on_flow_start(sim::TimeMs now) override;
-  void on_ack_received(const AckInfo& info, sim::TimeMs now) override;
+  void on_ack(const cc::AckInfo& info, sim::TimeMs now) override;
   /// Loss is not a RemyCC congestion signal; recovery is transport-level.
   void on_loss_event(sim::TimeMs now) override { (void)now; }
   void on_timeout(sim::TimeMs now) override { (void)now; }

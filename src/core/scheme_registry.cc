@@ -13,8 +13,8 @@
 #include "aqm/xcp_router.hh"
 #include "cc/cubic.hh"
 #include "cc/dctcp.hh"
-#include "cc/xcp_sender.hh"
-#include "core/remy_sender.hh"
+#include "cc/xcp.hh"
+#include "core/remy_controller.hh"
 
 namespace remy::core {
 
@@ -52,12 +52,14 @@ cc::SchemeHandle build_remy(const cc::Params& p) {
     }
     std::array<bool, kMemoryDims> mask{};
     for (std::size_t i = 0; i < kMemoryDims; ++i) mask[i] = mask_str[i] == '1';
-    const auto make_masked = [inner = handle.make_sender, mask] {
-      auto sender = inner();
-      static_cast<RemySender*>(sender.get())->set_signal_mask(mask);
-      return sender;
+    const auto make_masked =
+        [inner = handle.make_controller,
+         mask]() -> std::unique_ptr<cc::CongestionController> {
+      auto controller = inner();
+      static_cast<RemyController*>(controller.get())->set_signal_mask(mask);
+      return controller;
     };
-    handle.make_sender = make_masked;
+    handle.make_controller = make_masked;
   }
   if (p.has("queue")) {
     handle.make_queue = cc::Registry::global().queue_factory(
@@ -77,38 +79,40 @@ void register_composite_schemes(cc::Registry& registry) {
       "Cubic over a stochastic-fair-queueing CoDel gateway [capacity, "
       "target, interval]",
       [](const cc::Params& p) {
-        const cc::TransportConfig tc = cc::transport_params(p);
         aqm::SfqCodelParams sp;
         sp.capacity_packets = p.capacity("capacity", 1000);
         sp.codel.target_ms = p.number("target", sp.codel.target_ms);
         sp.codel.interval_ms = p.number("interval", sp.codel.interval_ms);
         return cc::SchemeHandle{
-            "cubic-sfqcodel",
-            [tc] { return std::make_unique<cc::Cubic>(tc); },
-            [sp] { return std::make_unique<aqm::SfqCodel>(sp); }};
+            "cubic-sfqcodel", cc::transport_params(p),
+            [] { return std::make_unique<cc::Cubic>(); },
+            [sp] { return std::make_unique<aqm::SfqCodel>(sp); },
+            {}};
       });
   registry.register_scheme(
-      "xcp", "XCP sender over an XCP router [capacity, alpha, beta]",
+      "xcp", "XCP endpoint over an XCP router [capacity, alpha, beta]",
       [](const cc::Params& p) {
-        const cc::TransportConfig tc = cc::transport_params(p);
         aqm::XcpParams xp;
         xp.alpha = p.number("alpha", xp.alpha);
         xp.beta = p.number("beta", xp.beta);
         xp.capacity_packets = p.capacity("capacity", 1000);
         return cc::SchemeHandle{
-            "xcp", [tc] { return std::make_unique<cc::XcpSender>(tc); },
-            [xp] { return std::make_unique<aqm::XcpRouter>(xp); }};
+            "xcp", cc::transport_params(p),
+            [] { return std::make_unique<cc::Xcp>(); },
+            [xp] { return std::make_unique<aqm::XcpRouter>(xp); },
+            {}};
       });
   registry.register_scheme(
       "dctcp",
       "DCTCP over a marking-threshold gateway [k (pkts), capacity, min_rto]",
       [](const cc::Params& p) {
-        const cc::TransportConfig tc = cc::transport_params(p);
         const auto k = static_cast<std::size_t>(p.integer("k", 65));
         const std::size_t cap = p.capacity("capacity", 1000);
         return cc::SchemeHandle{
-            "dctcp", [tc] { return std::make_unique<cc::Dctcp>(tc); },
-            [k, cap] { return std::make_unique<aqm::EcnThreshold>(k, cap); }};
+            "dctcp", cc::transport_params(p),
+            [] { return std::make_unique<cc::Dctcp>(); },
+            [k, cap] { return std::make_unique<aqm::EcnThreshold>(k, cap); },
+            {}};
       });
 }
 
@@ -118,7 +122,7 @@ void install_builtin_schemes() {
   static std::once_flag once;
   std::call_once(once, [] {
     cc::Registry& registry = cc::Registry::global();
-    cc::register_builtin_senders(registry);
+    cc::register_builtin_controllers(registry);
     aqm::register_builtin_queues(registry);
     register_composite_schemes(registry);
   });
@@ -154,8 +158,9 @@ cc::SchemeHandle remy_scheme_handle(std::shared_ptr<const WhiskerTree> table,
                                     UsageRecorder* usage, std::string name) {
   cc::SchemeHandle handle;
   handle.name = std::move(name);
-  handle.make_sender = [table = std::move(table), config, usage] {
-    return std::make_unique<RemySender>(table, config, usage);
+  handle.transport = config;
+  handle.make_controller = [table = std::move(table), usage] {
+    return std::make_unique<RemyController>(table, usage);
   };
   return handle;
 }

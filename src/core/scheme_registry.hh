@@ -1,20 +1,19 @@
 // Wires the whole scheme/queue registry together (core is the only layer
-// that sees senders, gateways and RemyCC tables at once) and provides the
-// single path through which both training (core::Evaluator) and
-// benchmarking construct RemyCC senders.
+// that sees controllers, gateways and RemyCC tables at once) and provides
+// the single path through which both training (core::Evaluator) and
+// benchmarking construct RemyCC controllers.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "cc/registry.hh"
-#include "cc/window_sender.hh"
 #include "core/whisker_tree.hh"
 
 namespace remy::core {
 
 /// Registers every built-in scheme and queue disc into
-/// cc::Registry::global(): the cc senders, the aqm queue discs, and the
+/// cc::Registry::global(): the cc controllers, the aqm queue discs, and the
 /// composite schemes defined here (cubic-sfqcodel, xcp, dctcp, remy).
 /// Idempotent; call before any registry lookup.
 void install_builtin_schemes();
@@ -25,7 +24,7 @@ void install_builtin_schemes();
 /// untrained single-rule table.
 std::shared_ptr<const WhiskerTree> load_remy_table(const std::string& name);
 
-/// A RemyCC scheme handle around an in-memory table — the one sender
+/// A RemyCC scheme handle around an in-memory table — the one controller
 /// construction path shared by the registry's "remy" builder, the bench
 /// harness, and the training Evaluator (which scores candidate tables that
 /// exist nowhere on disk).

@@ -6,7 +6,9 @@
 // Typical use:
 //   DumbbellConfig cfg;
 //   cfg.link_mbps = 15; cfg.rtt_ms = 150; cfg.num_senders = 8;
-//   Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+//   Dumbbell net{cfg, [](FlowId) {
+//     return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>());
+//   }};
 //   net.run_for_seconds(100);
 //   net.metrics().flow(0).throughput_mbps();
 #pragma once

@@ -29,7 +29,7 @@ TEST(Harness, PaperSchemesComplete) {
   std::set<std::string> names;
   for (const auto& s : schemes) {
     names.insert(s.name);
-    ASSERT_TRUE(static_cast<bool>(s.make_sender)) << s.name;
+    ASSERT_TRUE(static_cast<bool>(s.make_controller)) << s.name;
     EXPECT_NE(s.make_sender(), nullptr) << s.name;
   }
   for (const char* expected :

@@ -1,6 +1,6 @@
-// Control-law behavior of the human-designed schemes: NewReno, Cubic,
-// Vegas, Compound, DCTCP. Unit-level checks drive ACKs by hand; dynamics
-// checks run small dumbbells.
+// Control-law behavior of the human-designed controllers: NewReno, Cubic,
+// Vegas, Compound, DCTCP — each installed into the shared cc::Transport.
+// Unit-level checks drive ACKs by hand; dynamics checks run small dumbbells.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -11,6 +11,7 @@
 #include "cc/cubic.hh"
 #include "cc/dctcp.hh"
 #include "cc/newreno.hh"
+#include "cc/transport.hh"
 #include "cc/vegas.hh"
 #include "sim/dumbbell.hh"
 
@@ -36,10 +37,23 @@ Packet ack_for(const Packet& data, sim::SeqNum cumulative, TimeMs) {
   return a;
 }
 
-/// Drives a sender standalone: acks everything sent, in order, rtt later.
+/// A transport hosting a known controller type, plus a typed handle to it.
+template <typename C, typename... Args>
+std::unique_ptr<Transport> make_scheme(Args&&... args) {
+  return std::make_unique<Transport>(
+      std::make_unique<C>(std::forward<Args>(args)...));
+}
+
+/// A sim::SenderFactory installing a fresh `C` per flow.
+template <typename C>
+sim::SenderFactory factory_of() {
+  return [](sim::FlowId) { return make_scheme<C>(); };
+}
+
+/// Drives a transport standalone: acks everything sent, in order, rtt later.
 class Harness {
  public:
-  explicit Harness(WindowSender* s) : sender_{s} {
+  explicit Harness(Transport* s) : sender_{s} {
     s->wire(0, &wire_, nullptr, nullptr);
   }
 
@@ -59,7 +73,7 @@ class Harness {
   TimeMs now() const { return now_; }
 
  private:
-  WindowSender* sender_;
+  Transport* sender_;
   WireCapture wire_;
   std::size_t acked_ = 0;
   sim::SeqNum cumulative_ = 0;
@@ -69,126 +83,113 @@ class Harness {
 // ---------- NewReno ----------
 
 TEST(NewReno, SlowStartDoublesPerRtt) {
-  NewReno s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 2.0);
+  auto s = make_scheme<NewReno>();
+  auto& reno = s->controller_as<NewReno>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), 2.0);
   h.ack_round(100.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 4.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), 4.0);
   h.ack_round(100.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 8.0);
-  EXPECT_TRUE(s.in_slow_start());
+  EXPECT_DOUBLE_EQ(s->cwnd(), 8.0);
+  EXPECT_TRUE(reno.in_slow_start());
 }
 
 TEST(NewReno, CongestionAvoidanceGrowsOnePerRtt) {
-  NewReno s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<NewReno>();
+  auto& reno = s->controller_as<NewReno>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 4; ++i) h.ack_round(100.0);  // grow to 32
-  // Force a loss event to set ssthresh and land in CA.
-  const double before = s.cwnd();
-  static_cast<WindowSender&>(s).tick(0);  // no-op; keep interface exercised
-  (void)before;
-  // Directly exercise CA: ssthresh is huge until loss; emulate via loss.
-  // After a loss event cwnd = ssthresh = cwnd/2.
-  // Then each full-window ack round adds ~1 segment.
+  reno.on_loss_event(h.now());  // ssthresh = cwnd/2: lands in CA
+  h.ack_round(100.0);           // flush the pre-loss overhang of in-flight data
+  const double w0 = s->cwnd();
+  h.ack_round(100.0);
+  EXPECT_NEAR(s->cwnd(), w0 + 1.0, 0.2);  // ~one segment per window of ACKs
 }
 
 TEST(NewReno, LossHalvesWindow) {
-  NewReno s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<NewReno>();
+  auto& reno = s->controller_as<NewReno>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 4; ++i) h.ack_round(100.0);
-  const double w = s.cwnd();
-  // Simulate the hook directly (transport-level loss paths are tested in
-  // test_window_sender.cc).
-  struct Expose : NewReno {
-    using NewReno::on_loss_event;
-  };
-  static_cast<Expose&>(s).on_loss_event(500.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), w / 2.0);
-  EXPECT_DOUBLE_EQ(s.ssthresh(), w / 2.0);
-  EXPECT_FALSE(s.in_slow_start());
+  const double w = s->cwnd();
+  // Drive the hook directly (transport-level loss paths are tested in
+  // test_transport.cc).
+  reno.on_loss_event(500.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), w / 2.0);
+  EXPECT_DOUBLE_EQ(reno.ssthresh(), w / 2.0);
+  EXPECT_FALSE(reno.in_slow_start());
 }
 
 TEST(NewReno, TimeoutCollapsesToOne) {
-  NewReno s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<NewReno>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   h.ack_round(100.0);
-  struct Expose : NewReno {
-    using NewReno::on_timeout;
-  };
-  static_cast<Expose&>(s).on_timeout(500.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 1.0);
+  s->controller_as<NewReno>().on_timeout(500.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), 1.0);
 }
 
 // ---------- Cubic ----------
 
 TEST(Cubic, SlowStartUntilFirstLoss) {
-  Cubic s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Cubic>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   h.ack_round(50.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 4.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), 4.0);
 }
 
 TEST(Cubic, LossReducesByBeta) {
-  Cubic s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Cubic>();
+  auto& cubic = s->controller_as<Cubic>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 5; ++i) h.ack_round(50.0);
-  const double w = s.cwnd();
-  struct Expose : Cubic {
-    using Cubic::on_loss_event;
-  };
-  static_cast<Expose&>(s).on_loss_event(h.now());
-  EXPECT_NEAR(s.cwnd(), 0.7 * w, 1e-9);
-  EXPECT_NEAR(s.w_max(), w, 1e-9);
+  const double w = s->cwnd();
+  cubic.on_loss_event(h.now());
+  EXPECT_NEAR(s->cwnd(), 0.7 * w, 1e-9);
+  EXPECT_NEAR(cubic.w_max(), w, 1e-9);
 }
 
 TEST(Cubic, GrowthAcceleratesAwayFromWmax) {
   // After a loss, growth is slow near w_max (plateau) then accelerates:
   // compare increments right after the plateau vs much later.
-  Cubic s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Cubic>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 5; ++i) h.ack_round(50.0);
-  struct Expose : Cubic {
-    using Cubic::on_loss_event;
-  };
-  static_cast<Expose&>(s).on_loss_event(h.now());
+  s->controller_as<Cubic>().on_loss_event(h.now());
   // Track per-round growth across the cubic curve: it decelerates into the
   // w_max plateau and accelerates past it.
-  double prev = s.cwnd();
+  double prev = s->cwnd();
   double min_growth = 1e18;
   for (int i = 0; i < 60; ++i) {
     h.ack_round(50.0);
-    min_growth = std::min(min_growth, s.cwnd() - prev);
-    prev = s.cwnd();
+    min_growth = std::min(min_growth, s->cwnd() - prev);
+    prev = s->cwnd();
   }
   for (int i = 0; i < 120; ++i) h.ack_round(50.0);  // well past the plateau
-  const double w1 = s.cwnd();
+  const double w1 = s->cwnd();
   h.ack_round(50.0);
-  const double late_growth = s.cwnd() - w1;
+  const double late_growth = s->cwnd() - w1;
   EXPECT_GT(late_growth, min_growth);
 }
 
 TEST(Cubic, FastConvergenceLowersWmax) {
-  CubicParams params;
-  Cubic s{TransportConfig{}, params};
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Cubic>(CubicParams{});
+  auto& cubic = s->controller_as<Cubic>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 5; ++i) h.ack_round(50.0);
-  struct Expose : Cubic {
-    using Cubic::on_loss_event;
-  };
-  static_cast<Expose&>(s).on_loss_event(h.now());
-  const double wmax1 = s.w_max();
+  cubic.on_loss_event(h.now());
+  const double wmax1 = cubic.w_max();
   // Second loss at a *lower* window: fast convergence sets w_max below it.
-  static_cast<Expose&>(s).on_loss_event(h.now());
-  EXPECT_LT(s.w_max(), wmax1);
-  EXPECT_LT(s.w_max(), 0.7 * wmax1 + 1.0);
+  cubic.on_loss_event(h.now());
+  EXPECT_LT(cubic.w_max(), wmax1);
+  EXPECT_LT(cubic.w_max(), 0.7 * wmax1 + 1.0);
 }
 
 // ---------- Vegas ----------
@@ -203,7 +204,7 @@ TEST(Vegas, LeavesSlowStartWhenBacklogGrows) {
   cfg.seed = 3;
   cfg.workload = sim::OnOffConfig::always_on();
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-  sim::Dumbbell net{cfg, [](sim::FlowId) { return std::make_unique<Vegas>(); }};
+  sim::Dumbbell net{cfg, factory_of<Vegas>()};
   net.run_for_seconds(30);
   EXPECT_GT(net.metrics().flow(0).throughput_mbps(), 8.0);
   // Vegas parks only a few packets in the queue once converged; the 30 s
@@ -224,10 +225,8 @@ TEST(Vegas, KeepsLowerQueueThanNewReno) {
     net.run_for_seconds(30);
     return net.metrics().flow(0).avg_queue_delay_ms();
   };
-  const double vegas_delay =
-      run([](sim::FlowId) { return std::make_unique<Vegas>(); });
-  const double reno_delay =
-      run([](sim::FlowId) { return std::make_unique<NewReno>(); });
+  const double vegas_delay = run(factory_of<Vegas>());
+  const double reno_delay = run(factory_of<NewReno>());
   EXPECT_LT(vegas_delay, reno_delay);
 }
 
@@ -244,8 +243,8 @@ TEST(Compound, DelayWindowGrowsWhenPathIdle) {
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
   Compound* snd = nullptr;
   sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      auto s = std::make_unique<Compound>();
-                      snd = s.get();
+                      auto s = make_scheme<Compound>();
+                      snd = &s->controller_as<Compound>();
                       return s;
                     }};
   net.run_for_seconds(20);
@@ -254,48 +253,44 @@ TEST(Compound, DelayWindowGrowsWhenPathIdle) {
 }
 
 TEST(Compound, LossReducesCompoundWindow) {
-  Compound s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Compound>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   for (int i = 0; i < 5; ++i) h.ack_round(100.0);
-  const double before = s.cwnd();
-  struct Expose : Compound {
-    using Compound::on_loss_event;
-  };
-  static_cast<Expose&>(s).on_loss_event(h.now());
-  EXPECT_LT(s.cwnd(), before);
-  EXPECT_NEAR(s.cwnd(), before / 2.0, 1.1);
+  const double before = s->cwnd();
+  s->controller_as<Compound>().on_loss_event(h.now());
+  EXPECT_LT(s->cwnd(), before);
+  EXPECT_NEAR(s->cwnd(), before / 2.0, 1.1);
 }
 
 TEST(Compound, TimeoutResets) {
-  Compound s;
-  Harness h{&s};
-  s.start_flow(0.0, 0);
+  auto s = make_scheme<Compound>();
+  auto& compound = s->controller_as<Compound>();
+  Harness h{s.get()};
+  s->start_flow(0.0, 0);
   h.ack_round(100.0);
-  struct Expose : Compound {
-    using Compound::on_timeout;
-  };
-  static_cast<Expose&>(s).on_timeout(h.now());
-  EXPECT_DOUBLE_EQ(s.cwnd(), 1.0);
-  EXPECT_DOUBLE_EQ(s.dwnd(), 0.0);
+  compound.on_timeout(h.now());
+  EXPECT_DOUBLE_EQ(s->cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(compound.dwnd(), 0.0);
 }
 
 // ---------- DCTCP ----------
 
 TEST(Dctcp, MarksPacketsEcnCapable) {
-  Dctcp s;
+  auto s = make_scheme<Dctcp>();
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
   ASSERT_FALSE(wire.sent.empty());
   for (const auto& p : wire.sent) EXPECT_TRUE(p.ecn_capable);
 }
 
 TEST(Dctcp, AlphaRisesWithMarksAndDecaysWithout) {
-  Dctcp s;
+  auto s = make_scheme<Dctcp>();
+  auto& dctcp = s->controller_as<Dctcp>();
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
   // Ack one full window with every packet marked.
   TimeMs now = 10.0;
   sim::SeqNum cum = 0;
@@ -303,10 +298,10 @@ TEST(Dctcp, AlphaRisesWithMarksAndDecaysWithout) {
   for (std::size_t i = 0; i < n1; ++i) {
     Packet a = ack_for(wire.sent[i], ++cum, now);
     a.ecn_echo = true;
-    s.accept(std::move(a), now);
+    s->accept(std::move(a), now);
     now += 0.1;
   }
-  const double alpha_marked = s.alpha();
+  const double alpha_marked = dctcp.alpha();
   EXPECT_GT(alpha_marked, 0.0);
   // Now a few unmarked windows: alpha decays toward 0.
   for (int round = 0; round < 5; ++round) {
@@ -314,11 +309,11 @@ TEST(Dctcp, AlphaRisesWithMarksAndDecaysWithout) {
     for (std::size_t i = 0; i < n; ++i) {
       if (wire.sent[i].seq < cum) continue;
       Packet a = ack_for(wire.sent[i], ++cum, now);
-      s.accept(std::move(a), now);
+      s->accept(std::move(a), now);
       now += 0.1;
     }
   }
-  EXPECT_LT(s.alpha(), alpha_marked);
+  EXPECT_LT(dctcp.alpha(), alpha_marked);
 }
 
 TEST(Dctcp, KeepsQueueNearThreshold) {
@@ -332,7 +327,8 @@ TEST(Dctcp, KeepsQueueNearThreshold) {
   sim::Dumbbell net{cfg, [](sim::FlowId) {
                       TransportConfig tc;
                       tc.min_rto_ms = 10.0;
-                      return std::make_unique<Dctcp>(tc);
+                      return std::make_unique<Transport>(
+                          std::make_unique<Dctcp>(), tc);
                     }};
   net.run_for_seconds(10);
   double total = 0.0;
@@ -345,10 +341,10 @@ TEST(Dctcp, KeepsQueueNearThreshold) {
 
 TEST(Dctcp, GentlerThanRenoUnderMarks) {
   // One fully marked window should cut the window by alpha/2 < 1/2.
-  Dctcp s;
+  auto s = make_scheme<Dctcp>();
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
   TimeMs now = 10.0;
   sim::SeqNum cum = 0;
   // First grow a few unmarked rounds.
@@ -356,11 +352,11 @@ TEST(Dctcp, GentlerThanRenoUnderMarks) {
     const std::size_t n = wire.sent.size();
     for (std::size_t i = 0; i < n; ++i) {
       if (wire.sent[i].seq < cum) continue;
-      s.accept(ack_for(wire.sent[i], ++cum, now), now);
+      s->accept(ack_for(wire.sent[i], ++cum, now), now);
       now += 0.1;
     }
   }
-  const double w = s.cwnd();
+  const double w = s->cwnd();
   // One round with ~10% marks: reduction should be much less than half.
   const std::size_t n = wire.sent.size();
   std::size_t k = 0;
@@ -368,10 +364,10 @@ TEST(Dctcp, GentlerThanRenoUnderMarks) {
     if (wire.sent[i].seq < cum) continue;
     Packet a = ack_for(wire.sent[i], ++cum, now);
     a.ecn_echo = (k++ % 10) == 0;
-    s.accept(std::move(a), now);
+    s->accept(std::move(a), now);
     now += 0.1;
   }
-  EXPECT_GT(s.cwnd(), 0.8 * w);
+  EXPECT_GT(s->cwnd(), 0.8 * w);
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// The congestion-controller API contract: attach-once lifecycle, the hook
+// ordering guarantees documented in cc/congestion_controller.hh (checked
+// with a recording MockController over the dup-ACK, RTO, and flow-restart
+// paths), and the proof that the API cut landed on the true seam — every
+// shipped scenario replays bit-identically to the blessed digests recorded
+// before the redesign (data/scheme_digests.json; ctest label scheme-digest
+// runs the same check in CI's scenario-smoke leg).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "cc/transport.hh"
+#include "util/json.hh"
+
+namespace remy::cc {
+namespace {
+
+using sim::Packet;
+using sim::TimeMs;
+
+/// Records every hook invocation, in order, as a compact tag.
+class MockController final : public CongestionController {
+ public:
+  explicit MockController(double window = 8.0) : window_{window} {}
+
+  std::vector<std::string> events;
+
+  void on_flow_start(TimeMs) override {
+    events.emplace_back("flow_start");
+    set_cwnd(window_);
+  }
+  void on_ack(const AckInfo& info, TimeMs) override {
+    events.emplace_back(info.is_dup ? "ack(dup)" : "ack");
+  }
+  void on_loss_event(TimeMs) override { events.emplace_back("loss_event"); }
+  void on_timeout(TimeMs) override { events.emplace_back("timeout"); }
+  void prepare_packet(Packet& p) override {
+    events.emplace_back("prepare(" + std::to_string(p.seq) + ")");
+  }
+
+ private:
+  double window_;
+};
+
+struct WireCapture final : sim::PacketSink {
+  std::vector<Packet> sent;
+  void accept(Packet&& p, TimeMs) override { sent.push_back(std::move(p)); }
+};
+
+Packet make_ack(sim::SeqNum ack_seq, sim::SeqNum cumulative, TimeMs echo,
+                std::vector<std::pair<sim::SeqNum, sim::SeqNum>> blocks = {}) {
+  Packet a;
+  a.is_ack = true;
+  a.ack_seq = ack_seq;
+  a.cumulative_ack = cumulative;
+  a.echo_tick_sent = echo;
+  for (const auto& [start, end] : blocks) a.push_sack_block(start, end);
+  return a;
+}
+
+class CongestionOpsTest : public ::testing::Test {
+ protected:
+  WireCapture wire;
+
+  std::unique_ptr<Transport> make(double window = 8.0,
+                                  TransportConfig cfg = {}) {
+    auto t = std::make_unique<Transport>(
+        std::make_unique<MockController>(window), cfg);
+    t->wire(0, &wire, nullptr, nullptr);
+    return t;
+  }
+
+  static MockController& mock(Transport& t) {
+    return t.controller_as<MockController>();
+  }
+};
+
+// ---- lifecycle -------------------------------------------------------------
+
+TEST_F(CongestionOpsTest, AttachHappensExactlyOnceAtInstall) {
+  auto ctrl = std::make_unique<MockController>();
+  MockController* raw = ctrl.get();
+  EXPECT_FALSE(raw->attached());
+  Transport t{std::move(ctrl)};
+  EXPECT_TRUE(raw->attached());
+  // A controller instance holds per-flow state: re-attaching is a bug.
+  EXPECT_THROW(raw->attach(t), std::logic_error);
+}
+
+TEST_F(CongestionOpsTest, AttachSeedsCwndFromTransportConfig) {
+  TransportConfig cfg;
+  cfg.initial_cwnd = 7.0;
+  auto ctrl = std::make_unique<MockController>();
+  MockController* raw = ctrl.get();
+  Transport t{std::move(ctrl), cfg};
+  EXPECT_DOUBLE_EQ(raw->cwnd(), 7.0);
+  EXPECT_DOUBLE_EQ(t.cwnd(), 7.0);
+}
+
+TEST_F(CongestionOpsTest, ControllerOwnsCwndAndTransportReadsIt) {
+  auto t = make(3.0);
+  t->start_flow(0.0, 0);
+  // The transport released exactly the controller's window.
+  EXPECT_EQ(wire.sent.size(), 3u);
+  EXPECT_DOUBLE_EQ(t->cwnd(), mock(*t).cwnd());
+}
+
+TEST_F(CongestionOpsTest, SetCwndClampsToConfig) {
+  TransportConfig cfg;
+  cfg.max_cwnd = 10.0;
+  auto t = make(1e9, cfg);
+  t->start_flow(0.0, 0);
+  EXPECT_DOUBLE_EQ(t->cwnd(), 10.0);  // clamped, not 1e9
+}
+
+// ---- hook ordering ---------------------------------------------------------
+
+TEST_F(CongestionOpsTest, FlowStartRunsBeforeFirstSend) {
+  auto t = make(2.0);
+  t->start_flow(0.0, 0);
+  const auto& ev = mock(*t).events;
+  ASSERT_GE(ev.size(), 3u);
+  EXPECT_EQ(ev[0], "flow_start");
+  EXPECT_EQ(ev[1], "prepare(0)");
+  EXPECT_EQ(ev[2], "prepare(1)");
+}
+
+TEST_F(CongestionOpsTest, EveryAckReachesTheControllerAfterBookkeeping) {
+  auto t = make(4.0);
+  t->start_flow(0.0, 0);
+  mock(*t).events.clear();
+  t->accept(make_ack(0, 1, 0.0), 50.0);
+  const auto& ev = mock(*t).events;
+  // on_ack first (bookkeeping is transport-internal), then the send the
+  // opened window permits.
+  ASSERT_GE(ev.size(), 2u);
+  EXPECT_EQ(ev[0], "ack");
+  EXPECT_EQ(ev[1], "prepare(4)");
+}
+
+TEST_F(CongestionOpsTest, DupAckPathRunsLossEventBeforeTheTriggeringAck) {
+  auto t = make(8.0);
+  t->start_flow(0.0, 0);
+  mock(*t).events.clear();
+  for (int i = 1; i <= 3; ++i) {
+    t->accept(make_ack(static_cast<sim::SeqNum>(i), 0, 0.0,
+                       {{1, static_cast<sim::SeqNum>(i + 1)}}),
+              50.0 + i);
+  }
+  const std::vector<std::string> want{
+      "ack(dup)",    // dup 1
+      "prepare(8)",  // SACK freed a pipe slot: limited-transmit new data
+      "ack(dup)",    // dup 2
+      "prepare(9)",
+      "loss_event",  // third dup: loss detected *before* its on_ack
+      "prepare(0)",  // the fast retransmit, immediately after the hook
+      "ack(dup)",    // then the triggering ACK reaches the controller
+      "prepare(10)",
+  };
+  EXPECT_EQ(mock(*t).events, want);
+}
+
+TEST_F(CongestionOpsTest, RtoPathRunsTimeoutBeforeTheResend) {
+  TransportConfig cfg;
+  cfg.initial_rto_ms = 100.0;
+  auto t = make(2.0, cfg);
+  t->start_flow(0.0, 0);
+  mock(*t).events.clear();
+  t->tick(100.0);
+  const auto& ev = mock(*t).events;
+  ASSERT_GE(ev.size(), 2u);
+  EXPECT_EQ(ev[0], "timeout");
+  EXPECT_EQ(ev[1], "prepare(0)");  // go-back-N resend follows the hook
+}
+
+TEST_F(CongestionOpsTest, FlowRestartResetsViaFlowStartHook) {
+  auto t = make(2.0);
+  t->start_flow(0.0, 0);
+  t->stop_flow(10.0);
+  mock(*t).events.clear();
+  t->start_flow(20.0, 0);
+  const auto& ev = mock(*t).events;
+  ASSERT_GE(ev.size(), 1u);
+  EXPECT_EQ(ev[0], "flow_start");  // fresh-connection rule, before sends
+}
+
+TEST_F(CongestionOpsTest, NoAckHookAfterTransferCompletes) {
+  auto t = make(8.0);
+  t->start_flow(0.0, 2 * sim::kMtuBytes);
+  t->accept(make_ack(0, 1, 0.0), 10.0);
+  t->accept(make_ack(1, 2, 0.0), 11.0);  // completes the transfer
+  mock(*t).events.clear();
+  t->accept(make_ack(1, 2, 0.0), 12.0);  // late duplicate after completion
+  EXPECT_TRUE(mock(*t).events.empty());
+}
+
+// ---- digest equivalence ----------------------------------------------------
+
+/// Replays a shipped scenario under its smoke settings and compares the
+/// results hash against the blessed pre-redesign value.
+class SchemeDigest : public ::testing::TestWithParam<std::string> {};
+
+std::string blessed_digest(const std::string& scenario) {
+  const util::Json doc = util::json_from_file(std::string{REMY_DATA_DIR} +
+                                              "/scheme_digests.json");
+  return doc.at("digests").at(scenario).as_string();
+}
+
+TEST_P(SchemeDigest, ReplaysBitIdentically) {
+  const char* argv[] = {"test_congestion_ops", "--smoke"};
+  const util::Cli cli{2, argv};
+  const core::ScenarioSpec spec = bench::load_scenario(GetParam());
+  const bench::SpecRun run = bench::execute_spec(spec, cli);
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(
+                    bench::results_hash(bench::results_json(run))));
+  EXPECT_EQ(hash, blessed_digest(GetParam()))
+      << "scenario " << GetParam()
+      << " no longer replays bit-identically; if the change is intentional, "
+         "re-bless data/scheme_digests.json and say so in the PR";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShippedScenarios, SchemeDigest,
+    ::testing::Values("ablation_signals", "fig10_rttfair", "fig11_prior",
+                      "fig4_dumbbell8", "fig5_dumbbell12", "fig6_seqplot",
+                      "fig7_lte4", "fig8_lte8", "fig9_att4", "incast_1000",
+                      "mixed_rtt_competing", "satellite_rtt",
+                      "table1_dumbbell", "table2_cellular",
+                      "table5_datacenter", "table6_competing"),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace remy::cc

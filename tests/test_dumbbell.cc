@@ -8,6 +8,7 @@
 #include "cc/compound.hh"
 #include "cc/cubic.hh"
 #include "cc/newreno.hh"
+#include "cc/transport.hh"
 #include "cc/vegas.hh"
 #include "sim/dumbbell.hh"
 #include "workload/distributions.hh"
@@ -15,15 +16,16 @@
 namespace remy::sim {
 namespace {
 
+template <typename C>
+std::unique_ptr<Sender> transport_of(FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<C>());
+}
+
 SenderFactory factory_for(const std::string& scheme) {
-  if (scheme == "newreno")
-    return [](FlowId) { return std::make_unique<cc::NewReno>(); };
-  if (scheme == "cubic")
-    return [](FlowId) { return std::make_unique<cc::Cubic>(); };
-  if (scheme == "vegas")
-    return [](FlowId) { return std::make_unique<cc::Vegas>(); };
-  if (scheme == "compound")
-    return [](FlowId) { return std::make_unique<cc::Compound>(); };
+  if (scheme == "newreno") return transport_of<cc::NewReno>;
+  if (scheme == "cubic") return transport_of<cc::Cubic>;
+  if (scheme == "vegas") return transport_of<cc::Vegas>;
+  if (scheme == "compound") return transport_of<cc::Compound>;
   throw std::invalid_argument{scheme};
 }
 
@@ -137,7 +139,7 @@ TEST(Dumbbell, DeterministicGivenSeed) {
         workload::Distribution::exponential(100e3),
         workload::Distribution::exponential(500.0));
     cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-    Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+    Dumbbell net{cfg, transport_of<cc::NewReno>};
     net.run_for_seconds(20);
     std::vector<std::uint64_t> bytes;
     for (FlowId f = 0; f < 3; ++f)
@@ -157,7 +159,7 @@ TEST(Dumbbell, DifferentSeedsDiffer) {
     cfg.workload = OnOffConfig::by_bytes(
         workload::Distribution::exponential(100e3),
         workload::Distribution::exponential(500.0));
-    Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+    Dumbbell net{cfg, transport_of<cc::NewReno>};
     net.run_for_seconds(10);
     return net.metrics().flow(0).bytes_delivered;
   };
@@ -174,7 +176,7 @@ TEST(Dumbbell, PerFlowRttsRespected) {
   cfg.workload = OnOffConfig::always_on();
   // Small buffer bounds queueing delay: 50 pkts at 50 Mbps is 12 ms.
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(50); };
-  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  Dumbbell net{cfg, transport_of<cc::NewReno>};
   net.run_for_seconds(10);
   EXPECT_GE(net.metrics().flow(0).avg_rtt_ms(), 50.0 - 1e-9);
   EXPECT_LE(net.metrics().flow(0).avg_rtt_ms(), 65.0);
@@ -189,7 +191,7 @@ TEST(Dumbbell, RttNeverBelowPropagation) {
   cfg.rtt_ms = 120.0;
   cfg.seed = 8;
   cfg.workload = OnOffConfig::always_on();
-  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  Dumbbell net{cfg, transport_of<cc::NewReno>};
   net.run_for_seconds(10);
   for (FlowId f = 0; f < 2; ++f)
     EXPECT_GE(net.metrics().flow(f).avg_rtt_ms(), 120.0 - 1e-9);
@@ -198,12 +200,12 @@ TEST(Dumbbell, RttNeverBelowPropagation) {
 TEST(Dumbbell, ValidatesConfig) {
   DumbbellConfig cfg;
   cfg.num_senders = 0;
-  EXPECT_THROW(Dumbbell(cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }),
+  EXPECT_THROW(Dumbbell(cfg, transport_of<cc::NewReno>),
                std::invalid_argument);
   DumbbellConfig cfg2;
   cfg2.num_senders = 2;
   cfg2.flow_rtts = {100.0};  // size mismatch
-  EXPECT_THROW(Dumbbell(cfg2, [](FlowId) { return std::make_unique<cc::NewReno>(); }),
+  EXPECT_THROW(Dumbbell(cfg2, transport_of<cc::NewReno>),
                std::invalid_argument);
 }
 
@@ -215,7 +217,7 @@ TEST(Dumbbell, OnOffWorkloadAccumulatesOnTime) {
   cfg.seed = 10;
   cfg.workload = OnOffConfig::by_time(workload::Distribution::exponential(1000.0),
                                       workload::Distribution::exponential(1000.0));
-  Dumbbell net{cfg, [](FlowId) { return std::make_unique<cc::NewReno>(); }};
+  Dumbbell net{cfg, transport_of<cc::NewReno>};
   net.run_for_seconds(60);
   for (FlowId f = 0; f < 2; ++f) {
     const double on = net.metrics().flow(f).on_time_ms;

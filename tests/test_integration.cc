@@ -10,13 +10,25 @@
 #include "aqm/sfq_codel.hh"
 #include "cc/cubic.hh"
 #include "cc/newreno.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "sim/dumbbell.hh"
 #include "util/stats.hh"
 #include "workload/distributions.hh"
 
 namespace remy {
 namespace {
+
+std::unique_ptr<sim::Sender> remy_transport(
+    std::shared_ptr<const core::WhiskerTree> table) {
+  return std::make_unique<cc::Transport>(
+      std::make_unique<core::RemyController>(std::move(table)));
+}
+
+template <typename C>
+std::unique_ptr<sim::Sender> transport_of(sim::FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<C>());
+}
 
 std::shared_ptr<const core::WhiskerTree> table_or_skip(const std::string& name) {
   const std::string path =
@@ -62,10 +74,10 @@ TEST(PaperClaims, TrainedRemyBeatsNewRenoThroughputOnDesignRange) {
   auto table = table_or_skip("delta0.1");
   if (!table) GTEST_SKIP() << "train tables first (examples/train_remycc)";
   const auto remy = run(paper_dumbbell(8, 41), [&](sim::FlowId) {
-    return std::make_unique<core::RemySender>(table);
+    return remy_transport(table);
   });
   const auto reno = run(paper_dumbbell(8, 41),
-                        [](sim::FlowId) { return std::make_unique<cc::NewReno>(); });
+                        transport_of<cc::NewReno>);
   EXPECT_GT(remy.median_tput, 1.2 * reno.median_tput);
 }
 
@@ -74,10 +86,10 @@ TEST(PaperClaims, DeltaTradesThroughputForDelay) {
   auto d10 = table_or_skip("delta10");
   if (!d01 || !d10) GTEST_SKIP() << "train tables first";
   const auto lo = run(paper_dumbbell(8, 42), [&](sim::FlowId) {
-    return std::make_unique<core::RemySender>(d01);
+    return remy_transport(d01);
   });
   const auto hi = run(paper_dumbbell(8, 42), [&](sim::FlowId) {
-    return std::make_unique<core::RemySender>(d10);
+    return remy_transport(d10);
   });
   // Higher delta: less throughput, (much) less queueing delay.
   EXPECT_GT(lo.median_tput, hi.median_tput);
@@ -88,10 +100,10 @@ TEST(PaperClaims, DelayConsciousRemyBeatsCubicOnBothAxes) {
   auto table = table_or_skip("delta1");
   if (!table) GTEST_SKIP() << "train tables first";
   const auto remy = run(paper_dumbbell(8, 43), [&](sim::FlowId) {
-    return std::make_unique<core::RemySender>(table);
+    return remy_transport(table);
   });
   const auto cubic = run(paper_dumbbell(8, 43),
-                         [](sim::FlowId) { return std::make_unique<cc::Cubic>(); });
+                         transport_of<cc::Cubic>);
   EXPECT_GT(remy.median_tput, cubic.median_tput);
   EXPECT_LT(remy.median_delay, cubic.median_delay);
 }
@@ -100,7 +112,7 @@ TEST(PaperClaims, EndToEndRemyMatchesRouterAssistedSfqCodel) {
   auto table = table_or_skip("delta1");
   if (!table) GTEST_SKIP() << "train tables first";
   const auto remy = run(paper_dumbbell(8, 44), [&](sim::FlowId) {
-    return std::make_unique<core::RemySender>(table);
+    return remy_transport(table);
   });
   auto cfg = paper_dumbbell(8, 44);
   cfg.queue_factory = [] {
@@ -108,7 +120,7 @@ TEST(PaperClaims, EndToEndRemyMatchesRouterAssistedSfqCodel) {
     p.capacity_packets = 1000;
     return std::make_unique<aqm::SfqCodel>(p);
   };
-  const auto sfq = run(cfg, [](sim::FlowId) { return std::make_unique<cc::Cubic>(); });
+  const auto sfq = run(cfg, transport_of<cc::Cubic>);
   // "Even a purely end-to-end scheme can outperform well-designed
   // algorithms that involve active router participation."
   EXPECT_GT(remy.median_tput, sfq.median_tput);
@@ -120,7 +132,7 @@ TEST(PaperClaims, RemyFlowsShareFairly) {
   sim::DumbbellConfig cfg = paper_dumbbell(4, 45);
   cfg.workload = sim::OnOffConfig::always_on();
   sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<core::RemySender>(table);
+                      return remy_transport(table);
                     }};
   net.run_for_seconds(60);
   std::vector<double> tputs;
@@ -146,7 +158,7 @@ TEST(Determinism, WholePipelineBitReproducible) {
     sim::DumbbellConfig cfg = paper_dumbbell(4, 77);
     cfg.queue_factory = [] { return std::make_unique<aqm::SfqCodel>(); };
     sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                        return std::make_unique<core::RemySender>(table);
+                        return remy_transport(table);
                       }};
     net.run_for_seconds(20);
     std::uint64_t h = 1469598103934665603ULL;

@@ -6,8 +6,8 @@
 #include <memory>
 
 #include "aqm/droptail.hh"
-#include "cc/newreno.hh"
-#include "core/remy_sender.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "sim/dumbbell.hh"
 
 namespace remy::core {
@@ -37,94 +37,100 @@ std::shared_ptr<const WhiskerTree> tree_with_action(const Action& action) {
   return std::make_shared<const WhiskerTree>(std::move(tree));
 }
 
-TEST(RemySender, RequiresTree) {
-  EXPECT_THROW(RemySender(nullptr), std::invalid_argument);
+std::unique_ptr<cc::Transport> remy_transport(
+    std::shared_ptr<const WhiskerTree> tree, UsageRecorder* usage = nullptr) {
+  return std::make_unique<cc::Transport>(
+      std::make_unique<RemyController>(std::move(tree), usage));
 }
 
-TEST(RemySender, AppliesWindowActionOnAck) {
+TEST(RemyController, RequiresTree) {
+  EXPECT_THROW(RemyController(nullptr), std::invalid_argument);
+}
+
+TEST(RemyController, AppliesWindowActionOnAck) {
   // m=1, b=3: every ACK adds 3 segments.
   auto tree = tree_with_action(Action{1.0, 3.0, 0.01});
-  RemySender s{tree};
+  auto s = remy_transport(tree);
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
-  const double w0 = s.cwnd();
-  s.accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), w0 + 3.0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
+  const double w0 = s->cwnd();
+  s->accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), w0 + 3.0);
 }
 
-TEST(RemySender, MultiplicativeActionShrinksWindow) {
+TEST(RemyController, MultiplicativeActionShrinksWindow) {
   auto tree = tree_with_action(Action{0.5, 0.0, 0.01});
-  RemySender s{tree};
+  auto s = remy_transport(tree);
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  cc::TransportConfig cfg;
-  s.start_flow(0.0, 0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
   // cwnd starts at 2; two acks halve it twice (floored at 1).
-  s.accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
-  EXPECT_DOUBLE_EQ(s.cwnd(), 1.0);
+  s->accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(s->cwnd(), 1.0);
 }
 
-TEST(RemySender, PacingFollowsIntersendAction) {
+TEST(RemyController, PacingFollowsIntersendAction) {
   auto tree = tree_with_action(Action{1.0, 10.0, 25.0});  // r = 25 ms
-  RemySender s{tree};
+  auto s = remy_transport(tree);
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
   const std::size_t before = wire.sent.size();
-  s.accept(ack_for(wire.sent[0], 1, 0.0), 100.0);  // window opens to ~12
+  s->accept(ack_for(wire.sent[0], 1, 0.0), 100.0);  // window opens to ~12
   // Pacing at 25 ms: the ack-triggered send is one segment, the rest drain
   // on the pacing timer.
   EXPECT_LE(wire.sent.size(), before + 1);
-  EXPECT_DOUBLE_EQ(s.next_event_time(), 125.0);
-  s.tick(125.0);
+  EXPECT_DOUBLE_EQ(s->next_event_time(), 125.0);
+  s->tick(125.0);
   EXPECT_EQ(wire.sent.size(), before + 2);
 }
 
-TEST(RemySender, MemoryResetsEachFlow) {
+TEST(RemyController, MemoryResetsEachFlow) {
   auto tree = tree_with_action(Action{1.0, 1.0, 0.01});
-  RemySender s{tree};
+  auto s = remy_transport(tree);
+  const auto& remy = s->controller_as<RemyController>();
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
-  s.accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
-  s.accept(ack_for(wire.sent[1], 2, 0.0), 58.0);
-  EXPECT_GT(s.memory().ack_ewma(), 0.0);
-  s.stop_flow(100.0);
-  s.start_flow(200.0, 0);
-  EXPECT_EQ(s.memory(), Memory{});
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
+  s->accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
+  s->accept(ack_for(wire.sent[1], 2, 0.0), 58.0);
+  EXPECT_GT(remy.memory().ack_ewma(), 0.0);
+  s->stop_flow(100.0);
+  s->start_flow(200.0, 0);
+  EXPECT_EQ(remy.memory(), Memory{});
 }
 
-TEST(RemySender, UsageRecorderSeesActivations) {
+TEST(RemyController, UsageRecorderSeesActivations) {
   WhiskerTree tree;
   tree.split(0, Memory{100, 100, 2}, 0);
   auto shared = std::make_shared<const WhiskerTree>(std::move(tree));
   UsageRecorder usage{shared->num_whiskers()};
-  RemySender s{shared, cc::TransportConfig{}, &usage};
+  auto s = remy_transport(shared, &usage);
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
-  s.accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
-  s.accept(ack_for(wire.sent[1], 2, 0.0), 51.0);
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
+  s->accept(ack_for(wire.sent[0], 1, 0.0), 50.0);
+  s->accept(ack_for(wire.sent[1], 2, 0.0), 51.0);
   EXPECT_EQ(usage.total(), 2u);
 }
 
-TEST(RemySender, LossDoesNotChangeWindowRule) {
+TEST(RemyController, LossDoesNotChangeWindowRule) {
   // RemyCC ignores loss as a congestion signal: on_loss_event is a no-op,
   // so cwnd is whatever the whisker mapping last set.
   auto tree = tree_with_action(Action{1.0, 0.0, 0.01});  // hold steady
-  RemySender s{tree};
+  auto s = remy_transport(tree);
   WireCapture wire;
-  s.wire(0, &wire, nullptr, nullptr);
-  s.start_flow(0.0, 0);
-  const double w = s.cwnd();
+  s->wire(0, &wire, nullptr, nullptr);
+  s->start_flow(0.0, 0);
+  const double w = s->cwnd();
   // Three dup acks (data packet 0 lost).
   for (int i = 1; i <= 3; ++i) {
     Packet a = ack_for(wire.sent[static_cast<std::size_t>(i)], 0, 0.0);
     a.push_sack_block(1, static_cast<sim::SeqNum>(i + 1));
-    s.accept(std::move(a), 50.0 + i);
+    s->accept(std::move(a), 50.0 + i);
   }
-  EXPECT_DOUBLE_EQ(s.cwnd(), w);  // unchanged by the loss event itself
+  EXPECT_DOUBLE_EQ(s->cwnd(), w);  // unchanged by the loss event itself
 }
 
 TEST(RemyIntegration, DefaultRuleTableSaturatesALink) {
@@ -136,9 +142,7 @@ TEST(RemyIntegration, DefaultRuleTableSaturatesALink) {
   cfg.workload = sim::OnOffConfig::always_on();
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
   auto tree = std::make_shared<const WhiskerTree>();
-  sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<RemySender>(tree);
-                    }};
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return remy_transport(tree); }};
   net.run_for_seconds(20);
   EXPECT_GT(net.metrics().flow(0).throughput_mbps(), 8.0);
 }
@@ -154,9 +158,7 @@ TEST(RemyIntegration, PacedTableKeepsQueueEmpty) {
   cfg.workload = sim::OnOffConfig::always_on();
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
   auto tree = tree_with_action(Action{1.0, 4.0, 2.0});
-  sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<RemySender>(tree);
-                    }};
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return remy_transport(tree); }};
   net.run_for_seconds(20);
   EXPECT_LT(net.metrics().flow(0).avg_queue_delay_ms(), 2.0);
   EXPECT_NEAR(net.metrics().flow(0).throughput_mbps(), 6.0, 1.0);  // 1500B/2ms
@@ -176,9 +178,7 @@ TEST(RemyIntegration, TrainedTablesLoadIfPresent) {
   cfg.seed = 23;
   cfg.workload = sim::OnOffConfig::always_on();
   cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-  sim::Dumbbell net{cfg, [&](sim::FlowId) {
-                      return std::make_unique<RemySender>(tree);
-                    }};
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return remy_transport(tree); }};
   net.run_for_seconds(20);
   EXPECT_GT(net.metrics().flow(0).throughput_mbps() +
                 net.metrics().flow(1).throughput_mbps(),

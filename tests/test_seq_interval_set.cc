@@ -1,0 +1,177 @@
+// SeqIntervalSet — the transport's flat interval-vector scoreboard
+// representation — checked against a std::set<SeqNum> reference model,
+// operation by operation, over randomized workloads shaped like real
+// scoreboard traffic (range marks, prefix pruning, lowest-hole pops).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cc/seq_interval_set.hh"
+#include "util/rng.hh"
+
+namespace remy::cc {
+namespace {
+
+using sim::SeqNum;
+
+std::vector<SeqNum> members(const SeqIntervalSet& s) {
+  std::vector<SeqNum> out;
+  for (const auto& iv : s.intervals()) {
+    for (SeqNum x = iv.lo; x < iv.hi; ++x) out.push_back(x);
+  }
+  return out;
+}
+
+void expect_equal(const SeqIntervalSet& s, const std::set<SeqNum>& ref) {
+  ASSERT_EQ(s.count(), ref.size());
+  ASSERT_EQ(s.empty(), ref.empty());
+  const std::vector<SeqNum> got = members(s);
+  const std::vector<SeqNum> want(ref.begin(), ref.end());
+  ASSERT_EQ(got, want);
+  // Representation invariant: sorted, disjoint, coalesced.
+  const auto& ivs = s.intervals();
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    ASSERT_LT(ivs[i].lo, ivs[i].hi);
+    if (i > 0) ASSERT_LT(ivs[i - 1].hi, ivs[i].lo);  // gap, not just ordered
+  }
+}
+
+TEST(SeqIntervalSet, BasicRangeOps) {
+  SeqIntervalSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert_range(10, 20);
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(19));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_FALSE(s.contains(9));
+  s.insert_range(20, 25);  // adjacent: coalesces
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.count(), 15u);
+  s.insert_range(30, 35);
+  EXPECT_EQ(s.intervals().size(), 2u);
+  s.insert_range(24, 31);  // bridges the gap
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.count(), 25u);
+}
+
+TEST(SeqIntervalSet, EraseSplitsIntervals) {
+  SeqIntervalSet s;
+  s.insert_range(0, 100);
+  s.erase_range(40, 60);
+  EXPECT_EQ(s.count(), 80u);
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_TRUE(s.contains(39));
+  EXPECT_FALSE(s.contains(40));
+  EXPECT_FALSE(s.contains(59));
+  EXPECT_TRUE(s.contains(60));
+}
+
+TEST(SeqIntervalSet, FrontPopAndNthFromTop) {
+  SeqIntervalSet s;
+  s.insert_range(5, 8);    // 5 6 7
+  s.insert_range(12, 14);  // 12 13
+  EXPECT_EQ(s.front(), 5u);
+  EXPECT_EQ(s.nth_from_top(1), 13u);
+  EXPECT_EQ(s.nth_from_top(2), 12u);
+  EXPECT_EQ(s.nth_from_top(3), 7u);
+  EXPECT_EQ(s.nth_from_top(5), 5u);
+  s.pop_front();
+  EXPECT_EQ(s.front(), 6u);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(SeqIntervalSet, InsertUncoveredFindsGaps) {
+  SeqIntervalSet sacked;
+  SeqIntervalSet retx;
+  sacked.insert_range(2, 4);
+  sacked.insert_range(8, 10);
+  retx.insert_range(5, 6);
+  SeqIntervalSet out;
+  insert_uncovered(sacked, retx, 0, 12, out);
+  // Uncovered: 0 1 | 4 | 6 7 | 10 11
+  EXPECT_EQ(members(out), (std::vector<SeqNum>{0, 1, 4, 6, 7, 10, 11}));
+}
+
+TEST(SeqIntervalSet, RandomizedEquivalenceVsStdSet) {
+  // Scoreboard-shaped random traffic over a sliding sequence window, with a
+  // per-op cross-check of the full member list, the cached count, and the
+  // representation invariant.
+  util::Rng rng{20260727};
+  for (int trial = 0; trial < 20; ++trial) {
+    SeqIntervalSet s;
+    std::set<SeqNum> ref;
+    SeqNum base = 0;  // advancing "cumulative point"
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t kind = rng.uniform_int(0, 100 - 1);
+      const SeqNum lo = base + rng.uniform_int(0, 64 - 1);
+      const SeqNum hi = lo + rng.uniform_int(0, 12 - 1);
+      if (kind < 30) {  // SACK block arrives
+        s.insert_range(lo, hi);
+        for (SeqNum x = lo; x < hi; ++x) ref.insert(x);
+      } else if (kind < 45) {  // single mark
+        const bool inserted = s.insert(lo);
+        EXPECT_EQ(inserted, ref.insert(lo).second);
+      } else if (kind < 60) {  // hole filled
+        s.erase_range(lo, hi);
+        for (SeqNum x = lo; x < hi; ++x) ref.erase(x);
+      } else if (kind < 75) {  // cumulative point advances
+        base += rng.uniform_int(0, 16 - 1);
+        s.erase_below(base);
+        ref.erase(ref.begin(), ref.lower_bound(base));
+      } else if (kind < 85) {  // retransmit lowest hole
+        if (!s.empty()) {
+          ASSERT_FALSE(ref.empty());
+          EXPECT_EQ(s.front(), *ref.begin());
+          s.pop_front();
+          ref.erase(ref.begin());
+        }
+      } else if (kind < 95) {  // loss-inference probes
+        EXPECT_EQ(s.contains(lo), ref.contains(lo));
+        if (ref.size() >= 3) {
+          auto it = ref.rbegin();
+          std::advance(it, 2);
+          EXPECT_EQ(s.nth_from_top(3), *it);
+        }
+      } else {  // occasional full reset (flow restart)
+        s.clear();
+        ref.clear();
+      }
+      expect_equal(s, ref);
+    }
+  }
+}
+
+TEST(SeqIntervalSet, RandomizedInsertUncoveredVsReference) {
+  util::Rng rng{1337};
+  for (int trial = 0; trial < 200; ++trial) {
+    SeqIntervalSet a;
+    SeqIntervalSet b;
+    std::set<SeqNum> ra;
+    std::set<SeqNum> rb;
+    for (int i = 0; i < 8; ++i) {
+      const SeqNum lo = rng.uniform_int(0, 48 - 1);
+      const SeqNum hi = lo + rng.uniform_int(0, 8 - 1);
+      if (i % 2 == 0) {
+        a.insert_range(lo, hi);
+        for (SeqNum x = lo; x < hi; ++x) ra.insert(x);
+      } else {
+        b.insert_range(lo, hi);
+        for (SeqNum x = lo; x < hi; ++x) rb.insert(x);
+      }
+    }
+    const SeqNum lo = rng.uniform_int(0, 32 - 1);
+    const SeqNum hi = lo + rng.uniform_int(0, 32 - 1);
+    SeqIntervalSet out;
+    insert_uncovered(a, b, lo, hi, out);
+    std::set<SeqNum> want;
+    for (SeqNum x = lo; x < hi; ++x) {
+      if (!ra.contains(x) && !rb.contains(x)) want.insert(x);
+    }
+    expect_equal(out, want);
+  }
+}
+
+}  // namespace
+}  // namespace remy::cc

@@ -7,6 +7,7 @@
 
 #include "aqm/droptail.hh"
 #include "cc/newreno.hh"
+#include "cc/transport.hh"
 #include "sim/dumbbell.hh"
 #include "trace/lte_model.hh"
 #include "trace/trace.hh"
@@ -198,7 +199,10 @@ TEST(LteIntegration, TcpRunsOverCellularDumbbell) {
         generate_lte_trace(params, 30'000.0, util::Rng{5}),
         std::make_unique<aqm::DropTail>(1000), downstream);
   };
-  sim::Dumbbell net{cfg, [](sim::FlowId) { return std::make_unique<cc::NewReno>(); }};
+  sim::Dumbbell net{cfg, [](sim::FlowId) {
+                      return std::make_unique<cc::Transport>(
+                          std::make_unique<cc::NewReno>());
+                    }};
   net.run_for_seconds(30);
   double total = 0.0;
   for (sim::FlowId f = 0; f < 2; ++f)

@@ -1,11 +1,12 @@
-// Transport-layer behavior of the shared WindowSender, tested through a
-// minimal concrete scheme with a fixed window.
+// Transport-engine behavior of the shared cc::Transport, tested through a
+// minimal controller with a fixed window. (The congestion-controller API
+// itself — lifecycle, hook ordering — is covered by test_congestion_ops.)
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "cc/window_sender.hh"
+#include "cc/transport.hh"
 
 namespace remy::cc {
 namespace {
@@ -13,18 +14,16 @@ namespace {
 using sim::Packet;
 using sim::TimeMs;
 
-/// Fixed-window scheme: pure transport behavior, no congestion response.
-class FixedWindow final : public WindowSender {
+/// Fixed-window controller: pure transport behavior, no congestion response.
+class FixedWindow final : public CongestionController {
  public:
-  explicit FixedWindow(double window, TransportConfig config = {})
-      : WindowSender{config}, window_{window} {}
+  explicit FixedWindow(double window) : window_{window} {}
 
   int loss_events = 0;
   int timeouts_seen = 0;
 
- protected:
   void on_flow_start(TimeMs) override { set_cwnd(window_); }
-  void on_ack_received(const AckInfo&, TimeMs) override { set_cwnd(window_); }
+  void on_ack(const AckInfo&, TimeMs) override { set_cwnd(window_); }
   void on_loss_event(TimeMs) override { ++loss_events; }
   void on_timeout(TimeMs) override { ++timeouts_seen; }
 
@@ -55,20 +54,25 @@ Packet make_ack(sim::SeqNum ack_seq, sim::SeqNum cumulative, TimeMs echo,
   return a;
 }
 
-class WindowSenderTest : public ::testing::Test {
+class TransportTest : public ::testing::Test {
  protected:
   WireCapture wire;
   CompletionLog log;
   sim::MetricsHub metrics{1};
 
-  std::unique_ptr<FixedWindow> make(double window, TransportConfig cfg = {}) {
-    auto s = std::make_unique<FixedWindow>(window, cfg);
+  std::unique_ptr<Transport> make(double window, TransportConfig cfg = {}) {
+    auto s =
+        std::make_unique<Transport>(std::make_unique<FixedWindow>(window), cfg);
     s->wire(0, &wire, &metrics, &log);
     return s;
   }
+
+  static FixedWindow& scheme(Transport& t) {
+    return t.controller_as<FixedWindow>();
+  }
 };
 
-TEST_F(WindowSenderTest, SendsInitialWindowAtFlowStart) {
+TEST_F(TransportTest, SendsInitialWindowAtFlowStart) {
   auto s = make(4);
   s->start_flow(0.0, 0);
   EXPECT_EQ(wire.sent.size(), 4u);
@@ -76,7 +80,7 @@ TEST_F(WindowSenderTest, SendsInitialWindowAtFlowStart) {
   EXPECT_EQ(wire.sent[3].seq, 3u);
 }
 
-TEST_F(WindowSenderTest, RespectsWindowLimit) {
+TEST_F(TransportTest, RespectsWindowLimit) {
   auto s = make(2);
   s->start_flow(0.0, 0);
   EXPECT_EQ(wire.sent.size(), 2u);
@@ -85,7 +89,7 @@ TEST_F(WindowSenderTest, RespectsWindowLimit) {
   EXPECT_EQ(wire.sent.size(), 2u);
 }
 
-TEST_F(WindowSenderTest, AckOpensWindow) {
+TEST_F(TransportTest, AckOpensWindow) {
   auto s = make(2);
   s->start_flow(0.0, 0);
   s->accept(make_ack(0, 1, 0.0), 50.0);
@@ -93,7 +97,7 @@ TEST_F(WindowSenderTest, AckOpensWindow) {
   EXPECT_EQ(wire.sent[2].seq, 2u);
 }
 
-TEST_F(WindowSenderTest, ByteLimitedFlowStopsAndCompletes) {
+TEST_F(TransportTest, ByteLimitedFlowStopsAndCompletes) {
   auto s = make(10);
   s->start_flow(0.0, 3 * sim::kMtuBytes);  // exactly 3 segments
   EXPECT_EQ(wire.sent.size(), 3u);
@@ -106,13 +110,13 @@ TEST_F(WindowSenderTest, ByteLimitedFlowStopsAndCompletes) {
   EXPECT_FALSE(s->flow_active());
 }
 
-TEST_F(WindowSenderTest, PartialSegmentRoundsUp) {
+TEST_F(TransportTest, PartialSegmentRoundsUp) {
   auto s = make(10);
   s->start_flow(0.0, sim::kMtuBytes + 1);
   EXPECT_EQ(wire.sent.size(), 2u);
 }
 
-TEST_F(WindowSenderTest, RttEstimatorTracksSamples) {
+TEST_F(TransportTest, RttEstimatorTracksSamples) {
   auto s = make(4);
   s->start_flow(0.0, 0);
   s->accept(make_ack(0, 1, 0.0), 100.0);
@@ -123,7 +127,7 @@ TEST_F(WindowSenderTest, RttEstimatorTracksSamples) {
   EXPECT_DOUBLE_EQ(s->min_rtt_ms(), 100.0);
 }
 
-TEST_F(WindowSenderTest, TripleDupAckTriggersFastRetransmit) {
+TEST_F(TransportTest, TripleDupAckTriggersFastRetransmit) {
   auto s = make(8);
   s->start_flow(0.0, 0);
   const auto before = wire.sent.size();
@@ -133,7 +137,7 @@ TEST_F(WindowSenderTest, TripleDupAckTriggersFastRetransmit) {
                        {{1, static_cast<sim::SeqNum>(i + 1)}}),
               50.0 + i);
   }
-  EXPECT_EQ(s->loss_events, 1);
+  EXPECT_EQ(scheme(*s).loss_events, 1);
   ASSERT_GT(wire.sent.size(), before);
   // The hole was retransmitted (possibly after limited-transmit new data).
   bool retransmitted_hole = false;
@@ -145,7 +149,7 @@ TEST_F(WindowSenderTest, TripleDupAckTriggersFastRetransmit) {
   EXPECT_TRUE(s->in_fast_recovery());
 }
 
-TEST_F(WindowSenderTest, OnlyOneLossEventPerWindow) {
+TEST_F(TransportTest, OnlyOneLossEventPerWindow) {
   auto s = make(8);
   s->start_flow(0.0, 0);
   for (int i = 1; i <= 6; ++i) {
@@ -153,20 +157,20 @@ TEST_F(WindowSenderTest, OnlyOneLossEventPerWindow) {
                        {{1, static_cast<sim::SeqNum>(i + 1)}}),
               50.0 + i);
   }
-  EXPECT_EQ(s->loss_events, 1);
+  EXPECT_EQ(scheme(*s).loss_events, 1);
 }
 
-TEST_F(WindowSenderTest, SackLossInferenceWithoutDupAcks) {
+TEST_F(TransportTest, SackLossInferenceWithoutDupAcks) {
   auto s = make(16);
   s->start_flow(0.0, 0);
   // One ACK SACKing three segments above the hole: RFC 6675 rule says
   // segment 0 is lost even though only one duplicate ACK arrived.
   s->accept(make_ack(3, 0, 0.0, {{1, 4}}), 50.0);
-  EXPECT_EQ(s->loss_events, 1);
+  EXPECT_EQ(scheme(*s).loss_events, 1);
   EXPECT_EQ(metrics.flow(0).retransmissions, 1u);
 }
 
-TEST_F(WindowSenderTest, RecoveryEndsAtRecoveryPoint) {
+TEST_F(TransportTest, RecoveryEndsAtRecoveryPoint) {
   auto s = make(4);
   s->start_flow(0.0, 0);  // sends 0..3
   for (int i = 1; i <= 3; ++i)
@@ -180,7 +184,7 @@ TEST_F(WindowSenderTest, RecoveryEndsAtRecoveryPoint) {
   EXPECT_FALSE(s->in_fast_recovery());
 }
 
-TEST_F(WindowSenderTest, PipeExcludesSackedAndMissing) {
+TEST_F(TransportTest, PipeExcludesSackedAndMissing) {
   auto s = make(8);
   // Byte-limited to exactly 8 segments so no new data can dilute the check.
   s->start_flow(0.0, 8 * sim::kMtuBytes);
@@ -191,14 +195,14 @@ TEST_F(WindowSenderTest, PipeExcludesSackedAndMissing) {
   EXPECT_LT(s->pipe(), 8u);
 }
 
-TEST_F(WindowSenderTest, RtoFiresAndRetransmits) {
+TEST_F(TransportTest, RtoFiresAndRetransmits) {
   TransportConfig cfg;
   cfg.initial_rto_ms = 300.0;
   auto s = make(2, cfg);
   s->start_flow(0.0, 0);
   EXPECT_DOUBLE_EQ(s->next_event_time(), 300.0);
   s->tick(300.0);
-  EXPECT_EQ(s->timeouts_seen, 1);
+  EXPECT_EQ(scheme(*s).timeouts_seen, 1);
   EXPECT_EQ(metrics.flow(0).timeouts, 1u);
   // Go-back-N: segment 0 was retransmitted (the fixed window permits both).
   bool resent0 = false;
@@ -208,7 +212,7 @@ TEST_F(WindowSenderTest, RtoFiresAndRetransmits) {
   EXPECT_GE(metrics.flow(0).retransmissions, 1u);
 }
 
-TEST_F(WindowSenderTest, RtoBacksOffExponentially) {
+TEST_F(TransportTest, RtoBacksOffExponentially) {
   TransportConfig cfg;
   cfg.initial_rto_ms = 300.0;
   auto s = make(2, cfg);
@@ -219,7 +223,7 @@ TEST_F(WindowSenderTest, RtoBacksOffExponentially) {
   EXPECT_DOUBLE_EQ(s->rto_ms(), 1200.0);
 }
 
-TEST_F(WindowSenderTest, StopFlowCancelsTimers) {
+TEST_F(TransportTest, StopFlowCancelsTimers) {
   auto s = make(2);
   s->start_flow(0.0, 0);
   s->stop_flow(10.0);
@@ -227,7 +231,7 @@ TEST_F(WindowSenderTest, StopFlowCancelsTimers) {
   EXPECT_FALSE(s->flow_active());
 }
 
-TEST_F(WindowSenderTest, StaleAckFromPreviousIncarnationIgnored) {
+TEST_F(TransportTest, StaleAckFromPreviousIncarnationIgnored) {
   auto s = make(4);
   s->start_flow(0.0, 0);     // seqs 0..3
   s->stop_flow(10.0);
@@ -238,7 +242,7 @@ TEST_F(WindowSenderTest, StaleAckFromPreviousIncarnationIgnored) {
   EXPECT_EQ(s->cumulative(), 4u);
 }
 
-TEST_F(WindowSenderTest, NewIncarnationCarriesBaseSeq) {
+TEST_F(TransportTest, NewIncarnationCarriesBaseSeq) {
   auto s = make(2);
   s->start_flow(0.0, 0);
   s->stop_flow(1.0);
@@ -246,20 +250,17 @@ TEST_F(WindowSenderTest, NewIncarnationCarriesBaseSeq) {
   EXPECT_EQ(wire.sent.back().base_seq, 2u);
 }
 
-TEST_F(WindowSenderTest, PacingSpacesTransmissions) {
-  // Give the fixed-window scheme a pacing override via a subclass.
-  class Paced final : public WindowSender {
+TEST_F(TransportTest, PacingSpacesTransmissions) {
+  // A controller with a pacing override.
+  class Paced final : public CongestionController {
    public:
-    Paced() : WindowSender{} {}
-
-   protected:
     void on_flow_start(TimeMs) override { set_cwnd(10.0); }
-    void on_ack_received(const AckInfo&, TimeMs) override {}
+    void on_ack(const AckInfo&, TimeMs) override {}
     void on_loss_event(TimeMs) override {}
     void on_timeout(TimeMs) override {}
     TimeMs pacing_interval_ms() const override { return 5.0; }
   };
-  Paced s;
+  Transport s{std::make_unique<Paced>()};
   s.wire(0, &wire, &metrics, &log);
   s.start_flow(0.0, 0);
   EXPECT_EQ(wire.sent.size(), 1u);  // pacing: one segment per 5 ms
@@ -270,7 +271,7 @@ TEST_F(WindowSenderTest, PacingSpacesTransmissions) {
   EXPECT_EQ(wire.sent.size(), 3u);
 }
 
-TEST_F(WindowSenderTest, BurstCapReleasesViaContinuation) {
+TEST_F(TransportTest, BurstCapReleasesViaContinuation) {
   TransportConfig cfg;
   cfg.max_burst_segments = 4;
   cfg.initial_cwnd = 2.0;
@@ -283,24 +284,29 @@ TEST_F(WindowSenderTest, BurstCapReleasesViaContinuation) {
   EXPECT_EQ(wire.sent.size(), 8u);
 }
 
-TEST_F(WindowSenderTest, MetricsCountSends) {
+TEST_F(TransportTest, MetricsCountSends) {
   auto s = make(5);
   s->start_flow(0.0, 0);
   EXPECT_EQ(metrics.flow(0).packets_sent, 5u);
   EXPECT_EQ(metrics.flow(0).retransmissions, 0u);
 }
 
-TEST_F(WindowSenderTest, RejectsDataPacketOnAckPath) {
+TEST_F(TransportTest, RejectsDataPacketOnAckPath) {
   auto s = make(2);
   Packet data;
   data.is_ack = false;
   EXPECT_THROW(s->accept(std::move(data), 0.0), std::logic_error);
 }
 
-TEST_F(WindowSenderTest, InvalidConfigRejected) {
+TEST_F(TransportTest, InvalidConfigRejected) {
   TransportConfig bad;
   bad.initial_cwnd = 0.5;
-  EXPECT_THROW(FixedWindow(1, bad), std::invalid_argument);
+  EXPECT_THROW(Transport(std::make_unique<FixedWindow>(1), bad),
+               std::invalid_argument);
+}
+
+TEST_F(TransportTest, NullControllerRejected) {
+  EXPECT_THROW(Transport(nullptr), std::invalid_argument);
 }
 
 }  // namespace

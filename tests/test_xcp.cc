@@ -4,7 +4,8 @@
 #include <memory>
 
 #include "aqm/xcp_router.hh"
-#include "cc/xcp_sender.hh"
+#include "cc/transport.hh"
+#include "cc/xcp.hh"
 #include "sim/dumbbell.hh"
 
 namespace remy {
@@ -88,6 +89,10 @@ TEST(XcpRouter, DropsAtCapacity) {
   EXPECT_EQ(router.drops(), 5u);
 }
 
+std::unique_ptr<sim::Sender> xcp_endpoint(sim::FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<cc::Xcp>());
+}
+
 sim::DumbbellConfig xcp_dumbbell(std::size_t senders, double mbps, double rtt) {
   sim::DumbbellConfig cfg;
   cfg.num_senders = senders;
@@ -101,14 +106,14 @@ sim::DumbbellConfig xcp_dumbbell(std::size_t senders, double mbps, double rtt) {
 
 TEST(XcpIntegration, SingleFlowReachesHighUtilization) {
   sim::Dumbbell net{xcp_dumbbell(1, 10.0, 100.0),
-                    [](sim::FlowId) { return std::make_unique<cc::XcpSender>(); }};
+                    xcp_endpoint};
   net.run_for_seconds(30);
   EXPECT_GT(net.metrics().flow(0).throughput_mbps(), 7.5);
 }
 
 TEST(XcpIntegration, KeepsQueueSmall) {
   sim::Dumbbell net{xcp_dumbbell(2, 10.0, 100.0),
-                    [](sim::FlowId) { return std::make_unique<cc::XcpSender>(); }};
+                    xcp_endpoint};
   net.run_for_seconds(30);
   // XCP's hallmark: high utilization with tiny persistent queues.
   EXPECT_LT(net.metrics().flow(0).avg_queue_delay_ms(), 20.0);
@@ -116,7 +121,7 @@ TEST(XcpIntegration, KeepsQueueSmall) {
 
 TEST(XcpIntegration, FairAcrossFlows) {
   sim::Dumbbell net{xcp_dumbbell(4, 12.0, 80.0),
-                    [](sim::FlowId) { return std::make_unique<cc::XcpSender>(); }};
+                    xcp_endpoint};
   net.run_for_seconds(60);
   double lo = 1e9;
   double hi = 0.0;
@@ -134,7 +139,7 @@ TEST(XcpIntegration, FairAcrossFlows) {
 
 TEST(XcpIntegration, FewLossesInDesignRange) {
   sim::Dumbbell net{xcp_dumbbell(4, 12.0, 80.0),
-                    [](sim::FlowId) { return std::make_unique<cc::XcpSender>(); }};
+                    xcp_endpoint};
   net.run_for_seconds(30);
   std::uint64_t retx = 0;
   for (sim::FlowId f = 0; f < 4; ++f) retx += net.metrics().flow(f).retransmissions;
