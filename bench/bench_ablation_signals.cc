@@ -24,8 +24,9 @@ int main(int argc, char** argv) {
 
     std::printf("== %s ==\n", spec.title.c_str());
     std::printf("   dumbbell %.0f Mbps / %.0f ms / n=%zu, %zu runs x %.0f s\n",
-                scenario.base.link_mbps, scenario.base.rtt_ms,
-                scenario.base.num_senders, scenario.runs, scenario.duration_s);
+                scenario.topology.link_mbps, scenario.topology.rtt_ms,
+                scenario.topology.num_senders, scenario.runs,
+                scenario.duration_s);
     std::printf("%-14s %12s %12s %14s\n", "variant", "tput(Mbps)",
                 "qdelay(ms)", "objective(d=1)");
 

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
         bench::load_scenario(cli.get("scenario", std::string{"fig10_rttfair"}));
     bench::Scenario scenario = bench::make_scenario(spec);
     bench::apply_cli(cli, scenario, &spec);
-    const std::vector<double>& rtts = spec.flow_rtts;
+    const std::vector<double>& rtts = spec.topology.flow_rtts;
     if (rtts.empty()) {
       std::fprintf(stderr,
                    "error: %s: RTT fairness needs topology.flow_rtts\n",

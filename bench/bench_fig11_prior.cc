@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     std::printf("== %s ==\n", spec.title.c_str());
     std::printf(
         "   n=%zu senders, RTT %.0f ms, on/off exp(5 s); %zu runs x %.0f s\n",
-        scenario.base.num_senders, scenario.base.rtt_ms, scenario.runs,
+        scenario.topology.num_senders, scenario.topology.rtt_ms, scenario.runs,
         scenario.duration_s);
     std::printf("%12s", "Mbps");
     for (const auto& s : schemes) std::printf(" %16s", s.name.c_str());

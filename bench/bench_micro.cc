@@ -20,6 +20,8 @@
 #include "core/evaluator.hh"
 #include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
 #include "trace/lte_model.hh"
 #include "util/json.hh"
 
@@ -53,6 +55,32 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(2)->Arg(8)->Arg(16)->Arg(256)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ParkingLotSimulatedSecond(benchmark::State& state) {
+  // The first multi-bottleneck workload: n flows over the two-hop parking
+  // lot (even flows cross both 15 Mbps bottlenecks). Exercises the
+  // TopologyRunner demux path the dumbbell's straight-line wiring skips.
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  core::install_builtin_schemes();
+  const cc::SchemeHandle scheme = cc::Registry::global().scheme("newreno");
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Topology topo = sim::Topology::parking_lot(sim::TwoHopTopo{
+        flows, 15.0, 15.0, 75.0, 75.0,
+        [] { return std::make_unique<aqm::DropTail>(1000); }});
+    topo.seed = 1;
+    topo.workload = sim::OnOffConfig::always_on();
+    sim::TopologyRunner net{topo,
+                            [&](sim::FlowId) { return scheme.make_sender(); }};
+    net.run_for_seconds(1.0);
+    events += net.network().events_processed();
+    benchmark::DoNotOptimize(net.metrics_raw().total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["sim_events_per_second"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParkingLotSimulatedSecond)->Arg(16)->Unit(benchmark::kMillisecond);
 
 void BM_WhiskerLookup(benchmark::State& state) {
   core::WhiskerTree tree;

@@ -27,7 +27,7 @@ struct Pair {
 
 Pair run_pair(bench::Scenario scenario, const bench::Scheme& remy_scheme,
               const bench::Scheme& other, const sim::OnOffConfig& workload) {
-  scenario.base.workload = workload;
+  scenario.workload = workload;
   Pair out;
   for (const auto& summary :
        bench::run_mixed(scenario, {remy_scheme, other})) {

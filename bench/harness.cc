@@ -68,11 +68,8 @@ double SchemeSummary::median_rtt() const {
 Scenario make_scenario(const core::ScenarioSpec& spec) {
   core::install_builtin_schemes();
   Scenario s;
-  s.base.num_senders = spec.num_senders;
-  s.base.link_mbps = spec.link_mbps;
-  s.base.rtt_ms = spec.rtt_ms;
-  s.base.flow_rtts = spec.flow_rtts;
-  s.base.workload = spec.workload.materialize();
+  s.topology = spec.topology;
+  s.workload = spec.workload.materialize();
   s.duration_s = spec.duration_s;
   s.runs = spec.runs;
   s.seed0 = spec.seed0;
@@ -94,41 +91,88 @@ Scenario make_scenario(const core::ScenarioSpec& spec) {
   return s;
 }
 
+namespace {
+
+/// The effective queue for links without their own discipline: the
+/// scheme's gateway, else the scenario default, else 1000-pkt DropTail.
+sim::QueueFactory queue_for(const Scenario& scenario, const Scheme& scheme) {
+  if (scheme.make_queue) return scheme.make_queue;
+  if (scenario.default_queue) return scenario.default_queue;
+  return [] { return std::make_unique<aqm::DropTail>(1000); };
+}
+
+}  // namespace
+
+sim::Topology make_run_topology(const Scenario& scenario, const Scheme& scheme,
+                                std::size_t run) {
+  core::TopologyBuild build;
+  build.workload = scenario.workload;
+  build.seed = scenario.seed0 + run;
+  build.default_queue = queue_for(scenario, scheme);
+  if (scenario.make_bottleneck) {
+    const auto& make = scenario.make_bottleneck;
+    const auto make_queue = build.default_queue;
+    build.trace_bottleneck = [make, make_queue](sim::PacketSink* down) {
+      return make(make_queue(), down);
+    };
+  }
+  return scenario.topology.materialize(build);
+}
+
 sim::DumbbellConfig per_run_config(const Scenario& scenario,
                                    const Scheme& scheme, std::size_t run) {
-  sim::DumbbellConfig cfg = scenario.base;
+  if (scenario.topology.preset != "dumbbell") {
+    throw std::invalid_argument{
+        "per_run_config: scenario \"" + scenario.topology.preset +
+        "\" is not a dumbbell; use make_run_topology + TopologyRunner"};
+  }
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = scenario.topology.num_senders;
+  cfg.link_mbps = scenario.topology.link_mbps;
+  cfg.rtt_ms = scenario.topology.rtt_ms;
+  cfg.flow_rtts = {scenario.topology.flow_rtts.begin(),
+                   scenario.topology.flow_rtts.end()};
+  cfg.workload = scenario.workload;
   cfg.seed = scenario.seed0 + run;
-  const auto make_queue = [&scenario,
-                           &scheme]() -> std::unique_ptr<sim::QueueDisc> {
-    if (scheme.make_queue) return scheme.make_queue();
-    if (scenario.default_queue) return scenario.default_queue();
-    return std::make_unique<aqm::DropTail>(1000);
-  };
+  const sim::QueueFactory make_queue = queue_for(scenario, scheme);
   if (scenario.make_bottleneck) {
-    const auto& build = scenario.make_bottleneck;
-    cfg.bottleneck_factory = [&build, make_queue](sim::PacketSink* down) {
-      return build(make_queue(), down);
+    const auto& make = scenario.make_bottleneck;
+    cfg.bottleneck_factory = [make, make_queue](sim::PacketSink* down) {
+      return make(make_queue(), down);
     };
-  } else if (!cfg.bottleneck_factory) {
+  } else {
     cfg.queue_factory = make_queue;
   }
   return cfg;
 }
 
+namespace {
+
+/// Runs one (topology, sender set) and pools per-flow points via `emit`.
+template <typename MakeSender, typename Emit>
+void run_once(const Scenario& scenario, const sim::Topology& topo,
+              MakeSender&& make_sender, Emit&& emit) {
+  sim::TopologyRunner net{topo, make_sender};
+  net.run_for_seconds(scenario.duration_s);
+  sim::MetricsHub& metrics = net.metrics();
+  for (sim::FlowId f = 0; f < metrics.num_flows(); ++f) {
+    const sim::FlowStats& fs = metrics.flow(f);
+    if (fs.on_time_ms <= 0.0) continue;  // never participated
+    emit(f, Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
+                  fs.avg_rtt_ms()});
+  }
+}
+
+}  // namespace
+
 SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
   SchemeSummary out;
   out.scheme = scheme.name;
   for (std::size_t run = 0; run < scenario.runs; ++run) {
-    const sim::DumbbellConfig cfg = per_run_config(scenario, scheme, run);
-    sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
-    net.run_for_seconds(scenario.duration_s);
-    sim::MetricsHub& metrics = net.metrics();
-    for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
-      const sim::FlowStats& fs = metrics.flow(f);
-      if (fs.on_time_ms <= 0.0) continue;  // never participated
-      out.points.push_back(Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
-                                 fs.avg_rtt_ms()});
-    }
+    const sim::Topology topo = make_run_topology(scenario, scheme, run);
+    run_once(
+        scenario, topo, [&](sim::FlowId) { return scheme.make_sender(); },
+        [&](sim::FlowId, Point p) { out.points.push_back(p); });
   }
   return out;
 }
@@ -144,20 +188,14 @@ std::vector<SchemeSummary> run_mixed(const Scenario& scenario,
   }
   const Scheme scenario_default{};  // mixed flows share the default queue
   for (std::size_t run = 0; run < scenario.runs; ++run) {
-    const sim::DumbbellConfig cfg =
-        per_run_config(scenario, scenario_default, run);
-    sim::Dumbbell net{cfg, [&](sim::FlowId f) {
-                        return per_flow[f % per_flow.size()].make_sender();
-                      }};
-    net.run_for_seconds(scenario.duration_s);
-    sim::MetricsHub& metrics = net.metrics();
-    for (sim::FlowId f = 0; f < cfg.num_senders; ++f) {
-      const sim::FlowStats& fs = metrics.flow(f);
-      if (fs.on_time_ms <= 0.0) continue;
-      out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(
-          Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
-                fs.avg_rtt_ms()});
-    }
+    const sim::Topology topo =
+        make_run_topology(scenario, scenario_default, run);
+    run_once(
+        scenario, topo,
+        [&](sim::FlowId f) { return per_flow[f % per_flow.size()].make_sender(); },
+        [&](sim::FlowId f, Point p) {
+          out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(p);
+        });
   }
   return out;
 }
@@ -332,8 +370,9 @@ int spec_main(int argc, char** argv, const std::string& default_scenario) {
 
 void print_banner(const std::string& experiment, const Scenario& scenario) {
   std::printf("== %s ==\n", experiment.c_str());
-  std::printf("   %zu senders, %zu runs x %.0f s, seed0=%llu\n",
-              scenario.base.num_senders, scenario.runs, scenario.duration_s,
+  std::printf("   %zu senders (%s), %zu runs x %.0f s, seed0=%llu\n",
+              scenario.topology.num_flows(), scenario.topology.preset.c_str(),
+              scenario.runs, scenario.duration_s,
               static_cast<unsigned long long>(scenario.seed0));
 }
 

@@ -33,6 +33,7 @@
 #include "core/scenario_spec.hh"
 #include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
+#include "sim/topology_runner.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 
@@ -77,14 +78,17 @@ struct SchemeSummary {
 /// Scenario: everything but the scheme (the materialized, runnable form of
 /// a core::ScenarioSpec).
 struct Scenario {
-  sim::DumbbellConfig base;          ///< queue_factory is overridden per scheme
+  /// Preset or explicit graph; materialized per (scheme, run) by
+  /// make_run_topology so every run gets fresh queue instances.
+  core::TopologySpec topology;
+  sim::OnOffConfig workload = sim::OnOffConfig::always_on();
   double duration_s = 100.0;
   std::size_t runs = 16;
   std::uint64_t seed0 = 1000;
   std::function<std::unique_ptr<sim::QueueDisc>()> default_queue;
   /// Custom bottleneck builder (e.g. a trace-driven cellular link) that
-  /// still honors the scheme's queue discipline. When set, it wins over
-  /// base.bottleneck_factory / queue factories.
+  /// still honors the scheme's queue discipline. When set, it replaces the
+  /// rate/queue stage of the preset bottleneck (or any trace-marked link).
   std::function<std::unique_ptr<sim::Bottleneck>(
       std::unique_ptr<sim::QueueDisc>, sim::PacketSink*)>
       make_bottleneck;
@@ -95,12 +99,17 @@ struct Scenario {
 /// trace_seed and replayed for every scheme and run.
 Scenario make_scenario(const core::ScenarioSpec& spec);
 
-/// The dumbbell config for one (scheme, run) pair: per-run seed, the
-/// scheme's gateway (else the scenario default, else 1000-pkt DropTail),
-/// and the scenario's custom bottleneck (trace link) when present. The
-/// returned config's factories reference `scenario` and `scheme`, which
-/// must outlive it. Bespoke mains that can't use run_scheme() should
-/// still build their configs here so trace-driven links are honored.
+/// The runnable topology for one (scheme, run) pair: per-run seed, the
+/// scheme's gateway queue (else the scenario default, else 1000-pkt
+/// DropTail) on every link that doesn't name its own discipline, and the
+/// scenario's custom bottleneck (trace link) when present.
+sim::Topology make_run_topology(const Scenario& scenario, const Scheme& scheme,
+                                std::size_t run);
+
+/// Dumbbell-preset compatibility view of make_run_topology, for bespoke
+/// mains (Figs. 6/10/11) that mutate the config before running. Throws for
+/// non-dumbbell topologies. The returned config is self-contained (its
+/// factories capture by value), so it may outlive `scenario` and `scheme`.
 sim::DumbbellConfig per_run_config(const Scenario& scenario,
                                    const Scheme& scheme, std::size_t run);
 

@@ -32,7 +32,8 @@ void print_usage() {
       "  --require-tables     fail fast on missing RemyCC tables\n"
       "  --json FILE          write machine-readable results\n"
       "  --hash               print the results hash per scenario\n"
-      "  --list-schemes       list registered schemes and queue discs\n");
+      "  --list-schemes       list registered schemes and queue discs\n"
+      "  --list-topologies    list topology presets and their parameters\n");
 }
 
 void list_registry() {
@@ -48,12 +49,26 @@ void list_registry() {
   }
 }
 
+void list_topologies() {
+  std::printf("topology presets (scenario \"topology\" section):\n");
+  for (const auto& [name, summary] : core::topology_preset_list()) {
+    std::printf("  %-14s %s\n", name.c_str(), summary.c_str());
+  }
+  std::printf(
+      "shared preset parameters: num_senders, link_mbps, rtt_ms; the\n"
+      "dumbbell preset is implied when \"preset\" is absent.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
   if (cli.get("list-schemes", false) || cli.get("list-queues", false)) {
     list_registry();
+    return 0;
+  }
+  if (cli.get("list-topologies", false)) {
+    list_topologies();
     return 0;
   }
 

@@ -5,7 +5,8 @@
 
 #include "cc/registry.hh"
 #include "core/scheme_registry.hh"
-#include "sim/dumbbell.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
 
 namespace remy::core {
 
@@ -25,19 +26,18 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
                                        const NetConfig& config,
                                        std::uint64_t seed,
                                        UsageRecorder* usage) const {
-  sim::DumbbellConfig cfg;
-  cfg.num_senders = config.num_senders;
-  cfg.link_mbps = config.link_mbps;
-  cfg.rtt_ms = config.rtt_ms;
-  cfg.workload = config.workload();
-  cfg.seed = seed;
-  // The specimen's gateway and senders are built through the same registry
-  // path the benchmarks use ("droptail:capacity=0" = unlimited).
+  // Specimens are dumbbells drawn from the prior, instantiated through the
+  // same topology-graph path the benchmarks use; the gateway queue comes
+  // from the registry ("droptail:capacity=0" = unlimited).
   const std::string queue_spec =
       config.buffer_packets == std::numeric_limits<std::size_t>::max()
           ? "droptail:capacity=0"
           : "droptail:capacity=" + std::to_string(config.buffer_packets);
-  cfg.queue_factory = cc::Registry::global().queue_factory(queue_spec);
+  sim::Topology topo = sim::Topology::dumbbell(sim::DumbbellTopo{
+      config.num_senders, config.link_mbps, config.rtt_ms, {},
+      cc::Registry::global().queue_factory(queue_spec), nullptr});
+  topo.workload = config.workload();
+  topo.seed = seed;
 
   // The tree outlives the simulation; alias it into a shared_ptr without
   // ownership so senders can share it.
@@ -45,7 +45,8 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
                                                   &tree};
   const cc::SchemeHandle candidate =
       remy_scheme_handle(shared, cc::TransportConfig{}, usage);
-  sim::Dumbbell net{cfg, [&](sim::FlowId) { return candidate.make_sender(); }};
+  sim::TopologyRunner net{topo,
+                          [&](sim::FlowId) { return candidate.make_sender(); }};
   net.run_for_seconds(options_.simulation_ms / 1000.0);
 
   SpecimenResult out;

@@ -3,28 +3,17 @@
 #include <initializer_list>
 #include <string_view>
 
+#include "core/spec_json.hh"
+
 namespace remy::core {
 
+using spec_detail::expect_keys;
 using util::Json;
 using util::JsonArray;
 using util::JsonError;
 using util::JsonObject;
 
 namespace {
-
-/// Strictness: a document key no reader asked for is an error, so typos
-/// and bit-rotted specs fail fast instead of silently running defaults.
-void expect_keys(const Json& j, std::initializer_list<std::string_view> allowed,
-                 const char* context) {
-  for (const auto& [key, value] : j.as_object()) {
-    bool known = false;
-    for (const auto& a : allowed) known = known || key == a;
-    if (!known) {
-      throw JsonError{std::string{"scenario spec: unknown key \""} + key +
-                      "\" in " + context};
-    }
-  }
-}
 
 double get_number(const Json& j, std::string_view key, double fallback) {
   return j.contains(key) ? j.at(key).as_number() : fallback;
@@ -256,20 +245,10 @@ bool operator==(const LinkSpec& a, const LinkSpec& b) {
 // ---- ScenarioSpec ----------------------------------------------------------
 
 Json ScenarioSpec::to_json() const {
-  JsonObject topology;
-  topology["num_senders"] = num_senders;
-  topology["link_mbps"] = link_mbps;
-  topology["rtt_ms"] = rtt_ms;
-  if (!flow_rtts.empty()) {
-    JsonArray rtts;
-    for (const double r : flow_rtts) rtts.emplace_back(r);
-    topology["flow_rtts"] = std::move(rtts);
-  }
-
   JsonObject o;
   o["name"] = name;
   if (!title.empty()) o["title"] = title;
-  o["topology"] = std::move(topology);
+  o["topology"] = topology.to_json();
   o["link"] = link.to_json();
   o["workload"] = workload.to_json();
   o["queue"] = queue;
@@ -311,23 +290,21 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   out.name = j.at("name").as_string();
   if (j.contains("title")) out.title = j.at("title").as_string();
 
-  const Json& topology = j.at("topology");
-  expect_keys(topology, {"num_senders", "link_mbps", "rtt_ms", "flow_rtts"},
-              "topology");
-  out.num_senders =
-      static_cast<std::size_t>(topology.at("num_senders").as_number());
-  if (out.num_senders == 0) {
-    throw JsonError{"scenario spec: num_senders must be positive"};
-  }
-  out.link_mbps = topology.at("link_mbps").as_number();
-  out.rtt_ms = topology.at("rtt_ms").as_number();
-  if (topology.contains("flow_rtts")) {
-    for (const auto& r : topology.at("flow_rtts").as_array()) {
-      out.flow_rtts.push_back(r.as_number());
-    }
-  }
+  out.topology = TopologySpec::from_json(j.at("topology"));
 
   if (j.contains("link")) out.link = LinkSpec::from_json(j.at("link"));
+  if (out.link.kind == LinkSpec::Kind::kLte &&
+      out.topology.preset != "dumbbell" && !out.topology.wants_trace_link()) {
+    throw JsonError{
+        "scenario spec: an LTE link needs the dumbbell preset or a custom "
+        "topology link marked \"trace\": true"};
+  }
+  if (out.topology.wants_trace_link() &&
+      out.link.kind != LinkSpec::Kind::kLte) {
+    throw JsonError{
+        "scenario spec: a topology link marked \"trace\" needs a link of "
+        "kind \"lte\""};
+  }
   out.workload = WorkloadSpec::from_json(j.at("workload"));
   if (j.contains("queue")) out.queue = j.at("queue").as_string();
   out.duration_s = j.at("duration_s").as_number();

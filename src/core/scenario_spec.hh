@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/topology_spec.hh"
 #include "sim/flow_scheduler.hh"
 #include "trace/lte_model.hh"
 #include "util/json.hh"
@@ -94,11 +95,9 @@ struct ScenarioSpec {
   std::string name;   ///< file-stem identity, e.g. "fig4_dumbbell8"
   std::string title;  ///< banner line, e.g. "Figure 4: ..."
 
-  // Topology.
-  std::size_t num_senders = 2;
-  double link_mbps = 15.0;
-  double rtt_ms = 150.0;
-  std::vector<double> flow_rtts;  ///< optional per-flow RTT overrides
+  /// Preset (dumbbell/parking_lot/cross_traffic/reverse_path) or explicit
+  /// node/link/route graph; see topology_spec.hh.
+  TopologySpec topology;
 
   LinkSpec link;
   WorkloadSpec workload;

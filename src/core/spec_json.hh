@@ -1,0 +1,28 @@
+// Shared JSON-strictness helper for the spec parsers (scenario_spec.cc,
+// topology_spec.cc): a document key no reader asked for is an error, so
+// typos and bit-rotted specs fail fast instead of silently running
+// defaults.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "util/json.hh"
+
+namespace remy::core::spec_detail {
+
+inline void expect_keys(const util::Json& j,
+                        std::initializer_list<std::string_view> allowed,
+                        const char* context) {
+  for (const auto& [key, value] : j.as_object()) {
+    bool known = false;
+    for (const auto& a : allowed) known = known || key == a;
+    if (!known) {
+      throw util::JsonError{std::string{"scenario spec: unknown key \""} +
+                            key + "\" in " + context};
+    }
+  }
+}
+
+}  // namespace remy::core::spec_detail

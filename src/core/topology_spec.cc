@@ -1,0 +1,292 @@
+#include "core/topology_spec.hh"
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string_view>
+
+#include "cc/registry.hh"
+#include "core/scenario_spec.hh"
+#include "core/spec_json.hh"
+
+namespace remy::core {
+
+using spec_detail::expect_keys;
+using util::Json;
+using util::JsonArray;
+using util::JsonError;
+using util::JsonObject;
+
+namespace {
+
+void forbid(const Json& j, std::initializer_list<std::string_view> keys,
+            const std::string& preset) {
+  for (const auto& key : keys) {
+    if (j.contains(key)) {
+      throw JsonError{"scenario spec: topology key \"" + std::string{key} +
+                      "\" does not apply to preset \"" + preset + "\""};
+    }
+  }
+}
+
+std::vector<std::string> string_list(const Json& j) {
+  std::vector<std::string> out;
+  for (const auto& s : j.as_array()) out.push_back(s.as_string());
+  return out;
+}
+
+}  // namespace
+
+// ---- TopoLinkSpec ----------------------------------------------------------
+
+Json TopoLinkSpec::to_json() const {
+  JsonObject o;
+  o["id"] = id;
+  o["from"] = from;
+  o["to"] = to;
+  if (rate_mbps > 0) o["rate_mbps"] = rate_mbps;
+  if (delay_ms > 0) o["delay_ms"] = delay_ms;
+  if (!queue.empty()) o["queue"] = queue;
+  if (trace) o["trace"] = true;
+  return Json{std::move(o)};
+}
+
+TopoLinkSpec TopoLinkSpec::from_json(const Json& j) {
+  expect_keys(j, {"id", "from", "to", "rate_mbps", "delay_ms", "queue", "trace"},
+              "topology link");
+  TopoLinkSpec out;
+  out.id = j.at("id").as_string();
+  out.from = j.at("from").as_string();
+  out.to = j.at("to").as_string();
+  out.rate_mbps = j.number_or("rate_mbps", 0.0);
+  out.delay_ms = j.number_or("delay_ms", 0.0);
+  if (j.contains("queue")) out.queue = j.at("queue").as_string();
+  if (j.contains("trace")) out.trace = j.at("trace").as_bool();
+  if (out.trace && (out.rate_mbps > 0 || !out.queue.empty())) {
+    throw JsonError{"scenario spec: topology link \"" + out.id +
+                    "\" mixes trace with rate_mbps/queue"};
+  }
+  if (!out.queue.empty() && out.rate_mbps <= 0) {
+    throw JsonError{"scenario spec: topology link \"" + out.id +
+                    "\" names a queue but has no rate_mbps (a delay-only "
+                    "link never queues)"};
+  }
+  return out;
+}
+
+// ---- TopoRouteSpec ---------------------------------------------------------
+
+Json TopoRouteSpec::to_json() const {
+  JsonObject o;
+  o["src"] = src;
+  o["dst"] = dst;
+  JsonArray data;
+  for (const auto& id : data_path) data.emplace_back(id);
+  o["data"] = std::move(data);
+  JsonArray ack;
+  for (const auto& id : ack_path) ack.emplace_back(id);
+  o["ack"] = std::move(ack);
+  if (!workload.is_null()) o["workload"] = workload;
+  return Json{std::move(o)};
+}
+
+TopoRouteSpec TopoRouteSpec::from_json(const Json& j) {
+  expect_keys(j, {"src", "dst", "data", "ack", "workload"}, "topology route");
+  TopoRouteSpec out;
+  out.src = j.at("src").as_string();
+  out.dst = j.at("dst").as_string();
+  out.data_path = string_list(j.at("data"));
+  out.ack_path = string_list(j.at("ack"));
+  if (j.contains("workload")) {
+    // Validate eagerly so a malformed override fails at load, not mid-run.
+    WorkloadSpec::from_json(j.at("workload"));
+    out.workload = j.at("workload");
+  }
+  return out;
+}
+
+// ---- TopologySpec ----------------------------------------------------------
+
+bool TopologySpec::wants_trace_link() const noexcept {
+  for (const auto& l : links) {
+    if (l.trace) return true;
+  }
+  return false;
+}
+
+Json TopologySpec::to_json() const {
+  JsonObject o;
+  if (is_custom()) {
+    o["preset"] = preset;
+    JsonArray node_array;
+    for (const auto& n : nodes) node_array.emplace_back(n);
+    o["nodes"] = std::move(node_array);
+    JsonArray link_array;
+    for (const auto& l : links) link_array.push_back(l.to_json());
+    o["links"] = std::move(link_array);
+    JsonArray route_array;
+    for (const auto& r : routes) route_array.push_back(r.to_json());
+    o["routes"] = std::move(route_array);
+    return Json{std::move(o)};
+  }
+  // The dumbbell preset stays implicit so pre-topology-API specs (and their
+  // blessed result digests, which embed the spec) serialize unchanged.
+  if (preset != "dumbbell") o["preset"] = preset;
+  o["num_senders"] = num_senders;
+  o["link_mbps"] = link_mbps;
+  o["rtt_ms"] = rtt_ms;
+  if (!flow_rtts.empty()) {
+    JsonArray rtts;
+    for (const double r : flow_rtts) rtts.emplace_back(r);
+    o["flow_rtts"] = std::move(rtts);
+  }
+  if (link2_mbps.has_value()) o["link2_mbps"] = *link2_mbps;
+  if (rtt2_ms.has_value()) o["rtt2_ms"] = *rtt2_ms;
+  return Json{std::move(o)};
+}
+
+TopologySpec TopologySpec::from_json(const Json& j) {
+  expect_keys(j,
+              {"preset", "num_senders", "link_mbps", "rtt_ms", "flow_rtts",
+               "link2_mbps", "rtt2_ms", "nodes", "links", "routes"},
+              "topology");
+  TopologySpec out;
+  out.preset = j.contains("preset")
+                   ? j.at("preset").as_string()
+                   : (j.contains("nodes") ? "custom" : "dumbbell");
+
+  if (out.preset == "custom") {
+    forbid(j,
+           {"num_senders", "link_mbps", "rtt_ms", "flow_rtts", "link2_mbps",
+            "rtt2_ms"},
+           out.preset);
+    for (const auto& n : j.at("nodes").as_array()) {
+      out.nodes.push_back(n.as_string());
+    }
+    for (const auto& l : j.at("links").as_array()) {
+      out.links.push_back(TopoLinkSpec::from_json(l));
+    }
+    for (const auto& r : j.at("routes").as_array()) {
+      out.routes.push_back(TopoRouteSpec::from_json(r));
+    }
+    if (out.routes.empty()) {
+      throw JsonError{"scenario spec: custom topology needs at least one route"};
+    }
+    return out;
+  }
+
+  const bool two_hop =
+      out.preset == "parking_lot" || out.preset == "cross_traffic";
+  if (out.preset != "dumbbell" && !two_hop && out.preset != "reverse_path") {
+    throw JsonError{"scenario spec: unknown topology preset \"" + out.preset +
+                    "\" (want dumbbell | parking_lot | cross_traffic | "
+                    "reverse_path | custom)"};
+  }
+  forbid(j, {"nodes", "links", "routes"}, out.preset);
+  if (out.preset == "dumbbell") forbid(j, {"link2_mbps", "rtt2_ms"}, out.preset);
+  if (out.preset == "reverse_path") forbid(j, {"rtt2_ms"}, out.preset);
+  if (out.preset != "dumbbell") forbid(j, {"flow_rtts"}, out.preset);
+
+  out.num_senders =
+      static_cast<std::size_t>(j.at("num_senders").as_number());
+  if (out.num_senders == 0) {
+    throw JsonError{"scenario spec: num_senders must be positive"};
+  }
+  out.link_mbps = j.at("link_mbps").as_number();
+  out.rtt_ms = j.at("rtt_ms").as_number();
+  if (j.contains("flow_rtts")) {
+    for (const auto& r : j.at("flow_rtts").as_array()) {
+      out.flow_rtts.push_back(r.as_number());
+    }
+    if (out.flow_rtts.size() != out.num_senders) {
+      throw JsonError{"scenario spec: flow_rtts size != num_senders"};
+    }
+  }
+  if (j.contains("link2_mbps")) out.link2_mbps = j.at("link2_mbps").as_number();
+  if (j.contains("rtt2_ms")) out.rtt2_ms = j.at("rtt2_ms").as_number();
+  return out;
+}
+
+sim::Topology TopologySpec::materialize(const TopologyBuild& build) const {
+  sim::Topology topo;
+  if (preset == "dumbbell") {
+    topo = sim::Topology::dumbbell(sim::DumbbellTopo{
+        num_senders, link_mbps, rtt_ms, {flow_rtts.begin(), flow_rtts.end()},
+        nullptr, build.trace_bottleneck});
+  } else if (preset == "parking_lot" || preset == "cross_traffic") {
+    if (build.trace_bottleneck) {
+      throw std::invalid_argument{
+          "TopologySpec: trace links require the dumbbell preset or an "
+          "explicit trace-marked link"};
+    }
+    const sim::TwoHopTopo params{num_senders, link_mbps,
+                                 link2_mbps.value_or(link_mbps), rtt_ms,
+                                 rtt2_ms.value_or(rtt_ms), nullptr};
+    topo = preset == "parking_lot" ? sim::Topology::parking_lot(params)
+                                   : sim::Topology::cross_traffic(params);
+  } else if (preset == "reverse_path") {
+    if (build.trace_bottleneck) {
+      throw std::invalid_argument{
+          "TopologySpec: trace links require the dumbbell preset or an "
+          "explicit trace-marked link"};
+    }
+    topo = sim::Topology::reverse_path(sim::ReversePathTopo{
+        num_senders, link_mbps, link2_mbps.value_or(link_mbps), rtt_ms,
+        nullptr});
+  } else if (is_custom()) {
+    topo.nodes = nodes;
+    for (const auto& l : links) {
+      sim::TopologyLink link{l.id,      l.from,  l.to,    l.rate_mbps,
+                             l.delay_ms, nullptr, nullptr, false};
+      if (!l.queue.empty()) {
+        link.queue_factory = cc::Registry::global().queue_factory(l.queue);
+      }
+      if (l.trace) {
+        if (!build.trace_bottleneck) {
+          throw std::invalid_argument{
+              "TopologySpec: link \"" + l.id +
+              "\" asks for a trace but the scenario link is not a trace"};
+        }
+        link.bottleneck_factory = build.trace_bottleneck;
+      }
+      topo.links.push_back(std::move(link));
+    }
+    for (const auto& r : routes) {
+      sim::FlowRoute route{r.src, r.dst, r.data_path, r.ack_path, {},
+                           std::nullopt};
+      if (!r.workload.is_null()) {
+        route.workload = WorkloadSpec::from_json(r.workload).materialize();
+      }
+      topo.flows.push_back(std::move(route));
+    }
+  } else {
+    throw std::invalid_argument{"TopologySpec: unknown preset \"" + preset +
+                                "\""};
+  }
+  topo.workload = build.workload;
+  topo.seed = build.seed;
+  topo.default_queue = build.default_queue;
+  topo.record_deliveries = build.record_deliveries;
+  return topo;
+}
+
+std::vector<std::pair<std::string, std::string>> topology_preset_list() {
+  return {
+      {"dumbbell",
+       "n senders -> one bottleneck -> receiver; delay-only ACK return "
+       "(params: num_senders, link_mbps, rtt_ms, flow_rtts)"},
+      {"parking_lot",
+       "two bottlenecks in series; even flows cross both, odd flows load "
+       "one hop each (params: + link2_mbps, rtt2_ms)"},
+      {"cross_traffic",
+       "two bottlenecks in series; odd flows are cross traffic on the "
+       "second hop only (params: + link2_mbps, rtt2_ms)"},
+      {"reverse_path",
+       "opposed bottlenecks; flows alternate direction, ACKs queue behind "
+       "opposing data (params: + link2_mbps as the reverse rate)"},
+      {"custom",
+       "explicit graph: nodes, links (id/from/to/rate_mbps/delay_ms/queue/"
+       "trace), routes (src/dst/data/ack/workload)"},
+  };
+}
+
+}  // namespace remy::core

@@ -1,0 +1,118 @@
+// The serializable topology section of a ScenarioSpec: either a named
+// preset (dumbbell | parking_lot | cross_traffic | reverse_path) driven by
+// the scalar parameters below, or an explicit node/link/route graph. Both
+// forms round-trip through JSON bit-identically (strict unknown-key
+// rejection, as everywhere in the spec) and materialize into a
+// sim::Topology for the TopologyRunner.
+//
+// JSON forms:
+//   {"num_senders": 8, "link_mbps": 15, "rtt_ms": 150}              (dumbbell)
+//   {"preset": "parking_lot", "num_senders": 16, "link_mbps": 15,
+//    "rtt_ms": 75, "link2_mbps": 10, "rtt2_ms": 150}
+//   {"preset": "custom",
+//    "nodes": ["a", "b"],
+//    "links": [{"id": "up", "from": "a", "to": "b", "rate_mbps": 15,
+//               "delay_ms": 75, "queue": "red:min_th=5"},
+//              {"id": "back", "from": "b", "to": "a", "delay_ms": 75}],
+//    "routes": [{"src": "a", "dst": "b", "data": ["up"], "ack": ["back"]}]}
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/topology.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+struct WorkloadSpec;  // scenario_spec.hh; routes may override the workload
+
+/// One directed link of an explicit topology graph.
+struct TopoLinkSpec {
+  std::string id;
+  std::string from;
+  std::string to;
+  double rate_mbps = 0.0;  ///< 0: delay-only link
+  double delay_ms = 0.0;   ///< one-way propagation delay
+  std::string queue;  ///< registry queue spec; empty: the run's default
+  /// Use the scenario's trace-driven link (LinkSpec kind "lte") here.
+  bool trace = false;
+
+  util::Json to_json() const;
+  static TopoLinkSpec from_json(const util::Json& j);
+  friend bool operator==(const TopoLinkSpec&, const TopoLinkSpec&) = default;
+};
+
+/// One flow of an explicit topology graph.
+struct TopoRouteSpec {
+  std::string src;
+  std::string dst;
+  std::vector<std::string> data_path;  ///< link ids, src -> dst
+  std::vector<std::string> ack_path;   ///< link ids, dst -> src
+  /// Per-flow workload override (serialized WorkloadSpec); empty: the
+  /// scenario workload. Kept as JSON to avoid a header cycle.
+  util::Json workload;
+
+  util::Json to_json() const;
+  static TopoRouteSpec from_json(const util::Json& j);
+  friend bool operator==(const TopoRouteSpec& a, const TopoRouteSpec& b) {
+    return a.src == b.src && a.dst == b.dst && a.data_path == b.data_path &&
+           a.ack_path == b.ack_path && a.workload == b.workload;
+  }
+};
+
+/// Everything sim::Topology needs beyond the spec itself, resolved by the
+/// caller per run: the workload, the run seed, the effective default queue
+/// (scheme gateway else scenario default), and — for LTE scenarios — the
+/// shared-trace bottleneck builder.
+struct TopologyBuild {
+  sim::OnOffConfig workload = sim::OnOffConfig::always_on();
+  std::uint64_t seed = 1;
+  sim::QueueFactory default_queue;
+  sim::BottleneckFactory trace_bottleneck;
+  bool record_deliveries = false;
+};
+
+struct TopologySpec {
+  /// dumbbell | parking_lot | cross_traffic | reverse_path | custom.
+  std::string preset = "dumbbell";
+
+  // Preset parameters (unused for custom).
+  std::size_t num_senders = 2;
+  double link_mbps = 15.0;
+  double rtt_ms = 150.0;
+  std::vector<double> flow_rtts;      ///< dumbbell only
+  std::optional<double> link2_mbps;   ///< second / reverse bottleneck rate
+  std::optional<double> rtt2_ms;      ///< second hop RTT contribution
+
+  // Explicit graph (custom only).
+  std::vector<std::string> nodes;
+  std::vector<TopoLinkSpec> links;
+  std::vector<TopoRouteSpec> routes;
+
+  bool is_custom() const noexcept { return preset == "custom"; }
+  std::size_t num_flows() const noexcept {
+    return is_custom() ? routes.size() : num_senders;
+  }
+  /// True if any explicit link asks for the scenario's trace-driven link.
+  bool wants_trace_link() const noexcept;
+
+  /// Builds the runnable graph. Queue specs on explicit links are resolved
+  /// through cc::Registry here. Throws if a trace link is required but
+  /// `build.trace_bottleneck` is unset (or vice versa for presets that do
+  /// not support traces).
+  sim::Topology materialize(const TopologyBuild& build) const;
+
+  util::Json to_json() const;
+  static TopologySpec from_json(const util::Json& j);
+  friend bool operator==(const TopologySpec& a, const TopologySpec& b) {
+    return a.to_json() == b.to_json();
+  }
+};
+
+/// Preset name -> one-line summary, for `remy-run --list-topologies`.
+std::vector<std::pair<std::string, std::string>> topology_preset_list();
+
+}  // namespace remy::core

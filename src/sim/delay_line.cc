@@ -18,8 +18,10 @@ void DelayLine::set_flow_delay(FlowId flow, TimeMs delay_ms) {
   if (delay_ms < 0) throw std::invalid_argument{"DelayLine: negative delay"};
   if (flow >= per_flow_delay_.size()) {
     per_flow_delay_.resize(flow + 1, kNoOverride);
+    per_flow_class_.resize(flow + 1, -1);
   }
   per_flow_delay_[flow] = delay_ms;
+  per_flow_class_[flow] = -1;  // re-resolve on the flow's next packet
 }
 
 TimeMs DelayLine::delay_for(FlowId flow) const noexcept {
@@ -29,21 +31,63 @@ TimeMs DelayLine::delay_for(FlowId flow) const noexcept {
   return default_delay_;
 }
 
+std::int32_t DelayLine::class_index_for(TimeMs delay) {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].delay == delay) return static_cast<std::int32_t>(i);
+  }
+  classes_.push_back(DelayClass{delay, {}});
+  return static_cast<std::int32_t>(classes_.size() - 1);
+}
+
 void DelayLine::accept(Packet&& packet, TimeMs now) {
-  heap_.push(Entry{now + delay_for(packet.flow), next_order_++, std::move(packet)});
+  TimeMs delay;
+  std::int32_t cls;
+  const FlowId flow = packet.flow;
+  if (flow < per_flow_delay_.size() && per_flow_delay_[flow] >= 0.0) {
+    delay = per_flow_delay_[flow];
+    if (per_flow_class_[flow] < 0) per_flow_class_[flow] = class_index_for(delay);
+    cls = per_flow_class_[flow];
+  } else {
+    delay = default_delay_;
+    if (default_class_ < 0) default_class_ = class_index_for(delay);
+    cls = default_class_;
+  }
+  classes_[cls].fifo.push_back(
+      Entry{now + delay, next_order_++, std::move(packet)});
+  ++in_transit_;
   schedule_changed();  // the new packet may be the earliest delivery
 }
 
 TimeMs DelayLine::next_event_time() const {
-  return heap_.empty() ? kNever : heap_.top().deliver_at;
+  TimeMs earliest = kNever;
+  for (const auto& c : classes_) {
+    if (!c.fifo.empty() && c.fifo.front().deliver_at < earliest) {
+      earliest = c.fifo.front().deliver_at;
+    }
+  }
+  return earliest;
 }
 
 void DelayLine::tick(TimeMs now) {
-  while (!heap_.empty() && heap_.top().deliver_at <= now) {
-    // priority_queue::top() is const; the packet is moved via const_cast,
-    // which is safe because pop() immediately removes the moved-from entry.
-    Packet p = std::move(const_cast<Entry&>(heap_.top()).packet);
-    heap_.pop();
+  while (true) {
+    // Earliest due head across classes, global arrival order breaking ties —
+    // exactly the order the old global heap produced.
+    DelayClass* best = nullptr;
+    for (auto& c : classes_) {
+      if (c.fifo.empty() || c.fifo.front().deliver_at > now) continue;
+      if (best == nullptr ||
+          c.fifo.front().deliver_at < best->fifo.front().deliver_at ||
+          (c.fifo.front().deliver_at == best->fifo.front().deliver_at &&
+           c.fifo.front().order < best->fifo.front().order)) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) return;
+    // Pop before delivering: accept() downstream may reenter and grow
+    // classes_, invalidating `best`.
+    Packet p = std::move(best->fifo.front().packet);
+    best->fifo.pop_front();
+    --in_transit_;
     downstream_->accept(std::move(p), now);
   }
 }

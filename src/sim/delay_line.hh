@@ -1,9 +1,20 @@
 // Fixed propagation delay element, with optional per-flow delay overrides
 // (used for the differing-RTT experiments of Sec. 5.4).
+//
+// Storage is a calendar-style set of FIFOs, one per distinct delay value:
+// because each class's delay is fixed and the clock only moves forward,
+// packets within a class are already ordered by delivery time, so push and
+// pop are O(1) deque operations instead of a global O(log n) heap. Pushes
+// find their class through a per-flow index cache (O(1) after a flow's
+// first packet); delivery and next_event_time() scan the class heads, so
+// they cost O(k) for k *distinct* delay values — 1 + the spread of
+// per-flow overrides, a handful in every shipped scenario. If a workload
+// ever carries hundreds of distinct RTTs, a min-heap over class heads
+// would restore O(log k) (noted in ROADMAP).
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <deque>
 #include <vector>
 
 #include "sim/component.hh"
@@ -26,29 +37,37 @@ class DelayLine final : public SimObject, public PacketSink {
   TimeMs next_event_time() const override;
   void tick(TimeMs now) override;
 
-  std::size_t in_transit() const noexcept { return heap_.size(); }
+  std::size_t in_transit() const noexcept { return in_transit_; }
 
  private:
   struct Entry {
     TimeMs deliver_at;
-    std::uint64_t order;  ///< FIFO tiebreak for equal delivery times
+    std::uint64_t order;  ///< global FIFO tiebreak for equal delivery times
     Packet packet;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
-      return a.order > b.order;
-    }
+  /// All packets accepted with the same delay value, in arrival order —
+  /// which is also (deliver_at, order) order within the class.
+  struct DelayClass {
+    TimeMs delay;
+    std::deque<Entry> fifo;
   };
+
+  /// Index into classes_ for `delay`, creating the class on first use.
+  /// Class indices are stable (classes are never erased), so they cache.
+  std::int32_t class_index_for(TimeMs delay);
 
   TimeMs default_delay_;
   PacketSink* downstream_;
   /// Flow-indexed override table (flow ids are dense, assigned 0..n-1 by the
   /// topology); entries < 0 mean "use the default". Flat so the per-packet
   /// delay lookup on accept() is one bounds check + one load, not a
-  /// red-black-tree walk.
+  /// red-black-tree walk. per_flow_class_ mirrors it with the flow's cached
+  /// class index (-1 until the flow's first packet).
   std::vector<TimeMs> per_flow_delay_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::int32_t> per_flow_class_;
+  std::vector<DelayClass> classes_;
+  std::int32_t default_class_ = -1;
+  std::size_t in_transit_ = 0;
   std::uint64_t next_order_ = 0;
 };
 

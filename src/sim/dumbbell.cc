@@ -1,102 +1,25 @@
 #include "sim/dumbbell.hh"
 
-#include <deque>
 #include <stdexcept>
 
 namespace remy::sim {
 
-namespace {
-
-/// Minimal unlimited FIFO used when no queue factory is supplied.
-class UnlimitedFifo final : public QueueDisc {
- public:
-  void enqueue(Packet&& p, TimeMs now) override {
-    stamp_enqueue(p, now);
-    fifo_.push_back(std::move(p));
-    bytes_ += fifo_.back().size_bytes;
-  }
-  std::optional<Packet> dequeue(TimeMs now) override {
-    if (fifo_.empty()) return std::nullopt;
-    Packet p = std::move(fifo_.front());
-    fifo_.pop_front();
-    bytes_ -= p.size_bytes;
-    stamp_dequeue(p, now);
-    return p;
-  }
-  std::size_t packet_count() const override { return fifo_.size(); }
-  std::size_t byte_count() const override { return bytes_; }
-
- private:
-  std::deque<Packet> fifo_;
-  std::size_t bytes_ = 0;
-};
-
-}  // namespace
-
-Dumbbell::Dumbbell(const DumbbellConfig& config, const SenderFactory& make_sender)
-    : metrics_hub_{config.num_senders}, demux_{&senders_} {
-  if (config.num_senders == 0)
+Topology Dumbbell::topology_of(const DumbbellConfig& config) {
+  if (config.num_senders == 0) {
     throw std::invalid_argument{"Dumbbell: need at least one sender"};
-  if (!config.flow_rtts.empty() && config.flow_rtts.size() != config.num_senders)
+  }
+  if (!config.flow_rtts.empty() &&
+      config.flow_rtts.size() != config.num_senders) {
     throw std::invalid_argument{"Dumbbell: flow_rtts size mismatch"};
-
-  metrics_hub_.record_deliveries(config.record_deliveries);
-
-  // Build back-to-front so each element can point at its downstream.
-  ack_path_ = std::make_unique<DelayLine>(config.rtt_ms / 2.0, &demux_);
-  receiver_ = std::make_unique<Receiver>(ack_path_.get(), &metrics_hub_);
-  data_path_ = std::make_unique<DelayLine>(config.rtt_ms / 2.0, receiver_.get());
-  for (std::size_t i = 0; i < config.flow_rtts.size(); ++i) {
-    data_path_->set_flow_delay(static_cast<FlowId>(i), config.flow_rtts[i] / 2.0);
-    ack_path_->set_flow_delay(static_cast<FlowId>(i), config.flow_rtts[i] / 2.0);
   }
-
-  if (config.bottleneck_factory) {
-    bottleneck_ = config.bottleneck_factory(data_path_.get());
-  } else {
-    auto queue = config.queue_factory ? config.queue_factory()
-                                      : std::make_unique<UnlimitedFifo>();
-    bottleneck_ = std::make_unique<Link>(config.link_mbps, std::move(queue),
-                                         data_path_.get());
-  }
-
-  util::Rng seeder{config.seed};
-  senders_.reserve(config.num_senders);
-  schedulers_.reserve(config.num_senders);
-  for (std::size_t i = 0; i < config.num_senders; ++i) {
-    auto sender = make_sender(static_cast<FlowId>(i));
-    if (sender == nullptr) throw std::invalid_argument{"Dumbbell: null sender"};
-    senders_.push_back(std::move(sender));
-  }
-  for (std::size_t i = 0; i < config.num_senders; ++i) {
-    auto scheduler = std::make_unique<FlowScheduler>(
-        senders_[i].get(), &metrics_hub_, config.workload, seeder.split());
-    senders_[i]->wire(static_cast<FlowId>(i), bottleneck_.get(), &metrics_hub_,
-                      scheduler.get());
-    schedulers_.push_back(std::move(scheduler));
-  }
-
-  for (auto& s : senders_) network_.add(*s);
-  for (auto& s : schedulers_) network_.add(*s);
-  network_.add(*bottleneck_);
-  network_.add(*data_path_);
-  network_.add(*ack_path_);
-}
-
-void Dumbbell::run_until_ms(TimeMs t) {
-  if (finished_) throw std::logic_error{"Dumbbell: run after finish()"};
-  network_.run_until(t);
-}
-
-void Dumbbell::finish() {
-  if (finished_) return;
-  finished_ = true;
-  for (auto& s : schedulers_) s->finish(network_.now());
-}
-
-MetricsHub& Dumbbell::metrics() {
-  finish();
-  return metrics_hub_;
+  Topology topo = Topology::dumbbell(
+      DumbbellTopo{config.num_senders, config.link_mbps, config.rtt_ms,
+                   config.flow_rtts, config.queue_factory,
+                   config.bottleneck_factory});
+  topo.workload = config.workload;
+  topo.seed = config.seed;
+  topo.record_deliveries = config.record_deliveries;
+  return topo;
 }
 
 }  // namespace remy::sim

@@ -1,7 +1,10 @@
 // The paper's evaluation topology (Fig. 2): n senders share one bottleneck;
-// ACKs return over a delay-only reverse path. Supports per-flow RTTs
-// (Sec. 5.4), pluggable queue disciplines / bottlenecks (DropTail, sfqCoDel,
-// XCP router, trace-driven cellular links), and the on/off traffic model.
+// ACKs return over a delay-only reverse path. Since the topology-graph
+// redesign this is a thin facade over Topology::dumbbell (topology.hh) +
+// TopologyRunner — kept because nearly every test, example, and specimen
+// run speaks "dumbbell". Supports per-flow RTTs (Sec. 5.4), pluggable
+// queue disciplines / bottlenecks (DropTail, sfqCoDel, XCP router,
+// trace-driven cellular links), and the on/off traffic model.
 //
 // Typical use:
 //   DumbbellConfig cfg;
@@ -14,32 +17,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
-#include "sim/bottleneck.hh"
-#include "sim/delay_line.hh"
-#include "sim/flow_scheduler.hh"
-#include "sim/link.hh"
-#include "sim/metrics.hh"
-#include "sim/network.hh"
-#include "sim/receiver.hh"
-#include "sim/sender.hh"
-#include "util/rng.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
 
 namespace remy::sim {
-
-/// Builds a sender endpoint for flow `id`.
-using SenderFactory = std::function<std::unique_ptr<Sender>(FlowId id)>;
-
-/// Builds the bottleneck queue discipline (default: 1000-packet DropTail).
-using QueueFactory = std::function<std::unique_ptr<QueueDisc>()>;
-
-/// Builds the whole bottleneck element (overrides link_mbps/queue_factory;
-/// used for trace-driven cellular links).
-using BottleneckFactory =
-    std::function<std::unique_ptr<Bottleneck>(PacketSink* downstream)>;
 
 struct DumbbellConfig {
   std::size_t num_senders = 2;
@@ -55,50 +38,28 @@ struct DumbbellConfig {
 
 class Dumbbell {
  public:
-  Dumbbell(const DumbbellConfig& config, const SenderFactory& make_sender);
+  Dumbbell(const DumbbellConfig& config, const SenderFactory& make_sender)
+      : runner_{topology_of(config), make_sender} {}
 
-  /// Advances the simulation. May be called repeatedly.
-  void run_until_ms(TimeMs t);
-  void run_for_seconds(double seconds) { run_until_ms(network_.now() + seconds * 1000.0); }
+  /// Materializes the config as a topology graph (the "bottleneck" +
+  /// "ack" preset); exposed so callers can extend it before running.
+  static Topology topology_of(const DumbbellConfig& config);
 
-  /// Credits partially-elapsed "on" intervals; called automatically by
-  /// metrics() / finish-time accessors, at the current clock.
-  void finish();
+  void run_until_ms(TimeMs t) { runner_.run_until_ms(t); }
+  void run_for_seconds(double seconds) { runner_.run_for_seconds(seconds); }
+  void finish() { runner_.finish(); }
 
-  TimeMs now() const noexcept { return network_.now(); }
-  /// Per-flow stats; finish() must have been called (or call metrics_raw()).
-  MetricsHub& metrics();
-  MetricsHub& metrics_raw() noexcept { return metrics_hub_; }
-  Bottleneck& bottleneck() noexcept { return *bottleneck_; }
-  Sender& sender(std::size_t i) { return *senders_.at(i); }
-  FlowScheduler& scheduler(std::size_t i) { return *schedulers_.at(i); }
-  std::size_t num_senders() const noexcept { return senders_.size(); }
-  Network& network() noexcept { return network_; }
+  TimeMs now() const noexcept { return runner_.now(); }
+  MetricsHub& metrics() { return runner_.metrics(); }
+  MetricsHub& metrics_raw() noexcept { return runner_.metrics_raw(); }
+  Bottleneck& bottleneck() { return runner_.first_bottleneck(); }
+  Sender& sender(std::size_t i) { return runner_.sender(i); }
+  FlowScheduler& scheduler(std::size_t i) { return runner_.scheduler(i); }
+  std::size_t num_senders() const noexcept { return runner_.num_flows(); }
+  Network& network() noexcept { return runner_.network(); }
 
  private:
-  /// Routes returning ACKs to the owning sender.
-  class AckDemux final : public PacketSink {
-   public:
-    explicit AckDemux(std::vector<std::unique_ptr<Sender>>* senders)
-        : senders_{senders} {}
-    void accept(Packet&& p, TimeMs now) override {
-      senders_->at(p.flow)->accept(std::move(p), now);
-    }
-
-   private:
-    std::vector<std::unique_ptr<Sender>>* senders_;
-  };
-
-  MetricsHub metrics_hub_;
-  std::vector<std::unique_ptr<Sender>> senders_;
-  AckDemux demux_;
-  std::unique_ptr<DelayLine> ack_path_;   // receiver -> senders (RTT/2)
-  std::unique_ptr<Receiver> receiver_;
-  std::unique_ptr<DelayLine> data_path_;  // bottleneck -> receiver (RTT/2)
-  std::unique_ptr<Bottleneck> bottleneck_;
-  std::vector<std::unique_ptr<FlowScheduler>> schedulers_;
-  Network network_;
-  bool finished_ = false;
+  TopologyRunner runner_;
 };
 
 }  // namespace remy::sim

@@ -1,0 +1,238 @@
+#include "sim/topology.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace remy::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument{"Topology: " + message};
+}
+
+/// Walks one direction of a route, checking the link chain is contiguous
+/// from `start` to `end` and visits no node twice (a repeated node is a
+/// cycle; a chain break is an unreachable endpoint). Routes are short, so
+/// the visited set is a flat vector, not a hash set.
+void check_path(const std::vector<std::string>& path,
+                const std::unordered_map<std::string, const TopologyLink*>& links,
+                const std::string& start, const std::string& end,
+                const char* what, std::size_t flow) {
+  const auto where = [&] {
+    return std::string{what} + " path of flow " + std::to_string(flow);
+  };
+  if (path.empty()) fail("empty " + where());
+  std::vector<std::string_view> visited{start};
+  std::string_view at = start;
+  for (const auto& id : path) {
+    const auto it = links.find(id);
+    if (it == links.end()) fail("unknown link \"" + id + "\" in " + where());
+    const TopologyLink& link = *it->second;
+    if (link.from != at) {
+      fail("link \"" + id + "\" in " + where() + " departs from \"" +
+           link.from + "\" but the route is at \"" + std::string{at} +
+           "\" (unreachable endpoint)");
+    }
+    if (std::find(visited.begin(), visited.end(), link.to) != visited.end()) {
+      fail("cycle in " + where() + ": node \"" + link.to + "\" visited twice");
+    }
+    visited.push_back(link.to);
+    at = link.to;
+  }
+  if (at != end) {
+    fail(where() + " ends at \"" + std::string{at} + "\" instead of \"" + end +
+         "\" (unreachable endpoint)");
+  }
+}
+
+}  // namespace
+
+bool same_route_shape(const FlowRoute& a, const FlowRoute& b) {
+  return a.src == b.src && a.dst == b.dst && a.data_path == b.data_path &&
+         a.ack_path == b.ack_path && a.delay_overrides == b.delay_overrides;
+}
+
+void Topology::validate() const {
+  if (nodes.empty()) fail("no nodes");
+  std::unordered_set<std::string> node_set;
+  for (const auto& n : nodes) {
+    if (n.empty()) fail("empty node name");
+    if (!node_set.insert(n).second) fail("duplicate node \"" + n + "\"");
+  }
+
+  std::unordered_map<std::string, const TopologyLink*> link_map;
+  for (const auto& l : links) {
+    if (l.id.empty()) fail("link with empty id");
+    if (!link_map.emplace(l.id, &l).second) {
+      fail("duplicate link \"" + l.id + "\"");
+    }
+    if (!node_set.contains(l.from)) {
+      fail("link \"" + l.id + "\": unknown node \"" + l.from + "\"");
+    }
+    if (!node_set.contains(l.to)) {
+      fail("link \"" + l.id + "\": unknown node \"" + l.to + "\"");
+    }
+    if (l.from == l.to) fail("link \"" + l.id + "\" is a self-loop");
+    if (l.rate_mbps < 0) fail("link \"" + l.id + "\": negative rate");
+    if (l.delay_ms < 0) fail("link \"" + l.id + "\": negative delay");
+    // A queue factory on a link with no serializing stage would be
+    // silently ignored by the runner — certainly a mistake; fail fast.
+    if (l.queue_factory && l.rate_mbps <= 0 && !l.bottleneck_factory) {
+      fail("link \"" + l.id + "\" has a queue factory but no rate (a "
+           "delay-only link never queues)");
+    }
+  }
+
+  if (flows.empty()) fail("no flows");
+  // Routes with identical shape validate identically; flows overwhelmingly
+  // share a handful of shapes, so per-flow checks are deduped against the
+  // shapes already validated.
+  std::vector<const FlowRoute*> checked;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const FlowRoute& route = flows[f];
+    bool seen = false;
+    for (const FlowRoute* prior : checked) {
+      if (same_route_shape(*prior, route)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    checked.push_back(&route);
+
+    const std::string flow_str = "flow " + std::to_string(f);
+    if (!node_set.contains(route.src)) {
+      fail(flow_str + ": unknown src node \"" + route.src + "\"");
+    }
+    if (!node_set.contains(route.dst)) {
+      fail(flow_str + ": unknown dst node \"" + route.dst + "\"");
+    }
+    if (route.src == route.dst) fail(flow_str + ": src == dst");
+    check_path(route.data_path, link_map, route.src, route.dst, "data", f);
+    check_path(route.ack_path, link_map, route.dst, route.src, "ack", f);
+
+    const auto on_route = [&route](const std::string& id) {
+      return std::find(route.data_path.begin(), route.data_path.end(), id) !=
+                 route.data_path.end() ||
+             std::find(route.ack_path.begin(), route.ack_path.end(), id) !=
+                 route.ack_path.end();
+    };
+    for (const auto& [id, delay] : route.delay_overrides) {
+      if (delay < 0) fail(flow_str + ": negative delay override");
+      if (!on_route(id)) {
+        fail(flow_str + ": delay override names link \"" + id +
+             "\" which is not on its route");
+      }
+      const TopologyLink& link = *link_map.at(id);
+      const bool has_delay_stage = link.delay_ms > 0 || link.force_delay_stage ||
+                                   (link.rate_mbps == 0 && !link.bottleneck_factory);
+      if (!has_delay_stage) {
+        fail(flow_str + ": delay override on link \"" + id +
+             "\" which has no delay stage");
+      }
+    }
+  }
+}
+
+Topology Topology::dumbbell(const DumbbellTopo& p) {
+  if (p.num_senders == 0) fail("dumbbell needs at least one sender");
+  if (!p.flow_rtts.empty() && p.flow_rtts.size() != p.num_senders) {
+    fail("dumbbell flow_rtts size mismatch");
+  }
+  // A rate of 0 would silently drop the serializing stage (delay-only
+  // link); the hand-wired Dumbbell always had a Link, which rejected it.
+  if (p.link_mbps <= 0 && !p.bottleneck_factory) {
+    fail("dumbbell link_mbps must be > 0");
+  }
+  Topology t;
+  t.nodes = {"snd", "rcv"};
+  // force_delay_stage keeps the component layout (Link, data DelayLine, ack
+  // DelayLine) identical to the historical hand-wired Dumbbell for every
+  // parameter choice, including rtt_ms == 0.
+  t.links.push_back(TopologyLink{"bottleneck", "snd", "rcv", p.link_mbps,
+                                 p.rtt_ms / 2.0, p.queue_factory,
+                                 p.bottleneck_factory, /*force_delay_stage=*/true});
+  t.links.push_back(TopologyLink{"ack", "rcv", "snd", 0.0, p.rtt_ms / 2.0,
+                                 nullptr, nullptr, /*force_delay_stage=*/true});
+  t.flows.reserve(p.num_senders);
+  for (std::size_t i = 0; i < p.num_senders; ++i) {
+    FlowRoute route{"snd", "rcv", {"bottleneck"}, {"ack"}, {}, std::nullopt};
+    if (!p.flow_rtts.empty()) {
+      route.delay_overrides = {{"bottleneck", p.flow_rtts[i] / 2.0},
+                               {"ack", p.flow_rtts[i] / 2.0}};
+    }
+    t.flows.push_back(std::move(route));
+  }
+  return t;
+}
+
+namespace {
+
+/// The shared two-bottleneck chain a -> b -> c with delay-only ACK returns.
+Topology two_hop_base(const TwoHopTopo& p) {
+  if (p.num_flows == 0) fail("two-hop presets need at least one flow");
+  Topology t;
+  t.nodes = {"a", "b", "c"};
+  t.links.push_back(TopologyLink{"hop1", "a", "b", p.hop1_mbps,
+                                 p.hop1_rtt_ms / 2.0, p.queue_factory, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"hop2", "b", "c", p.hop2_mbps,
+                                 p.hop2_rtt_ms / 2.0, p.queue_factory, nullptr,
+                                 false});
+  t.links.push_back(
+      TopologyLink{"ack_cb", "c", "b", 0.0, p.hop2_rtt_ms / 2.0, nullptr,
+                   nullptr, false});
+  t.links.push_back(
+      TopologyLink{"ack_ba", "b", "a", 0.0, p.hop1_rtt_ms / 2.0, nullptr,
+                   nullptr, false});
+  return t;
+}
+
+const FlowRoute kLongRoute{"a", "c", {"hop1", "hop2"}, {"ack_cb", "ack_ba"},
+                           {}, std::nullopt};
+const FlowRoute kHop1Route{"a", "b", {"hop1"}, {"ack_ba"}, {}, std::nullopt};
+const FlowRoute kHop2Route{"b", "c", {"hop2"}, {"ack_cb"}, {}, std::nullopt};
+
+}  // namespace
+
+Topology Topology::parking_lot(const TwoHopTopo& p) {
+  Topology t = two_hop_base(p);
+  t.flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    t.flows.push_back(i % 2 == 0 ? kLongRoute
+                                 : (i % 4 == 1 ? kHop1Route : kHop2Route));
+  }
+  return t;
+}
+
+Topology Topology::cross_traffic(const TwoHopTopo& p) {
+  Topology t = two_hop_base(p);
+  t.flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    t.flows.push_back(i % 2 == 0 ? kLongRoute : kHop2Route);
+  }
+  return t;
+}
+
+Topology Topology::reverse_path(const ReversePathTopo& p) {
+  if (p.num_flows == 0) fail("reverse_path needs at least one flow");
+  Topology t;
+  t.nodes = {"l", "r"};
+  t.links.push_back(TopologyLink{"fwd", "l", "r", p.fwd_mbps, p.rtt_ms / 2.0,
+                                 p.queue_factory, nullptr, false});
+  t.links.push_back(TopologyLink{"rev", "r", "l", p.rev_mbps, p.rtt_ms / 2.0,
+                                 p.queue_factory, nullptr, false});
+  const FlowRoute fwd{"l", "r", {"fwd"}, {"rev"}, {}, std::nullopt};
+  const FlowRoute rev{"r", "l", {"rev"}, {"fwd"}, {}, std::nullopt};
+  t.flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    t.flows.push_back(i % 2 == 0 ? fwd : rev);
+  }
+  return t;
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,160 @@
+// Declarative topology graph: the shape of a simulated network as data.
+//
+// A Topology names nodes, directed links (each a serializing stage at
+// rate_mbps feeding a fixed propagation delay — either may be zero — or a
+// custom trace-driven bottleneck), and one static route per flow: the data
+// path from its source node to its destination and the ACK return path
+// back. TopologyRunner (topology_runner.hh) instantiates the component
+// graph on the event-driven Network; Dumbbell (dumbbell.hh) is now just the
+// single-bottleneck preset below plus a thin facade.
+//
+// Preset builders cover the shapes the evaluation uses:
+//   dumbbell      n senders -> one bottleneck -> receiver (the paper's Fig. 2)
+//   parking_lot   two bottlenecks in series; even flows cross both, odd
+//                 flows load one hop each
+//   cross_traffic two bottlenecks in series; even flows cross both, odd
+//                 flows are cross traffic on the second hop only
+//   reverse_path  two opposed bottlenecks; flows alternate direction, so
+//                 every ACK stream shares a queue with opposing data
+//
+// Anything else is spelled out longhand: fill nodes/links/flows and hand
+// the Topology to a TopologyRunner. validate() catches malformed graphs
+// (unknown ids, duplicate links, broken or cyclic routes) before any
+// component is built.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/bottleneck.hh"
+#include "sim/flow_scheduler.hh"
+#include "sim/queue_disc.hh"
+#include "sim/sender.hh"
+
+namespace remy::sim {
+
+/// Builds a sender endpoint for flow `id`.
+using SenderFactory = std::function<std::unique_ptr<Sender>(FlowId id)>;
+
+/// Builds a queue discipline for one rate-limited link instance.
+using QueueFactory = std::function<std::unique_ptr<QueueDisc>()>;
+
+/// Builds a whole bottleneck element wired to `downstream` (used for
+/// trace-driven cellular links; wins over rate_mbps/queue_factory).
+using BottleneckFactory =
+    std::function<std::unique_ptr<Bottleneck>(PacketSink* downstream)>;
+
+/// One directed link: an optional serializing stage (rate_mbps > 0, with a
+/// queue discipline) feeding an optional fixed propagation delay.
+struct TopologyLink {
+  std::string id;    ///< unique within the topology
+  std::string from;  ///< upstream node name
+  std::string to;    ///< downstream node name
+  double rate_mbps = 0.0;  ///< 0: no serializing stage (delay-only link)
+  TimeMs delay_ms = 0.0;   ///< one-way propagation delay
+  /// Queue for the serializing stage; null: the topology default_queue
+  /// (else an unlimited FIFO).
+  QueueFactory queue_factory;
+  /// Custom bottleneck (e.g. trace::TraceLink); replaces rate/queue but the
+  /// delay stage still applies.
+  BottleneckFactory bottleneck_factory;
+  /// Create the delay stage even at delay 0 (presets use this to keep
+  /// component ids stable across parameter edge cases).
+  bool force_delay_stage = false;
+};
+
+struct FlowRoute;
+
+/// True when two routes wire identically: same endpoints, paths, and delay
+/// overrides (workload overrides excluded — they do not affect wiring).
+/// Validation and the runner's route resolution both dedupe flows by this,
+/// so the two stay in agreement about which routes are "the same".
+bool same_route_shape(const FlowRoute& a, const FlowRoute& b);
+
+/// One flow's static route. Flow ids are the index into Topology::flows.
+struct FlowRoute {
+  std::string src;  ///< sender's node
+  std::string dst;  ///< receiver's node
+  std::vector<std::string> data_path;  ///< link ids, src -> dst
+  std::vector<std::string> ack_path;   ///< link ids, dst -> src
+  /// Per-flow one-way delay overrides on links of this route (the
+  /// differing-RTT experiments of Sec. 5.4): link id -> delay_ms.
+  std::vector<std::pair<std::string, TimeMs>> delay_overrides;
+  /// Per-flow on/off model; unset: the topology-wide workload.
+  std::optional<OnOffConfig> workload;
+};
+
+/// Parameters shared by the single- and two-bottleneck preset builders.
+struct DumbbellTopo {
+  std::size_t num_senders = 2;
+  double link_mbps = 15.0;
+  TimeMs rtt_ms = 150.0;           ///< two-way propagation delay
+  std::vector<TimeMs> flow_rtts;   ///< optional per-flow RTT overrides
+  QueueFactory queue_factory;      ///< bottleneck queue; null: default
+  BottleneckFactory bottleneck_factory;  ///< trace links; wins over rate
+};
+
+struct TwoHopTopo {
+  std::size_t num_flows = 2;
+  double hop1_mbps = 15.0;
+  double hop2_mbps = 15.0;
+  TimeMs hop1_rtt_ms = 150.0;  ///< RTT contribution of hop 1 (data + ACK)
+  TimeMs hop2_rtt_ms = 150.0;
+  QueueFactory queue_factory;  ///< both bottlenecks; null: default
+};
+
+struct ReversePathTopo {
+  std::size_t num_flows = 2;   ///< alternating direction: even ->, odd <-
+  double fwd_mbps = 15.0;
+  double rev_mbps = 15.0;
+  TimeMs rtt_ms = 150.0;
+  QueueFactory queue_factory;  ///< both directions; null: default
+};
+
+struct Topology {
+  std::vector<std::string> nodes;
+  std::vector<TopologyLink> links;
+  std::vector<FlowRoute> flows;  ///< index == FlowId
+
+  OnOffConfig workload = OnOffConfig::always_on();
+  std::uint64_t seed = 1;
+  bool record_deliveries = false;  ///< keep per-delivery records (Fig. 6)
+  /// Fallback queue for rate links without their own factory.
+  QueueFactory default_queue;
+
+  std::size_t num_flows() const noexcept { return flows.size(); }
+
+  /// Checks structural integrity: unique node/link ids, link endpoints
+  /// exist and differ, routes are contiguous chains from src to dst (data)
+  /// and dst to src (ACK) visiting no node twice, and delay overrides name
+  /// links with a delay stage on the flow's own route. Throws
+  /// std::invalid_argument on the first violation.
+  void validate() const;
+
+  // ---- presets -------------------------------------------------------------
+
+  /// The paper's Fig. 2 evaluation topology: nodes {snd, rcv}, a
+  /// "bottleneck" link (rate + rtt/2 delay) and a delay-only "ack" return.
+  static Topology dumbbell(const DumbbellTopo& p);
+
+  /// Nodes {a, b, c}, bottlenecks "hop1" (a->b) and "hop2" (b->c), ACK
+  /// returns "ack_cb"/"ack_ba". Flow i: even crosses both hops; i%4==1
+  /// loads hop1 only; i%4==3 loads hop2 only.
+  static Topology parking_lot(const TwoHopTopo& p);
+
+  /// Same graph as parking_lot, but odd flows are all cross traffic on the
+  /// second hop (b->c): the long flows' second bottleneck carries load the
+  /// first hop never sees.
+  static Topology cross_traffic(const TwoHopTopo& p);
+
+  /// Nodes {l, r} with opposed bottlenecks "fwd" and "rev"; flows alternate
+  /// direction, so ACKs queue behind opposing data (congested ACK path).
+  static Topology reverse_path(const ReversePathTopo& p);
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,242 @@
+#include "sim/topology_runner.hh"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/link.hh"
+#include "util/rng.hh"
+
+namespace remy::sim {
+
+namespace {
+
+/// Minimal unlimited FIFO used when neither the link nor the topology
+/// supplies a queue factory.
+class UnlimitedFifo final : public QueueDisc {
+ public:
+  void enqueue(Packet&& p, TimeMs now) override {
+    stamp_enqueue(p, now);
+    fifo_.push_back(std::move(p));
+    bytes_ += fifo_.back().size_bytes;
+  }
+  std::optional<Packet> dequeue(TimeMs now) override {
+    if (fifo_.empty()) return std::nullopt;
+    Packet p = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_ -= p.size_bytes;
+    stamp_dequeue(p, now);
+    return p;
+  }
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+ private:
+  std::deque<Packet> fifo_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace
+
+void TopologyRunner::NodeDemux::accept(Packet&& p, TimeMs now) {
+  const auto& table = p.is_ack ? ack_next_ : data_next_;
+  if (p.flow >= table.size() || table[p.flow] == nullptr) {
+    throw std::logic_error{"TopologyRunner: flow " + std::to_string(p.flow) +
+                           (p.is_ack ? " ACK" : " data") +
+                           " packet misrouted to node \"" + node_ + "\""};
+  }
+  table[p.flow]->accept(std::move(p), now);
+}
+
+void TopologyRunner::NodeDemux::set_next(FlowId flow, bool is_ack,
+                                         PacketSink* sink) {
+  auto& table = is_ack ? ack_next_ : data_next_;
+  if (flow >= table.size()) table.resize(flow + 1, nullptr);
+  table[flow] = sink;
+}
+
+TopologyRunner::TopologyRunner(const Topology& topo,
+                               const SenderFactory& make_sender)
+    : metrics_hub_{topo.num_flows()} {
+  topo.validate();
+  metrics_hub_.record_deliveries(topo.record_deliveries);
+
+  std::unordered_map<std::string, std::size_t> node_index;
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    node_index.emplace(topo.nodes[i], i);
+    demuxes_.push_back(std::make_unique<NodeDemux>(topo.nodes[i]));
+  }
+
+  // One receiver per node that terminates at least one flow; its ACK egress
+  // is the node's demux, which routes onto the flow's return path.
+  std::vector<Receiver*> receiver_at(topo.nodes.size(), nullptr);
+  for (const auto& route : topo.flows) {
+    const std::size_t dst = node_index.at(route.dst);
+    if (receiver_at[dst] == nullptr) {
+      receivers_.push_back(
+          std::make_unique<Receiver>(demuxes_[dst].get(), &metrics_hub_));
+      receiver_at[dst] = receivers_.back().get();
+    }
+  }
+
+  links_.reserve(topo.links.size());
+  for (const auto& spec : topo.links) {
+    LinkInstance inst;
+    inst.id = spec.id;
+    inst.to_demux = demuxes_[node_index.at(spec.to)].get();
+    PacketSink* downstream = inst.to_demux;
+    // validate() only admits per-flow delay overrides on links that get a
+    // delay stage under this same condition, so overrides need no extra
+    // disjunct here.
+    const bool has_bottleneck =
+        spec.bottleneck_factory != nullptr || spec.rate_mbps > 0;
+    if (spec.delay_ms > 0 || spec.force_delay_stage || !has_bottleneck) {
+      inst.delay = std::make_unique<DelayLine>(spec.delay_ms, downstream);
+      downstream = inst.delay.get();
+    }
+    if (spec.bottleneck_factory) {
+      inst.bottleneck = spec.bottleneck_factory(downstream);
+      if (inst.bottleneck == nullptr) {
+        throw std::invalid_argument{"Topology: link \"" + spec.id +
+                                    "\" bottleneck_factory returned null"};
+      }
+    } else if (spec.rate_mbps > 0) {
+      auto queue = spec.queue_factory   ? spec.queue_factory()
+                   : topo.default_queue ? topo.default_queue()
+                                        : std::make_unique<UnlimitedFifo>();
+      inst.bottleneck =
+          std::make_unique<Link>(spec.rate_mbps, std::move(queue), downstream);
+    }
+    inst.ingress = inst.bottleneck ? static_cast<PacketSink*>(inst.bottleneck.get())
+                                   : inst.delay.get();
+    links_.push_back(std::move(inst));
+  }
+
+  std::unordered_map<std::string, LinkInstance*> link_by_id;
+  for (auto& l : links_) link_by_id.emplace(l.id, &l);
+
+  senders_.reserve(topo.num_flows());
+  for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+    auto sender = make_sender(static_cast<FlowId>(f));
+    if (sender == nullptr) {
+      throw std::invalid_argument{"TopologyRunner: null sender"};
+    }
+    senders_.push_back(std::move(sender));
+  }
+
+  // Routes resolved from strings to pointers once per distinct shape —
+  // flows overwhelmingly share a handful of shapes (every dumbbell flow is
+  // identical), and per-flow string hashing dominates construction at
+  // thousands of flows. In a hop pair the demux is where the table entry
+  // goes; a null next means "this flow's own endpoint" (receiver for the
+  // last data hop, sender for the last ACK hop).
+  struct ResolvedRoute {
+    const FlowRoute* shape;
+    PacketSink* first_data;
+    Receiver* receiver;
+    std::vector<std::pair<NodeDemux*, PacketSink*>> data_hops;
+    NodeDemux* dst_demux;
+    PacketSink* first_ack;
+    std::vector<std::pair<NodeDemux*, PacketSink*>> ack_hops;
+    std::vector<std::pair<DelayLine*, TimeMs>> overrides;
+  };
+  std::vector<ResolvedRoute> resolved;
+  const auto resolve = [&](const FlowRoute& route) -> const ResolvedRoute& {
+    for (const auto& r : resolved) {
+      if (same_route_shape(*r.shape, route)) return r;
+    }
+    ResolvedRoute r;
+    r.shape = &route;
+    r.first_data = link_by_id.at(route.data_path.front())->ingress;
+    r.receiver = receiver_at[node_index.at(route.dst)];
+    for (std::size_t i = 0; i < route.data_path.size(); ++i) {
+      LinkInstance* link = link_by_id.at(route.data_path[i]);
+      PacketSink* next = i + 1 < route.data_path.size()
+                             ? link_by_id.at(route.data_path[i + 1])->ingress
+                             : nullptr;
+      r.data_hops.emplace_back(link->to_demux, next);
+    }
+    r.dst_demux = demuxes_[node_index.at(route.dst)].get();
+    r.first_ack = link_by_id.at(route.ack_path.front())->ingress;
+    for (std::size_t i = 0; i < route.ack_path.size(); ++i) {
+      LinkInstance* link = link_by_id.at(route.ack_path[i]);
+      PacketSink* next = i + 1 < route.ack_path.size()
+                             ? link_by_id.at(route.ack_path[i + 1])->ingress
+                             : nullptr;
+      r.ack_hops.emplace_back(link->to_demux, next);
+    }
+    for (const auto& [id, delay] : route.delay_overrides) {
+      r.overrides.emplace_back(link_by_id.at(id)->delay.get(), delay);
+    }
+    resolved.push_back(std::move(r));
+    return resolved.back();
+  };
+
+  util::Rng seeder{topo.seed};
+  schedulers_.reserve(topo.num_flows());
+  for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+    const FlowRoute& route = topo.flows[f];
+    const ResolvedRoute& r = resolve(route);
+    const auto flow = static_cast<FlowId>(f);
+    auto scheduler = std::make_unique<FlowScheduler>(
+        senders_[f].get(), &metrics_hub_,
+        route.workload.has_value() ? *route.workload : topo.workload,
+        seeder.split());
+    senders_[f]->wire(flow, r.first_data, &metrics_hub_, scheduler.get());
+    schedulers_.push_back(std::move(scheduler));
+
+    for (const auto& [demux, next] : r.data_hops) {
+      demux->set_next(flow, /*is_ack=*/false,
+                      next != nullptr ? next : r.receiver);
+    }
+    // The receiver emits ACKs into its node's demux; route them onto the
+    // first return link, then hop by hop back to the owning sender.
+    r.dst_demux->set_next(flow, /*is_ack=*/true, r.first_ack);
+    for (const auto& [demux, next] : r.ack_hops) {
+      demux->set_next(flow, /*is_ack=*/true,
+                      next != nullptr ? next : senders_[f].get());
+    }
+    for (const auto& [delay_line, delay] : r.overrides) {
+      delay_line->set_flow_delay(flow, delay);
+    }
+  }
+
+  for (auto& s : senders_) network_.add(*s);
+  for (auto& s : schedulers_) network_.add(*s);
+  for (auto& l : links_) {
+    if (l.bottleneck) network_.add(*l.bottleneck);
+    if (l.delay) network_.add(*l.delay);
+  }
+}
+
+void TopologyRunner::run_until_ms(TimeMs t) {
+  if (finished_) throw std::logic_error{"TopologyRunner: run after finish()"};
+  network_.run_until(t);
+}
+
+void TopologyRunner::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& s : schedulers_) s->finish(network_.now());
+}
+
+MetricsHub& TopologyRunner::metrics() {
+  finish();
+  return metrics_hub_;
+}
+
+Bottleneck* TopologyRunner::bottleneck(std::string_view id) noexcept {
+  for (auto& l : links_) {
+    if (l.id == id) return l.bottleneck.get();
+  }
+  return nullptr;
+}
+
+Bottleneck& TopologyRunner::first_bottleneck() {
+  for (auto& l : links_) {
+    if (l.bottleneck) return *l.bottleneck;
+  }
+  throw std::logic_error{"TopologyRunner: topology has no bottleneck stage"};
+}
+
+}  // namespace remy::sim

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/harness.hh"
+#include "sim/link.hh"
 #include "workload/distributions.hh"
 
 namespace remy::bench {
@@ -89,10 +90,10 @@ TEST(Harness, FilterSchemesUnknownIsEmpty) {
 
 TEST(Harness, RunSchemeProducesPointsPerSenderPerRun) {
   Scenario scenario;
-  scenario.base.num_senders = 2;
-  scenario.base.link_mbps = 10.0;
-  scenario.base.rtt_ms = 50.0;
-  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.topology.num_senders = 2;
+  scenario.topology.link_mbps = 10.0;
+  scenario.topology.rtt_ms = 50.0;
+  scenario.workload = sim::OnOffConfig::always_on();
   scenario.runs = 3;
   scenario.duration_s = 2.0;
   const auto schemes = paper_schemes();
@@ -109,10 +110,10 @@ TEST(Harness, RunSchemeHonorsSchemeQueue) {
   // XCP through the harness must get its router: queueing delay stays tiny
   // versus NewReno over default DropTail.
   Scenario scenario;
-  scenario.base.num_senders = 2;
-  scenario.base.link_mbps = 10.0;
-  scenario.base.rtt_ms = 50.0;
-  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.topology.num_senders = 2;
+  scenario.topology.link_mbps = 10.0;
+  scenario.topology.rtt_ms = 50.0;
+  scenario.workload = sim::OnOffConfig::always_on();
   scenario.runs = 2;
   scenario.duration_s = 5.0;
   const auto schemes = paper_schemes();
@@ -128,10 +129,10 @@ TEST(Harness, RunSchemeHonorsSchemeQueue) {
 TEST(Harness, CustomBottleneckReceivesSchemeQueue) {
   // A make_bottleneck hook must receive the *scheme's* discipline.
   Scenario scenario;
-  scenario.base.num_senders = 1;
-  scenario.base.link_mbps = 10.0;
-  scenario.base.rtt_ms = 50.0;
-  scenario.base.workload = sim::OnOffConfig::always_on();
+  scenario.topology.num_senders = 1;
+  scenario.topology.link_mbps = 10.0;
+  scenario.topology.rtt_ms = 50.0;
+  scenario.workload = sim::OnOffConfig::always_on();
   scenario.runs = 1;
   scenario.duration_s = 1.0;
   bool saw_queue = false;

@@ -15,9 +15,9 @@ ScenarioSpec tiny_spec() {
   ScenarioSpec spec;
   spec.name = "tiny";
   spec.title = "round-trip probe";
-  spec.num_senders = 2;
-  spec.link_mbps = 10.0;
-  spec.rtt_ms = 50.0;
+  spec.topology.num_senders = 2;
+  spec.topology.link_mbps = 10.0;
+  spec.topology.rtt_ms = 50.0;
   spec.workload = WorkloadSpec::by_bytes(DistSpec::exponential(100e3),
                                          DistSpec::exponential(500.0));
   spec.queue = "droptail:capacity=1000";
@@ -30,7 +30,7 @@ ScenarioSpec tiny_spec() {
 
 TEST(ScenarioSpec, JsonRoundTripIsIdentity) {
   ScenarioSpec spec = tiny_spec();
-  spec.flow_rtts = {40.0, 60.0};
+  spec.topology.flow_rtts = {40.0, 60.0};
   spec.references = {"newreno"};
   spec.ellipse_sigma = 0.5;
   spec.smoke = ScenarioSpec::Smoke{1, 0.25};
@@ -122,6 +122,135 @@ TEST(ScenarioSpec, ShippedSpecsAllParseAndMatchTheirFilenames) {
     ++count;
   }
   EXPECT_GE(count, 14u);  // the paper catalog plus the new scenarios
+}
+
+TEST(ScenarioSpec, PresetTopologyRoundTrips) {
+  ScenarioSpec spec = tiny_spec();
+  spec.topology.preset = "parking_lot";
+  spec.topology.num_senders = 8;
+  spec.topology.link2_mbps = 5.0;
+  spec.topology.rtt2_ms = 90.0;
+  const util::Json j = spec.to_json();
+  EXPECT_EQ(j.at("topology").at("preset").as_string(), "parking_lot");
+  const ScenarioSpec back = ScenarioSpec::from_json(j);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.topology.preset, "parking_lot");
+  EXPECT_DOUBLE_EQ(*back.topology.link2_mbps, 5.0);
+  EXPECT_DOUBLE_EQ(*back.topology.rtt2_ms, 90.0);
+  EXPECT_EQ(back.to_json().dump(2), j.dump(2));
+}
+
+TEST(ScenarioSpec, DumbbellTopologyStaysImplicit) {
+  // Pre-topology-API specs must serialize unchanged (the blessed digests
+  // embed the spec JSON), so the dumbbell preset never emits a preset key.
+  const util::Json j = tiny_spec().to_json();
+  EXPECT_FALSE(j.at("topology").contains("preset"));
+  EXPECT_EQ(ScenarioSpec::from_json(j).topology.preset, "dumbbell");
+}
+
+TEST(ScenarioSpec, CustomTopologyRoundTrips) {
+  ScenarioSpec spec = tiny_spec();
+  spec.topology = TopologySpec{};
+  spec.topology.preset = "custom";
+  spec.topology.nodes = {"a", "b"};
+  spec.topology.links = {
+      TopoLinkSpec{"up", "a", "b", 10.0, 25.0, "red:min_th=5,max_th=15",
+                   false},
+      TopoLinkSpec{"back", "b", "a", 0.0, 25.0, "", false}};
+  spec.topology.routes = {
+      TopoRouteSpec{"a", "b", {"up"}, {"back"},
+                    WorkloadSpec::always_on().to_json()}};
+  const util::Json j = spec.to_json();
+  const ScenarioSpec back = ScenarioSpec::from_json(j);
+  EXPECT_EQ(back, spec);
+  ASSERT_TRUE(back.topology.is_custom());
+  EXPECT_EQ(back.topology.num_flows(), 1u);
+  EXPECT_EQ(back.topology.links[0].queue, "red:min_th=5,max_th=15");
+  EXPECT_EQ(back.to_json().dump(2), j.dump(2));
+}
+
+TEST(ScenarioSpec, CustomTopologyExecutesEndToEnd) {
+  ScenarioSpec spec = tiny_spec();
+  spec.topology = TopologySpec{};
+  spec.topology.preset = "custom";
+  spec.topology.nodes = {"a", "b", "c"};
+  spec.topology.links = {
+      TopoLinkSpec{"ab", "a", "b", 10.0, 20.0, "", false},
+      TopoLinkSpec{"bc", "b", "c", 8.0, 20.0, "", false},
+      TopoLinkSpec{"cb", "c", "b", 0.0, 20.0, "", false},
+      TopoLinkSpec{"ba", "b", "a", 0.0, 20.0, "", false}};
+  spec.topology.routes = {
+      TopoRouteSpec{"a", "c", {"ab", "bc"}, {"cb", "ba"}, util::Json{}},
+      TopoRouteSpec{"b", "c", {"bc"}, {"cb"}, util::Json{}}};
+  const char* argv[] = {"prog"};
+  const bench::SpecRun run = bench::execute_spec(spec, util::Cli{1, argv});
+  ASSERT_EQ(run.results.size(), 2u);  // newreno + cubic-sfqcodel
+  for (const auto& r : run.results) {
+    EXPECT_FALSE(r.points.empty()) << r.scheme;
+  }
+}
+
+TEST(ScenarioSpec, TopologyMisuseRejected) {
+  // Unknown preset name.
+  util::Json j = tiny_spec().to_json();
+  j.as_object()["topology"].as_object()["preset"] = "bus";
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  // flow_rtts only applies to the dumbbell preset.
+  j = tiny_spec().to_json();
+  j.as_object()["topology"].as_object()["preset"] = "parking_lot";
+  j.as_object()["topology"].as_object()["flow_rtts"] =
+      util::JsonArray{util::Json{50.0}, util::Json{100.0}};
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  // link2_mbps does not apply to the dumbbell preset.
+  j = tiny_spec().to_json();
+  j.as_object()["topology"].as_object()["link2_mbps"] = 5.0;
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  // Preset parameters do not mix with an explicit graph.
+  j = tiny_spec().to_json();
+  j.as_object()["topology"].as_object()["preset"] = "custom";
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  // flow_rtts must cover every sender.
+  j = tiny_spec().to_json();
+  j.as_object()["topology"].as_object()["flow_rtts"] =
+      util::JsonArray{util::Json{50.0}};
+  EXPECT_THROW(ScenarioSpec::from_json(j), util::JsonError);
+
+  // A queue on a delay-only custom link would be silently ignored.
+  ScenarioSpec qspec = tiny_spec();
+  qspec.topology = TopologySpec{};
+  qspec.topology.preset = "custom";
+  qspec.topology.nodes = {"a", "b"};
+  qspec.topology.links = {
+      TopoLinkSpec{"up", "a", "b", 0.0, 25.0, "droptail:capacity=10", false},
+      TopoLinkSpec{"back", "b", "a", 0.0, 25.0, "", false}};
+  qspec.topology.routes = {
+      TopoRouteSpec{"a", "b", {"up"}, {"back"}, util::Json{}}};
+  EXPECT_THROW(ScenarioSpec::from_json(qspec.to_json()), util::JsonError);
+}
+
+TEST(ScenarioSpec, TraceLinksAreCrossChecked) {
+  // A trace-marked topology link needs an LTE scenario link...
+  ScenarioSpec spec = tiny_spec();
+  spec.topology = TopologySpec{};
+  spec.topology.preset = "custom";
+  spec.topology.nodes = {"a", "b"};
+  spec.topology.links = {TopoLinkSpec{"up", "a", "b", 0.0, 25.0, "", true},
+                         TopoLinkSpec{"back", "b", "a", 0.0, 25.0, "", false}};
+  spec.topology.routes = {
+      TopoRouteSpec{"a", "b", {"up"}, {"back"}, util::Json{}}};
+  EXPECT_THROW(ScenarioSpec::from_json(spec.to_json()), util::JsonError);
+  spec.link = LinkSpec::lte_preset("verizon");
+  EXPECT_NO_THROW(ScenarioSpec::from_json(spec.to_json()));
+
+  // ...and an LTE link needs somewhere to live on a non-dumbbell topology.
+  ScenarioSpec lte = tiny_spec();
+  lte.link = LinkSpec::lte_preset("verizon");
+  lte.topology.preset = "reverse_path";
+  EXPECT_THROW(ScenarioSpec::from_json(lte.to_json()), util::JsonError);
 }
 
 TEST(ScenarioSpec, PaperSchemesComeFromTheRegistry) {

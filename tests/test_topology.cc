@@ -1,0 +1,392 @@
+// The topology graph API: structural validation (unknown ids, duplicate
+// links, broken/cyclic routes), preset shapes, runner behavior on
+// multi-bottleneck graphs, and the equivalence proof that an explicit
+// longhand dumbbell graph reproduces the Dumbbell preset bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aqm/droptail.hh"
+#include "cc/newreno.hh"
+#include "cc/transport.hh"
+#include "sim/dumbbell.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
+#include "util/rng.hh"
+#include "workload/distributions.hh"
+
+namespace remy::sim {
+namespace {
+
+std::unique_ptr<Sender> newreno_sender(FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>());
+}
+
+QueueFactory droptail(std::size_t capacity) {
+  return [capacity] { return std::make_unique<aqm::DropTail>(capacity); };
+}
+
+/// A two-node, two-link dumbbell written out longhand (not via a preset).
+Topology longhand_dumbbell(std::size_t n, double mbps, TimeMs rtt) {
+  Topology t;
+  t.nodes = {"left", "right"};
+  t.links.push_back(TopologyLink{"up", "left", "right", mbps, rtt / 2, nullptr,
+                                 nullptr, false});
+  t.links.push_back(TopologyLink{"back", "right", "left", 0.0, rtt / 2,
+                                 nullptr, nullptr, false});
+  for (std::size_t i = 0; i < n; ++i) {
+    t.flows.push_back(FlowRoute{"left", "right", {"up"}, {"back"}, {},
+                                std::nullopt});
+  }
+  return t;
+}
+
+// ---- validation ------------------------------------------------------------
+
+TEST(TopologyValidate, AcceptsTheLonghandDumbbell) {
+  EXPECT_NO_THROW(longhand_dumbbell(2, 10.0, 100.0).validate());
+}
+
+TEST(TopologyValidate, RejectsEmptyGraphs) {
+  Topology t;
+  EXPECT_THROW(t.validate(), std::invalid_argument);  // no nodes
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows.clear();
+  EXPECT_THROW(t.validate(), std::invalid_argument);  // no flows
+}
+
+TEST(TopologyValidate, RejectsDuplicateNodeAndLinkIds) {
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.nodes.push_back("left");
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links.push_back(t.links.front());  // duplicate id "up"
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsUnknownNodeIds) {
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links[0].from = "nowhere";
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows[0].dst = "nowhere";
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsQueueOnDelayOnlyLinks) {
+  // A queue factory on a rate-less link would be silently ignored.
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links[1].queue_factory = droptail(100);  // "back" is delay-only
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsSelfLoopsAndNegativeParameters) {
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links[0].to = "left";
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links[0].rate_mbps = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.links[1].delay_ms = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsBrokenRoutes) {
+  // Unknown link id on the route.
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows[0].data_path = {"phantom"};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  // Empty path.
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows[0].ack_path.clear();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  // Data path that never reaches the endpoint (starts at the wrong node).
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows[0].data_path = {"back"};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  // src == dst.
+  t = longhand_dumbbell(1, 10.0, 100.0);
+  t.flows[0].dst = "left";
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsChainBreaksAcrossHops) {
+  // a -> b -> c with a data path that jumps a -> (b) but claims to end at c.
+  Topology t;
+  t.nodes = {"a", "b", "c"};
+  t.links.push_back(TopologyLink{"ab", "a", "b", 10.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"bc", "b", "c", 10.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"ca", "c", "a", 0.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.flows.push_back(FlowRoute{"a", "c", {"ab"}, {"ca"}, {}, std::nullopt});
+  EXPECT_THROW(t.validate(), std::invalid_argument);  // ends at b, not c
+
+  t.flows[0].data_path = {"bc", "ab"};  // departs from b while at a
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t.flows[0].data_path = {"ab", "bc"};
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(TopologyValidate, RejectsCyclicRoutes) {
+  Topology t;
+  t.nodes = {"a", "b", "c"};
+  t.links.push_back(TopologyLink{"ab", "a", "b", 10.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"bc", "b", "c", 10.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"cb", "c", "b", 0.0, 10.0, nullptr, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"ba", "b", "a", 0.0, 10.0, nullptr, nullptr,
+                                 false});
+  // Data path a -> b -> c -> b revisits b: a cycle, even though the chain
+  // is contiguous.
+  t.flows.push_back(
+      FlowRoute{"a", "b", {"ab", "bc", "cb"}, {"ba"}, {}, std::nullopt});
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TopologyValidate, RejectsBadDelayOverrides) {
+  // Override naming a link that is not on the flow's route.
+  Topology t = longhand_dumbbell(2, 10.0, 100.0);
+  t.links.push_back(TopologyLink{"other", "right", "left", 0.0, 5.0, nullptr,
+                                 nullptr, false});
+  t.flows[0].delay_overrides = {{"other", 10.0}};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  // Negative override.
+  t = longhand_dumbbell(2, 10.0, 100.0);
+  t.flows[0].delay_overrides = {{"up", -5.0}};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  // Override on a rate-only link with no delay stage.
+  t = longhand_dumbbell(2, 10.0, 100.0);
+  t.links[0].delay_ms = 0.0;
+  t.flows[0].delay_overrides = {{"up", 10.0}};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+// ---- runner behavior -------------------------------------------------------
+
+TEST(TopologyRunnerTest, RejectsNullSenders) {
+  const Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  EXPECT_THROW(
+      TopologyRunner(t, [](FlowId) { return std::unique_ptr<Sender>{}; }),
+      std::invalid_argument);
+}
+
+TEST(TopologyRunnerTest, BottleneckAccessorsFindRateLinks) {
+  Topology t = longhand_dumbbell(1, 10.0, 100.0);
+  t.default_queue = droptail(100);
+  TopologyRunner net{t, newreno_sender};
+  EXPECT_NE(net.bottleneck("up"), nullptr);
+  EXPECT_EQ(net.bottleneck("back"), nullptr);  // delay-only
+  EXPECT_EQ(net.bottleneck("nope"), nullptr);
+  EXPECT_NEAR(net.first_bottleneck().rate_mbps(), 10.0, 1e-9);
+}
+
+TEST(TopologyRunnerTest, DeterministicGivenSeed) {
+  const auto run = [] {
+    Topology t = Topology::parking_lot(TwoHopTopo{4, 10.0, 10.0, 60.0, 60.0,
+                                                  droptail(500)});
+    t.workload = OnOffConfig::by_bytes(
+        workload::Distribution::exponential(100e3),
+        workload::Distribution::exponential(500.0));
+    t.seed = 42;
+    TopologyRunner net{t, newreno_sender};
+    net.run_for_seconds(20);
+    std::vector<std::uint64_t> bytes;
+    for (FlowId f = 0; f < 4; ++f) {
+      bytes.push_back(net.metrics().flow(f).bytes_delivered);
+    }
+    return bytes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TopologyRunnerTest, PerRouteWorkloadOverrideHonored) {
+  Topology t = longhand_dumbbell(2, 10.0, 50.0);
+  t.default_queue = droptail(500);
+  // Topology-wide workload: a long off period, so flow 0 barely turns on;
+  // flow 1 overrides to always-on.
+  t.workload = OnOffConfig::by_time(workload::Distribution::constant(10.0),
+                                    workload::Distribution::constant(60'000.0));
+  t.flows[1].workload = OnOffConfig::always_on();
+  TopologyRunner net{t, newreno_sender};
+  net.run_for_seconds(30);
+  EXPECT_LT(net.metrics().flow(0).on_time_ms, 1000.0);
+  EXPECT_GT(net.metrics().flow(1).on_time_ms, 29'000.0);
+}
+
+// ---- presets ---------------------------------------------------------------
+
+TEST(TopologyPresets, DumbbellRejectsZeroRate) {
+  // The hand-wired Dumbbell always built a Link, which threw on rate <= 0;
+  // the preset must not silently degrade to a delay-only link instead.
+  DumbbellTopo p;
+  p.link_mbps = 0.0;
+  EXPECT_THROW(Topology::dumbbell(p), std::invalid_argument);
+}
+
+TEST(TopologyPresets, AllValidate) {
+  EXPECT_NO_THROW(Topology::dumbbell(DumbbellTopo{8, 15, 150, {}, nullptr,
+                                                  nullptr}).validate());
+  EXPECT_NO_THROW(Topology::parking_lot(TwoHopTopo{}).validate());
+  EXPECT_NO_THROW(Topology::cross_traffic(TwoHopTopo{}).validate());
+  EXPECT_NO_THROW(Topology::reverse_path(ReversePathTopo{}).validate());
+}
+
+TEST(TopologyPresets, ParkingLotRttsFollowTheHops) {
+  Topology t = Topology::parking_lot(TwoHopTopo{4, 50.0, 50.0, 60.0, 100.0,
+                                                droptail(50)});
+  t.seed = 7;
+  TopologyRunner net{t, newreno_sender};
+  net.run_for_seconds(15);
+  // Flow 0 crosses both hops (RTT >= 160 ms), flow 1 only hop 1 (>= 60 ms),
+  // flow 3 only hop 2 (>= 100 ms).
+  EXPECT_GE(net.metrics().flow(0).avg_rtt_ms(), 160.0 - 1e-9);
+  EXPECT_GE(net.metrics().flow(1).avg_rtt_ms(), 60.0 - 1e-9);
+  EXPECT_LT(net.metrics().flow(1).avg_rtt_ms(), 120.0);
+  EXPECT_GE(net.metrics().flow(3).avg_rtt_ms(), 100.0 - 1e-9);
+  EXPECT_LT(net.metrics().flow(3).avg_rtt_ms(), 160.0);
+}
+
+TEST(TopologyPresets, ParkingLotConservesCapacityPerHop) {
+  Topology t = Topology::parking_lot(TwoHopTopo{8, 12.0, 12.0, 60.0, 60.0,
+                                                droptail(500)});
+  t.seed = 3;
+  TopologyRunner net{t, newreno_sender};
+  net.run_for_seconds(20);
+  double hop1 = 0.0;  // long flows + hop-1 flows
+  double hop2 = 0.0;  // long flows + hop-2 flows
+  for (FlowId f = 0; f < 8; ++f) {
+    const double tput = net.metrics().flow(f).throughput_mbps();
+    if (f % 2 == 0) {
+      hop1 += tput;
+      hop2 += tput;
+    } else if (f % 4 == 1) {
+      hop1 += tput;
+    } else {
+      hop2 += tput;
+    }
+    EXPECT_GT(tput, 0.0) << "flow " << f;
+  }
+  EXPECT_LE(hop1, 12.0 * 1.01);
+  EXPECT_LE(hop2, 12.0 * 1.01);
+}
+
+TEST(TopologyPresets, CrossTrafficSqueezesTheLongFlows) {
+  // Hop 2 carries long + cross flows; hop 1 only the long flows. The long
+  // flows' share of hop 2 must reflect the cross load.
+  Topology t = Topology::cross_traffic(TwoHopTopo{8, 50.0, 10.0, 40.0, 40.0,
+                                                  droptail(500)});
+  t.seed = 5;
+  TopologyRunner net{t, newreno_sender};
+  net.run_for_seconds(30);
+  double long_tput = 0.0;
+  double cross_tput = 0.0;
+  for (FlowId f = 0; f < 8; ++f) {
+    const double tput = net.metrics().flow(f).throughput_mbps();
+    (f % 2 == 0 ? long_tput : cross_tput) += tput;
+  }
+  EXPECT_GT(cross_tput, 0.0);
+  EXPECT_GT(long_tput, 0.0);
+  EXPECT_LE(long_tput + cross_tput, 10.0 * 1.01);  // hop 2 is the bottleneck
+}
+
+TEST(TopologyPresets, ReversePathServesBothDirections) {
+  Topology t = Topology::reverse_path(ReversePathTopo{4, 10.0, 10.0, 80.0,
+                                                      droptail(500)});
+  t.seed = 9;
+  TopologyRunner net{t, newreno_sender};
+  net.run_for_seconds(20);
+  double fwd = 0.0;
+  double rev = 0.0;
+  for (FlowId f = 0; f < 4; ++f) {
+    (f % 2 == 0 ? fwd : rev) += net.metrics().flow(f).throughput_mbps();
+  }
+  // Both directions make progress even though every ACK stream shares a
+  // bottleneck queue with opposing data.
+  EXPECT_GT(fwd, 1.0);
+  EXPECT_GT(rev, 1.0);
+  EXPECT_LE(fwd, 10.0 * 1.01);
+  EXPECT_LE(rev, 10.0 * 1.01);
+}
+
+// ---- equivalence -----------------------------------------------------------
+
+/// Same seed, same parameters: the hand-wired longhand graph and the
+/// Dumbbell preset/facade must produce identical per-flow statistics.
+TEST(TopologyEquivalence, RandomizedLonghandGraphMatchesDumbbell) {
+  util::Rng rng{20260727};
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    const double mbps = rng.uniform(5.0, 25.0);
+    const double rtt = rng.uniform(40.0, 200.0);
+    const auto capacity = static_cast<std::size_t>(rng.uniform_int(50, 1000));
+    const auto seed = rng();
+    const bool per_flow_rtts = rng.uniform(0.0, 1.0) < 0.5;
+    std::vector<TimeMs> flow_rtts;
+    if (per_flow_rtts) {
+      for (std::size_t i = 0; i < n; ++i) {
+        flow_rtts.push_back(rng.uniform(30.0, 250.0));
+      }
+    }
+    const OnOffConfig workload = OnOffConfig::by_bytes(
+        workload::Distribution::exponential(100e3),
+        workload::Distribution::exponential(500.0));
+
+    DumbbellConfig cfg;
+    cfg.num_senders = n;
+    cfg.link_mbps = mbps;
+    cfg.rtt_ms = rtt;
+    cfg.flow_rtts = flow_rtts;
+    cfg.seed = seed;
+    cfg.workload = workload;
+    cfg.queue_factory = droptail(capacity);
+    Dumbbell facade{cfg, newreno_sender};
+    facade.run_for_seconds(10);
+
+    Topology longhand = longhand_dumbbell(n, mbps, rtt);
+    longhand.default_queue = droptail(capacity);
+    longhand.seed = seed;
+    longhand.workload = workload;
+    for (std::size_t i = 0; i < flow_rtts.size(); ++i) {
+      longhand.flows[i].delay_overrides = {{"up", flow_rtts[i] / 2},
+                                           {"back", flow_rtts[i] / 2}};
+    }
+    TopologyRunner net{longhand, newreno_sender};
+    net.run_for_seconds(10);
+
+    for (FlowId f = 0; f < n; ++f) {
+      const FlowStats& a = facade.metrics().flow(f);
+      const FlowStats& b = net.metrics().flow(f);
+      SCOPED_TRACE("trial " + std::to_string(trial) + " flow " +
+                   std::to_string(f));
+      EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+      EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+      EXPECT_EQ(a.packets_sent, b.packets_sent);
+      EXPECT_EQ(a.retransmissions, b.retransmissions);
+      EXPECT_EQ(a.timeouts, b.timeouts);
+      EXPECT_EQ(a.rtt_samples, b.rtt_samples);
+      EXPECT_DOUBLE_EQ(a.sum_rtt_ms, b.sum_rtt_ms);
+      EXPECT_DOUBLE_EQ(a.sum_queue_delay_ms, b.sum_queue_delay_ms);
+      EXPECT_DOUBLE_EQ(a.on_time_ms, b.on_time_ms);
+    }
+    EXPECT_EQ(facade.network().events_processed(),
+              net.network().events_processed());
+  }
+}
+
+}  // namespace
+}  // namespace remy::sim
