@@ -30,19 +30,25 @@ using namespace remy;
 namespace {
 
 void BM_DumbbellSimulatedSecond(benchmark::State& state) {
+  // Arena path: the graph is built once and reset to the same seed per
+  // iteration — each iteration replays the identical simulation, which is
+  // also how the Evaluator and --arena harness runs drive the simulator.
   const auto senders = static_cast<std::size_t>(state.range(0));
   core::install_builtin_schemes();
   const cc::SchemeHandle scheme = cc::Registry::global().scheme("newreno");
+  sim::DumbbellConfig cfg;
+  cfg.num_senders = senders;
+  cfg.link_mbps = 15.0;
+  cfg.rtt_ms = 150.0;
+  cfg.seed = 1;
+  cfg.workload = sim::OnOffConfig::always_on();
+  cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
   std::uint64_t events = 0;
+  bool first = true;
   for (auto _ : state) {
-    sim::DumbbellConfig cfg;
-    cfg.num_senders = senders;
-    cfg.link_mbps = 15.0;
-    cfg.rtt_ms = 150.0;
-    cfg.seed = 1;
-    cfg.workload = sim::OnOffConfig::always_on();
-    cfg.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
-    sim::Dumbbell net{cfg, [&](sim::FlowId) { return scheme.make_sender(); }};
+    if (!first) net.reset(1);
+    first = false;
     net.run_for_seconds(1.0);
     events += net.network().events_processed();
     benchmark::DoNotOptimize(net.metrics_raw().total_bytes());

@@ -19,6 +19,21 @@ import os
 import sys
 
 
+def load_section(path: str, key: str) -> dict:
+    """Loads `path` and returns its top-level `key` object, exiting with a
+    readable diagnostic (not a traceback) on malformed input."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    section = doc.get(key) if isinstance(doc, dict) else None
+    if not isinstance(section, dict):
+        sys.exit(f"error: {path}: expected a top-level {key!r} object "
+                 f"(is this really a {'results' if key == 'benchmarks' else 'floor'} file?)")
+    return section
+
+
 def main() -> int:
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser = argparse.ArgumentParser(description=__doc__)
@@ -31,22 +46,25 @@ def main() -> int:
                         help="multiply all floors (default 1.0; env REMY_BENCH_FLOOR_SCALE)")
     args = parser.parse_args()
 
-    with open(args.results, encoding="utf-8") as f:
-        results = json.load(f)["benchmarks"]
-    with open(args.floor, encoding="utf-8") as f:
-        floors = json.load(f)["floors"]
+    results = load_section(args.results, "benchmarks")
+    floors = load_section(args.floor, "floors")
 
     failures = []
     for bench, metrics in sorted(floors.items()):
         run = results.get(bench)
         if run is None:
-            failures.append(f"{bench}: not present in results")
+            failures.append(
+                f"{bench}: not present in results (was the benchmark renamed "
+                f"or filtered out? floors live in {args.floor})")
             continue
         for metric, floor in sorted(metrics.items()):
             scaled = floor * args.scale
             measured = run.get(metric)
-            if measured is None:
-                failures.append(f"{bench}: metric {metric} missing from results")
+            if not isinstance(measured, (int, float)):
+                failures.append(
+                    f"{bench}: floored counter {metric!r} missing from "
+                    f"results (recorded counters: "
+                    f"{', '.join(sorted(run)) or 'none'})")
             elif measured < scaled:
                 failures.append(
                     f"{bench}: {metric} = {measured:.3g} below floor "

@@ -148,11 +148,10 @@ sim::DumbbellConfig per_run_config(const Scenario& scenario,
 
 namespace {
 
-/// Runs one (topology, sender set) and pools per-flow points via `emit`.
-template <typename MakeSender, typename Emit>
-void run_once(const Scenario& scenario, const sim::Topology& topo,
-              MakeSender&& make_sender, Emit&& emit) {
-  sim::TopologyRunner net{topo, make_sender};
+/// Runs `net` for the scenario duration and pools per-flow points via `emit`.
+template <typename Emit>
+void run_and_collect(const Scenario& scenario, sim::TopologyRunner& net,
+                     Emit&& emit) {
   net.run_for_seconds(scenario.duration_s);
   sim::MetricsHub& metrics = net.metrics();
   for (sim::FlowId f = 0; f < metrics.num_flows(); ++f) {
@@ -163,17 +162,37 @@ void run_once(const Scenario& scenario, const sim::Topology& topo,
   }
 }
 
+/// All of a scheme's runs. Consecutive runs of one scheme differ only by the
+/// per-run seed, so arena mode builds the component graph once (from the
+/// run-0 topology) and resets it to each later run's seed — bit-identical
+/// to the per-run construction of the default path.
+template <typename MakeSender, typename Emit>
+void run_all(const Scenario& scenario, const Scheme& scheme,
+             MakeSender&& make_sender, Emit&& emit) {
+  if (scenario.arena && scenario.runs > 0) {
+    const sim::Topology topo = make_run_topology(scenario, scheme, 0);
+    sim::TopologyRunner net{topo, make_sender};
+    for (std::size_t run = 0; run < scenario.runs; ++run) {
+      if (run > 0) net.reset(scenario.seed0 + run);
+      run_and_collect(scenario, net, emit);
+    }
+    return;
+  }
+  for (std::size_t run = 0; run < scenario.runs; ++run) {
+    const sim::Topology topo = make_run_topology(scenario, scheme, run);
+    sim::TopologyRunner net{topo, make_sender};
+    run_and_collect(scenario, net, emit);
+  }
+}
+
 }  // namespace
 
 SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
   SchemeSummary out;
   out.scheme = scheme.name;
-  for (std::size_t run = 0; run < scenario.runs; ++run) {
-    const sim::Topology topo = make_run_topology(scenario, scheme, run);
-    run_once(
-        scenario, topo, [&](sim::FlowId) { return scheme.make_sender(); },
-        [&](sim::FlowId, Point p) { out.points.push_back(p); });
-  }
+  run_all(
+      scenario, scheme, [&](sim::FlowId) { return scheme.make_sender(); },
+      [&](sim::FlowId, Point p) { out.points.push_back(p); });
   return out;
 }
 
@@ -187,16 +206,12 @@ std::vector<SchemeSummary> run_mixed(const Scenario& scenario,
     }
   }
   const Scheme scenario_default{};  // mixed flows share the default queue
-  for (std::size_t run = 0; run < scenario.runs; ++run) {
-    const sim::Topology topo =
-        make_run_topology(scenario, scenario_default, run);
-    run_once(
-        scenario, topo,
-        [&](sim::FlowId f) { return per_flow[f % per_flow.size()].make_sender(); },
-        [&](sim::FlowId f, Point p) {
-          out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(p);
-        });
-  }
+  run_all(
+      scenario, scenario_default,
+      [&](sim::FlowId f) { return per_flow[f % per_flow.size()].make_sender(); },
+      [&](sim::FlowId f, Point p) {
+        out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(p);
+      });
   return out;
 }
 
@@ -219,6 +234,7 @@ void apply_cli(const util::Cli& cli, Scenario& scenario,
   scenario.runs = static_cast<std::size_t>(
       cli.get("runs", static_cast<std::int64_t>(scenario.runs)));
   scenario.duration_s = cli.get("duration", scenario.duration_s);
+  scenario.arena = cli.get("arena", scenario.arena);
 }
 
 namespace {

@@ -20,6 +20,9 @@
 //                         queue= value can carry at most one parameter
 //                         here — put richer experiments in a spec file)
 //   --require-tables      fail fast on missing RemyCC tables
+//   --arena               reuse one component arena across a scheme's runs
+//                         (TopologyRunner::reset per run) instead of
+//                         rebuilding the graph; results are bit-identical
 //   --json FILE           also write machine-readable results
 #pragma once
 
@@ -85,6 +88,10 @@ struct Scenario {
   double duration_s = 100.0;
   std::size_t runs = 16;
   std::uint64_t seed0 = 1000;
+  /// Reuse one component arena across runs (construct once, reset per run).
+  /// Valid because consecutive runs differ only by seed; replays
+  /// bit-identically to per-run construction.
+  bool arena = false;
   std::function<std::unique_ptr<sim::QueueDisc>()> default_queue;
   /// Custom bottleneck builder (e.g. a trace-driven cellular link) that
   /// still honors the scheme's queue discipline. When set, it replaces the

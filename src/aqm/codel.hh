@@ -36,6 +36,15 @@ class CodelState {
   std::uint32_t drop_count() const noexcept { return count_; }
   bool dropping() const noexcept { return dropping_; }
 
+  /// Clears the control-law state (parameters kept).
+  void reset() noexcept {
+    first_above_time_ = 0.0;
+    drop_next_ = 0.0;
+    count_ = 0;
+    last_count_ = 0;
+    dropping_ = false;
+  }
+
  private:
   std::optional<sim::Packet> pop(std::deque<sim::Packet>& fifo,
                                  std::size_t& bytes, sim::TimeMs now);
@@ -64,6 +73,13 @@ class Codel final : public sim::QueueDisc {
   std::optional<sim::Packet> dequeue(sim::TimeMs now) override;
   std::size_t packet_count() const override { return fifo_.size(); }
   std::size_t byte_count() const override { return bytes_; }
+
+  void reset() override {
+    state_.reset();
+    fifo_.clear();
+    bytes_ = 0;
+    reset_counters();
+  }
 
  private:
   CodelState state_;

@@ -27,6 +27,12 @@ class DropTail final : public sim::QueueDisc {
   std::size_t byte_count() const override { return bytes_; }
   std::size_t capacity() const noexcept { return capacity_; }
 
+  void reset() override {
+    fifo_.clear();
+    bytes_ = 0;
+    reset_counters();
+  }
+
  private:
   std::size_t capacity_;
   std::deque<sim::Packet> fifo_;

@@ -25,6 +25,12 @@ class EcnThreshold final : public sim::QueueDisc {
   std::size_t packet_count() const override { return fifo_.size(); }
   std::size_t byte_count() const override { return bytes_; }
 
+  void reset() override {
+    fifo_.clear();
+    bytes_ = 0;
+    reset_counters();
+  }
+
  private:
   std::size_t threshold_;
   std::size_t capacity_;

@@ -5,7 +5,19 @@
 namespace remy::aqm {
 
 Red::Red(RedParams params, std::uint64_t seed)
-    : params_{params}, rng_{seed} {}
+    : params_{params}, seed_{seed}, rng_{seed} {}
+
+void Red::reset() {
+  rng_.reseed(seed_);
+  fifo_.clear();
+  bytes_ = 0;
+  avg_ = 0.0;
+  count_ = -1;
+  idle_since_ = 0.0;
+  idle_ = true;
+  mean_pkt_time_ms_ = 1.0;
+  reset_counters();
+}
 
 void Red::configure(double link_rate_bytes_per_ms, sim::TimeMs now) {
   (void)now;

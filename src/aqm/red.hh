@@ -31,6 +31,8 @@ class Red final : public sim::QueueDisc {
   std::size_t packet_count() const override { return fifo_.size(); }
   std::size_t byte_count() const override { return bytes_; }
 
+  void reset() override;
+
   double average_queue() const noexcept { return avg_; }
 
  private:
@@ -38,6 +40,7 @@ class Red final : public sim::QueueDisc {
   bool early_action(sim::TimeMs now);
 
   RedParams params_;
+  std::uint64_t seed_;  ///< construction seed, restored by reset()
   util::Rng rng_;
   std::deque<sim::Packet> fifo_;
   std::size_t bytes_ = 0;

@@ -12,6 +12,22 @@ SfqCodel::SfqCodel(SfqCodelParams params) : params_{params} {
     bins_.emplace_back(params_.codel);
 }
 
+void SfqCodel::reset() {
+  for (Bin& b : bins_) {
+    b.fifo.clear();
+    b.bytes = 0;
+    b.codel.reset();
+    b.deficit = 0;
+    b.queued = false;
+    b.is_new = false;
+  }
+  new_bins_.clear();
+  old_bins_.clear();
+  total_packets_ = 0;
+  total_bytes_ = 0;
+  reset_counters();
+}
+
 std::size_t SfqCodel::bin_index(sim::FlowId flow) const noexcept {
   // Fibonacci hash of the flow id; flows are already uniform small ints, but
   // this also spreads adversarial ids.

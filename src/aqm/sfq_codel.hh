@@ -32,6 +32,8 @@ class SfqCodel final : public sim::QueueDisc {
   std::size_t packet_count() const override { return total_packets_; }
   std::size_t byte_count() const override { return total_bytes_; }
 
+  void reset() override;
+
   /// Number of bins currently holding packets (diagnostic).
   std::size_t active_bins() const noexcept;
 

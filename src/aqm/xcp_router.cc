@@ -13,6 +13,23 @@ void XcpRouter::configure(double link_rate_bytes_per_ms, sim::TimeMs now) {
   interval_start_ = now;
 }
 
+void XcpRouter::reset() {
+  fifo_.clear();
+  bytes_ = 0;
+  capacity_bytes_per_ms_ = 0.0;
+  interval_start_ = 0.0;
+  interval_ms_ = params_.initial_interval_ms;
+  input_bytes_ = 0.0;
+  sum_rtt_bytes_ = 0.0;
+  sum_rtt2_per_cwnd_ = 0.0;
+  queue_min_bytes_ = std::numeric_limits<std::size_t>::max();
+  xi_pos_ = 0.0;
+  xi_neg_ = 0.0;
+  last_phi_ = 0.0;
+  have_estimates_ = false;
+  reset_counters();
+}
+
 void XcpRouter::maybe_end_interval(sim::TimeMs now) {
   if (now - interval_start_ < interval_ms_) return;
 

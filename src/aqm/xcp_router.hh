@@ -41,6 +41,8 @@ class XcpRouter final : public sim::QueueDisc {
   std::size_t packet_count() const override { return fifo_.size(); }
   std::size_t byte_count() const override { return bytes_; }
 
+  void reset() override;
+
   sim::TimeMs control_interval_ms() const noexcept { return interval_ms_; }
   double last_aggregate_feedback_bytes() const noexcept { return last_phi_; }
 

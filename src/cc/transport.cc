@@ -57,6 +57,33 @@ void Transport::stop_flow(sim::TimeMs now) {
   schedule_changed();
 }
 
+void Transport::reset_run() {
+  active_ = false;
+  next_seq_ = 0;
+  base_seq_ = 0;
+  cumulative_ = 0;
+  recovery_point_ = 0;
+  loss_scan_ = 0;
+  limit_segments_ = 0;
+  fast_recovery_ = false;
+  dup_acks_ = 0;
+  missing_.clear();
+  sacked_.clear();
+  retransmitted_.clear();
+  srtt_ = 0.0;
+  rttvar_ = 0.0;
+  min_rtt_.reset();
+  have_rtt_ = false;
+  rto_ = config_.initial_rto_ms;
+  rto_deadline_ = sim::kNever;
+  last_send_time_ = -1e18;
+  next_send_ok_ = 0.0;
+  // The controller needs no hook: every controller fully re-seeds its
+  // per-flow state in flow_start (the fresh-connection rule), which is the
+  // first thing that can touch it in the next run. stats_ stays cached —
+  // hub slots are stable across MetricsHub::reset().
+}
+
 void Transport::send_segment(sim::SeqNum seq, sim::TimeMs now,
                              bool is_retransmit) {
   sim::Packet p;
@@ -66,10 +93,9 @@ void Transport::send_segment(sim::SeqNum seq, sim::TimeMs now,
   p.tick_sent = now;
   p.size_bytes = config_.segment_bytes;
   controller_->prepare_packet(p);
-  if (metrics() != nullptr) {
-    auto& fs = metrics()->flow(flow_id());
-    ++fs.packets_sent;
-    if (is_retransmit) ++fs.retransmissions;
+  if (sim::FlowStats* fs = stats()) {
+    ++fs->packets_sent;
+    if (is_retransmit) ++fs->retransmissions;
   }
   last_send_time_ = now;
   next_send_ok_ = now + controller_->pacing_interval_ms();
@@ -123,10 +149,9 @@ void Transport::update_rtt(sim::TimeMs sample, sim::TimeMs now) {
   }
   rto_ = std::clamp(srtt_ + std::max(1.0, 4.0 * rttvar_), config_.min_rto_ms,
                     config_.max_rto_ms);
-  if (metrics() != nullptr) {
-    auto& fs = metrics()->flow(flow_id());
-    fs.sum_rtt_ms += sample;
-    ++fs.rtt_samples;
+  if (sim::FlowStats* fs = stats()) {
+    fs->sum_rtt_ms += sample;
+    ++fs->rtt_samples;
   }
 }
 
@@ -235,7 +260,7 @@ void Transport::tick(sim::TimeMs now) {
   if (now >= rto_deadline_) {
     // Timeout: back off and go-back-N — everything outstanding that is not
     // known-delivered is presumed lost and eligible for retransmission.
-    if (metrics() != nullptr) ++metrics()->flow(flow_id()).timeouts;
+    if (sim::FlowStats* fs = stats()) ++fs->timeouts;
     rto_ = std::min(rto_ * 2.0, config_.max_rto_ms);
     dup_acks_ = 0;
     retransmitted_.clear();

@@ -37,6 +37,7 @@ class Transport final : public sim::Sender, public TransportView {
   void accept(sim::Packet&& ack, sim::TimeMs now) override;
   sim::TimeMs next_event_time() const override;
   void tick(sim::TimeMs now) override;
+  void reset_run() override;
 
   // --- TransportView (also the test/bench inspection surface) ------------
   const TransportConfig& config() const noexcept override { return config_; }
@@ -85,6 +86,16 @@ class Transport final : public sim::Sender, public TransportView {
   }
 
  private:
+  /// Cached stats slot — resolved once, then each per-packet metrics write
+  /// is a pointer dereference instead of a bounds-checked hub lookup.
+  /// Slots are stable for the hub's lifetime, including across
+  /// MetricsHub::reset(), so the cache survives arena reuse.
+  sim::FlowStats* stats() {
+    if (stats_ == nullptr && metrics() != nullptr)
+      stats_ = metrics()->flow_slot(flow_id());
+    return stats_;
+  }
+
   void send_segment(sim::SeqNum seq, sim::TimeMs now, bool is_retransmit);
   void maybe_send(sim::TimeMs now);
   void update_rtt(sim::TimeMs sample, sim::TimeMs now);
@@ -96,6 +107,7 @@ class Transport final : public sim::Sender, public TransportView {
 
   TransportConfig config_;
   std::unique_ptr<CongestionController> controller_;
+  sim::FlowStats* stats_ = nullptr;
   bool active_ = false;
 
   // Sequence space is monotone across "on" periods; each period is a new

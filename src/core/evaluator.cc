@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "cc/registry.hh"
+#include "cc/transport.hh"
+#include "core/remy_controller.hh"
 #include "core/scheme_registry.hh"
 #include "sim/topology.hh"
 #include "sim/topology_runner.hh"
@@ -20,12 +22,14 @@ Evaluator::Evaluator(const ConfigRange& range, EvaluatorOptions options)
     specimens_.push_back(range_.sample(rng));
     seeds_.push_back(rng());
   }
+  arena_.resize(specimens_.size());
 }
 
-SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
-                                       const NetConfig& config,
-                                       std::uint64_t seed,
-                                       UsageRecorder* usage) const {
+Evaluator::~Evaluator() = default;
+
+std::unique_ptr<sim::TopologyRunner> Evaluator::build_runner(
+    std::shared_ptr<const WhiskerTree> tree, const NetConfig& config,
+    std::uint64_t seed, UsageRecorder* usage) const {
   // Specimens are dumbbells drawn from the prior, instantiated through the
   // same topology-graph path the benchmarks use; the gateway queue comes
   // from the registry ("droptail:capacity=0" = unlimited).
@@ -39,14 +43,14 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
   topo.workload = config.workload();
   topo.seed = seed;
 
-  // The tree outlives the simulation; alias it into a shared_ptr without
-  // ownership so senders can share it.
-  const std::shared_ptr<const WhiskerTree> shared{std::shared_ptr<void>{},
-                                                  &tree};
   const cc::SchemeHandle candidate =
-      remy_scheme_handle(shared, cc::TransportConfig{}, usage);
-  sim::TopologyRunner net{topo,
-                          [&](sim::FlowId) { return candidate.make_sender(); }};
+      remy_scheme_handle(std::move(tree), cc::TransportConfig{}, usage);
+  return std::make_unique<sim::TopologyRunner>(
+      topo, [&](sim::FlowId) { return candidate.make_sender(); });
+}
+
+SpecimenResult Evaluator::score_run(sim::TopologyRunner& net,
+                                    const NetConfig& config) const {
   net.run_for_seconds(options_.simulation_ms / 1000.0);
 
   SpecimenResult out;
@@ -72,6 +76,58 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
     out.utility_mean = out.utility_sum / out.senders_scored;
     out.mean_throughput_mbps /= out.senders_scored;
     out.mean_delay_ms /= out.senders_scored;
+  } else {
+    // No sender ever turned on: the worst possible outcome, not a free
+    // pass. Pinning the mean to the floor keeps the specimen in the
+    // evaluation average instead of silently shrinking the denominator.
+    out.utility_mean = options_.utility_floor;
+  }
+  return out;
+}
+
+SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
+                                       const NetConfig& config,
+                                       std::uint64_t seed,
+                                       UsageRecorder* usage) const {
+  // The tree outlives the simulation; alias it into a shared_ptr without
+  // ownership so senders can share it.
+  const std::shared_ptr<const WhiskerTree> shared{std::shared_ptr<void>{},
+                                                  &tree};
+  const auto net = build_runner(shared, config, seed, usage);
+  return score_run(*net, config);
+}
+
+SpecimenResult Evaluator::run_specimen_pooled(const WhiskerTree& tree,
+                                              std::size_t index,
+                                              UsageRecorder* usage) const {
+  std::unique_ptr<sim::TopologyRunner> net;
+  {
+    const std::lock_guard<std::mutex> lock{arena_mutex_};
+    auto& slots = arena_[index];
+    if (!slots.empty()) {
+      net = std::move(slots.back());
+      slots.pop_back();
+    }
+  }
+
+  const std::shared_ptr<const WhiskerTree> shared{std::shared_ptr<void>{},
+                                                  &tree};
+  if (net == nullptr) {
+    net = build_runner(shared, specimens_[index], seeds_[index], usage);
+  } else {
+    // Rebind first (replacing whatever stale pointers the last evaluation
+    // left behind), then rewind every component to the specimen seed.
+    for (std::size_t f = 0; f < net->num_flows(); ++f) {
+      auto& transport = static_cast<cc::Transport&>(net->sender(f));
+      transport.controller_as<RemyController>().rebind(shared, usage);
+    }
+    net->reset(seeds_[index]);
+  }
+
+  SpecimenResult out = score_run(*net, specimens_[index]);
+  {
+    const std::lock_guard<std::mutex> lock{arena_mutex_};
+    arena_[index].push_back(std::move(net));
   }
   return out;
 }
@@ -87,7 +143,7 @@ EvalResult Evaluator::evaluate(const WhiskerTree& tree, bool record_usage,
 
   const auto run_one = [&](std::size_t i) {
     UsageRecorder* usage = record_usage ? &usages[i] : nullptr;
-    result.specimens[i] = run_specimen(tree, specimens_[i], seeds_[i], usage);
+    result.specimens[i] = run_specimen_pooled(tree, i, usage);
   };
 
   if (pool != nullptr) {
@@ -96,15 +152,13 @@ EvalResult Evaluator::evaluate(const WhiskerTree& tree, bool record_usage,
     for (std::size_t i = 0; i < specimens_.size(); ++i) run_one(i);
   }
 
+  // Every specimen counts: a degenerate one carries utility_mean ==
+  // utility_floor (set in score_run) rather than dropping out of the mean.
   double total = 0.0;
-  std::size_t scored = 0;
-  for (const auto& s : result.specimens) {
-    if (s.senders_scored == 0) continue;
-    total += s.utility_mean;
-    ++scored;
-  }
-  result.score = scored > 0 ? total / static_cast<double>(scored)
-                            : options_.utility_floor;
+  for (const auto& s : result.specimens) total += s.utility_mean;
+  result.score = result.specimens.empty()
+                     ? options_.utility_floor
+                     : total / static_cast<double>(result.specimens.size());
 
   if (record_usage) {
     result.usage.resize(tree.num_whiskers());

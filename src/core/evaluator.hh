@@ -8,11 +8,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/config_range.hh"
 #include "core/whisker_tree.hh"
 #include "util/thread_pool.hh"
+
+namespace remy::sim {
+class TopologyRunner;
+}  // namespace remy::sim
 
 namespace remy::core {
 
@@ -28,6 +33,9 @@ struct EvaluatorOptions {
 struct SpecimenResult {
   NetConfig config;
   double utility_sum = 0.0;    ///< over senders that were ever "on"
+  /// Mean utility over scored senders; a degenerate specimen where no
+  /// sender ever turned on scores the utility floor rather than being
+  /// silently excluded from the evaluation mean.
   double utility_mean = 0.0;
   unsigned senders_scored = 0;
   double mean_throughput_mbps = 0.0;
@@ -46,10 +54,19 @@ struct EvalResult {
 class Evaluator {
  public:
   Evaluator(const ConfigRange& range, EvaluatorOptions options = {});
+  ~Evaluator();
 
   /// Scores a rule table. If `record_usage`, whisker activation counts and
   /// memory samples are gathered (slower; used for most-used selection and
   /// median splits). If `pool` is given, specimens run in parallel.
+  ///
+  /// Specimen topologies are arena-pooled: the first evaluation of specimen
+  /// i builds its component graph, every later one checks the graph out of
+  /// the pool, resets it to the specimen seed, and rebinds the candidate
+  /// tree into the existing endpoints — scoring is bit-identical to fresh
+  /// construction while the build cost is paid once per specimen, not once
+  /// per candidate. Concurrent evaluations each check out (or build) their
+  /// own instance, so the pool is safe under the trainer's thread pool.
   EvalResult evaluate(const WhiskerTree& tree, bool record_usage = false,
                       util::ThreadPool* pool = nullptr) const;
 
@@ -57,16 +74,34 @@ class Evaluator {
   const ConfigRange& range() const noexcept { return range_; }
   const EvaluatorOptions& options() const noexcept { return options_; }
 
-  /// Runs one specimen; exposed for tests and the quickstart example.
+  /// Runs one specimen with a freshly built topology (no pooling); exposed
+  /// for tests and the quickstart example.
   SpecimenResult run_specimen(const WhiskerTree& tree, const NetConfig& config,
                               std::uint64_t seed,
                               UsageRecorder* usage = nullptr) const;
 
  private:
+  std::unique_ptr<sim::TopologyRunner> build_runner(
+      std::shared_ptr<const WhiskerTree> tree, const NetConfig& config,
+      std::uint64_t seed, UsageRecorder* usage) const;
+  SpecimenResult score_run(sim::TopologyRunner& net,
+                           const NetConfig& config) const;
+  SpecimenResult run_specimen_pooled(const WhiskerTree& tree,
+                                     std::size_t index,
+                                     UsageRecorder* usage) const;
+
   ConfigRange range_;
   EvaluatorOptions options_;
   std::vector<NetConfig> specimens_;
   std::vector<std::uint64_t> seeds_;
+
+  /// Arena pool: per-specimen stacks of idle runners. Checked-in runners
+  /// may hold stale tree/usage pointers from the evaluation that built
+  /// them; they are never dereferenced — every checkout rebinds before the
+  /// runner moves again.
+  mutable std::mutex arena_mutex_;
+  mutable std::vector<std::vector<std::unique_ptr<sim::TopologyRunner>>>
+      arena_;
 };
 
 }  // namespace remy::core

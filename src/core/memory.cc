@@ -5,27 +5,6 @@
 
 namespace remy::core {
 
-void Memory::on_ack(sim::TimeMs now, sim::TimeMs echo_tick_sent,
-                    sim::TimeMs min_rtt_ms) noexcept {
-  if (!have_reference_) {
-    // First ACK of the flow: establish references only (original Remy).
-    have_reference_ = true;
-    last_ack_time_ = now;
-    last_echo_sent_ = echo_tick_sent;
-    return;
-  }
-  const double ack_gap = now - last_ack_time_;
-  const double send_gap = echo_tick_sent - last_echo_sent_;
-  last_ack_time_ = now;
-  last_echo_sent_ = echo_tick_sent;
-
-  fields_[0] = (1.0 - kEwmaGain) * fields_[0] + kEwmaGain * ack_gap;
-  fields_[1] = (1.0 - kEwmaGain) * fields_[1] + kEwmaGain * send_gap;
-  if (min_rtt_ms > 0.0) {
-    fields_[2] = (now - echo_tick_sent) / min_rtt_ms;
-  }
-}
-
 const char* Memory::field_name(std::size_t i) {
   switch (i) {
     case 0: return "ack_ewma";
@@ -38,12 +17,31 @@ const char* Memory::field_name(std::size_t i) {
 util::Json Memory::to_json() const {
   util::JsonObject obj;
   for (std::size_t i = 0; i < kMemoryDims; ++i) obj[field_name(i)] = fields_[i];
+  // Reference state, so a mid-flow memory survives a serialization round
+  // trip (the signal fields alone put a revived memory back in the
+  // "waiting for the first ACK" state, silently desynchronizing any
+  // subsequent on_ack replay). Emitted only once a reference exists:
+  // quiescent memories — rule-table domain bounds in particular — keep the
+  // historical three-field form byte for byte.
+  if (have_reference_) {
+    obj["have_reference"] = true;
+    obj["last_ack_time"] = last_ack_time_;
+    obj["last_echo_sent"] = last_echo_sent_;
+  }
   return util::Json{std::move(obj)};
 }
 
 Memory Memory::from_json(const util::Json& j) {
-  return Memory{j.at(field_name(0)).as_number(), j.at(field_name(1)).as_number(),
-                j.at(field_name(2)).as_number()};
+  Memory m{j.at(field_name(0)).as_number(), j.at(field_name(1)).as_number(),
+           j.at(field_name(2)).as_number()};
+  // Backward compatible: files from before reference state was serialized
+  // carry only the three signal fields and load as reference-less.
+  if (j.contains("have_reference") && j.at("have_reference").as_bool()) {
+    m.have_reference_ = true;
+    m.last_ack_time_ = j.at("last_ack_time").as_number();
+    m.last_echo_sent_ = j.at("last_echo_sent").as_number();
+  }
+  return m;
 }
 
 std::string Memory::describe() const {

@@ -47,8 +47,31 @@ class Memory {
   /// Incorporates one ACK. `now` is the ACK arrival time; `echo_tick_sent`
   /// is the sender timestamp the receiver echoed; `min_rtt_ms` is the
   /// connection minimum (must be > 0 once an RTT sample exists).
+  ///
+  /// Defined inline: this runs once per ACK inside RemyController::on_ack,
+  /// and inlining folds the EWMA updates into the caller's register
+  /// schedule. The arithmetic itself is pinned — any algebraic rewrite
+  /// changes ULPs and breaks the blessed digests.
   void on_ack(sim::TimeMs now, sim::TimeMs echo_tick_sent,
-              sim::TimeMs min_rtt_ms) noexcept;
+              sim::TimeMs min_rtt_ms) noexcept {
+    if (!have_reference_) {
+      // First ACK of the flow: establish references only (original Remy).
+      have_reference_ = true;
+      last_ack_time_ = now;
+      last_echo_sent_ = echo_tick_sent;
+      return;
+    }
+    const double ack_gap = now - last_ack_time_;
+    const double send_gap = echo_tick_sent - last_echo_sent_;
+    last_ack_time_ = now;
+    last_echo_sent_ = echo_tick_sent;
+
+    fields_[0] = (1.0 - kEwmaGain) * fields_[0] + kEwmaGain * ack_gap;
+    fields_[1] = (1.0 - kEwmaGain) * fields_[1] + kEwmaGain * send_gap;
+    if (min_rtt_ms > 0.0) {
+      fields_[2] = (now - echo_tick_sent) / min_rtt_ms;
+    }
+  }
 
   /// Back to the all-zeros state (new "on" period).
   void reset() noexcept { *this = Memory{}; }

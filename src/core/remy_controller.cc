@@ -12,6 +12,17 @@ RemyController::RemyController(std::shared_ptr<const WhiskerTree> tree,
     throw std::invalid_argument{"RemyController: null tree"};
 }
 
+void RemyController::rebind(std::shared_ptr<const WhiskerTree> tree,
+                            UsageRecorder* usage) {
+  if (tree == nullptr)
+    throw std::invalid_argument{"RemyController: null tree"};
+  tree_ = std::move(tree);
+  usage_ = usage;
+  cached_whisker_ = nullptr;
+  cached_index_ = 0;
+  cached_tree_generation_ = 0;
+}
+
 void RemyController::on_flow_start(sim::TimeMs now) {
   (void)now;
   memory_.reset();

@@ -28,6 +28,12 @@ class RemyController : public cc::CongestionController {
   const Memory& memory() const noexcept { return memory_; }
   const WhiskerTree& tree() const noexcept { return *tree_; }
 
+  /// Repoints the controller at another rule table / usage recorder without
+  /// rebuilding the endpoint (arena reuse across Evaluator candidates). The
+  /// whisker cache is invalidated unconditionally: the structure generation
+  /// counter is per-tree, and two distinct trees can carry equal values.
+  void rebind(std::shared_ptr<const WhiskerTree> tree, UsageRecorder* usage);
+
   /// Ablation hook: signals whose index is false here are zeroed before
   /// every rule lookup, blinding the algorithm to that congestion signal
   /// (used by bench_ablation_signals to probe the Sec. 4.1 design choice).

@@ -3,6 +3,8 @@
 // release them downstream on their own schedule.
 #pragma once
 
+#include <stdexcept>
+
 #include "sim/component.hh"
 #include "sim/queue_disc.hh"
 
@@ -16,6 +18,14 @@ class Bottleneck : public SimObject, public PacketSink {
   /// average for cellular links). XCP uses this as its capacity estimate,
   /// mirroring the paper's footnote 6.
   virtual double rate_mbps() const noexcept = 0;
+
+  /// Returns the bottleneck (and its queue discipline) to the state it had
+  /// just after construction so an arena reuse (TopologyRunner::reset)
+  /// replays bit-identically to a fresh build. The default throws so that a
+  /// bottleneck that has not opted in fails loudly.
+  virtual void reset_run() {
+    throw std::logic_error{"Bottleneck: not resettable"};
+  }
 };
 
 }  // namespace remy::sim

@@ -39,6 +39,16 @@ class DelayLine final : public SimObject, public PacketSink {
 
   std::size_t in_transit() const noexcept { return in_transit_; }
 
+  /// Discards all in-flight packets and restarts the FIFO tiebreak counter.
+  /// Per-flow delay overrides and the resolved class tables survive — they
+  /// are topology configuration, identical across arena runs, and keeping
+  /// them warm is what makes reuse cheaper than rebuilding.
+  void reset_run() {
+    for (DelayClass& c : classes_) c.fifo.clear();
+    in_transit_ = 0;
+    next_order_ = 0;
+  }
+
  private:
   struct Entry {
     TimeMs deliver_at;

@@ -49,6 +49,10 @@ class Dumbbell {
   void run_for_seconds(double seconds) { runner_.run_for_seconds(seconds); }
   void finish() { runner_.finish(); }
 
+  /// Arena reuse: rewinds the whole network to a fresh start with `seed`
+  /// (see TopologyRunner::reset).
+  void reset(std::uint64_t seed) { runner_.reset(seed); }
+
   TimeMs now() const noexcept { return runner_.now(); }
   MetricsHub& metrics() { return runner_.metrics(); }
   MetricsHub& metrics_raw() noexcept { return runner_.metrics_raw(); }

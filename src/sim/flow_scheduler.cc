@@ -74,6 +74,17 @@ void FlowScheduler::on_transfer_complete(FlowId flow, TimeMs now) {
   schedule_changed();  // completions arrive from the sender's ACK path
 }
 
+void FlowScheduler::reset_run(util::Rng rng) {
+  rng_ = rng;
+  on_since_.reset();
+  finished_ = false;
+  if (config_.mode == OnMode::kAlwaysOn) {
+    next_transition_ = 0.0;  // switch on at t=0, as in the constructor
+  } else {
+    next_transition_ = std::max(0.0, config_.off.sample(rng_));
+  }
+}
+
 void FlowScheduler::finish(TimeMs end_time) {
   if (finished_) throw std::logic_error{"FlowScheduler::finish called twice"};
   finished_ = true;

@@ -54,6 +54,11 @@ class FlowScheduler final : public SimObject, public FlowObserver {
   /// interval to on-time. Call exactly once, after the run.
   void finish(TimeMs end_time);
 
+  /// Rearms the scheduler for another run with a fresh RNG stream, replaying
+  /// the constructor's initial-transition draw so a reused arena matches a
+  /// freshly built scheduler bit for bit.
+  void reset_run(util::Rng rng);
+
   bool is_on() const noexcept { return on_since_.has_value(); }
 
  private:

@@ -30,6 +30,15 @@ class Link final : public Bottleneck {
   std::uint64_t packets_forwarded() const noexcept { return forwarded_; }
   std::uint64_t bytes_forwarded() const noexcept { return bytes_forwarded_; }
 
+  void reset_run() override {
+    queue_->reset();
+    in_flight_.reset();
+    completion_time_ = kNever;
+    forwarded_ = 0;
+    bytes_forwarded_ = 0;
+    configured_ = false;
+  }
+
  private:
   void start_transmission(TimeMs now);
 

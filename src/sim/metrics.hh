@@ -63,6 +63,19 @@ class MetricsHub {
   const FlowStats& flow(FlowId id) const { return flows_.at(id); }
   std::size_t num_flows() const noexcept { return flows_.size(); }
 
+  /// Stable pointer to a flow's stats, for hot paths that want to cache it
+  /// across calls instead of paying the bounds-checked lookup per packet.
+  /// Valid until the hub is destroyed (the flow vector never reallocates
+  /// after construction).
+  FlowStats* flow_slot(FlowId id) { return &flows_.at(id); }
+
+  /// Zeroes every flow's counters and drops recorded deliveries (the
+  /// recording flag itself survives). Used by arena reuse between runs.
+  void reset() {
+    for (FlowStats& f : flows_) f = FlowStats{};
+    deliveries_.clear();
+  }
+
   /// Enables recording of every unique delivery (costs memory; off by default).
   void record_deliveries(bool enable) { record_ = enable; }
   void note_delivery(TimeMs t, FlowId f, SeqNum s, SeqNum cum) {

@@ -56,6 +56,24 @@ class Network final : public Scheduler {
 
   TimeMs now() const noexcept { return now_; }
 
+  /// Rewinds the clock for an arena reuse: every registered component must
+  /// already have been returned to its initial state (reset_run etc.) —
+  /// this re-reads each next_event_time() and rebuilds the heap with the
+  /// same insertion sequence as registration, so the reused engine is
+  /// indistinguishable from a freshly built one.
+  void reset() {
+    now_ = 0.0;
+    events_ = 0;
+    started_ = false;
+    heap_.clear();
+    for (std::uint32_t id = 0; id < objects_.size(); ++id) {
+      key_[id] = objects_[id]->next_event_time();
+      pos_[id] = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(id);
+      sift_up(heap_.size() - 1);
+    }
+  }
+
   /// Runs until the next event would be strictly after `end`; the clock is
   /// left at exactly `end`.
   void run_until(TimeMs end);

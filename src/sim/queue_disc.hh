@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 
 #include "sim/packet.hh"
 #include "sim/time.hh"
@@ -18,6 +19,17 @@ namespace remy::sim {
 class QueueDisc {
  public:
   virtual ~QueueDisc() = default;
+
+  /// Returns the discipline to its just-constructed state: tuning parameters
+  /// survive, queued packets / control-law state / drop+mark counters / any
+  /// configure() effect are cleared, so the next run through it replays
+  /// bit-identically to a freshly built instance. Arena reuse
+  /// (sim::TopologyRunner::reset) calls this between runs. The default
+  /// throws, so a discipline that has not opted in fails loudly instead of
+  /// replaying stale state.
+  virtual void reset() {
+    throw std::logic_error{"QueueDisc: this discipline is not resettable"};
+  }
 
   /// Called once when attached to a link, with the drain rate in
   /// bytes per millisecond (CoDel and XCP need it; others may ignore it).
@@ -48,6 +60,9 @@ class QueueDisc {
  protected:
   void count_drop() noexcept { ++drops_; }
   void count_mark() noexcept { ++ecn_marks_; }
+
+  /// For reset() implementations: clears the base-class counters.
+  void reset_counters() noexcept { drops_ = 0; ecn_marks_ = 0; }
 
   /// Helpers for implementations: stamp measurement state at enqueue/dequeue.
   /// queue_delay_ms holds the enqueue timestamp while the packet is queued

@@ -11,17 +11,24 @@ Receiver::Receiver(PacketSink* ack_egress, MetricsHub* metrics)
 }
 
 SeqNum Receiver::cumulative(FlowId flow) const noexcept {
-  return flow < flows_.size() ? flows_[flow].next_expected : 0;
+  return flow < next_expected_.size() ? next_expected_[flow] : 0;
 }
 
-bool Receiver::FlowState::covered(SeqNum seq) const noexcept {
+void Receiver::grow(FlowId flow) {
+  next_expected_.resize(flow + 1, 0);
+  base_.resize(flow + 1, 0);
+  runs_.resize(flow + 1);
+  stats_.resize(flow + 1, nullptr);
+}
+
+bool Receiver::covered(const RunMap& runs, SeqNum seq) noexcept {
   auto it = runs.upper_bound(seq);  // first run starting after seq
   if (it == runs.begin()) return false;
   --it;
   return seq >= it->first && seq < it->second;
 }
 
-std::pair<SeqNum, SeqNum> Receiver::FlowState::insert(SeqNum seq) {
+std::pair<SeqNum, SeqNum> Receiver::insert_run(RunMap& runs, SeqNum seq) {
   SeqNum start = seq;
   SeqNum end = seq + 1;
   // Merge with a preceding adjacent/overlapping run.
@@ -43,7 +50,7 @@ std::pair<SeqNum, SeqNum> Receiver::FlowState::insert(SeqNum seq) {
   return {start, end};
 }
 
-void Receiver::FlowState::advance_cumulative() {
+void Receiver::advance_cumulative(RunMap& runs, SeqNum& next_expected) {
   const auto it = runs.find(next_expected);
   if (it != runs.end()) {
     next_expected = it->second;
@@ -53,40 +60,43 @@ void Receiver::FlowState::advance_cumulative() {
 
 void Receiver::accept(Packet&& packet, TimeMs now) {
   if (packet.is_ack) throw std::logic_error{"Receiver got an ACK"};
-  if (packet.flow >= flows_.size()) flows_.resize(packet.flow + 1);
-  FlowState& st = flows_[packet.flow];
+  if (packet.flow >= next_expected_.size()) grow(packet.flow);
+  SeqNum& next_expected = next_expected_[packet.flow];
+  SeqNum& base = base_[packet.flow];
+  RunMap& runs = runs_[packet.flow];
 
   // A later incarnation (new "on" period) abandons any holes left by its
   // predecessor: jump the cumulative point forward.
-  if (packet.base_seq > st.base) {
-    st.base = packet.base_seq;
-    st.next_expected = std::max(st.next_expected, st.base);
-    while (!st.runs.empty() && st.runs.begin()->second <= st.next_expected)
-      st.runs.erase(st.runs.begin());
-    st.advance_cumulative();
+  if (packet.base_seq > base) {
+    base = packet.base_seq;
+    next_expected = std::max(next_expected, base);
+    while (!runs.empty() && runs.begin()->second <= next_expected)
+      runs.erase(runs.begin());
+    advance_cumulative(runs, next_expected);
   }
 
   const bool duplicate =
-      packet.seq < st.next_expected || st.covered(packet.seq);
+      packet.seq < next_expected || (!runs.empty() && covered(runs, packet.seq));
   std::pair<SeqNum, SeqNum> fresh_run{0, 0};
   if (!duplicate) {
-    if (packet.seq == st.next_expected) {
-      ++st.next_expected;
-      st.advance_cumulative();
+    if (packet.seq == next_expected) {
+      ++next_expected;
+      if (!runs.empty()) advance_cumulative(runs, next_expected);
     } else {
-      fresh_run = st.insert(packet.seq);
+      fresh_run = insert_run(runs, packet.seq);
     }
   }
 
   if (metrics_ != nullptr) {
-    FlowStats& fs = metrics_->flow(packet.flow);
+    FlowStats*& slot = stats_[packet.flow];
+    if (slot == nullptr) slot = metrics_->flow_slot(packet.flow);
     if (duplicate) {
-      ++fs.dup_packets;
+      ++slot->dup_packets;
     } else {
-      ++fs.packets_delivered;
-      fs.bytes_delivered += packet.size_bytes;
-      fs.sum_queue_delay_ms += packet.queue_delay_ms;
-      metrics_->note_delivery(now, packet.flow, packet.seq, st.next_expected);
+      ++slot->packets_delivered;
+      slot->bytes_delivered += packet.size_bytes;
+      slot->sum_queue_delay_ms += packet.queue_delay_ms;
+      metrics_->note_delivery(now, packet.flow, packet.seq, next_expected);
     }
   }
 
@@ -95,7 +105,7 @@ void Receiver::accept(Packet&& packet, TimeMs now) {
   ack.flow = packet.flow;
   ack.size_bytes = kAckBytes;
   ack.ack_seq = packet.seq;
-  ack.cumulative_ack = st.next_expected;
+  ack.cumulative_ack = next_expected;
   ack.echo_tick_sent = packet.tick_sent;
   ack.ecn_echo = packet.ecn_marked;
   ack.xcp = packet.xcp;  // feedback echo
@@ -106,7 +116,7 @@ void Receiver::accept(Packet&& packet, TimeMs now) {
   if (fresh_run.second > fresh_run.first) {
     ack.push_sack_block(fresh_run.first, fresh_run.second);
   }
-  for (const auto& [start, end] : st.runs) {
+  for (const auto& [start, end] : runs) {
     if (ack.sack_count >= Packet::kMaxSackRanges) break;
     if (start == fresh_run.first && end == fresh_run.second) continue;
     ack.push_sack_block(start, end);

@@ -28,28 +28,42 @@ class Receiver final : public PacketSink {
   /// Next expected sequence number for `flow` (0 if none seen).
   SeqNum cumulative(FlowId flow) const noexcept;
 
- private:
-  struct FlowState {
-    SeqNum next_expected = 0;
-    SeqNum base = 0;  ///< current incarnation; older segments are stale
-    /// Received runs above the cumulative point: start -> one-past-end.
-    /// Runs are disjoint and non-adjacent (adjacent runs are merged).
-    std::map<SeqNum, SeqNum> runs;
+  /// Drops all per-flow delivery state so an arena reuse
+  /// (TopologyRunner::reset) starts from a just-constructed receiver.
+  void reset_run() {
+    next_expected_.clear();
+    base_.clear();
+    runs_.clear();
+    stats_.clear();
+  }
 
-    bool covered(SeqNum seq) const noexcept;
-    /// Inserts one segment, merging runs; returns the run containing it.
-    std::pair<SeqNum, SeqNum> insert(SeqNum seq);
-    /// Absorbs runs contiguous with next_expected.
-    void advance_cumulative();
-  };
+ private:
+  /// Received runs above the cumulative point: start -> one-past-end.
+  /// Runs are disjoint and non-adjacent (adjacent runs are merged).
+  using RunMap = std::map<SeqNum, SeqNum>;
+
+  static bool covered(const RunMap& runs, SeqNum seq) noexcept;
+  /// Inserts one segment, merging runs; returns the run containing it.
+  static std::pair<SeqNum, SeqNum> insert_run(RunMap& runs, SeqNum seq);
+  /// Absorbs runs contiguous with the cumulative point.
+  static void advance_cumulative(RunMap& runs, SeqNum& next_expected);
+
+  void grow(FlowId flow);
 
   PacketSink* ack_egress_;
   MetricsHub* metrics_;
-  /// Flow-indexed (topologies assign dense ids 0..n-1; grown on demand), so
-  /// the per-packet state lookup is a bounds check + load instead of a tree
-  /// walk. The out-of-order `runs` map inside each state stays a std::map —
-  /// it is empty except during loss episodes.
-  std::vector<FlowState> flows_;
+  /// Per-flow state in struct-of-arrays layout, flow-indexed (topologies
+  /// assign dense ids 0..n-1; grown on demand). The hot per-packet path
+  /// touches only the two flat sequence-number vectors — a bounds check plus
+  /// two loads — while the out-of-order run maps sit in a separate cold
+  /// vector, empty except during loss episodes.
+  std::vector<SeqNum> next_expected_;
+  std::vector<SeqNum> base_;  ///< current incarnation; older segments stale
+  std::vector<RunMap> runs_;
+  /// Lazily resolved per-flow stats slots (null until the flow's first
+  /// packet), so the per-delivery metrics write is one dereference instead
+  /// of a bounds-checked hub lookup.
+  std::vector<FlowStats*> stats_;
 };
 
 }  // namespace remy::sim

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "sim/component.hh"
 #include "sim/metrics.hh"
@@ -35,6 +36,15 @@ class Sender : public SimObject, public PacketSink {
   virtual void stop_flow(TimeMs now) = 0;
 
   virtual bool flow_active() const noexcept = 0;
+
+  /// Returns the endpoint to the state it had just after wire(): sequence
+  /// space, RTT estimators, scoreboard and pacing all cleared, so an arena
+  /// reuse (TopologyRunner::reset) replays bit-identically to a fresh build.
+  /// Wiring itself survives. The default throws so a sender that has not
+  /// opted in fails loudly instead of replaying stale state.
+  virtual void reset_run() {
+    throw std::logic_error{"Sender: not resettable"};
+  }
 
   FlowId flow_id() const noexcept { return flow_; }
 

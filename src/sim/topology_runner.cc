@@ -31,6 +31,12 @@ class UnlimitedFifo final : public QueueDisc {
   std::size_t packet_count() const override { return fifo_.size(); }
   std::size_t byte_count() const override { return bytes_; }
 
+  void reset() override {
+    fifo_.clear();
+    bytes_ = 0;
+    reset_counters();
+  }
+
  private:
   std::deque<Packet> fifo_;
   std::size_t bytes_ = 0;
@@ -207,6 +213,24 @@ TopologyRunner::TopologyRunner(const Topology& topo,
     if (l.bottleneck) network_.add(*l.bottleneck);
     if (l.delay) network_.add(*l.delay);
   }
+}
+
+void TopologyRunner::reset(std::uint64_t seed) {
+  metrics_hub_.reset();
+  for (auto& r : receivers_) r->reset_run();
+  for (auto& l : links_) {
+    if (l.bottleneck) l.bottleneck->reset_run();
+    if (l.delay) l.delay->reset_run();
+  }
+  for (auto& s : senders_) s->reset_run();
+  // Scheduler RNGs re-split off the new seed in flow order — the same
+  // derivation the constructor performs, so run N of a reused arena draws
+  // the same streams as run N of a fresh build with that seed.
+  util::Rng seeder{seed};
+  for (auto& sch : schedulers_) sch->reset_run(seeder.split());
+  finished_ = false;
+  // Last: the heap rebuild re-reads every component's (now reset) schedule.
+  network_.reset();
 }
 
 void TopologyRunner::run_until_ms(TimeMs t) {

@@ -33,6 +33,14 @@ class TopologyRunner {
   /// `topo` are invoked here; the Topology itself is not retained.
   TopologyRunner(const Topology& topo, const SenderFactory& make_sender);
 
+  /// Returns the whole arena — endpoints, schedulers, links, queues,
+  /// receivers, metrics, and the event heap — to the state a freshly
+  /// constructed runner would have with `seed` as the topology seed, without
+  /// deallocating or rebuilding the component graph. A subsequent run
+  /// replays bit-identically to a fresh build; construction cost (routing,
+  /// allocation, wiring) is paid once per topology instead of once per run.
+  void reset(std::uint64_t seed);
+
   /// Advances the simulation. May be called repeatedly.
   void run_until_ms(TimeMs t);
   void run_for_seconds(double seconds) {

@@ -30,6 +30,14 @@ class TraceLink final : public sim::Bottleneck {
   std::uint64_t opportunities_used() const noexcept { return used_; }
   std::uint64_t opportunities_wasted() const noexcept { return wasted_; }
 
+  void reset_run() override {
+    queue_->reset();
+    next_index_ = 0;
+    used_ = 0;
+    wasted_ = 0;
+    configured_ = false;
+  }
+
  private:
   Trace trace_;
   std::unique_ptr<sim::QueueDisc> queue_;

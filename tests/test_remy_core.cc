@@ -72,6 +72,48 @@ TEST(Memory, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(back.rtt_ratio(), 3.5);
 }
 
+// A mid-flow memory must survive serialization with its ACK references
+// intact: without them a revived memory silently re-enters the
+// "waiting for the first ACK" state and every subsequent on_ack diverges.
+TEST(Memory, JsonRoundTripPreservesMidFlowReplay) {
+  Memory live;
+  double t = 100.0;
+  live.on_ack(t, t - 50.0, 50.0);  // establish references
+  for (int i = 0; i < 5; ++i) {
+    t += 9.0;
+    live.on_ack(t, t - 55.0, 50.0);
+  }
+
+  Memory revived = Memory::from_json(live.to_json());
+  EXPECT_EQ(revived, live);  // operator== covers the reference state
+
+  // The real guarantee: continued ACK replay stays in lockstep.
+  for (int i = 0; i < 5; ++i) {
+    t += 11.0;
+    live.on_ack(t, t - 60.0, 50.0);
+    revived.on_ack(t, t - 60.0, 50.0);
+    EXPECT_EQ(revived, live) << "diverged at replay step " << i;
+  }
+}
+
+// Files written before reference state was serialized carry only the three
+// signal fields; they must still load (as reference-less memories).
+TEST(Memory, JsonBackwardCompatibleWithThreeFieldForm) {
+  util::JsonObject legacy;
+  legacy["ack_ewma"] = 1.5;
+  legacy["send_ewma"] = 2.5;
+  legacy["rtt_ratio"] = 3.5;
+  const Memory m = Memory::from_json(util::Json{std::move(legacy)});
+  EXPECT_EQ(m, (Memory{1.5, 2.5, 3.5}));
+
+  // And a reference-less memory keeps emitting the historical three-field
+  // form: rule-table domain bounds serialize byte for byte as before.
+  const util::Json j = m.to_json();
+  EXPECT_FALSE(j.contains("have_reference"));
+  EXPECT_FALSE(j.contains("last_ack_time"));
+  EXPECT_FALSE(j.contains("last_echo_sent"));
+}
+
 TEST(Memory, FieldNamesStable) {
   EXPECT_STREQ(Memory::field_name(0), "ack_ewma");
   EXPECT_STREQ(Memory::field_name(1), "send_ewma");
