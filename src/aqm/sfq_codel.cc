@@ -32,7 +32,7 @@ std::size_t SfqCodel::bin_index(sim::FlowId flow) const noexcept {
   // Fibonacci hash of the flow id; flows are already uniform small ints, but
   // this also spreads adversarial ids.
   const std::uint64_t h = static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL;
-  return static_cast<std::size_t>(h % params_.num_bins);
+  return h % params_.num_bins;
 }
 
 std::size_t SfqCodel::active_bins() const noexcept {

@@ -52,7 +52,7 @@ void DelayLine::accept(Packet&& packet, TimeMs now) {
     if (default_class_ < 0) default_class_ = class_index_for(delay);
     cls = default_class_;
   }
-  classes_[cls].fifo.push_back(
+  classes_[static_cast<std::size_t>(cls)].fifo.push_back(
       Entry{now + delay, next_order_++, std::move(packet)});
   ++in_transit_;
   schedule_changed();  // the new packet may be the earliest delivery

@@ -48,7 +48,7 @@ void FlowScheduler::go_on(TimeMs now) {
       // At least one segment, so every transfer does work.
       const double draw = config_.on.sample(rng_);
       const auto bytes = static_cast<std::uint64_t>(
-          std::max<double>(1.0, std::llround(draw)));
+          std::max<long long>(1, std::llround(draw)));
       next_transition_ = kNever;  // ends via on_transfer_complete
       sender_->start_flow(now, bytes);
       break;
