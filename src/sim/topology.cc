@@ -19,7 +19,8 @@ namespace {
 /// cycle; a chain break is an unreachable endpoint). Routes are short, so
 /// the visited set is a flat vector, not a hash set.
 void check_path(const std::vector<std::string>& path,
-                const std::unordered_map<std::string, const TopologyLink*>& links,
+                const std::unordered_map<std::string, const TopologyLink*>&
+                    link_map,
                 const std::string& start, const std::string& end,
                 const char* what, std::size_t flow) {
   const auto where = [&] {
@@ -29,8 +30,8 @@ void check_path(const std::vector<std::string>& path,
   std::vector<std::string_view> visited{start};
   std::string_view at = start;
   for (const auto& id : path) {
-    const auto it = links.find(id);
-    if (it == links.end()) fail("unknown link \"" + id + "\" in " + where());
+    const auto it = link_map.find(id);
+    if (it == link_map.end()) fail("unknown link \"" + id + "\" in " + where());
     const TopologyLink& link = *it->second;
     if (link.from != at) {
       fail("link \"" + id + "\" in " + where() + " departs from \"" +

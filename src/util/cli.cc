@@ -29,7 +29,7 @@ Cli::Cli(int argc, const char* const* argv) {
 }
 
 bool Cli::has(const std::string& name) const noexcept {
-  return flags_.find(name) != flags_.end();
+  return flags_.contains(name);
 }
 
 std::string Cli::get(const std::string& name, const std::string& fallback) const {

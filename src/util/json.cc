@@ -248,7 +248,7 @@ const Json& Json::at(std::string_view key) const {
 bool Json::contains(std::string_view key) const noexcept {
   if (!is_object()) return false;
   const auto& obj = std::get<JsonObject>(value_);
-  return obj.find(std::string{key}) != obj.end();
+  return obj.contains(std::string{key});
 }
 
 double Json::number_or(std::string_view key, double fallback) const {
