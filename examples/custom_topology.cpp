@@ -16,15 +16,17 @@ int main() {
   sim::Topology topo;
   topo.nodes = {"a", "b", "c"};
   topo.links = {
-      // id   from  to   Mbps  one-way delay
-      {"ab", "a", "b", 20.0, 20.0},
-      {"bc", "b", "c", 10.0, 30.0},
-      {"cb", "c", "b", 0.0, 30.0},  // delay-only ACK returns
-      {"ba", "b", "a", 0.0, 20.0},
+      {.id = "ab", .from = "a", .to = "b", .rate_mbps = 20.0, .delay_ms = 20.0},
+      {.id = "bc", .from = "b", .to = "c", .rate_mbps = 10.0, .delay_ms = 30.0},
+      // delay-only ACK returns
+      {.id = "cb", .from = "c", .to = "b", .rate_mbps = 0.0, .delay_ms = 30.0},
+      {.id = "ba", .from = "b", .to = "a", .rate_mbps = 0.0, .delay_ms = 20.0},
   };
   topo.flows = {
-      {"a", "c", {"ab", "bc"}, {"cb", "ba"}},  // flow 0: crosses both hops
-      {"b", "c", {"bc"}, {"cb"}},              // flow 1: second hop only
+      // flow 0 crosses both hops; flow 1 joins at the second hop only.
+      {.src = "a", .dst = "c", .data_path = {"ab", "bc"},
+       .ack_path = {"cb", "ba"}},
+      {.src = "b", .dst = "c", .data_path = {"bc"}, .ack_path = {"cb"}},
   };
   topo.default_queue = [] { return std::make_unique<aqm::DropTail>(500); };
   topo.seed = 7;

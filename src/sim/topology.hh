@@ -59,10 +59,10 @@ struct TopologyLink {
   TimeMs delay_ms = 0.0;   ///< one-way propagation delay
   /// Queue for the serializing stage; null: the topology default_queue
   /// (else an unlimited FIFO).
-  QueueFactory queue_factory;
+  QueueFactory queue_factory{};
   /// Custom bottleneck (e.g. trace::TraceLink); replaces rate/queue but the
   /// delay stage still applies.
-  BottleneckFactory bottleneck_factory;
+  BottleneckFactory bottleneck_factory{};
   /// Create the delay stage even at delay 0 (presets use this to keep
   /// component ids stable across parameter edge cases).
   bool force_delay_stage = false;
@@ -84,9 +84,9 @@ struct FlowRoute {
   std::vector<std::string> ack_path;   ///< link ids, dst -> src
   /// Per-flow one-way delay overrides on links of this route (the
   /// differing-RTT experiments of Sec. 5.4): link id -> delay_ms.
-  std::vector<std::pair<std::string, TimeMs>> delay_overrides;
+  std::vector<std::pair<std::string, TimeMs>> delay_overrides{};
   /// Per-flow on/off model; unset: the topology-wide workload.
-  std::optional<OnOffConfig> workload;
+  std::optional<OnOffConfig> workload{};
 };
 
 /// Parameters shared by the single- and two-bottleneck preset builders.

@@ -235,7 +235,7 @@ INSTANTIATE_TEST_SUITE_P(
                       "table1_dumbbell", "table2_cellular",
                       "table5_datacenter", "table6_competing",
                       "two_hop_asym"),
-    [](const auto& info) { return info.param; });
+    [](const auto& param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace remy::cc

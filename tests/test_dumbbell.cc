@@ -34,7 +34,7 @@ class DumbbellSchemeTest : public ::testing::TestWithParam<std::string> {};
 INSTANTIATE_TEST_SUITE_P(AllSchemes, DumbbellSchemeTest,
                          ::testing::Values("newreno", "cubic", "vegas",
                                            "compound"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST_P(DumbbellSchemeTest, SingleFlowAchievesHighUtilization) {
   DumbbellConfig cfg;

@@ -73,7 +73,7 @@ class QueueDiscInvariants : public ::testing::TestWithParam<DiscCase> {};
 
 INSTANTIATE_TEST_SUITE_P(AllDisciplines, QueueDiscInvariants,
                          ::testing::ValuesIn(all_disciplines()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 Packet make_pkt(util::Rng& rng) {
   Packet p;
@@ -150,7 +150,9 @@ TEST_P(QueueDiscInvariants, CountsNeverGoNegative) {
     // show up as an enormous value.
     EXPECT_LT(q->packet_count(), 1u << 20);
     EXPECT_LT(q->byte_count(), (1u << 20) * sim::kMtuBytes);
-    if (q->packet_count() == 0) EXPECT_EQ(q->byte_count(), 0u);
+    if (q->packet_count() == 0) {
+      EXPECT_EQ(q->byte_count(), 0u);
+    }
   }
 }
 

@@ -33,7 +33,9 @@ void expect_equal(const SeqIntervalSet& s, const std::set<SeqNum>& ref) {
   const auto& ivs = s.intervals();
   for (std::size_t i = 0; i < ivs.size(); ++i) {
     ASSERT_LT(ivs[i].lo, ivs[i].hi);
-    if (i > 0) ASSERT_LT(ivs[i - 1].hi, ivs[i].lo);  // gap, not just ordered
+    if (i > 0) {
+      ASSERT_LT(ivs[i - 1].hi, ivs[i].lo);  // gap, not just ordered
+    }
   }
 }
 
