@@ -29,8 +29,9 @@ def load_section(path: str, key: str) -> dict:
         sys.exit(f"error: cannot read {path}: {exc}")
     section = doc.get(key) if isinstance(doc, dict) else None
     if not isinstance(section, dict):
+        kind = "results" if key == "benchmarks" else "floor"
         sys.exit(f"error: {path}: expected a top-level {key!r} object "
-                 f"(is this really a {'results' if key == 'benchmarks' else 'floor'} file?)")
+                 f"(is this really a {kind} file?)")
     return section
 
 
@@ -40,10 +41,10 @@ def main() -> int:
     parser.add_argument("results", help="bench_micro --json output")
     parser.add_argument("floor", nargs="?",
                         default=os.path.join(repo, "bench", "perf_floor.json"))
-    parser.add_argument("--scale",
-                        type=float,
-                        default=float(os.environ.get("REMY_BENCH_FLOOR_SCALE", "1.0")),
-                        help="multiply all floors (default 1.0; env REMY_BENCH_FLOOR_SCALE)")
+    default_scale = float(os.environ.get("REMY_BENCH_FLOOR_SCALE", "1.0"))
+    parser.add_argument(
+        "--scale", type=float, default=default_scale,
+        help="multiply all floors (default 1.0; env REMY_BENCH_FLOOR_SCALE)")
     args = parser.parse_args()
 
     results = load_section(args.results, "benchmarks")

@@ -2,6 +2,9 @@
 // Remy training run (small budgets so it stays test-sized).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "core/config_range.hh"
 #include "core/evaluator.hh"
 #include "core/trainer.hh"
@@ -145,6 +148,67 @@ TEST(Evaluator, SpecimenResultsCarryMetrics) {
     if (s.senders_scored == 0) continue;
     EXPECT_GT(s.mean_throughput_mbps, 0.0);
     EXPECT_GT(s.mean_delay_ms, 0.0);
+  }
+}
+
+TEST(Evaluator, ConcurrentArenaCheckoutIsSafeAndDeterministic) {
+  // Many threads evaluate against the same Evaluator at once. Each
+  // evaluation checks pooled TopologyRunners out of the shared arena (or
+  // builds its own when the pool runs dry), so this is exactly the path
+  // that fails under REMY_SANITIZE=thread if arena_mutex_ is removed —
+  // concurrent push/pop on arena_'s per-specimen stacks. Scores must also
+  // all equal the serial result: pooled reuse is bit-identical.
+  EvaluatorOptions opt;
+  opt.num_specimens = 2;
+  opt.simulation_ms = 500.0;
+  opt.seed = 11;
+  const Evaluator eval{small_range(), opt};
+  const WhiskerTree tree;
+  const double serial = eval.evaluate(tree).score;
+
+  constexpr int kThreads = 6;
+  constexpr int kEvalsPerThread = 3;
+  std::vector<double> scores(kThreads * kEvalsPerThread, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&eval, &tree, &scores, t] {
+      for (int e = 0; e < kEvalsPerThread; ++e) {
+        scores[t * kEvalsPerThread + e] = eval.evaluate(tree).score;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const double s : scores) {
+    EXPECT_DOUBLE_EQ(s, serial);
+  }
+}
+
+TEST(Evaluator, ConcurrentEvaluationsSharingOnePool) {
+  // The trainer's actual shape: concurrent evaluate() calls that each also
+  // fan specimens out over the same ThreadPool. Exercises the arena mutex
+  // and the pool's submit path together.
+  EvaluatorOptions opt;
+  opt.num_specimens = 2;
+  opt.simulation_ms = 500.0;
+  opt.seed = 12;
+  const Evaluator eval{small_range(), opt};
+  const WhiskerTree tree;
+  const double serial = eval.evaluate(tree).score;
+
+  util::ThreadPool pool{4};
+  constexpr int kCallers = 4;
+  std::vector<double> scores(kCallers, 0.0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&eval, &tree, &pool, &scores, c] {
+      scores[c] = eval.evaluate(tree, false, &pool).score;
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (const double s : scores) {
+    EXPECT_DOUBLE_EQ(s, serial);
   }
 }
 

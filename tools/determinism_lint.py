@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban nondeterminism sources in digest-affecting code.
+
+The repo's correctness story is bit-identical digest replay of every
+shipped scenario (data/scheme_digests.json), and the planned PDES sharding
+work raises the stakes: a nondeterminism source that sneaks into the
+simulation layers turns "sharded run replays the single-threaded digest"
+from a theorem into a coin flip. This lint machine-checks the ban in the
+digest-affecting layers (default: src/sim, src/cc, src/core).
+
+Rules:
+  clock           wall-clock reads (chrono *_clock::now, time(), clock(),
+                  gettimeofday, clock_gettime) — simulated time is the only
+                  clock; real time differs per host and per run
+  rand            ambient randomness (rand, srand, std::random_device,
+                  arc4random, getrandom) — util::Rng with an explicit seed
+                  is the only sanctioned randomness source
+  unordered-iter  iteration over std::unordered_{map,set} — bucket order is
+                  libstdc++-version- and hash-seed-dependent; keyed lookup
+                  (.at/.find/.contains/.count) is fine, range-for/.begin()
+                  is not
+  pointer-order   ordered containers keyed by raw pointers (std::map<T*,..>,
+                  std::set<T*>, std::less<T*>) — pointer values differ per
+                  run, so iteration order does too
+  float-accum-unordered  std::accumulate over an unordered container —
+                  float addition is not associative, so bucket order changes
+                  the sum (also caught by unordered-iter; named separately
+                  so the allowlist can be precise)
+
+Allowlist: a violating line (or the line directly above it) may carry
+    // determinism-lint: allow(<rule>) <reason>
+with a non-empty reason. Unknown rule names and missing reasons are
+themselves errors — suppressions must stay justified.
+
+Exit status: 0 clean, 1 violations, 2 usage errors. --self-test seeds one
+violation per rule into a scratch file and verifies the scanner catches
+each (and that the allowlist suppresses), so CI proves the lint can still
+fail before trusting its green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_SCOPES = ("src/sim", "src/cc", "src/core")
+
+SOURCE_SUFFIXES = {".cc", ".hh", ".cpp", ".h"}
+
+RULES = {
+    "clock": "wall-clock read; use simulated TimeMs",
+    "rand": "ambient randomness; use util::Rng with an explicit seed",
+    "unordered-iter": "iteration order of unordered containers is unstable",
+    "pointer-order": "pointer-keyed ordered container; order varies per run",
+    "float-accum-unordered": "float accumulation over unordered container",
+}
+
+ALLOW_RE = re.compile(
+    r"//\s*determinism-lint:\s*allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)$"
+)
+
+CLOCK_RE = re.compile(
+    r"(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now"
+    r"|(?<![\w.])gettimeofday\s*\("
+    r"|(?<![\w.])clock_gettime\s*\("
+    r"|(?<![\w.:])clock\s*\(\s*\)"
+    r"|(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+
+RAND_RE = re.compile(
+    r"(?<![\w.:])s?rand\s*\("
+    r"|random_device"
+    r"|(?<![\w.])arc4random"
+    r"|(?<![\w.])getrandom\s*\("
+)
+
+# An identifier declared (or bound) with an unordered container type. Loose
+# on purpose: catches members, locals, params, and references.
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:multi)?(?:map|set)\s*<[^;{}]*?>\s*&?\s*(?P<name>\w+)\s*[;,={()]"
+)
+
+POINTER_ORDER_RE = re.compile(
+    r"(?<!unordered_)(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+    r"|std::less\s*<[^>]*\*\s*>"
+)
+
+
+def strip_noise(line: str) -> str:
+    """Drops string literals and trailing // comments so neither can match."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*$", "", line)
+    return line
+
+
+class Violation:
+    def __init__(self, path: Path, lineno: int, rule: str, text: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.text = text.strip()
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
+        return (
+            f"{rel}:{self.lineno}: [{self.rule}] {RULES[self.rule]}\n"
+            f"    {self.text}"
+        )
+
+
+def collect_files(scopes: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for scope in scopes:
+        root = Path(scope)
+        if not root.is_absolute():
+            root = REPO_ROOT / scope
+        if root.is_file():
+            files.append(root)
+            continue
+        if not root.is_dir():
+            print(f"error: scope {scope!r} does not exist", file=sys.stderr)
+            sys.exit(2)
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+        )
+    return files
+
+
+def harvest_unordered_names(files: list[Path]) -> set[str]:
+    """Pass 1: every identifier declared with an unordered container type."""
+    names: set[str] = set()
+    for path in files:
+        for line in path.read_text(errors="replace").splitlines():
+            for match in UNORDERED_DECL_RE.finditer(strip_noise(line)):
+                names.add(match.group("name"))
+    return names
+
+
+def iteration_patterns(names: set[str]) -> list[tuple[re.Pattern, str]]:
+    """Per-name regexes for range-for and iterator access over unordered."""
+    patterns: list[tuple[re.Pattern, str]] = []
+    for name in names:
+        base = rf"(?:\w+\.|\w+->)?{re.escape(name)}"
+        patterns.append(
+            (re.compile(rf"for\s*\([^;()]*:\s*{base}\s*\)"), "unordered-iter")
+        )
+        patterns.append(
+            (re.compile(rf"{base}\.c?r?begin\s*\("), "unordered-iter")
+        )
+        patterns.append(
+            (
+                re.compile(rf"accumulate\s*\(\s*{base}\."),
+                "float-accum-unordered",
+            )
+        )
+    return patterns
+
+
+def scan_line(line: str, iter_patterns: list[tuple[re.Pattern, str]]) -> list[str]:
+    code = strip_noise(line)
+    hit: list[str] = []
+    if CLOCK_RE.search(code):
+        hit.append("clock")
+    if RAND_RE.search(code):
+        hit.append("rand")
+    if POINTER_ORDER_RE.search(code):
+        hit.append("pointer-order")
+    for pattern, rule in iter_patterns:
+        if pattern.search(code) and rule not in hit:
+            # accumulate over unordered is the more precise report; don't
+            # also file the generic iteration rule for the same line.
+            if rule == "float-accum-unordered" and "unordered-iter" in hit:
+                hit.remove("unordered-iter")
+            hit.append(rule)
+    return hit
+
+
+def parse_allow(line: str, path: Path, lineno: int) -> tuple[str | None, list[str]]:
+    """Returns (allowed rule or None, list of directive errors)."""
+    match = ALLOW_RE.search(line)
+    if match is None:
+        return None, []
+    rule = match.group("rule")
+    reason = match.group("reason").strip()
+    errors = []
+    if rule not in RULES:
+        errors.append(
+            f"{path}:{lineno}: unknown rule {rule!r} in allow directive "
+            f"(known: {', '.join(sorted(RULES))})"
+        )
+    if not reason:
+        errors.append(
+            f"{path}:{lineno}: allow({rule}) needs a justification after "
+            "the parenthesis"
+        )
+    return (rule if not errors else None), errors
+
+
+def scan_files(files: list[Path]) -> tuple[list[Violation], list[str]]:
+    iter_patterns = iteration_patterns(harvest_unordered_names(files))
+    violations: list[Violation] = []
+    directive_errors: list[str] = []
+    for path in files:
+        lines = path.read_text(errors="replace").splitlines()
+        allows: dict[int, str] = {}  # lineno -> rule
+        for i, line in enumerate(lines, start=1):
+            rule, errors = parse_allow(line, path, i)
+            directive_errors.extend(errors)
+            if rule is not None:
+                # Directive covers its own line and the next line, so it
+                # can trail the violating statement or sit just above it.
+                allows[i] = rule
+                allows[i + 1] = rule
+        for i, line in enumerate(lines, start=1):
+            for rule in scan_line(line, iter_patterns):
+                if allows.get(i) == rule:
+                    continue
+                violations.append(Violation(path, i, rule, line))
+    return violations, directive_errors
+
+
+SELF_TEST_SOURCE = """\
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+
+// Each numbered block seeds exactly one rule; the "ok" block must stay
+// silent; the "allowed" block is suppressed by a valid directive.
+namespace selftest {
+
+double violation_clock() {
+  auto t = std::chrono::steady_clock::now();  // expect: clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int violation_rand() {
+  std::random_device rd;  // expect: rand
+  return rand() + static_cast<int>(rd());  // expect: rand
+}
+
+int violation_unordered_iter(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;  // expect: unordered-iter
+  return sum;
+}
+
+double violation_float_accum(const std::unordered_map<int, double>& w) {
+  // next line expects: float-accum-unordered
+  return std::accumulate(w.begin(), w.end(), 0.0,
+                         [](double a, const auto& kv) { return a + kv.second; });
+}
+
+struct Whisker {};
+std::map<const Whisker*, int> violation_pointer_order;  // expect: pointer-order
+
+int ok_keyed_lookup(const std::unordered_map<int, int>& table, int key) {
+  auto it = table.find(key);  // keyed access: fine
+  return it == table.end() ? 0 : it->second;
+}
+
+int allowed_iteration(const std::unordered_map<int, int>& table) {
+  int count = 0;
+  // determinism-lint: allow(unordered-iter) count is order-independent
+  for (const auto& kv : table) count += kv.first ? 1 : 0;
+  return count;
+}
+
+}  // namespace selftest
+"""
+
+SELF_TEST_EXPECTED = {
+    ("clock", 1),
+    ("rand", 2),
+    ("unordered-iter", 1),
+    ("float-accum-unordered", 1),
+    ("pointer-order", 1),
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "seeded_violations.cc"
+        path.write_text(SELF_TEST_SOURCE)
+        violations, errors = scan_files([path])
+        got = {}
+        for v in violations:
+            got[v.rule] = got.get(v.rule, 0) + 1
+        want = {}
+        for rule, count in SELF_TEST_EXPECTED:
+            want[rule] = count
+        failures = []
+        if errors:
+            failures.append(f"unexpected directive errors: {errors}")
+        if got != want:
+            failures.append(f"expected rule counts {want}, got {got}")
+
+        # A bad directive (unknown rule, missing reason) must itself fail.
+        bad = Path(tmp) / "bad_directive.cc"
+        bad.write_text(
+            "// determinism-lint: allow(no-such-rule) whatever\n"
+            "// determinism-lint: allow(clock)\n"
+        )
+        _, bad_errors = scan_files([bad])
+        if len(bad_errors) != 2:
+            failures.append(
+                f"expected 2 directive errors from bad file, got {bad_errors}"
+            )
+
+        if failures:
+            print("determinism_lint self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            for v in violations:
+                print(v)
+            return 1
+        print(
+            "determinism_lint self-test OK: every rule fires on a seeded "
+            "violation, allowlist suppresses, bad directives are rejected"
+        )
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scopes",
+        nargs="*",
+        default=list(DEFAULT_SCOPES),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_SCOPES)})",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the lint catches seeded violations, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}: {description}")
+        return 0
+    if args.self_test:
+        return self_test()
+
+    files = collect_files(args.scopes)
+    if not files:
+        print("error: no source files matched", file=sys.stderr)
+        return 2
+    violations, directive_errors = scan_files(files)
+
+    for error in directive_errors:
+        print(error)
+    for violation in violations:
+        print(violation)
+    if violations or directive_errors:
+        print(
+            f"\ndeterminism_lint: {len(violations)} violation(s), "
+            f"{len(directive_errors)} directive error(s) across "
+            f"{len(files)} files"
+        )
+        return 1
+    print(f"determinism_lint: clean ({len(files)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
