@@ -9,14 +9,35 @@ Trainer::Trainer(const ConfigRange& range, TrainerOptions options)
     : range_{range},
       options_{std::move(options)},
       evaluator_{range, options_.eval},
-      pool_{options_.threads} {}
+      pool_{options_.threads} {
+  if (!options_.checkpoint_dir.empty()) {
+    store_.emplace(options_.checkpoint_dir, options_.checkpoint_keep);
+  }
+}
 
 void Trainer::log(const std::string& line) const {
   if (options_.log) options_.log(line);
 }
 
+std::string Trainer::options_fingerprint() const {
+  return TrainerCheckpoint::fingerprint_of(
+      range_, options_.eval, options_.candidates, options_.split_every,
+      options_.max_improvement_rounds, options_.max_whiskers);
+}
+
+std::vector<double> Trainer::score_candidates(
+    const std::vector<WhiskerTree>& trees) {
+  if (options_.batch_scorer) return options_.batch_scorer(trees);
+  // In-process default: every candidate on the same specimens, in parallel.
+  // map() drains the whole batch before rethrowing, so the frame references
+  // stay valid.
+  return pool_.map(trees.size(), [&](std::size_t i) {
+    return evaluator_.evaluate(trees[i]).score;
+  });
+}
+
 bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
-                              double& score, TrainResult& stats) {
+                              double& score, TrainerProgress& progress) {
   bool changed = false;
   for (std::size_t round = 0; round < options_.max_improvement_rounds; ++round) {
     const Whisker& current = tree.whisker(index);
@@ -24,20 +45,21 @@ bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
         current.candidate_actions(options_.candidates);
     if (candidates.empty()) break;
 
-    // Score every candidate on the same specimens, in parallel. Each task
-    // copies the tree and swaps in the candidate action. map() drains the
-    // whole batch before rethrowing, so the frame references stay valid.
-    const std::vector<double> scores =
-        pool_.map(candidates.size(), [&](std::size_t i) {
-          WhiskerTree candidate_tree{tree};
-          candidate_tree.whisker(index).set_action(candidates[i]);
-          return evaluator_.evaluate(candidate_tree).score;
-        });
+    // Materialize one table per candidate action. The copies also serve as
+    // the unit of work shipped to out-of-process scorers.
+    std::vector<WhiskerTree> candidate_trees;
+    candidate_trees.reserve(candidates.size());
+    for (const Action& action : candidates) {
+      WhiskerTree candidate_tree{tree};
+      candidate_tree.whisker(index).set_action(action);
+      candidate_trees.push_back(std::move(candidate_tree));
+    }
+    const std::vector<double> scores = score_candidates(candidate_trees);
 
     double best_score = score;
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < scores.size(); ++i) {
-      ++stats.actions_evaluated;
+      ++progress.actions_evaluated;
       if (scores[i] > best_score) {
         best_score = scores[i];
         best = i;
@@ -48,7 +70,7 @@ bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
     tree.whisker(index).set_action(candidates[*best]);
     score = best_score;
     changed = true;
-    ++stats.improvements;
+    ++progress.improvements;
     std::ostringstream msg;
     msg << "  improved whisker " << index << " -> "
         << candidates[*best].describe() << "  score " << score;
@@ -58,67 +80,123 @@ bool Trainer::improve_whisker(WhiskerTree& tree, std::size_t index,
 }
 
 TrainResult Trainer::run(WhiskerTree start) {
-  TrainResult result;
-  result.tree = std::move(start);
+  TrainerCheckpoint state;
+  state.tree = std::move(start);
+  state.tree.set_all_generations(0);
+  state.fingerprint = options_fingerprint();
 
-  std::uint32_t epoch = 0;
-  result.tree.set_all_generations(epoch);
-  double score = evaluator_.evaluate(result.tree, false, &pool_).score;
+  state.score = evaluator_.evaluate(state.tree, false, &pool_).score;
   {
     std::ostringstream msg;
-    msg << "initial score " << score << " with " << result.tree.num_whiskers()
+    msg << "initial score " << state.score << " with "
+        << state.tree.num_whiskers()
         << " whisker(s); range: " << range_.describe();
     log(msg.str());
   }
+  return run_from(std::move(state));
+}
 
-  while (epoch < options_.max_epochs) {
+TrainResult Trainer::resume(const TrainerCheckpoint& checkpoint) {
+  const std::string expected = options_fingerprint();
+  if (checkpoint.fingerprint != expected) {
+    throw std::runtime_error{
+        "checkpoint fingerprint " + checkpoint.fingerprint +
+        " does not match the trainer options (" + expected +
+        "): refusing to resume against a different range/evaluator/candidate "
+        "configuration"};
+  }
+  {
+    std::ostringstream msg;
+    msg << "resuming at step " << checkpoint.step << ", epoch "
+        << checkpoint.epoch << ", " << checkpoint.tree.num_whiskers()
+        << " whiskers, score " << checkpoint.score;
+    log(msg.str());
+  }
+  return run_from(checkpoint);
+}
+
+TrainResult Trainer::run_from(TrainerCheckpoint state) {
+  // One state-machine edge: the search state is fully described by (tree,
+  // epoch, progress), so persisting here and re-entering the loop top on
+  // resume replays the uninterrupted run exactly. Returns false when
+  // stop_requested asks the run to wind down.
+  const auto edge = [&](double score) {
+    ++state.step;
+    state.score = score;
+    if (store_.has_value()) store_->write(state);
+    return !(options_.stop_requested && options_.stop_requested());
+  };
+
+  const auto finish = [&](bool interrupted) {
+    TrainResult result;
+    result.tree = std::move(state.tree);
+    result.epochs_completed = state.progress.epochs_completed;
+    result.actions_evaluated = state.progress.actions_evaluated;
+    result.improvements = state.progress.improvements;
+    result.splits = state.progress.splits;
+    result.interrupted = interrupted;
+    result.score = evaluator_.evaluate(result.tree, false, &pool_).score;
+    return result;
+  };
+
+  // Entry is itself an edge: a run stopped before its first improvement
+  // still leaves a resumable snapshot behind.
+  if (options_.stop_requested && options_.stop_requested()) {
+    if (store_.has_value()) store_->write(state);
+    return finish(true);
+  }
+
+  while (state.epoch < options_.max_epochs) {
     // Step 2: most-used rule still in this epoch.
-    const EvalResult usage_eval = evaluator_.evaluate(result.tree, true, &pool_);
-    score = usage_eval.score;
+    const EvalResult usage_eval =
+        evaluator_.evaluate(state.tree, true, &pool_);
+    double score = usage_eval.score;
     const auto most_used = usage_eval.usage.most_used([&](std::size_t i) {
-      return result.tree.whisker(i).generation() <= epoch;
+      return state.tree.whisker(i).generation() <= state.epoch;
     });
 
     if (most_used.has_value()) {
       // Step 3: improve until no candidate wins, then retire from epoch.
-      improve_whisker(result.tree, *most_used, score, result);
-      result.tree.whisker(*most_used).set_generation(epoch + 1);
+      improve_whisker(state.tree, *most_used, score, state.progress);
+      state.tree.whisker(*most_used).set_generation(state.epoch + 1);
+      if (!edge(score)) return finish(true);
       continue;
     }
 
     // Step 4: out of rules in this epoch.
-    ++epoch;
-    result.epochs_completed = epoch;
+    ++state.epoch;
+    state.progress.epochs_completed = state.epoch;
     {
       std::ostringstream msg;
-      msg << "epoch " << epoch << " complete; score " << score << "; "
-          << result.tree.num_whiskers() << " whiskers";
+      msg << "epoch " << state.epoch << " complete; score " << score << "; "
+          << state.tree.num_whiskers() << " whiskers";
       log(msg.str());
     }
-    if (epoch % options_.split_every == 0) {
+    if (state.epoch % options_.split_every == 0) {
       // Step 5: subdivide the most-used rule at its median memory.
-      if (result.tree.num_whiskers() >= options_.max_whiskers) {
+      if (state.tree.num_whiskers() >= options_.max_whiskers) {
         log("whisker budget reached; stopping");
+        edge(score);
         break;
       }
       const auto to_split = usage_eval.usage.most_used({});
       if (to_split.has_value()) {
         const auto median = usage_eval.usage.median(*to_split);
-        const Memory point =
-            median.value_or(result.tree.whisker(*to_split).domain().center());
-        if (result.tree.split(*to_split, point, epoch)) {
-          ++result.splits;
+        const Memory point = median.value_or(
+            state.tree.whisker(*to_split).domain().center());
+        if (state.tree.split(*to_split, point, state.epoch)) {
+          ++state.progress.splits;
           std::ostringstream msg;
           msg << "split whisker " << *to_split << " at " << point.describe()
-              << "; now " << result.tree.num_whiskers() << " whiskers";
+              << "; now " << state.tree.num_whiskers() << " whiskers";
           log(msg.str());
         }
       }
     }
+    if (!edge(score)) return finish(true);
   }
 
-  result.score = evaluator_.evaluate(result.tree, false, &pool_).score;
-  return result;
+  return finish(false);
 }
 
 }  // namespace remy::core

@@ -11,13 +11,23 @@
 //      children (the octree refinement).
 //
 // Candidate actions are evaluated in parallel (the paper's "embarrassingly
-// parallel" step).
+// parallel" step) — in-process on the trainer's thread pool by default, or
+// through an injected batch scorer (remy-train's supervised worker pool).
+//
+// The run is a checkpointable state machine: the loop recomputes its usage
+// evaluation from the tree at the top of every iteration, so the full
+// resumable state is (tree + generations, epoch, accumulated counters).
+// Every whisker-improvement and epoch boundary is a persistable edge; with
+// a checkpoint directory configured, a snapshot is written at each edge and
+// a killed run resumed from the newest snapshot replays the uninterrupted
+// run bit-for-bit.
 #pragma once
 
 #include <functional>
 #include <optional>
 
 #include "core/evaluator.hh"
+#include "core/trainer_checkpoint.hh"
 
 namespace remy::core {
 
@@ -31,6 +41,24 @@ struct TrainerOptions {
   std::size_t threads = 0;          ///< 0 = hardware concurrency
   /// Called after every improvement/split with a progress line.
   std::function<void(const std::string&)> log;
+
+  /// Checkpointing: when non-empty, a snapshot is written into this
+  /// directory at every state-machine edge (atomic write, last
+  /// `checkpoint_keep` rotated).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_keep = 3;
+
+  /// Polled at every state-machine edge. Returning true makes the run
+  /// write a final checkpoint (if configured), score the current tree and
+  /// return with TrainResult::interrupted set — the SIGINT/SIGTERM hook.
+  std::function<bool()> stop_requested;
+
+  /// Scores a batch of candidate tables, index-aligned with the input.
+  /// Unset: in-process Evaluator on the trainer's thread pool. remy-train
+  /// installs the forked worker pool here; any scorer must be bit-equal to
+  /// the in-process path (the worker protocol round-trips doubles exactly).
+  std::function<std::vector<double>(const std::vector<WhiskerTree>&)>
+      batch_scorer;
 };
 
 struct TrainResult {
@@ -40,6 +68,9 @@ struct TrainResult {
   std::size_t actions_evaluated = 0;
   std::size_t improvements = 0;
   std::size_t splits = 0;
+  /// True when stop_requested ended the run at a checkpoint edge before
+  /// max_epochs; the tree/score reflect the state at that edge.
+  bool interrupted = false;
 
   TrainResult() : tree{} {}
 };
@@ -48,19 +79,37 @@ class Trainer {
  public:
   Trainer(const ConfigRange& range, TrainerOptions options = {});
 
-  /// Runs the search from `start` (default: the single-rule table).
+  /// Runs the search from `start` (default: the single-rule table). All
+  /// generations are reset to epoch 0 — use resume() to continue a
+  /// checkpointed run without discarding optimizer progress.
   TrainResult run(WhiskerTree start = WhiskerTree{});
 
+  /// Continues a checkpointed run. Throws std::runtime_error if the
+  /// checkpoint's options fingerprint does not match this trainer's
+  /// (resuming against a different range/evaluator/candidate configuration
+  /// would silently corrupt the search).
+  TrainResult resume(const TrainerCheckpoint& checkpoint);
+
+  /// The fingerprint checkpoints written by this trainer will carry.
+  std::string options_fingerprint() const;
+
  private:
+  /// The state-machine loop, shared by run() and resume().
+  TrainResult run_from(TrainerCheckpoint state);
+
+  /// Scores one candidate table per entry (batch_scorer or in-process).
+  std::vector<double> score_candidates(const std::vector<WhiskerTree>& trees);
+
   /// Improves one whisker in place; returns true if its action changed.
   bool improve_whisker(WhiskerTree& tree, std::size_t index, double& score,
-                       TrainResult& stats);
+                       TrainerProgress& progress);
   void log(const std::string& line) const;
 
   ConfigRange range_;
   TrainerOptions options_;
   Evaluator evaluator_;
   util::ThreadPool pool_;
+  std::optional<CheckpointStore> store_;
 };
 
 }  // namespace remy::core

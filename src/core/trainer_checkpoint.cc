@@ -1,0 +1,211 @@
+#include "core/trainer_checkpoint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/evaluator.hh"
+#include "util/fs.hh"
+
+namespace remy::core {
+
+namespace {
+
+constexpr std::string_view kFormat = "remy-trainer-checkpoint";
+constexpr std::string_view kFilePrefix = "checkpoint-";
+constexpr std::string_view kFileSuffix = ".json";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string{buf};
+}
+
+/// Serializes everything except the payload hash; the hash is computed over
+/// this exact text, so to_json and from_json agree on what is covered.
+std::string hashable_dump(util::JsonObject obj) {
+  obj.erase("payload_hash");
+  return util::Json{std::move(obj)}.dump(2);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string TrainerCheckpoint::fingerprint_of(
+    const ConfigRange& range, const EvaluatorOptions& eval,
+    const CandidateOptions& candidates, std::uint32_t split_every,
+    std::uint64_t max_improvement_rounds, std::uint64_t max_whiskers) {
+  util::JsonObject ev;
+  ev["num_specimens"] = static_cast<double>(eval.num_specimens);
+  ev["simulation_ms"] = eval.simulation_ms;
+  // The seed is a full uint64; format it as a string so values above 2^53
+  // cannot alias through the JSON double representation.
+  ev["seed"] = std::to_string(eval.seed);
+  ev["utility_floor"] = eval.utility_floor;
+
+  util::JsonObject cand;
+  cand["multiple_step"] = candidates.multiple_step;
+  cand["increment_step"] = candidates.increment_step;
+  cand["intersend_step"] = candidates.intersend_step;
+  cand["ratio"] = candidates.ratio;
+  cand["scales"] = candidates.scales;
+  cand["min_multiple"] = candidates.bounds.min_multiple;
+  cand["max_multiple"] = candidates.bounds.max_multiple;
+  cand["min_increment"] = candidates.bounds.min_increment;
+  cand["max_increment"] = candidates.bounds.max_increment;
+  cand["min_intersend_ms"] = candidates.bounds.min_intersend_ms;
+  cand["max_intersend_ms"] = candidates.bounds.max_intersend_ms;
+
+  util::JsonObject trainer;
+  trainer["split_every"] = split_every;
+  trainer["max_improvement_rounds"] = static_cast<double>(max_improvement_rounds);
+  trainer["max_whiskers"] = static_cast<double>(max_whiskers);
+
+  util::JsonObject fp;
+  fp["range"] = range.to_json();
+  fp["eval"] = util::Json{std::move(ev)};
+  fp["candidates"] = util::Json{std::move(cand)};
+  fp["trainer"] = util::Json{std::move(trainer)};
+  return hex16(fnv1a64(util::Json{std::move(fp)}.dump()));
+}
+
+util::Json TrainerCheckpoint::to_json() const {
+  util::JsonObject progress_obj;
+  progress_obj["epochs_completed"] = progress.epochs_completed;
+  progress_obj["actions_evaluated"] = static_cast<double>(progress.actions_evaluated);
+  progress_obj["improvements"] = static_cast<double>(progress.improvements);
+  progress_obj["splits"] = static_cast<double>(progress.splits);
+
+  util::JsonObject obj;
+  obj["format"] = std::string{kFormat};
+  obj["version"] = kVersion;
+  obj["fingerprint"] = fingerprint;
+  obj["epoch"] = epoch;
+  obj["step"] = static_cast<double>(step);
+  obj["score"] = score;
+  obj["progress"] = util::Json{std::move(progress_obj)};
+  obj["tree"] = tree.to_json();
+  obj["payload_hash"] = hex16(fnv1a64(hashable_dump(obj)));
+  return util::Json{std::move(obj)};
+}
+
+TrainerCheckpoint TrainerCheckpoint::from_json(const util::Json& j) {
+  const auto& obj = j.as_object();
+  if (!j.contains("format") || j.at("format").as_string() != kFormat)
+    throw util::JsonError{"not a trainer checkpoint (missing format tag)"};
+  const auto version = static_cast<std::uint32_t>(j.at("version").as_number());
+  if (version != kVersion)
+    throw util::JsonError{"unsupported checkpoint version " +
+                          std::to_string(version)};
+
+  const std::string stored_hash = j.at("payload_hash").as_string();
+  const std::string computed_hash = hex16(fnv1a64(hashable_dump(obj)));
+  if (stored_hash != computed_hash)
+    throw util::JsonError{"checkpoint content hash mismatch (stored " +
+                          stored_hash + ", computed " + computed_hash +
+                          "): file is truncated or corrupt"};
+
+  TrainerCheckpoint c;
+  c.tree = WhiskerTree::from_json(j.at("tree"));
+  c.epoch = static_cast<std::uint32_t>(j.at("epoch").as_number());
+  c.step = static_cast<std::uint64_t>(j.at("step").as_number());
+  c.score = j.at("score").as_number();
+  c.fingerprint = j.at("fingerprint").as_string();
+  const util::Json& p = j.at("progress");
+  c.progress.epochs_completed =
+      static_cast<std::uint32_t>(p.at("epochs_completed").as_number());
+  c.progress.actions_evaluated =
+      static_cast<std::uint64_t>(p.at("actions_evaluated").as_number());
+  c.progress.improvements =
+      static_cast<std::uint64_t>(p.at("improvements").as_number());
+  c.progress.splits = static_cast<std::uint64_t>(p.at("splits").as_number());
+  return c;
+}
+
+void TrainerCheckpoint::save(const std::string& path) const {
+  try {
+    util::atomic_write_file(path, to_json().dump(2) + '\n');
+  } catch (const std::exception& e) {
+    throw std::runtime_error{std::string{"saving checkpoint: "} + e.what()};
+  }
+}
+
+TrainerCheckpoint TrainerCheckpoint::load(const std::string& path) {
+  try {
+    return from_json(util::json_from_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error{"loading checkpoint " + path + ": " + e.what()};
+  }
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir, std::size_t keep)
+    : dir_{std::move(dir)}, keep_{std::max<std::size_t>(1, keep)} {
+  if (dir_.empty())
+    throw std::invalid_argument{"CheckpointStore: empty directory"};
+  std::filesystem::create_directories(dir_);
+}
+
+std::vector<std::string> CheckpointStore::list() const {
+  // Collect matching names, then sort: directory iteration order is
+  // filesystem-dependent, and the zero-padded step number makes the
+  // lexicographic order the step order.
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator{dir_}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kFilePrefix, 0) == 0 && name.size() > kFileSuffix.size() &&
+        name.compare(name.size() - kFileSuffix.size(), kFileSuffix.size(),
+                     kFileSuffix) == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const auto& name : names)
+    paths.push_back((std::filesystem::path{dir_} / name).string());
+  return paths;
+}
+
+void CheckpointStore::write(const TrainerCheckpoint& c) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "%s%012llu%s", std::string{kFilePrefix}.c_str(),
+                static_cast<unsigned long long>(c.step),
+                std::string{kFileSuffix}.c_str());
+  c.save((std::filesystem::path{dir_} / name).string());
+
+  const std::vector<std::string> all = list();
+  if (all.size() > keep_) {
+    for (std::size_t i = 0; i < all.size() - keep_; ++i) {
+      std::error_code ec;  // best-effort: a lost prune never loses data
+      std::filesystem::remove(all[i], ec);
+    }
+  }
+}
+
+std::optional<TrainerCheckpoint> CheckpointStore::load_latest(
+    std::string* diagnostics) const {
+  const std::vector<std::string> all = list();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      return TrainerCheckpoint::load(*it);
+    } catch (const std::exception& e) {
+      if (diagnostics != nullptr) {
+        *diagnostics += std::string{e.what()} + "; falling back\n";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace remy::core

@@ -1,0 +1,116 @@
+// Crash-safe snapshots of the Trainer's search state.
+//
+// Remy's design procedure is CPU-weeks at paper scale (Sec. 4.3: 16
+// specimens x 100 s, epochs to convergence), so the search must survive
+// kills, OOMs and preemptions. The trainer's greedy loop recomputes its
+// usage evaluation from the rule table at the top of every iteration, which
+// makes the full resumable state small: the whisker tree (with per-whisker
+// generations), the current epoch, and the accumulated TrainResult
+// counters. A run killed at any snapshot edge and resumed from the latest
+// checkpoint replays the uninterrupted run bit-for-bit, because the
+// evaluator's specimen set and seeds are fixed by (ConfigRange,
+// EvaluatorOptions) and nothing else feeds the search.
+//
+// Safety rails:
+//   * every checkpoint embeds a fingerprint of ConfigRange +
+//     EvaluatorOptions + CandidateOptions + the trajectory-shaping trainer
+//     knobs, so resuming against mismatched options fails fast instead of
+//     silently corrupting the search;
+//   * the payload carries its own content hash — a truncated or bit-rotted
+//     snapshot is rejected with a clear error;
+//   * CheckpointStore writes snapshots atomically (temp file + fsync +
+//     rename), rotates the last N, and recovery falls back past corrupt
+//     files to the newest valid snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config_range.hh"
+#include "core/whisker.hh"
+#include "core/whisker_tree.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+struct EvaluatorOptions;
+
+/// FNV-1a over bytes; the content-hash and digest primitive for checkpoints
+/// and training artifacts (stable across platforms and runs).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Accumulated TrainResult counters, persisted across resumes.
+struct TrainerProgress {
+  std::uint32_t epochs_completed = 0;
+  std::uint64_t actions_evaluated = 0;
+  std::uint64_t improvements = 0;
+  std::uint64_t splits = 0;
+};
+
+struct TrainerCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  WhiskerTree tree;            ///< with per-whisker generations
+  std::uint32_t epoch = 0;     ///< the loop's current global epoch
+  std::uint64_t step = 0;      ///< monotone state-machine edge counter
+  double score = 0.0;          ///< score at the edge (informational)
+  TrainerProgress progress;
+  std::string fingerprint;     ///< options fingerprint (16 hex chars)
+
+  /// Canonical fingerprint over everything that shapes the search
+  /// trajectory: the design range, the evaluator options (specimen count,
+  /// simulation length, seed, utility floor), the candidate ladder, and the
+  /// trainer's split/improvement/budget knobs. Thread count and max_epochs
+  /// are deliberately excluded — they change wall time or where the run
+  /// stops, never the sequence of states.
+  static std::string fingerprint_of(const ConfigRange& range,
+                                    const EvaluatorOptions& eval,
+                                    const CandidateOptions& candidates,
+                                    std::uint32_t split_every,
+                                    std::uint64_t max_improvement_rounds,
+                                    std::uint64_t max_whiskers);
+
+  /// Serializes including a payload content hash; from_json verifies the
+  /// hash, the format tag and the version, throwing util::JsonError with a
+  /// reason on any mismatch.
+  util::Json to_json() const;
+  static TrainerCheckpoint from_json(const util::Json& j);
+
+  /// File round-trip via util::atomic_write_file / util::json_from_file.
+  void save(const std::string& path) const;
+  static TrainerCheckpoint load(const std::string& path);
+};
+
+/// A directory of rotated snapshots, `checkpoint-<step>.json`. Writes are
+/// atomic; the last `keep` snapshots are retained so recovery can fall back
+/// past a corrupt newest file.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir, std::size_t keep = 3);
+
+  /// Writes `c` as checkpoint-<step>.json atomically, then prunes the
+  /// oldest snapshots beyond the rotation depth.
+  void write(const TrainerCheckpoint& c) const;
+
+  /// Loads the newest snapshot that parses and passes its content hash.
+  /// Corrupt or truncated files are skipped (each noted in `diagnostics`
+  /// when given, one line per rejected file). Returns nullopt if the
+  /// directory holds no valid snapshot.
+  std::optional<TrainerCheckpoint> load_latest(
+      std::string* diagnostics = nullptr) const;
+
+  /// Snapshot paths sorted oldest-first (by step number).
+  std::vector<std::string> list() const;
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::size_t keep() const noexcept { return keep_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+};
+
+}  // namespace remy::core

@@ -169,7 +169,13 @@ WhiskerTree WhiskerTree::load(const std::string& path) {
 }
 
 void WhiskerTree::save(const std::string& path) const {
-  util::json_to_file(to_json(), path);
+  try {
+    // json_to_file stages through util::atomic_write_file, so a crash (or a
+    // full disk) mid-save can never leave a truncated rule table at `path`.
+    util::json_to_file(to_json(), path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error{"saving rule table to " + path + ": " + e.what()};
+  }
 }
 
 std::string WhiskerTree::describe() const {

@@ -62,7 +62,9 @@ class WhiskerTree {
 
   util::Json to_json() const;
   static WhiskerTree from_json(const util::Json& j);
-  /// Convenience wrappers around util::json_{from,to}_file.
+  /// Convenience wrappers around util::json_{from,to}_file. save() writes
+  /// atomically (temp file + fsync + rename) and throws on write errors
+  /// with the target path in the message.
   static WhiskerTree load(const std::string& path);
   void save(const std::string& path) const;
 

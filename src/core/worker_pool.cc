@@ -1,0 +1,377 @@
+#include "core/worker_pool.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json.hh"
+
+namespace remy::core {
+
+namespace {
+
+/// Supervisor-side wall clock, used exclusively for hang deadlines and
+/// backoff — never for anything that feeds scores or digests.
+double supervisor_now_ms() {
+  // determinism-lint: allow(clock) supervisor timeout/backoff bookkeeping only; scores never depend on it
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+/// Both ends of the socketpair live in the same process image, so frames
+/// use native byte order: a 32-bit length prefix, then the JSON payload.
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a fatal SIGPIPE.
+    const ::ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ::ssize_t n = ::read(fd, p, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF or error: peer is gone
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  return write_all(fd, &len, sizeof len) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& out) {
+  std::uint32_t len = 0;
+  if (!read_all(fd, &len, sizeof len)) return false;
+  out.resize(len);
+  return len == 0 || read_all(fd, out.data(), len);
+}
+
+void backoff_sleep(double initial_ms, double cap_ms, std::size_t attempt) {
+  double delay = initial_ms;
+  for (std::size_t i = 1; i < attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, cap_ms);
+  if (delay > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{delay});
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(const ConfigRange& range, const EvaluatorOptions& eval,
+                       WorkerPoolOptions options)
+    : range_{range}, eval_{eval}, options_{std::move(options)} {
+  std::string spec = options_.fault;
+  if (spec.empty()) {
+    const char* env = std::getenv("REMY_FAULT_WORKER");
+    if (env != nullptr) spec = env;
+  }
+  if (!spec.empty() && spec != "none") {
+    const auto at = spec.find('@');
+    const std::string mode = spec.substr(0, at);
+    if (at == std::string::npos || (mode != "crash" && mode != "hang")) {
+      throw std::invalid_argument{
+          "bad fault spec '" + spec +
+          "' (want crash@<k>, hang@<k>, crash@all or hang@all)"};
+    }
+    fault_mode_ = mode == "crash" ? FaultMode::kCrash : FaultMode::kHang;
+    const std::string which = spec.substr(at + 1);
+    if (which == "all") {
+      fault_all_ = true;
+    } else {
+      fault_task_ = std::stoull(which);
+    }
+  }
+
+  if (options_.workers == 0) {
+    stats_.degraded = true;  // pure in-process pool; useful as a null object
+    return;
+  }
+  workers_.resize(options_.workers);
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) spawn(slot);
+}
+
+WorkerPool::~WorkerPool() {
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    if (workers_[slot].alive) shutdown_worker(slot, /*force=*/true);
+  }
+}
+
+void WorkerPool::spawn(std::size_t slot) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw std::runtime_error{std::string{"WorkerPool: socketpair: "} +
+                             std::strerror(errno)};
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error{std::string{"WorkerPool: fork: "} +
+                             std::strerror(saved)};
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    worker_main(sv[1]);  // never returns
+  }
+  ::close(sv[1]);
+  Worker& w = workers_[slot];
+  w.pid = pid;
+  w.fd = sv[0];
+  w.alive = true;
+  w.busy = false;
+}
+
+void WorkerPool::shutdown_worker(std::size_t slot, bool force) {
+  Worker& w = workers_[slot];
+  if (!w.alive) return;
+  if (force) ::kill(w.pid, SIGKILL);
+  ::close(w.fd);  // EOF stops an idle worker's read loop
+  int status = 0;
+  while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  w.alive = false;
+  w.busy = false;
+  w.fd = -1;
+  w.pid = -1;
+}
+
+void WorkerPool::note_failure(
+    std::size_t slot, const std::function<void(std::size_t)>& reclaim) {
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.max_consecutive_failures) {
+    // Workers keep dying: stop respawning, reclaim every in-flight task and
+    // finish the batch in-process. The pool stays degraded for good.
+    stats_.degraded = true;
+    for (std::size_t s = 0; s < workers_.size(); ++s) {
+      Worker& w = workers_[s];
+      if (w.alive && w.busy) {
+        reclaim(w.task);
+        shutdown_worker(s, /*force=*/true);
+      } else if (w.alive) {
+        shutdown_worker(s, /*force=*/false);
+      }
+    }
+    return;
+  }
+  try {
+    spawn(slot);
+    ++stats_.respawns;
+  } catch (const std::exception&) {
+    // Out of processes: keep the slot dead. If every slot ends up dead the
+    // dispatch loop degrades to in-process scoring.
+  }
+}
+
+void WorkerPool::worker_main(int fd) const {
+  // The worker's own evaluator: same (range, options) as the supervisor's,
+  // hence the same specimen set and seeds — scores are bit-equal to the
+  // in-process path by the evaluator's determinism guarantee.
+  Evaluator evaluator{range_, eval_};
+  std::string payload;
+  while (read_frame(fd, payload)) {
+    try {
+      const util::Json task = util::Json::parse(payload);
+      if (task.contains("fault")) {
+        const std::string& fault = task.at("fault").as_string();
+        if (fault == "crash") ::_exit(3);
+        if (fault == "hang") {
+          while (true) ::pause();  // wedged until the supervisor SIGKILLs us
+        }
+      }
+      const WhiskerTree tree = WhiskerTree::from_json(task.at("tree"));
+      util::JsonObject reply;
+      reply["score"] = evaluator.evaluate(tree).score;
+      if (!write_frame(fd, util::Json{std::move(reply)}.dump())) break;
+    } catch (const std::exception&) {
+      ::_exit(4);  // malformed task: die loudly; the supervisor recovers
+    }
+  }
+  ::_exit(0);  // supervisor closed the pipe: clean shutdown
+}
+
+double WorkerPool::score_in_process(const WhiskerTree& tree) {
+  if (fallback_ == nullptr) {
+    fallback_ = std::make_unique<Evaluator>(range_, eval_);
+  }
+  return fallback_->evaluate(tree).score;
+}
+
+std::vector<double> WorkerPool::score_batch(
+    const std::vector<WhiskerTree>& trees) {
+  const std::size_t n = trees.size();
+  std::vector<double> scores(n, 0.0);
+  std::vector<bool> done(n, false);
+  std::vector<std::size_t> attempts(n, 0);  // dispatches so far, per task
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = n; i-- > 0;) pending.push_back(i);  // pop_back -> 0,1,..
+  std::size_t remaining = n;
+
+  const auto finish_in_process = [&](std::size_t t) {
+    scores[t] = score_in_process(trees[t]);
+    done[t] = true;
+    --remaining;
+    ++stats_.in_process;
+    ++stats_.tasks;
+  };
+
+  // A failed task either exhausts its attempt budget (scored in-process so
+  // the batch always completes) or re-queues after a bounded exponential
+  // backoff.
+  const auto task_failed = [&](std::size_t t) {
+    if (attempts[t] >= options_.max_task_attempts) {
+      finish_in_process(t);
+      return;
+    }
+    backoff_sleep(options_.backoff_initial_ms, options_.backoff_cap_ms,
+                  attempts[t]);
+    ++stats_.retries;
+    pending.push_back(t);
+  };
+
+  const auto reclaim = [&](std::size_t t) { pending.push_back(t); };
+
+  while (remaining > 0) {
+    if (stats_.degraded) {
+      while (!pending.empty()) {
+        const std::size_t t = pending.back();
+        pending.pop_back();
+        if (!done[t]) finish_in_process(t);
+      }
+      continue;
+    }
+
+    // Dispatch pending work to idle workers.
+    for (std::size_t slot = 0; slot < workers_.size() && !pending.empty();
+         ++slot) {
+      Worker& w = workers_[slot];
+      if (!w.alive || w.busy) continue;
+      const std::size_t t = pending.back();
+      pending.pop_back();
+
+      std::string fault;
+      if (fault_mode_ != FaultMode::kNone) {
+        const bool first_attempt = attempts[t] == 0;
+        // Injected faults hit the k-th first-dispatch (or, with @all, every
+        // dispatch); retries run clean so single faults are survivable by
+        // construction.
+        if (fault_all_ || (first_attempt && task_seq_ == fault_task_)) {
+          fault = fault_mode_ == FaultMode::kCrash ? "crash" : "hang";
+        }
+      }
+      if (attempts[t] == 0) ++task_seq_;
+      ++attempts[t];
+
+      util::JsonObject task;
+      task["tree"] = trees[t].to_json();
+      if (!fault.empty()) task["fault"] = fault;
+      ++stats_.dispatches;
+      if (!write_frame(w.fd, util::Json{std::move(task)}.dump())) {
+        ++stats_.crashes;
+        shutdown_worker(slot, /*force=*/false);
+        note_failure(slot, reclaim);
+        task_failed(t);
+        if (stats_.degraded) break;
+        continue;
+      }
+      w.busy = true;
+      w.task = t;
+      w.deadline_ms = supervisor_now_ms() + options_.task_timeout_ms;
+    }
+    if (stats_.degraded || remaining == 0) continue;
+
+    // Wait for responses (or the nearest hang deadline).
+    std::vector<::pollfd> fds;
+    std::vector<std::size_t> slots;
+    double min_deadline = 0.0;
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      const Worker& w = workers_[slot];
+      if (!w.alive || !w.busy) continue;
+      fds.push_back(::pollfd{w.fd, POLLIN, 0});
+      slots.push_back(slot);
+      if (slots.size() == 1 || w.deadline_ms < min_deadline)
+        min_deadline = w.deadline_ms;
+    }
+    if (fds.empty()) {
+      // Nothing in flight and nothing dispatched: every worker is dead and
+      // respawning failed — finish in-process.
+      if (!pending.empty()) stats_.degraded = true;
+      continue;
+    }
+    const double wait_ms = min_deadline - supervisor_now_ms();
+    const int timeout =
+        static_cast<int>(std::clamp(wait_ms, 1.0, 60'000.0));
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error{std::string{"WorkerPool: poll: "} +
+                               std::strerror(errno)};
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t slot = slots[i];
+      Worker& w = workers_[slot];
+      if (!w.alive || !w.busy) continue;  // already handled this round
+      std::string payload;
+      if (read_frame(w.fd, payload)) {
+        const std::size_t t = w.task;
+        scores[t] = util::Json::parse(payload).at("score").as_number();
+        done[t] = true;
+        --remaining;
+        ++stats_.tasks;
+        consecutive_failures_ = 0;
+        w.busy = false;
+      } else {
+        // Worker died mid-task (crash injection, OOM kill, ...).
+        ++stats_.crashes;
+        const std::size_t t = w.task;
+        shutdown_worker(slot, /*force=*/false);
+        note_failure(slot, reclaim);
+        task_failed(t);
+        if (stats_.degraded) break;
+      }
+    }
+    if (stats_.degraded) continue;
+
+    // Hang sweep: kill and retry any worker past its task deadline.
+    const double now = supervisor_now_ms();
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& w = workers_[slot];
+      if (!w.alive || !w.busy || now < w.deadline_ms) continue;
+      ++stats_.timeouts;
+      const std::size_t t = w.task;
+      shutdown_worker(slot, /*force=*/true);
+      note_failure(slot, reclaim);
+      task_failed(t);
+      if (stats_.degraded) break;
+    }
+  }
+  return scores;
+}
+
+}  // namespace remy::core

@@ -1,0 +1,126 @@
+// Supervised multi-process candidate evaluation for the trainer.
+//
+// The paper calls candidate scoring "embarrassingly parallel"; at paper
+// scale a single crashing worker (OOM kill, preemption) must not take the
+// whole search down. WorkerPool forks N workers, each owning its own
+// core::Evaluator built from the same (ConfigRange, EvaluatorOptions) as
+// the supervisor — the specimen set and seeds are fixed by those options,
+// so worker scores are bit-equal to the in-process path (the pipe protocol
+// round-trips doubles exactly via the JSON %.17g writer).
+//
+// Tasks travel over per-worker UNIX stream socketpairs as length-prefixed
+// JSON frames. The supervisor enforces a per-task timeout, kills and
+// respawns crashed or hung workers, retries failed tasks with bounded
+// exponential backoff, and — when workers keep dying — degrades gracefully
+// to evaluating in-process, so a batch always completes with correct
+// scores.
+//
+// Deterministic fault injection for tests (or the REMY_FAULT_WORKER
+// environment variable): "crash@k" / "hang@k" make the worker processing
+// the k-th dispatched task (0-based, first attempt only) crash or wedge;
+// "crash@all" / "hang@all" fault every dispatch, forcing the degradation
+// path. Retried tasks always run clean, so injected faults are survivable
+// by construction and final scores stay bit-equal to the serial path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config_range.hh"
+#include "core/evaluator.hh"
+#include "core/whisker_tree.hh"
+
+namespace remy::core {
+
+struct WorkerPoolOptions {
+  std::size_t workers = 2;
+  /// Dispatch attempts per task before the supervisor evaluates it
+  /// in-process (the retry bound; first attempt included).
+  std::size_t max_task_attempts = 3;
+  /// Worker failures (crash or hang) with no intervening success before
+  /// the pool stops respawning and finishes everything in-process.
+  std::size_t max_consecutive_failures = 4;
+  /// Hang detector: a worker that holds a task longer than this is killed
+  /// and the task retried.
+  double task_timeout_ms = 120'000.0;
+  /// Bounded exponential backoff between retries of a failed task.
+  double backoff_initial_ms = 50.0;
+  double backoff_cap_ms = 2'000.0;
+  /// Fault-injection spec; empty reads REMY_FAULT_WORKER. "none" disables.
+  std::string fault;
+};
+
+class WorkerPool {
+ public:
+  /// Forks the workers immediately. Construct before spawning any threads
+  /// (e.g. before the Trainer and its pool) so the children never inherit
+  /// a mid-operation lock.
+  WorkerPool(const ConfigRange& range, const EvaluatorOptions& eval,
+             WorkerPoolOptions options = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Scores one candidate table per entry, index-aligned. Bit-equal to
+  /// Evaluator::evaluate(tree).score for every entry, whatever faults the
+  /// workers suffer along the way.
+  std::vector<double> score_batch(const std::vector<WhiskerTree>& trees);
+
+  struct Stats {
+    std::uint64_t tasks = 0;         ///< tasks completed (any path)
+    std::uint64_t dispatches = 0;    ///< frames sent to workers
+    std::uint64_t retries = 0;       ///< re-dispatches after a failure
+    std::uint64_t crashes = 0;       ///< workers that died mid-task
+    std::uint64_t timeouts = 0;      ///< hung workers killed
+    std::uint64_t respawns = 0;      ///< workers forked after the initial set
+    std::uint64_t in_process = 0;    ///< tasks evaluated by the supervisor
+    bool degraded = false;           ///< pool gave up on workers entirely
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t num_workers() const noexcept { return workers_.size(); }
+  bool degraded() const noexcept { return stats_.degraded; }
+
+ private:
+  enum class FaultMode { kNone, kCrash, kHang };
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;          ///< supervisor end of the socketpair
+    bool alive = false;
+    bool busy = false;
+    std::size_t task = 0;       ///< index into the current batch
+    double deadline_ms = 0.0;   ///< supervisor-clock task deadline
+  };
+
+  void spawn(std::size_t slot);
+  /// Closes the supervisor end (EOF stops an idle worker); `force` SIGKILLs
+  /// first (hung or mid-task workers). Always reaps the child.
+  void shutdown_worker(std::size_t slot, bool force);
+  /// Failure bookkeeping shared by crash and timeout paths: advances the
+  /// consecutive-failure counter and either respawns the slot or trips
+  /// degradation (reclaiming every in-flight task via `reclaim`).
+  void note_failure(std::size_t slot,
+                    const std::function<void(std::size_t)>& reclaim);
+  [[noreturn]] void worker_main(int fd) const;
+  double score_in_process(const WhiskerTree& tree);
+
+  ConfigRange range_;
+  EvaluatorOptions eval_;
+  WorkerPoolOptions options_;
+  FaultMode fault_mode_ = FaultMode::kNone;
+  bool fault_all_ = false;
+  std::uint64_t fault_task_ = 0;
+  std::uint64_t task_seq_ = 0;  ///< global dispatch-order counter (faults key on it)
+  std::uint64_t consecutive_failures_ = 0;
+  std::vector<Worker> workers_;
+  std::unique_ptr<Evaluator> fallback_;  ///< lazy, for in-process scoring
+  Stats stats_;
+};
+
+}  // namespace remy::core

@@ -32,6 +32,35 @@ bool Cli::has(const std::string& name) const noexcept {
   return flags_.contains(name);
 }
 
+std::vector<std::string> Cli::unknown_flags(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;  // flags_ is an ordered map, so this is already sorted
+}
+
+void Cli::require_known(std::initializer_list<std::string_view> known) const {
+  const std::vector<std::string> unknown = unknown_flags(known);
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag(s):";
+  for (const auto& name : unknown) msg += " --" + name;
+  msg += "\naccepted flags:";
+  for (const std::string_view k : known) {
+    msg += " --";
+    msg += k;
+  }
+  throw std::invalid_argument{msg};
+}
+
 std::string Cli::get(const std::string& name, const std::string& fallback) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : it->second;

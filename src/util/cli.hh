@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace remy::util {
@@ -18,6 +20,16 @@ class Cli {
 
   /// True if --name was given (with or without a value).
   bool has(const std::string& name) const noexcept;
+
+  /// Flags that were parsed but are not in `known` (sorted). Strict tools
+  /// use this so a typo'd flag ("--epochS 16") errors out instead of
+  /// silently training with defaults.
+  std::vector<std::string> unknown_flags(
+      std::initializer_list<std::string_view> known) const;
+
+  /// Throws std::invalid_argument naming every unknown flag (and listing
+  /// the accepted ones) unless all parsed flags appear in `known`.
+  void require_known(std::initializer_list<std::string_view> known) const;
 
   std::string get(const std::string& name, const std::string& fallback) const;
   double get(const std::string& name, double fallback) const;

@@ -1,0 +1,23 @@
+// Crash-safe file-system helpers shared by the JSON writer, the trainer's
+// checkpoint store and the CLI tools.
+//
+// The durability contract of atomic_write_file: after it returns, the file
+// at `path` contains exactly `contents`; if the process dies at any point
+// (including mid-call), `path` holds either its previous contents or the
+// new ones, never a truncated mix. Write errors (full disk, bad directory,
+// permissions) surface as exceptions instead of silently producing a
+// zero-length or partial file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace remy::util {
+
+/// Writes `contents` to `path` atomically: a uniquely named temp file in
+/// the same directory is written in full, flushed to disk (fsync), then
+/// renamed over `path`. Throws std::runtime_error with the failing path and
+/// errno text on any error; the temp file is removed on failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace remy::util

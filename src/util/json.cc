@@ -3,9 +3,10 @@
 #include <cmath>
 #include <charconv>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "util/fs.hh"
 
 namespace remy::util {
 
@@ -318,13 +319,7 @@ Json json_from_file(const std::string& path) {
 }
 
 void json_to_file(const Json& value, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out) throw std::runtime_error{"cannot open " + tmp};
-    out << value.dump(2) << '\n';
-  }
-  std::filesystem::rename(tmp, path);
+  atomic_write_file(path, value.dump(2) + '\n');
 }
 
 }  // namespace remy::util

@@ -86,7 +86,10 @@ class Json {
 /// std::runtime_error (I/O).
 Json json_from_file(const std::string& path);
 
-/// Writes `value.dump(2)` to the file, atomically via a temp file + rename.
+/// Writes `value.dump(2)` to the file via util::atomic_write_file: unique
+/// temp file, full write + fsync, then rename — a crash never leaves a
+/// truncated document behind, and write errors throw instead of silently
+/// succeeding.
 void json_to_file(const Json& value, const std::string& path);
 
 }  // namespace remy::util

@@ -54,6 +54,11 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
   ThreadPool pool{2};
   auto f = pool.submit(
       []() -> int { throw std::runtime_error{"task failed"}; });
+  // Join the workers first: the caught exception shares its message buffer
+  // with the worker-side exception object (libstdc++ refcounts error-string
+  // storage), so inspecting what() while the worker tears its copy down is
+  // a race TSan flags. stop() orders that cleanup before the checks.
+  pool.stop();
   try {
     f.get();
     FAIL() << "expected std::runtime_error";

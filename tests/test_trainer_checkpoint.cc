@@ -1,0 +1,246 @@
+// Checkpointing and kill-and-resume bit-identity.
+//
+// The load-bearing property: a training run interrupted at ANY state-machine
+// edge and resumed from the snapshot written there must reproduce the
+// uninterrupted run's rule table and score bit-for-bit. The suite also
+// covers the safety rails: content-hash rejection of truncated/corrupt
+// snapshots, store rotation and fallback, and fingerprint-gated resume.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/config_range.hh"
+#include "core/trainer.hh"
+#include "core/trainer_checkpoint.hh"
+
+namespace remy::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+ConfigRange tiny_range() {
+  ConfigRange r = ConfigRange::paper_general(1.0);
+  r.max_senders = 2;
+  r.mean_on = 1000.0;
+  r.mean_off_ms = 1000.0;
+  return r;
+}
+
+TrainerOptions tiny_options() {
+  TrainerOptions opt;
+  opt.eval.num_specimens = 2;
+  opt.eval.simulation_ms = 1000.0;
+  opt.eval.seed = 11;
+  opt.max_epochs = 2;
+  opt.max_whiskers = 4;
+  opt.max_improvement_rounds = 2;
+  opt.threads = 2;
+  return opt;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path{testing::TempDir()} / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// The identity we compare across runs: the exact serialized table (all
+/// whisker domains, actions and generations) plus the exact score.
+std::string identity(const TrainResult& r) {
+  return r.tree.to_json().dump(2) + "\nscore=" + std::to_string(r.score);
+}
+
+TrainerCheckpoint sample_checkpoint() {
+  TrainerCheckpoint c;
+  c.tree = WhiskerTree{};
+  c.tree.whisker(0).set_generation(3);
+  c.epoch = 2;
+  c.step = 17;
+  c.score = -5.125;
+  c.progress.epochs_completed = 2;
+  c.progress.actions_evaluated = 123;
+  c.progress.improvements = 4;
+  c.progress.splits = 1;
+  c.fingerprint = "0123456789abcdef";
+  return c;
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(TrainerCheckpoint, JsonRoundTripIsExact) {
+  const TrainerCheckpoint c = sample_checkpoint();
+  const TrainerCheckpoint back = TrainerCheckpoint::from_json(c.to_json());
+  EXPECT_EQ(back.tree.to_json().dump(2), c.tree.to_json().dump(2));
+  EXPECT_EQ(back.epoch, c.epoch);
+  EXPECT_EQ(back.step, c.step);
+  EXPECT_EQ(back.score, c.score);
+  EXPECT_EQ(back.progress.epochs_completed, c.progress.epochs_completed);
+  EXPECT_EQ(back.progress.actions_evaluated, c.progress.actions_evaluated);
+  EXPECT_EQ(back.progress.improvements, c.progress.improvements);
+  EXPECT_EQ(back.progress.splits, c.progress.splits);
+  EXPECT_EQ(back.fingerprint, c.fingerprint);
+}
+
+TEST(TrainerCheckpoint, TamperedPayloadIsRejected) {
+  const TrainerCheckpoint c = sample_checkpoint();
+  util::Json j = c.to_json();
+  j.as_object()["epoch"] = util::Json{999.0};  // flip a field, keep the hash
+  EXPECT_THROW(TrainerCheckpoint::from_json(j), util::JsonError);
+}
+
+TEST(TrainerCheckpoint, TruncatedFileIsRejected) {
+  const std::string dir = fresh_dir("ckpt_truncated");
+  const std::string path = dir + "/checkpoint.json";
+  sample_checkpoint().save(path);
+  std::string text;
+  {
+    std::ifstream in{path};
+    text.assign(std::istreambuf_iterator<char>{in}, {});
+  }
+  {
+    std::ofstream out{path, std::ios::trunc};
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_THROW(TrainerCheckpoint::load(path), std::runtime_error);
+}
+
+TEST(CheckpointStore, RotatesAndKeepsNewest) {
+  const std::string dir = fresh_dir("ckpt_rotate");
+  const CheckpointStore store{dir, 2};
+  TrainerCheckpoint c = sample_checkpoint();
+  for (std::uint64_t step = 1; step <= 5; ++step) {
+    c.step = step;
+    store.write(c);
+  }
+  const auto paths = store.list();
+  ASSERT_EQ(paths.size(), 2u);  // steps 4 and 5 survive, oldest first
+  EXPECT_NE(paths[0].find("checkpoint-000000000004.json"), std::string::npos);
+  EXPECT_NE(paths[1].find("checkpoint-000000000005.json"), std::string::npos);
+  const auto latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, 5u);
+}
+
+TEST(CheckpointStore, FallsBackPastCorruptNewest) {
+  const std::string dir = fresh_dir("ckpt_fallback");
+  const CheckpointStore store{dir, 3};
+  TrainerCheckpoint c = sample_checkpoint();
+  c.step = 1;
+  store.write(c);
+  c.step = 2;
+  store.write(c);
+  // Corrupt the newest snapshot in place (simulated torn write / bit rot).
+  {
+    std::ofstream out{store.list().back(), std::ios::trunc};
+    out << "{\"format\": \"remy-trainer-checkpoint\", \"oops\": tru";
+  }
+  std::string diagnostics;
+  const auto latest = store.load_latest(&diagnostics);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, 1u);
+  EXPECT_NE(diagnostics.find("checkpoint-000000000002.json"),
+            std::string::npos);
+}
+
+TEST(CheckpointStore, EmptyDirectoryYieldsNothing) {
+  const CheckpointStore store{fresh_dir("ckpt_empty"), 3};
+  EXPECT_FALSE(store.load_latest().has_value());
+  EXPECT_TRUE(store.list().empty());
+}
+
+TEST(TrainerResume, FingerprintMismatchRefusesToResume) {
+  const ConfigRange range = tiny_range();
+  TrainerOptions opt = tiny_options();
+  Trainer trainer{range, opt};
+
+  TrainerCheckpoint c = sample_checkpoint();
+  c.fingerprint = trainer.options_fingerprint();
+  // Same options -> accepted (resume completes normally).
+  EXPECT_NO_THROW(trainer.resume(c));
+
+  TrainerOptions other = tiny_options();
+  other.eval.seed = 12;  // different specimen draw -> different trajectory
+  Trainer mismatched{range, other};
+  EXPECT_NE(mismatched.options_fingerprint(), c.fingerprint);
+  EXPECT_THROW(mismatched.resume(c), std::runtime_error);
+}
+
+TEST(TrainerResume, FingerprintTracksEverythingTrajectoryShaping) {
+  const ConfigRange range = tiny_range();
+  const TrainerOptions opt = tiny_options();
+  const std::string base = Trainer{range, opt}.options_fingerprint();
+
+  // Stable across identical constructions.
+  EXPECT_EQ((Trainer{range, opt}.options_fingerprint()), base);
+
+  ConfigRange wider = range;
+  wider.max_senders = 4;
+  EXPECT_NE((Trainer{wider, opt}.options_fingerprint()), base);
+
+  TrainerOptions ladder = opt;
+  ladder.candidates.scales = 3;
+  EXPECT_NE((Trainer{range, ladder}.options_fingerprint()), base);
+
+  // Thread count changes wall time, never the trajectory.
+  TrainerOptions threads = opt;
+  threads.threads = 7;
+  EXPECT_EQ((Trainer{range, threads}.options_fingerprint()), base);
+}
+
+// The tentpole gate: resume from EVERY snapshot a run writes and require
+// the final table + score to be bit-identical to the uninterrupted run.
+TEST(TrainerResume, ResumeAtEveryEdgeIsBitIdentical) {
+  const ConfigRange range = tiny_range();
+  const std::string dir = fresh_dir("ckpt_every_edge");
+
+  TrainerOptions opt = tiny_options();
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_keep = 1000;  // retain every edge for this test
+  Trainer baseline_trainer{range, opt};
+  const TrainResult baseline = baseline_trainer.run();
+  const std::string expect = identity(baseline);
+  EXPECT_FALSE(baseline.interrupted);
+
+  const CheckpointStore store{dir, 1000};
+  const auto edges = store.list();
+  ASSERT_GE(edges.size(), 2u) << "run too small to exercise resume";
+
+  for (const std::string& path : edges) {
+    const TrainerCheckpoint snapshot = TrainerCheckpoint::load(path);
+    TrainerOptions ropt = tiny_options();  // no checkpointing on the replays
+    Trainer resumed{range, ropt};
+    const TrainResult result = resumed.resume(snapshot);
+    EXPECT_EQ(identity(result), expect) << "diverged resuming from " << path;
+  }
+}
+
+// Kill-and-resume via the cooperative stop: interrupt after the first edge,
+// resume from the snapshot on disk, and land on the uninterrupted result.
+TEST(TrainerResume, InterruptedRunResumesToSameResult) {
+  const ConfigRange range = tiny_range();
+  const TrainResult baseline = Trainer{range, tiny_options()}.run();
+
+  const std::string dir = fresh_dir("ckpt_interrupt");
+  TrainerOptions opt = tiny_options();
+  opt.checkpoint_dir = dir;
+  std::size_t polls = 0;
+  opt.stop_requested = [&polls] { return ++polls > 1; };
+  const TrainResult interrupted = Trainer{range, opt}.run();
+  EXPECT_TRUE(interrupted.interrupted);
+
+  const auto snapshot = CheckpointStore{dir, 3}.load_latest();
+  ASSERT_TRUE(snapshot.has_value());
+  const TrainResult resumed = Trainer{range, tiny_options()}.resume(*snapshot);
+  EXPECT_EQ(identity(resumed), identity(baseline));
+}
+
+}  // namespace
+}  // namespace remy::core

@@ -60,6 +60,43 @@ TEST(TrainerSmoke, RespectsMaxWhiskers) {
   EXPECT_EQ(result.splits, 0u);
 }
 
+TEST(TrainerSmoke, WhiskerBudgetStopsRunBeforeMaxEpochs) {
+  TrainerOptions opt = tiny_options();
+  opt.max_epochs = 3;
+  opt.split_every = 1;  // wants to subdivide at every epoch boundary
+  opt.max_whiskers = 1;
+  const TrainResult result = Trainer{tiny_range(), opt}.run();
+  // The budget check fires at the first split boundary and ends the run —
+  // a budget stop, not an interrupt.
+  EXPECT_EQ(result.tree.num_whiskers(), 1u);
+  EXPECT_EQ(result.splits, 0u);
+  EXPECT_LT(result.epochs_completed, opt.max_epochs);
+  EXPECT_FALSE(result.interrupted);
+}
+
+TEST(TrainerSmoke, EmptyCandidateSetCompletesWithoutImprovements) {
+  TrainerOptions opt = tiny_options();
+  opt.candidates.scales = 0;  // the ladder degenerates to the incumbent
+  const TrainResult result = Trainer{tiny_range(), opt}.run();
+  EXPECT_EQ(result.epochs_completed, 1u);
+  EXPECT_EQ(result.improvements, 0u);
+  EXPECT_EQ(result.actions_evaluated, 0u);
+}
+
+TEST(TrainerSmoke, DegenerateSpecimensScoreTheFloorThroughAFullEpoch) {
+  // Flows start OFF and draw an exponential off-period: with a mean far
+  // beyond the simulated horizon no sender ever turns on, every specimen
+  // scores the utility floor, and the whole epoch must still terminate
+  // (no candidate can beat the floor, so no improvement loops spin).
+  ConfigRange range = tiny_range();
+  range.mean_off_ms = 1e12;
+  const TrainerOptions opt = tiny_options();
+  const TrainResult result = Trainer{range, opt}.run();
+  EXPECT_EQ(result.epochs_completed, 1u);
+  EXPECT_EQ(result.score, opt.eval.utility_floor);
+  EXPECT_EQ(result.improvements, 0u);
+}
+
 TEST(TrainerSmoke, LogCallbackReceivesProgress) {
   TrainerOptions opt = tiny_options();
   std::size_t lines = 0;

@@ -1,10 +1,13 @@
-// Thread pool and CLI parser tests.
+// Thread pool, CLI parser and filesystem helper tests.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 
 #include "util/cli.hh"
+#include "util/fs.hh"
 #include "util/thread_pool.hh"
 
 namespace remy::util {
@@ -96,6 +99,59 @@ TEST(Cli, FlagFollowedByFlagIsBare) {
   const Cli cli{4, argv};
   EXPECT_TRUE(cli.get("a", false));
   EXPECT_EQ(cli.get("b", std::int64_t{0}), 2);
+}
+
+TEST(Cli, UnknownFlagsReportsOnlyStrangers) {
+  const char* argv[] = {"prog", "--epochs", "4", "--epochS", "9", "--zeta"};
+  const Cli cli{6, argv};
+  const auto unknown = cli.unknown_flags({"epochs", "out"});
+  ASSERT_EQ(unknown.size(), 2u);  // sorted
+  EXPECT_EQ(unknown[0], "epochS");
+  EXPECT_EQ(unknown[1], "zeta");
+  EXPECT_TRUE(cli.unknown_flags({"epochs", "epochS", "zeta"}).empty());
+}
+
+TEST(Cli, RequireKnownThrowsNamingTheTypo) {
+  const char* argv[] = {"prog", "--epochS", "9"};
+  const Cli cli{3, argv};
+  EXPECT_NO_THROW(cli.require_known({"epochS"}));
+  try {
+    cli.require_known({"epochs", "out"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--epochS"), std::string::npos);
+    EXPECT_NE(what.find("--epochs"), std::string::npos);  // accepted list
+  }
+}
+
+TEST(Cli, RequireKnownIgnoresPositionals) {
+  const char* argv[] = {"prog", "scenario.json", "--smoke"};
+  const Cli cli{3, argv};
+  EXPECT_NO_THROW(cli.require_known({"smoke"}));
+}
+
+TEST(AtomicWriteFile, ReplacesContentsAndLeavesNoTempBehind) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path{testing::TempDir()} / "atomic_write";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.txt").string();
+
+  atomic_write_file(path, "first");
+  atomic_write_file(path, "second");
+  std::ifstream in{path};
+  std::string text;
+  std::getline(in, text);
+  EXPECT_EQ(text, "second");
+  // Only the target file remains — every temp was renamed or unlinked.
+  EXPECT_EQ(std::distance(fs::directory_iterator{dir},
+                          fs::directory_iterator{}), 1);
+}
+
+TEST(AtomicWriteFile, SurfacesWriteErrors) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir/out.txt", "x"),
+               std::runtime_error);
 }
 
 TEST(Cli, BadBooleanThrows) {

@@ -1,0 +1,148 @@
+// Supervised worker fan-out: forked workers must score bit-equal to the
+// in-process evaluator, and the supervisor must survive crashing and
+// hanging workers (deterministically injected) without changing a single
+// bit of the results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/config_range.hh"
+#include "core/evaluator.hh"
+#include "core/worker_pool.hh"
+
+namespace remy::core {
+namespace {
+
+ConfigRange tiny_range() {
+  ConfigRange r = ConfigRange::paper_general(1.0);
+  r.max_senders = 2;
+  r.mean_on = 1000.0;
+  r.mean_off_ms = 1000.0;
+  return r;
+}
+
+EvaluatorOptions tiny_eval() {
+  EvaluatorOptions e;
+  e.num_specimens = 2;
+  e.simulation_ms = 500.0;
+  e.seed = 11;
+  return e;
+}
+
+/// A small batch of distinct candidate tables (varied actions).
+std::vector<WhiskerTree> make_trees(std::size_t n) {
+  std::vector<WhiskerTree> trees;
+  trees.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WhiskerTree tree{};
+    Action a = tree.whisker(0).action();
+    a.window_increment += static_cast<double>(i);
+    tree.whisker(0).set_action(a);
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+std::vector<double> serial_scores(const std::vector<WhiskerTree>& trees) {
+  Evaluator eval{tiny_range(), tiny_eval()};
+  std::vector<double> scores;
+  scores.reserve(trees.size());
+  for (const auto& tree : trees) scores.push_back(eval.evaluate(tree).score);
+  return scores;
+}
+
+void expect_bit_equal(const std::vector<double>& got,
+                      const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "score " << i << " diverged";
+  }
+}
+
+TEST(WorkerPool, ScoresBitEqualToSerialEvaluator) {
+  const auto trees = make_trees(5);
+  WorkerPoolOptions opt;
+  opt.workers = 2;
+  opt.fault = "none";  // ignore any ambient REMY_FAULT_WORKER
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+  EXPECT_EQ(pool.stats().tasks, trees.size());
+  EXPECT_EQ(pool.stats().crashes, 0u);
+  EXPECT_FALSE(pool.degraded());
+}
+
+TEST(WorkerPool, SurvivesInjectedCrash) {
+  const auto trees = make_trees(5);
+  WorkerPoolOptions opt;
+  opt.workers = 2;
+  opt.fault = "crash@1";  // second dispatched task's worker dies mid-task
+  opt.backoff_initial_ms = 1.0;
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+  EXPECT_GE(pool.stats().crashes, 1u);
+  EXPECT_GE(pool.stats().retries, 1u);
+  EXPECT_GE(pool.stats().respawns, 1u);
+  EXPECT_FALSE(pool.degraded());
+}
+
+TEST(WorkerPool, SurvivesInjectedHang) {
+  const auto trees = make_trees(4);
+  WorkerPoolOptions opt;
+  opt.workers = 2;
+  opt.fault = "hang@0";  // first dispatched task wedges its worker
+  opt.task_timeout_ms = 250.0;
+  opt.backoff_initial_ms = 1.0;
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+  EXPECT_GE(pool.stats().timeouts, 1u);
+  EXPECT_GE(pool.stats().respawns, 1u);
+  EXPECT_FALSE(pool.degraded());
+}
+
+TEST(WorkerPool, DegradesGracefullyWhenWorkersKeepDying) {
+  const auto trees = make_trees(4);
+  WorkerPoolOptions opt;
+  opt.workers = 2;
+  opt.fault = "crash@all";  // every dispatch faults: workers are useless
+  opt.max_consecutive_failures = 3;
+  opt.backoff_initial_ms = 1.0;
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+  EXPECT_TRUE(pool.degraded());
+  EXPECT_EQ(pool.stats().in_process, trees.size());
+  // A degraded pool stays degraded — and still returns correct scores.
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+}
+
+TEST(WorkerPool, ZeroWorkersEvaluatesInProcess) {
+  const auto trees = make_trees(3);
+  WorkerPoolOptions opt;
+  opt.workers = 0;
+  opt.fault = "none";
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  EXPECT_TRUE(pool.degraded());
+  expect_bit_equal(pool.score_batch(trees), serial_scores(trees));
+  EXPECT_EQ(pool.stats().in_process, trees.size());
+}
+
+TEST(WorkerPool, RejectsMalformedFaultSpec) {
+  WorkerPoolOptions opt;
+  opt.workers = 1;
+  opt.fault = "explode@1";
+  EXPECT_THROW((WorkerPool{tiny_range(), tiny_eval(), opt}),
+               std::invalid_argument);
+  opt.fault = "crash";  // missing @k
+  EXPECT_THROW((WorkerPool{tiny_range(), tiny_eval(), opt}),
+               std::invalid_argument);
+}
+
+TEST(WorkerPool, EmptyBatchIsANoOp) {
+  WorkerPoolOptions opt;
+  opt.workers = 1;
+  opt.fault = "none";
+  WorkerPool pool{tiny_range(), tiny_eval(), opt};
+  EXPECT_TRUE(pool.score_batch({}).empty());
+}
+
+}  // namespace
+}  // namespace remy::core

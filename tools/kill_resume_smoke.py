@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Kill-and-resume smoke gate for the training service.
+
+Three legs, one assertion:
+
+  1. baseline:  remy-train runs a small search to completion; record the
+     tree digest and exact final score printed by --digest.
+  2. kill:      the same run with --checkpoint-dir; as soon as at least two
+     snapshots exist, the process is SIGKILLed (no cooperative shutdown —
+     the snapshots on disk are all that survives).
+  3. resume:    remy-train --resume <dir> continues from the newest valid
+     snapshot and must print the SAME digest and score, bit for bit.
+
+A digest or score mismatch means checkpoint state is incomplete or the
+trainer's state machine is not replaying deterministically — both are
+release blockers for paper-scale (CPU-weeks) training runs.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SEARCH_FLAGS = [
+    "--preset", "general",
+    "--epochs", "4",
+    "--specimens", "2",
+    "--sim-seconds", "2",
+    "--rounds", "2",
+    "--max-whiskers", "8",
+    "--threads", "2",
+]
+
+DIGEST_RE = re.compile(r"^tree digest: ([0-9a-f]{16})$", re.M)
+SCORE_RE = re.compile(r"^final score: (\S+)$", re.M)
+
+
+def identity_of(output: str) -> tuple[str, str]:
+    digest = DIGEST_RE.search(output)
+    score = SCORE_RE.search(output)
+    if not digest or not score:
+        sys.exit(f"FAIL: no digest/score in output:\n{output}")
+    return digest.group(1), score.group(1)
+
+
+def run_to_completion(train: str, extra: list[str], workdir: str) -> tuple[str, str]:
+    cmd = [train, *SEARCH_FLAGS, *extra, "--digest"]
+    proc = subprocess.run(
+        cmd, cwd=workdir, capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL: {' '.join(cmd)} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return identity_of(proc.stdout)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--train", required=True, help="path to remy-train")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="kill_resume_") as workdir:
+        ckpt_dir = os.path.join(workdir, "ckpt")
+
+        baseline = run_to_completion(
+            args.train, ["--out", os.path.join(workdir, "baseline.json")], workdir
+        )
+        print(f"baseline: digest {baseline[0]}, score {baseline[1]}")
+
+        # Kill leg: SIGKILL once two snapshots exist, so resume exercises a
+        # mid-run edge (never the final state). If the run finishes first the
+        # snapshots are still valid resume points — the assertion stands.
+        victim = subprocess.Popen(
+            [args.train, *SEARCH_FLAGS, "--checkpoint-dir", ckpt_dir,
+             "--out", os.path.join(workdir, "killed.json")],
+            cwd=workdir,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 300.0
+        killed = False
+        while time.monotonic() < deadline:
+            snapshots = (
+                sorted(os.listdir(ckpt_dir)) if os.path.isdir(ckpt_dir) else []
+            )
+            if len(snapshots) >= 2:
+                victim.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            if victim.poll() is not None:
+                break  # finished before two snapshots appeared
+            time.sleep(0.02)
+        victim.wait(timeout=60)
+        if not killed and not os.path.isdir(ckpt_dir):
+            sys.exit("FAIL: run ended without writing any checkpoint")
+        print(f"killed mid-run: {killed}; snapshots: "
+              f"{sorted(os.listdir(ckpt_dir))}")
+
+        resumed = run_to_completion(
+            args.train,
+            ["--resume", ckpt_dir, "--out", os.path.join(workdir, "resumed.json")],
+            workdir,
+        )
+        print(f"resumed:  digest {resumed[0]}, score {resumed[1]}")
+
+        if resumed != baseline:
+            sys.exit(
+                f"FAIL: kill-and-resume diverged from the uninterrupted run\n"
+                f"  baseline: digest {baseline[0]}, score {baseline[1]}\n"
+                f"  resumed:  digest {resumed[0]}, score {resumed[1]}"
+            )
+    print("PASS: kill-and-resume is bit-identical to the uninterrupted run")
+
+
+if __name__ == "__main__":
+    main()

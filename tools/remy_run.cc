@@ -63,6 +63,15 @@ void list_topologies() {
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  try {
+    cli.require_known({"help", "scenario", "schemes", "scheme", "runs",
+                       "duration", "arena", "full", "smoke", "require-tables",
+                       "json", "hash", "list-schemes", "list-queues",
+                       "list-topologies"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (cli.get("list-schemes", false) || cli.get("list-queues", false)) {
     list_registry();
     return 0;

@@ -1,0 +1,235 @@
+// remy-train: the training service. Generates a congestion-control
+// algorithm from prior assumptions about the network, a traffic model and
+// an objective (the program the paper's title refers to) — with crash-safe
+// checkpoints, kill-and-resume bit-identity and supervised multi-process
+// candidate scoring for paper-scale runs.
+//
+//   remy-train --preset general --delta 1 --out data/remycc/delta1.json
+//   remy-train --preset 1x --checkpoint-dir ckpt/ --workers 8
+//   remy-train --resume ckpt/ --out remycc.json          # continue a run
+//
+// Presets map to the paper's design-range tables (Sec. 5.1, 5.5, 5.6, 5.7).
+// Paper-scale settings are --specimens 16 --sim-seconds 100 --epochs 16+
+// (CPU-weeks, per the paper). SIGINT/SIGTERM write a final checkpoint and
+// exit with status 128+signal; restart with --resume to continue.
+#include <signal.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/trainer.hh"
+#include "core/worker_pool.hh"
+#include "util/cli.hh"
+
+using namespace remy;
+
+namespace {
+
+volatile sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+core::ConfigRange preset_range(const std::string& preset, double delta) {
+  if (preset == "general") return core::ConfigRange::paper_general(delta);
+  if (preset == "1x") return core::ConfigRange::paper_1x();
+  if (preset == "10x") return core::ConfigRange::paper_10x();
+  if (preset == "datacenter") return core::ConfigRange::paper_datacenter();
+  if (preset == "coexist") {
+    // Sec. 5.6: designed for RTTs from 100 ms to 10 s so a buffer-filling
+    // competitor on the same bottleneck stays inside the design range.
+    core::ConfigRange r = core::ConfigRange::paper_general(delta);
+    r.min_rtt_ms = 100.0;
+    r.max_rtt_ms = 10000.0;
+    r.min_senders = 1;
+    r.max_senders = 2;
+    return r;
+  }
+  throw std::invalid_argument{"unknown preset: " + preset};
+}
+
+void print_usage(const char* program) {
+  std::printf(
+      "usage: %s [--preset general|1x|10x|datacenter|coexist]\n"
+      "          [--delta D] [--out FILE] [--epochs N] [--specimens N]\n"
+      "          [--sim-seconds S] [--max-whiskers N] [--rounds N]\n"
+      "          [--threads N] [--seed N] [--start FILE]\n"
+      "          [--checkpoint-dir DIR] [--checkpoint-keep N]\n"
+      "          [--resume DIR|FILE] [--workers N] [--task-timeout-ms MS]\n"
+      "          [--worker-retries N] [--digest]\n"
+      "\n"
+      "  --start FILE        seed the search from a saved rule table\n"
+      "                      (optimizer progress and generations reset)\n"
+      "  --checkpoint-dir D  write an atomic snapshot at every search edge\n"
+      "  --resume P          continue from a checkpoint file, or from the\n"
+      "                      newest valid snapshot in a checkpoint directory\n"
+      "  --workers N         score candidates in N supervised forked\n"
+      "                      workers (0 = in-process threads)\n"
+      "  --digest            print the result's tree digest and exact score\n",
+      program);
+}
+
+std::uint64_t tree_digest(const core::WhiskerTree& tree) {
+  return core::fnv1a64(tree.to_json().dump(2));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    print_usage(cli.program().c_str());
+    return 0;
+  }
+  try {
+    cli.require_known({"help", "preset", "delta", "out", "epochs",
+                       "specimens", "sim-seconds", "max-whiskers", "rounds",
+                       "threads", "seed", "start", "checkpoint-dir",
+                       "checkpoint-keep", "resume", "workers",
+                       "task-timeout-ms", "worker-retries", "digest"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string preset = cli.get("preset", std::string{"general"});
+  const double delta = cli.get("delta", 1.0);
+  const std::string out = cli.get("out", std::string{"remycc.json"});
+  const std::string resume_path = cli.get("resume", std::string{});
+
+  core::ConfigRange range = preset_range(preset, delta);
+
+  core::TrainerOptions opt;
+  opt.eval.num_specimens =
+      static_cast<std::size_t>(cli.get("specimens", std::int64_t{8}));
+  opt.eval.simulation_ms = cli.get("sim-seconds", 8.0) * 1000.0;
+  opt.eval.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+  opt.max_epochs = static_cast<std::uint32_t>(cli.get("epochs", std::int64_t{9}));
+  opt.max_whiskers =
+      static_cast<std::size_t>(cli.get("max-whiskers", std::int64_t{64}));
+  opt.max_improvement_rounds =
+      static_cast<std::size_t>(cli.get("rounds", std::int64_t{6}));
+  opt.threads = static_cast<std::size_t>(cli.get("threads", std::int64_t{0}));
+  opt.checkpoint_dir = cli.get("checkpoint-dir", std::string{});
+  opt.checkpoint_keep =
+      static_cast<std::size_t>(cli.get("checkpoint-keep", std::int64_t{3}));
+  opt.stop_requested = [] { return g_signal != 0; };
+  opt.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  // Resuming into a checkpoint directory keeps checkpointing there unless
+  // told otherwise.
+  if (opt.checkpoint_dir.empty() && !resume_path.empty() &&
+      std::filesystem::is_directory(resume_path)) {
+    opt.checkpoint_dir = resume_path;
+  }
+
+  // The worker pool forks its children here, before the Trainer spawns any
+  // threads, so the children never inherit a mid-operation lock.
+  std::unique_ptr<core::WorkerPool> workers;
+  const auto num_workers =
+      static_cast<std::size_t>(cli.get("workers", std::int64_t{0}));
+  if (num_workers > 0) {
+    core::WorkerPoolOptions wopt;
+    wopt.workers = num_workers;
+    wopt.task_timeout_ms = cli.get("task-timeout-ms", wopt.task_timeout_ms);
+    wopt.max_task_attempts = static_cast<std::size_t>(
+        cli.get("worker-retries", std::int64_t{2}) + 1);
+    workers = std::make_unique<core::WorkerPool>(range, opt.eval, wopt);
+    opt.batch_scorer = [&workers](const std::vector<core::WhiskerTree>& t) {
+      return workers->score_batch(t);
+    };
+  }
+
+  core::WhiskerTree start{};
+  const std::string start_path = cli.get("start", std::string{});
+  if (!start_path.empty()) {
+    if (!resume_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --start and --resume are mutually exclusive\n");
+      return 2;
+    }
+    start = core::WhiskerTree::load(start_path);
+    std::fprintf(stderr,
+                 "warning: --start seeds a fresh search from %s; whisker "
+                 "generations and optimizer progress reset. To continue a "
+                 "checkpointed run bit-identically, use --resume "
+                 "<checkpoint dir or file> instead.\n",
+                 start_path.c_str());
+  }
+
+  ::signal(SIGINT, on_signal);
+  ::signal(SIGTERM, on_signal);
+
+  try {
+    core::Trainer trainer{range, opt};
+    core::TrainResult result;
+    if (!resume_path.empty()) {
+      std::optional<core::TrainerCheckpoint> checkpoint;
+      if (std::filesystem::is_directory(resume_path)) {
+        std::string diagnostics;
+        checkpoint = core::CheckpointStore{resume_path, opt.checkpoint_keep}
+                         .load_latest(&diagnostics);
+        if (!diagnostics.empty()) std::fprintf(stderr, "%s", diagnostics.c_str());
+        if (!checkpoint.has_value()) {
+          std::fprintf(stderr, "error: no valid checkpoint in %s\n",
+                       resume_path.c_str());
+          return 1;
+        }
+      } else {
+        checkpoint = core::TrainerCheckpoint::load(resume_path);
+      }
+      std::printf("resuming from %s (step %llu)\n", resume_path.c_str(),
+                  static_cast<unsigned long long>(checkpoint->step));
+      std::fflush(stdout);
+      result = trainer.resume(*checkpoint);
+    } else {
+      std::printf(
+          "training RemyCC: preset=%s delta=%g\n  range: %s\n  out: %s\n",
+          preset.c_str(), delta, range.describe().c_str(), out.c_str());
+      std::fflush(stdout);
+      result = trainer.run(std::move(start));
+    }
+
+    result.tree.save(out);
+    std::printf(
+        "%s: score %.4f, %zu whiskers, %zu improvements, %zu splits, "
+        "%zu actions evaluated\nsaved to %s\n",
+        result.interrupted ? "interrupted" : "done", result.score,
+        result.tree.num_whiskers(), result.improvements, result.splits,
+        result.actions_evaluated, out.c_str());
+    if (workers != nullptr) {
+      const auto& s = workers->stats();
+      std::printf(
+          "workers: %llu tasks, %llu dispatches, %llu retries, %llu crashes, "
+          "%llu timeouts, %llu respawns, %llu in-process%s\n",
+          static_cast<unsigned long long>(s.tasks),
+          static_cast<unsigned long long>(s.dispatches),
+          static_cast<unsigned long long>(s.retries),
+          static_cast<unsigned long long>(s.crashes),
+          static_cast<unsigned long long>(s.timeouts),
+          static_cast<unsigned long long>(s.respawns),
+          static_cast<unsigned long long>(s.in_process),
+          s.degraded ? " (degraded)" : "");
+    }
+    if (cli.get("digest", false)) {
+      // Full-precision identity line for kill-and-resume comparisons.
+      std::printf("tree digest: %016llx\nfinal score: %.17g\n",
+                  static_cast<unsigned long long>(tree_digest(result.tree)),
+                  result.score);
+    }
+    if (result.interrupted && g_signal != 0) {
+      std::printf("stopped by signal %d after final checkpoint\n",
+                  static_cast<int>(g_signal));
+      std::fflush(stdout);
+      return 128 + static_cast<int>(g_signal);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
