@@ -7,6 +7,7 @@
 #include <map>
 
 #include "aqm/droptail.hh"
+#include "core/spec_json.hh"
 #include "trace/lte_model.hh"
 #include "trace/trace_link.hh"
 #include "util/stats.hh"
@@ -33,6 +34,39 @@ std::vector<std::string> paper_scheme_specs(std::size_t queue_capacity) {
 std::vector<Scheme> paper_schemes(std::size_t queue_capacity) {
   core::install_builtin_schemes();
   return cc::Registry::global().schemes(paper_scheme_specs(queue_capacity));
+}
+
+util::Json FlowSummary::to_json() const {
+  util::JsonObject o;
+  o["run"] = run;
+  o["flow"] = flow;
+  o["throughput_mbps"] = throughput_mbps;
+  o["mean_rtt_ms"] = mean_rtt_ms;
+  o["mean_queue_delay_ms"] = mean_queue_delay_ms;
+  o["retransmissions"] = retransmissions;
+  o["timeouts"] = timeouts;
+  o["bytes_delivered"] = bytes_delivered;
+  return util::Json{std::move(o)};
+}
+
+FlowSummary FlowSummary::from_json(const util::Json& j) {
+  core::spec_detail::expect_keys(
+      j,
+      {"run", "flow", "throughput_mbps", "mean_rtt_ms", "mean_queue_delay_ms",
+       "retransmissions", "timeouts", "bytes_delivered"},
+      "flow summary");
+  FlowSummary out;
+  out.run = static_cast<std::size_t>(j.at("run").as_number());
+  out.flow = static_cast<std::uint64_t>(j.at("flow").as_number());
+  out.throughput_mbps = j.at("throughput_mbps").as_number();
+  out.mean_rtt_ms = j.at("mean_rtt_ms").as_number();
+  out.mean_queue_delay_ms = j.at("mean_queue_delay_ms").as_number();
+  out.retransmissions =
+      static_cast<std::uint64_t>(j.at("retransmissions").as_number());
+  out.timeouts = static_cast<std::uint64_t>(j.at("timeouts").as_number());
+  out.bytes_delivered =
+      static_cast<std::uint64_t>(j.at("bytes_delivered").as_number());
+  return out;
 }
 
 double SchemeSummary::median_throughput() const {
@@ -74,12 +108,28 @@ Scenario make_scenario(const core::ScenarioSpec& spec) {
   s.runs = spec.runs;
   s.seed0 = spec.seed0;
   s.default_queue = cc::Registry::global().queue_factory(spec.queue);
-  if (spec.link.kind == core::LinkSpec::Kind::kLte) {
+  if (spec.link.kind != core::LinkSpec::Kind::kFixed) {
     // One trace per experiment, replayed cyclically: every scheme and run
     // sees identical link behavior shifted only by the workload seed.
-    auto shared_trace = std::make_shared<trace::Trace>(
-        trace::generate_lte_trace(spec.link.lte, spec.link.trace_duration_ms,
-                                  util::Rng{spec.link.trace_seed}));
+    std::shared_ptr<trace::Trace> shared_trace;
+    if (spec.link.kind == core::LinkSpec::Kind::kLte) {
+      shared_trace = std::make_shared<trace::Trace>(
+          trace::generate_lte_trace(spec.link.lte, spec.link.trace_duration_ms,
+                                    util::Rng{spec.link.trace_seed}));
+    } else {
+      // Mahimahi-format file: as-is if the path exists, else under the
+      // shipped data directory.
+      std::string path = spec.link.file;
+      if (!std::filesystem::exists(path)) {
+        path = std::string{REMY_DATA_DIR} + "/" + spec.link.file;
+      }
+      if (!std::filesystem::exists(path)) {
+        throw std::runtime_error{"trace file not found: " + spec.link.file +
+                                 " (nor " + path + ")"};
+      }
+      shared_trace =
+          std::make_shared<trace::Trace>(trace::Trace::from_file(path));
+    }
     s.make_bottleneck =
         [shared_trace](std::unique_ptr<sim::QueueDisc> queue,
                        sim::PacketSink* downstream)
@@ -148,18 +198,27 @@ sim::DumbbellConfig per_run_config(const Scenario& scenario,
 
 namespace {
 
-/// Runs `net` for the scenario duration and pools per-flow points via `emit`.
+/// Runs `net` for the scenario duration and pools per-flow points via
+/// `emit(run, flow, stats, point)`.
 template <typename Emit>
 void run_and_collect(const Scenario& scenario, sim::TopologyRunner& net,
-                     Emit&& emit) {
+                     std::size_t run, Emit&& emit) {
   net.run_for_seconds(scenario.duration_s);
   sim::MetricsHub& metrics = net.metrics();
   for (sim::FlowId f = 0; f < metrics.num_flows(); ++f) {
     const sim::FlowStats& fs = metrics.flow(f);
     if (fs.on_time_ms <= 0.0) continue;  // never participated
-    emit(f, Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(),
-                  fs.avg_rtt_ms()});
+    emit(run, f, fs,
+         Point{fs.throughput_mbps(), fs.avg_queue_delay_ms(), fs.avg_rtt_ms()});
   }
+}
+
+/// Attaches the scenario's telemetry tracer (if requested) to a freshly
+/// built runner, before its first run.
+void maybe_attach_tracer(const Scenario& scenario, sim::TopologyRunner& net) {
+  if (scenario.trace_interval_ms <= 0.0) return;
+  net.attach_tracer(sim::FlowTracer::Config{scenario.trace_interval_ms,
+                                            scenario.trace_capacity});
 }
 
 /// All of a scheme's runs. Consecutive runs of one scheme differ only by the
@@ -172,17 +231,26 @@ void run_all(const Scenario& scenario, const Scheme& scheme,
   if (scenario.arena && scenario.runs > 0) {
     const sim::Topology topo = make_run_topology(scenario, scheme, 0);
     sim::TopologyRunner net{topo, make_sender};
+    maybe_attach_tracer(scenario, net);
     for (std::size_t run = 0; run < scenario.runs; ++run) {
       if (run > 0) net.reset(scenario.seed0 + run);
-      run_and_collect(scenario, net, emit);
+      run_and_collect(scenario, net, run, emit);
     }
     return;
   }
   for (std::size_t run = 0; run < scenario.runs; ++run) {
     const sim::Topology topo = make_run_topology(scenario, scheme, run);
     sim::TopologyRunner net{topo, make_sender};
-    run_and_collect(scenario, net, emit);
+    maybe_attach_tracer(scenario, net);
+    run_and_collect(scenario, net, run, emit);
   }
+}
+
+FlowSummary flow_summary(std::size_t run, sim::FlowId f,
+                         const sim::FlowStats& fs, const Point& p) {
+  return FlowSummary{run,          f,           p.throughput_mbps,
+                     p.rtt_ms,     p.queue_delay_ms,
+                     fs.retransmissions, fs.timeouts, fs.bytes_delivered};
 }
 
 }  // namespace
@@ -192,7 +260,10 @@ SchemeSummary run_scheme(const Scenario& scenario, const Scheme& scheme) {
   out.scheme = scheme.name;
   run_all(
       scenario, scheme, [&](sim::FlowId) { return scheme.make_sender(); },
-      [&](sim::FlowId, Point p) { out.points.push_back(p); });
+      [&](std::size_t run, sim::FlowId f, const sim::FlowStats& fs, Point p) {
+        out.points.push_back(p);
+        out.flows.push_back(flow_summary(run, f, fs, p));
+      });
   return out;
 }
 
@@ -202,15 +273,17 @@ std::vector<SchemeSummary> run_mixed(const Scenario& scenario,
   std::map<std::string, std::size_t> index;
   for (const auto& s : per_flow) {
     if (index.emplace(s.name, out.size()).second) {
-      out.push_back(SchemeSummary{s.name, {}});
+      out.push_back(SchemeSummary{s.name, {}, {}});
     }
   }
   const Scheme scenario_default{};  // mixed flows share the default queue
   run_all(
       scenario, scenario_default,
       [&](sim::FlowId f) { return per_flow[f % per_flow.size()].make_sender(); },
-      [&](sim::FlowId f, Point p) {
-        out[index.at(per_flow[f % per_flow.size()].name)].points.push_back(p);
+      [&](std::size_t run, sim::FlowId f, const sim::FlowStats& fs, Point p) {
+        SchemeSummary& s = out[index.at(per_flow[f % per_flow.size()].name)];
+        s.points.push_back(p);
+        s.flows.push_back(flow_summary(run, f, fs, p));
       });
   return out;
 }
@@ -235,6 +308,9 @@ void apply_cli(const util::Cli& cli, Scenario& scenario,
       cli.get("runs", static_cast<std::int64_t>(scenario.runs)));
   scenario.duration_s = cli.get("duration", scenario.duration_s);
   scenario.arena = cli.get("arena", scenario.arena);
+  scenario.trace_interval_ms =
+      cli.get("trace-interval", scenario.trace_interval_ms);
+  scenario.flow_stats = cli.get("flow-stats", scenario.flow_stats);
 }
 
 namespace {
@@ -338,6 +414,13 @@ util::Json results_json(const SpecRun& run) {
           util::Json{p.rtt_ms}});
     }
     s["points"] = std::move(points);
+    // Opt-in (--flow-stats): the default document stays byte-identical to
+    // the digest-blessed output.
+    if (run.scenario.flow_stats) {
+      util::JsonArray flows;
+      for (const auto& f : r.flows) flows.push_back(f.to_json());
+      s["flows"] = std::move(flows);
+    }
     schemes.emplace_back(std::move(s));
   }
   o["schemes"] = std::move(schemes);

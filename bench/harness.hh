@@ -24,6 +24,10 @@
 //                         (TopologyRunner::reset per run) instead of
 //                         rebuilding the graph; results are bit-identical
 //   --json FILE           also write machine-readable results
+//   --flow-stats          add per-flow summaries to the JSON (off by
+//                         default so digest-blessed output stays identical)
+//   --trace-interval MS   attach a FlowTracer sampling every flow at this
+//                         period (telemetry only; replay stays bit-identical)
 #pragma once
 
 #include <cstdint>
@@ -67,9 +71,28 @@ struct Point {
   double rtt_ms = 0.0;
 };
 
+/// Per-flow cumulative stats from one run, for machine-readable output
+/// (remy-run --json --flow-stats) and the coexistence matrix.
+struct FlowSummary {
+  std::size_t run = 0;       ///< run index within the scheme's sweep
+  std::uint64_t flow = 0;    ///< FlowId within the run
+  double throughput_mbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  double mean_queue_delay_ms = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  util::Json to_json() const;
+  /// Strict: unknown keys are an error.
+  static FlowSummary from_json(const util::Json& j);
+  friend bool operator==(const FlowSummary&, const FlowSummary&) = default;
+};
+
 struct SchemeSummary {
   std::string scheme;
   std::vector<Point> points;  ///< one per sender per run
+  std::vector<FlowSummary> flows;  ///< same order as points
 
   double median_throughput() const;
   double median_delay() const;
@@ -99,6 +122,14 @@ struct Scenario {
   std::function<std::unique_ptr<sim::Bottleneck>(
       std::unique_ptr<sim::QueueDisc>, sim::PacketSink*)>
       make_bottleneck;
+  /// > 0: attach a sim::FlowTracer sampling every flow at this period.
+  /// The tracer registers after every other component, so traced runs
+  /// replay bit-identically (--trace-interval on any spec-driven bench).
+  sim::TimeMs trace_interval_ms = 0.0;
+  std::size_t trace_capacity = 4096;  ///< tracer ring size per flow
+  /// Emit per-flow summaries into results_json (--flow-stats). Off by
+  /// default: the default output stays byte-identical for digest replay.
+  bool flow_stats = false;
 };
 
 /// Materializes a spec: workload distributions, default queue via the

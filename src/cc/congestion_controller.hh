@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "sim/packet.hh"
+#include "sim/telemetry.hh"
 #include "sim/time.hh"
 
 namespace remy::cc {
@@ -123,6 +124,12 @@ class CongestionController {
   virtual void prepare_packet(sim::Packet& p) { (void)p; }
   /// Minimum spacing between successive sends (RemyCC's action r); 0 = none.
   virtual sim::TimeMs pacing_interval_ms() const { return 0.0; }
+  /// Instrumentation only: annotate a telemetry frame being sampled by a
+  /// sim::FlowTracer, after the hosting transport filled the shared fields
+  /// (scheme-specific state can override or extend them). Strictly
+  /// read-only — traced runs must replay bit-identically to untraced ones,
+  /// so this hook must not mutate controller or transport state.
+  virtual void on_sample(sim::TelemetryFrame& frame) const { (void)frame; }
 
  protected:
   /// Clamped to [1, max_cwnd].

@@ -84,6 +84,17 @@ void Transport::reset_run() {
   // hub slots are stable across MetricsHub::reset().
 }
 
+bool Transport::sample_telemetry(sim::TelemetryFrame& frame) const {
+  frame.flow_on = active_;
+  frame.cwnd = controller_->cwnd();
+  frame.srtt_ms = srtt_;
+  frame.min_rtt_ms = min_rtt_.value_or(0.0);
+  frame.inflight = static_cast<double>(inflight());
+  frame.pacing_ms = controller_->pacing_interval_ms();
+  controller_->on_sample(frame);
+  return true;
+}
+
 void Transport::send_segment(sim::SeqNum seq, sim::TimeMs now,
                              bool is_retransmit) {
   sim::Packet p;
@@ -185,6 +196,9 @@ void Transport::accept(sim::Packet&& ack, sim::TimeMs now) {
 
   const sim::TimeMs rtt_sample = now - ack.echo_tick_sent;
   update_rtt(rtt_sample, now);
+  if (ack.ecn_echo) {
+    if (sim::FlowStats* fs = stats()) ++fs->ecn_echoes;
+  }
 
   std::uint64_t newly_acked = 0;
   bool is_dup = false;

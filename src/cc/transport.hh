@@ -38,6 +38,7 @@ class Transport final : public sim::Sender, public TransportView {
   sim::TimeMs next_event_time() const override;
   void tick(sim::TimeMs now) override;
   void reset_run() override;
+  bool sample_telemetry(sim::TelemetryFrame& frame) const override;
 
   // --- TransportView (also the test/bench inspection surface) ------------
   const TransportConfig& config() const noexcept override { return config_; }

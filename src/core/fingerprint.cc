@@ -1,0 +1,450 @@
+#include "core/fingerprint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aqm/droptail.hh"
+#include "cc/registry.hh"
+#include "core/scheme_registry.hh"
+#include "core/spec_json.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
+
+namespace remy::core {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonError;
+using util::JsonObject;
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double stdev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean_of(v);
+  double sum = 0.0;
+  for (const double x : v) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(v.size()));
+}
+
+/// Pearson correlation; 0 when either side is (near-)constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 3) return 0.0;
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Interpolated percentile of an unsorted sample, p in [0, 1].
+double percentile_of(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// A multiplicative window cut (vs. sampling noise / sub-segment jitter).
+constexpr double kDecreaseRatio = 0.85;
+
+/// Below this ratio a decrease is a collapse (timeout / multi-loss), not
+/// the scheme's multiplicative beta — tracked as a separate feature so a
+/// bad run cannot drag the backoff median to ~0.
+constexpr double kCollapseRatio = 0.3;
+
+}  // namespace
+
+const std::array<const char*, TraceFeatures::kCount>& TraceFeatures::names() {
+  static const std::array<const char*, kCount> kNames{
+      "cwnd_mean_log",       "cwnd_cv",
+      "growth_rate_log",     "growth_per_rtt",
+      "growth_per_rtt_spread", "growth_convexity",
+      "backoff_ratio",       "decrease_rate",
+      "rtt_gradient_corr",   "rtt_inflation",
+      "srtt_cv",             "pacing_fraction",
+      "ecn_rate",            "retrans_rate",
+      "inflight_utilization", "collapse_rate"};
+  return kNames;
+}
+
+TraceFeatures TraceFeatures::from_series(
+    const std::vector<sim::TelemetryFrame>& s) {
+  TraceFeatures out{};
+  std::vector<sim::TelemetryFrame> f;
+  for (const auto& frame : s) {
+    if (frame.flow_on && frame.cwnd > 0) f.push_back(frame);
+  }
+  if (f.size() < 8) return out;
+
+  const double duration_s = (f.back().t_ms - f.front().t_ms) / 1000.0;
+  if (duration_s <= 0.0) return out;
+
+  std::vector<double> cwnd;
+  std::vector<double> srtt;
+  std::vector<double> utilization;
+  double rtt_inflation_sum = 0.0;
+  std::size_t paced = 0;
+  for (const auto& frame : f) {
+    cwnd.push_back(frame.cwnd);
+    srtt.push_back(frame.srtt_ms);
+    utilization.push_back(std::min(frame.inflight / frame.cwnd, 2.0));
+    rtt_inflation_sum += (frame.srtt_ms - frame.min_rtt_ms) /
+                         std::max(frame.min_rtt_ms, 1.0);
+    if (frame.pacing_ms > 0) ++paced;
+  }
+
+  // Window dynamics: growth between consecutive samples, multiplicative
+  // decreases, and how growth increments evolve with time since the last
+  // cut (convex for slow start / Cubic's late phase, flat for AIMD).
+  // Per-RTT-normalized growth is the sharpest family discriminator:
+  // Reno-style congestion avoidance adds exactly one packet per RTT
+  // (median 1, near-zero spread), Compound's delay window adds more, and
+  // Cubic's window-curve increments vary with time since the cut.
+  double growth_sum = 0.0;
+  std::size_t decreases = 0;
+  std::size_t collapses = 0;
+  std::vector<double> backoff_ratios;
+  std::vector<double> growth_steps;
+  std::vector<double> growth_per_rtt;
+  std::vector<double> time_since_cut;
+  std::vector<double> dcwnd_resp;
+  std::vector<double> prior_dsrtt;
+  sim::TimeMs last_cut_ms = f.front().t_ms;
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    const double d = cwnd[i] - cwnd[i - 1];
+    const double dt_ms = f[i].t_ms - f[i - 1].t_ms;
+    if (d > 0) {
+      growth_sum += d;
+      growth_steps.push_back(d);
+      if (dt_ms > 0 && srtt[i] > 0) {
+        growth_per_rtt.push_back(d * srtt[i] / dt_ms);
+      }
+      time_since_cut.push_back(f[i].t_ms - last_cut_ms);
+    }
+    if (cwnd[i] < kDecreaseRatio * cwnd[i - 1]) {
+      const double ratio = cwnd[i] / cwnd[i - 1];
+      if (ratio >= kCollapseRatio) {
+        backoff_ratios.push_back(ratio);
+        ++decreases;
+      } else {
+        ++collapses;
+      }
+      last_cut_ms = f[i].t_ms;
+    }
+    if (i >= 2 && srtt[i - 1] > 0 && srtt[i - 2] > 0) {
+      dcwnd_resp.push_back(d);
+      prior_dsrtt.push_back(srtt[i - 1] - srtt[i - 2]);
+    }
+  }
+
+  const double cwnd_mean = mean_of(cwnd);
+  const double srtt_mean = mean_of(srtt);
+  const std::uint64_t ecn =
+      f.back().ecn_echoes - f.front().ecn_echoes;
+  const std::uint64_t retrans =
+      f.back().retransmissions - f.front().retransmissions;
+
+  out.values[0] = std::log1p(cwnd_mean);
+  out.values[1] = cwnd_mean > 0 ? stdev_of(cwnd) / cwnd_mean : 0.0;
+  out.values[2] = std::log1p(growth_sum / duration_s);
+  out.values[3] = std::log1p(percentile_of(growth_per_rtt, 0.5));
+  out.values[4] = std::log1p(percentile_of(growth_per_rtt, 0.9) -
+                             percentile_of(growth_per_rtt, 0.1));
+  out.values[5] = pearson(growth_steps, time_since_cut);
+  // Median backoff is robust to timeout collapses and slow-start
+  // overshoot, which would drag a mean far below the scheme's beta.
+  out.values[6] = decreases > 0 ? percentile_of(backoff_ratios, 0.5) : 1.0;
+  out.values[7] = static_cast<double>(decreases) / duration_s;
+  out.values[8] = pearson(dcwnd_resp, prior_dsrtt);
+  out.values[9] = rtt_inflation_sum / static_cast<double>(f.size());
+  out.values[10] = srtt_mean > 0 ? stdev_of(srtt) / srtt_mean : 0.0;
+  out.values[11] = static_cast<double>(paced) / static_cast<double>(f.size());
+  out.values[12] = std::log1p(static_cast<double>(ecn) / duration_s);
+  out.values[13] = std::log1p(static_cast<double>(retrans) / duration_s);
+  out.values[14] = mean_of(utilization);
+  out.values[15] = static_cast<double>(collapses) / duration_s;
+  return out;
+}
+
+std::vector<sim::TelemetryFrame> collect_trace(
+    const std::string& spec, const FingerprintRunOptions& options) {
+  install_builtin_schemes();
+  const cc::SchemeHandle scheme = cc::Registry::global().scheme(spec);
+
+  sim::DumbbellTopo params;
+  params.num_senders = options.num_flows;
+  params.link_mbps = options.link_mbps;
+  params.rtt_ms = options.rtt_ms;
+  params.queue_factory = scheme.make_queue;  // null: the default below
+  sim::Topology topo = sim::Topology::dumbbell(params);
+  topo.seed = options.seed;
+  // The probed flow runs continuously; the rest are seed-varied on/off
+  // cross traffic, so the probe exhibits both its steady-state law and its
+  // reaction to arriving and departing competitors. Uniform (not
+  // heavy-tailed) burst sizes and gaps keep the aggregate load comparable
+  // across seeds — the seed varies the phase of the perturbations, not
+  // the character of the run, which keeps each scheme's feature cloud
+  // tight enough for held-out classification.
+  topo.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::uniform(100000.0, 300000.0),
+      workload::Distribution::uniform(250.0, 750.0));
+  topo.flows.at(0).workload = sim::OnOffConfig::always_on();
+  topo.default_queue = [cap = options.queue_packets] {
+    return std::make_unique<aqm::DropTail>(cap);
+  };
+
+  sim::TopologyRunner net{topo,
+                          [&](sim::FlowId) { return scheme.make_sender(); }};
+  sim::FlowTracer::Config cfg;
+  cfg.interval_ms = options.sample_interval_ms;
+  cfg.capacity = static_cast<std::size_t>(options.duration_s * 1000.0 /
+                                          options.sample_interval_ms) +
+                 2;
+  sim::FlowTracer& tracer = net.attach_tracer(cfg);
+  net.run_for_seconds(options.duration_s);
+  return tracer.series(0);
+}
+
+void Fingerprint::train(
+    const std::vector<std::pair<std::string, TraceFeatures>>& data) {
+  if (data.empty()) {
+    throw std::invalid_argument{"Fingerprint: empty training set"};
+  }
+  // Global spread per feature, used only as a floor for the per-class
+  // spreads: a feature a class reproduces near-deterministically (the
+  // backoff ratio) must not blow up the metric on measurement jitter, so
+  // its spread is floored at 5% of the population spread.
+  std::array<double, TraceFeatures::kCount> global_mean{};
+  std::array<double, TraceFeatures::kCount> global_sd{};
+  for (const auto& [label, features] : data) {
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      global_mean[k] += features.values[k];
+    }
+  }
+  for (double& m : global_mean) m /= static_cast<double>(data.size());
+  for (const auto& [label, features] : data) {
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      const double d = features.values[k] - global_mean[k];
+      global_sd[k] += d * d;
+    }
+  }
+  for (double& s : global_sd) {
+    s = std::sqrt(s / static_cast<double>(data.size()));
+  }
+  for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+    floor_[k] = global_sd[k] < 1e-9 ? 1.0 : 0.05 * global_sd[k];
+  }
+
+  centroids_.clear();
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [label, features] : data) {
+    auto& stats = centroids_[label];  // value-initialized to zeros
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      stats.centroid[k] += features.values[k];
+    }
+    ++counts[label];
+  }
+  for (auto& [label, stats] : centroids_) {
+    for (double& c : stats.centroid) c /= static_cast<double>(counts.at(label));
+  }
+  for (const auto& [label, features] : data) {
+    auto& stats = centroids_.at(label);
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      const double d = features.values[k] - stats.centroid[k];
+      stats.spread[k] += d * d;
+    }
+  }
+  for (auto& [label, stats] : centroids_) {
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      const double s =
+          std::sqrt(stats.spread[k] / static_cast<double>(counts.at(label)));
+      stats.spread[k] = std::max(s, floor_[k]);
+    }
+  }
+}
+
+std::vector<std::string> Fingerprint::schemes() const {
+  std::vector<std::string> out;
+  for (const auto& [label, stats] : centroids_) out.push_back(label);
+  return out;
+}
+
+Fingerprint::Match Fingerprint::classify(const TraceFeatures& features) const {
+  if (centroids_.empty()) {
+    throw std::logic_error{"Fingerprint: classify before train/load"};
+  }
+  Match best;
+  double runner_up = 0.0;
+  std::size_t seen = 0;
+  for (const auto& [label, stats] : centroids_) {
+    // Diagonal-Gaussian score: normalized squared distance plus the
+    // class's width penalty (nonnegative, since spread >= floor).
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      const double z =
+          (features.values[k] - stats.centroid[k]) / stats.spread[k];
+      d2 += z * z + 2.0 * std::log(stats.spread[k] / floor_[k]);
+    }
+    const double d = std::sqrt(d2);
+    if (seen == 0 || d < best.distance) {
+      if (seen > 0) runner_up = seen == 1 ? best.distance
+                                          : std::min(runner_up, best.distance);
+      best.scheme = label;
+      best.distance = d;
+    } else {
+      runner_up = seen == 1 ? d : std::min(runner_up, d);
+    }
+    ++seen;
+  }
+  best.margin = seen > 1 ? runner_up - best.distance : 0.0;
+  return best;
+}
+
+Json Fingerprint::to_json() const {
+  JsonObject o;
+  o["format"] = "remy-fingerprints";
+  o["version"] = 1.0;
+  JsonArray names;
+  for (const char* n : TraceFeatures::names()) names.emplace_back(n);
+  o["features"] = std::move(names);
+  JsonArray floor;
+  for (const double f : floor_) floor.emplace_back(f);
+  o["floor"] = std::move(floor);
+  JsonObject centroids;
+  for (const auto& [label, stats] : centroids_) {
+    JsonObject c;
+    JsonArray mean;
+    JsonArray spread;
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      mean.emplace_back(stats.centroid[k]);
+      spread.emplace_back(stats.spread[k]);
+    }
+    c["mean"] = std::move(mean);
+    c["spread"] = std::move(spread);
+    centroids[label] = std::move(c);
+  }
+  o["centroids"] = std::move(centroids);
+  return Json{std::move(o)};
+}
+
+namespace {
+
+std::array<double, TraceFeatures::kCount> number_array(const Json& j,
+                                                       const char* what) {
+  const JsonArray& a = j.as_array();
+  if (a.size() != TraceFeatures::kCount) {
+    throw JsonError{std::string{"fingerprints: "} + what + " has " +
+                    std::to_string(a.size()) + " entries, want " +
+                    std::to_string(TraceFeatures::kCount)};
+  }
+  std::array<double, TraceFeatures::kCount> out{};
+  for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+    out[k] = a[k].as_number();
+  }
+  return out;
+}
+
+}  // namespace
+
+Fingerprint Fingerprint::from_json(const Json& j) {
+  spec_detail::expect_keys(
+      j, {"format", "version", "features", "floor", "centroids"},
+      "fingerprints");
+  if (j.at("format").as_string() != "remy-fingerprints") {
+    throw JsonError{"fingerprints: bad format \"" +
+                    j.at("format").as_string() + "\""};
+  }
+  if (j.at("version").as_number() != 1.0) {
+    throw JsonError{"fingerprints: unsupported version"};
+  }
+  const JsonArray& names = j.at("features").as_array();
+  if (names.size() != TraceFeatures::kCount) {
+    throw JsonError{"fingerprints: feature count mismatch"};
+  }
+  for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+    if (names[k].as_string() != TraceFeatures::names()[k]) {
+      throw JsonError{"fingerprints: feature \"" + names[k].as_string() +
+                      "\" does not match this build's extractor (want \"" +
+                      TraceFeatures::names()[k] + "\")"};
+    }
+  }
+  Fingerprint out;
+  out.floor_ = number_array(j.at("floor"), "floor");
+  for (const double f : out.floor_) {
+    if (f <= 0.0) throw JsonError{"fingerprints: non-positive floor"};
+  }
+  for (const auto& [label, stats] : j.at("centroids").as_object()) {
+    spec_detail::expect_keys(stats, {"mean", "spread"},
+                             ("centroid \"" + label + "\"").c_str());
+    ClassStats cs;
+    cs.centroid =
+        number_array(stats.at("mean"), ("centroid \"" + label + "\"").c_str());
+    cs.spread =
+        number_array(stats.at("spread"), ("spread \"" + label + "\"").c_str());
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      if (cs.spread[k] < out.floor_[k]) {
+        throw JsonError{"fingerprints: spread below floor for \"" + label +
+                        "\""};
+      }
+    }
+    out.centroids_[label] = cs;
+  }
+  if (out.centroids_.empty()) {
+    throw JsonError{"fingerprints: no centroids"};
+  }
+  return out;
+}
+
+Fingerprint Fingerprint::load(const std::string& path) {
+  try {
+    return from_json(util::json_from_file(path));
+  } catch (const JsonError& e) {
+    throw JsonError{path + ": " + e.what()};
+  }
+}
+
+void Fingerprint::save(const std::string& path) const {
+  util::json_to_file(to_json(), path);
+}
+
+std::vector<std::string> fingerprint_scheme_specs() {
+  return {"newreno", "vegas",         "cubic", "compound",
+          "cubic-sfqcodel", "xcp",   "dctcp", "remy:delta=1"};
+}
+
+Fingerprint train_fingerprints(const FingerprintRunOptions& options,
+                               const std::vector<std::uint64_t>& seeds) {
+  std::vector<std::pair<std::string, TraceFeatures>> data;
+  for (const std::string& spec : fingerprint_scheme_specs()) {
+    for (const std::uint64_t seed : seeds) {
+      FingerprintRunOptions opt = options;
+      opt.seed = seed;
+      data.emplace_back(spec,
+                        TraceFeatures::from_series(collect_trace(spec, opt)));
+    }
+  }
+  Fingerprint model;
+  model.train(data);
+  return model;
+}
+
+}  // namespace remy::core

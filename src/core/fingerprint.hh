@@ -1,0 +1,134 @@
+// Scheme fingerprinting: identify which congestion-control scheme produced
+// a flow's telemetry trace.
+//
+// A sim::FlowTracer time series is reduced to a fixed feature vector
+// (TraceFeatures) capturing the control law's signature — AIMD slope and
+// convexity, multiplicative-backoff ratio, RTT-gradient response, pacing
+// periodicity, ECN/retransmission rates — and classified against
+// per-scheme centroids learned from the schemes' own runs (nearest
+// centroid under per-class spread normalization). The trained model
+// round-trips through JSON and ships as data/fingerprints.json, so a
+// foreign trace can be identified without re-running the training sweep.
+//
+// Everything here is deterministic: training runs are seeded simulations,
+// feature extraction is pure arithmetic over the sampled frames, and the
+// model stores its centroids in ordered containers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/telemetry.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+
+/// A fixed-length feature vector summarizing one flow's telemetry series.
+struct TraceFeatures {
+  static constexpr std::size_t kCount = 16;
+  std::array<double, kCount> values{};
+
+  /// Stable feature names, index-aligned with `values` (serialized into
+  /// the model so a stale file fails loudly instead of misclassifying).
+  static const std::array<const char*, kCount>& names();
+
+  /// Extracts features from a sampled series (oldest first, as returned by
+  /// FlowTracer::series). Frames where the flow is off or cwnd is zero are
+  /// ignored; fewer than 8 usable frames yields the all-zero vector.
+  static TraceFeatures from_series(const std::vector<sim::TelemetryFrame>& s);
+
+  friend bool operator==(const TraceFeatures&, const TraceFeatures&) = default;
+};
+
+/// Parameters of one fingerprinting run (a seeded dumbbell simulation with
+/// the probed flow always-on against on/off cross traffic).
+struct FingerprintRunOptions {
+  // A short-RTT, shallow-queue bottleneck keeps AIMD epochs down to ~1 s,
+  // so a 16 s probe observes enough window cuts to estimate the backoff
+  // ratio and growth law reliably. Two independent cross flows (rather
+  // than one) keep any single competitor from synchronizing the probe
+  // into an all-flows loss-collapse cycle, which would make the probed
+  // scheme's feature cloud bimodal.
+  double link_mbps = 10.0;
+  sim::TimeMs rtt_ms = 40.0;
+  std::size_t num_flows = 3;       ///< flow 0 is probed; others are cross
+  std::size_t queue_packets = 48;  ///< default DropTail capacity
+  double duration_s = 16.0;
+  sim::TimeMs sample_interval_ms = 10.0;
+  std::uint64_t seed = 1;
+};
+
+/// Runs scheme `spec` (registry spec string) under `options` and returns
+/// the probed flow's telemetry series.
+std::vector<sim::TelemetryFrame> collect_trace(
+    const std::string& spec, const FingerprintRunOptions& options);
+
+/// Nearest-centroid classifier over per-class-normalized trace features.
+///
+/// Each scheme's centroid carries its own per-feature spread (the class's
+/// standard deviation over the training runs, floored at 5% of the global
+/// spread), and a trace is assigned to the centroid with the smallest
+/// spread-normalized Euclidean distance plus a width penalty of
+/// 2·ln(spread/floor) per feature — the diagonal-Gaussian log-likelihood,
+/// so a class cannot buy proximity to everything by being wide. The
+/// per-class spread matters: some schemes are bimodal on noisy features
+/// (Cubic's loss-storm vs calm runs differ sharply in cwnd variability)
+/// while near-deterministic on the discriminating ones (its 0.7 backoff
+/// ratio), and a single shared scale could not serve both.
+class Fingerprint {
+ public:
+  struct Match {
+    std::string scheme;
+    double distance = 0.0;  ///< to the winning centroid (normalized space)
+    double margin = 0.0;    ///< runner-up distance minus winning distance
+  };
+
+  /// Trains from labeled feature vectors (several per scheme). Computes one
+  /// centroid and per-feature spread per scheme label.
+  /// Throws std::invalid_argument on an empty training set.
+  void train(const std::vector<std::pair<std::string, TraceFeatures>>& data);
+
+  bool trained() const noexcept { return !centroids_.empty(); }
+  /// Scheme labels, sorted.
+  std::vector<std::string> schemes() const;
+
+  /// Nearest centroid; throws std::logic_error when untrained.
+  Match classify(const TraceFeatures& features) const;
+  Match classify_series(const std::vector<sim::TelemetryFrame>& series) const {
+    return classify(TraceFeatures::from_series(series));
+  }
+
+  util::Json to_json() const;
+  /// Strict: validates format/version and that the feature names match
+  /// this build's extractor.
+  static Fingerprint from_json(const util::Json& j);
+
+  static Fingerprint load(const std::string& path);
+  void save(const std::string& path) const;
+
+ private:
+  struct ClassStats {
+    std::array<double, TraceFeatures::kCount> centroid{};
+    std::array<double, TraceFeatures::kCount> spread{};
+  };
+  /// The per-feature spread floor (5% of the training population's
+  /// spread); the width penalty is measured relative to it.
+  std::array<double, TraceFeatures::kCount> floor_{};
+  std::map<std::string, ClassStats> centroids_;
+};
+
+/// The registry specs of the eight scheme families the shipped model
+/// distinguishes (one representative per family).
+std::vector<std::string> fingerprint_scheme_specs();
+
+/// Trains a model from the schemes' own runs: every spec in
+/// fingerprint_scheme_specs() is simulated once per seed and the labeled
+/// features are fed to Fingerprint::train.
+Fingerprint train_fingerprints(const FingerprintRunOptions& options,
+                               const std::vector<std::uint64_t>& seeds);
+
+}  // namespace remy::core

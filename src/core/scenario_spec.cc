@@ -197,10 +197,22 @@ LinkSpec LinkSpec::lte_preset(const std::string& preset_name,
   return out;
 }
 
+LinkSpec LinkSpec::trace_file(std::string path) {
+  LinkSpec out;
+  out.kind = Kind::kTraceFile;
+  out.file = std::move(path);
+  return out;
+}
+
 Json LinkSpec::to_json() const {
   JsonObject o;
   if (kind == Kind::kFixed) {
     o["kind"] = "fixed";
+    return Json{std::move(o)};
+  }
+  if (kind == Kind::kTraceFile) {
+    o["kind"] = "trace";
+    o["file"] = file;
     return Json{std::move(o)};
   }
   o["kind"] = "lte";
@@ -219,9 +231,18 @@ LinkSpec LinkSpec::from_json(const Json& j) {
     out.kind = Kind::kFixed;
     return out;
   }
+  if (kind == "trace") {
+    expect_keys(j, {"kind", "file"}, "link");
+    out.kind = Kind::kTraceFile;
+    out.file = j.at("file").as_string();
+    if (out.file.empty()) {
+      throw JsonError{"scenario spec: trace link needs a non-empty \"file\""};
+    }
+    return out;
+  }
   if (kind != "lte") {
     throw JsonError{"scenario spec: unknown link kind \"" + kind +
-                    "\" (want fixed | lte)"};
+                    "\" (want fixed | lte | trace)"};
   }
   expect_keys(j, {"kind", "preset", "trace_seed", "trace_duration_ms", "params"},
               "link");
@@ -293,17 +314,19 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   out.topology = TopologySpec::from_json(j.at("topology"));
 
   if (j.contains("link")) out.link = LinkSpec::from_json(j.at("link"));
-  if (out.link.kind == LinkSpec::Kind::kLte &&
-      out.topology.preset != "dumbbell" && !out.topology.wants_trace_link()) {
+  const bool trace_driven = out.link.kind != LinkSpec::Kind::kFixed;
+  if (trace_driven && out.topology.preset != "dumbbell" &&
+      out.topology.preset != "shared_reverse_cellular" &&
+      !out.topology.wants_trace_link()) {
     throw JsonError{
-        "scenario spec: an LTE link needs the dumbbell preset or a custom "
-        "topology link marked \"trace\": true"};
+        "scenario spec: a trace-driven link (lte or trace) needs the "
+        "dumbbell or shared_reverse_cellular preset, or a custom topology "
+        "link marked \"trace\": true"};
   }
-  if (out.topology.wants_trace_link() &&
-      out.link.kind != LinkSpec::Kind::kLte) {
+  if (out.topology.wants_trace_link() && !trace_driven) {
     throw JsonError{
         "scenario spec: a topology link marked \"trace\" needs a link of "
-        "kind \"lte\""};
+        "kind \"lte\" or \"trace\""};
   }
   out.workload = WorkloadSpec::from_json(j.at("workload"));
   if (j.contains("queue")) out.queue = j.at("queue").as_string();

@@ -69,21 +69,26 @@ struct WorkloadSpec {
 };
 
 /// The bottleneck link: a fixed-rate link (rate given by the topology's
-/// link_mbps) or a trace-driven cellular link generated from the synthetic
-/// LTE model. The trace is generated once per experiment from trace_seed
-/// and replayed cyclically, so every scheme and run sees identical link
-/// behavior (the paper's methodology).
+/// link_mbps), a trace-driven cellular link generated from the synthetic
+/// LTE model, or a recorded Mahimahi-format trace file loaded from disk.
+/// An LTE trace is generated once per experiment from trace_seed and a
+/// file trace is loaded once; either is replayed cyclically, so every
+/// scheme and run sees identical link behavior (the paper's methodology).
 struct LinkSpec {
-  enum class Kind { kFixed, kLte };
+  enum class Kind { kFixed, kLte, kTraceFile };
   Kind kind = Kind::kFixed;
   std::string preset = "verizon";  ///< "verizon" | "att" | "custom"
   trace::LteModelParams lte{};     ///< effective parameters (preset-resolved)
   double trace_duration_ms = 300'000.0;
   std::uint64_t trace_seed = 777;
+  /// kTraceFile: Mahimahi packet-delivery trace, as-is or under
+  /// REMY_DATA_DIR (e.g. "traces/saddle.down").
+  std::string file;
 
   static LinkSpec fixed() { return {}; }
   static LinkSpec lte_preset(const std::string& preset_name,
                              std::uint64_t seed = 777);
+  static LinkSpec trace_file(std::string path);
 
   util::Json to_json() const;
   static LinkSpec from_json(const util::Json& j);

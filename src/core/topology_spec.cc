@@ -176,14 +176,19 @@ TopologySpec TopologySpec::from_json(const Json& j) {
 
   const bool two_hop =
       out.preset == "parking_lot" || out.preset == "cross_traffic";
-  if (out.preset != "dumbbell" && !two_hop && out.preset != "reverse_path") {
+  if (out.preset != "dumbbell" && !two_hop && out.preset != "reverse_path" &&
+      out.preset != "fat_tree_incast" &&
+      out.preset != "shared_reverse_cellular") {
     throw JsonError{"scenario spec: unknown topology preset \"" + out.preset +
                     "\" (want dumbbell | parking_lot | cross_traffic | "
-                    "reverse_path | custom)"};
+                    "reverse_path | fat_tree_incast | "
+                    "shared_reverse_cellular | custom)"};
   }
   forbid(j, {"nodes", "links", "routes"}, out.preset);
   if (out.preset == "dumbbell") forbid(j, {"link2_mbps", "rtt2_ms"}, out.preset);
-  if (out.preset == "reverse_path") forbid(j, {"rtt2_ms"}, out.preset);
+  if (out.preset == "reverse_path" || out.preset == "shared_reverse_cellular") {
+    forbid(j, {"rtt2_ms"}, out.preset);
+  }
   if (out.preset != "dumbbell") forbid(j, {"flow_rtts"}, out.preset);
 
   out.num_senders =
@@ -215,8 +220,8 @@ sim::Topology TopologySpec::materialize(const TopologyBuild& build) const {
   } else if (preset == "parking_lot" || preset == "cross_traffic") {
     if (build.trace_bottleneck) {
       throw std::invalid_argument{
-          "TopologySpec: trace links require the dumbbell preset or an "
-          "explicit trace-marked link"};
+          "TopologySpec: trace links require the dumbbell or "
+          "shared_reverse_cellular preset or an explicit trace-marked link"};
     }
     const sim::TwoHopTopo params{num_senders, link_mbps,
                                  link2_mbps.value_or(link_mbps), rtt_ms,
@@ -226,12 +231,33 @@ sim::Topology TopologySpec::materialize(const TopologyBuild& build) const {
   } else if (preset == "reverse_path") {
     if (build.trace_bottleneck) {
       throw std::invalid_argument{
-          "TopologySpec: trace links require the dumbbell preset or an "
-          "explicit trace-marked link"};
+          "TopologySpec: trace links require the dumbbell or "
+          "shared_reverse_cellular preset or an explicit trace-marked link"};
     }
     topo = sim::Topology::reverse_path(sim::ReversePathTopo{
         num_senders, link_mbps, link2_mbps.value_or(link_mbps), rtt_ms,
         nullptr});
+  } else if (preset == "fat_tree_incast") {
+    if (build.trace_bottleneck) {
+      throw std::invalid_argument{
+          "TopologySpec: trace links require the dumbbell or "
+          "shared_reverse_cellular preset or an explicit trace-marked link"};
+    }
+    sim::FatTreeTopo params;
+    params.num_flows = num_senders;
+    params.leaf_mbps = link_mbps;
+    params.core_mbps = link2_mbps.value_or(link_mbps);
+    params.leaf_rtt_ms = rtt_ms;
+    params.core_rtt_ms = rtt2_ms.value_or(rtt_ms);
+    topo = sim::Topology::fat_tree_incast(params);
+  } else if (preset == "shared_reverse_cellular") {
+    sim::SharedReverseTopo params;
+    params.num_flows = num_senders;
+    params.down_mbps = link_mbps;
+    params.up_mbps = link2_mbps.value_or(link_mbps);
+    params.rtt_ms = rtt_ms;
+    params.down_bottleneck = build.trace_bottleneck;  // may be null (fixed)
+    topo = sim::Topology::shared_reverse_cellular(params);
   } else if (is_custom()) {
     topo.nodes = nodes;
     for (const auto& l : links) {
@@ -283,6 +309,14 @@ std::vector<std::pair<std::string, std::string>> topology_preset_list() {
       {"reverse_path",
        "opposed bottlenecks; flows alternate direction, ACKs queue behind "
        "opposing data (params: + link2_mbps as the reverse rate)"},
+      {"fat_tree_incast",
+       "sender leaves fan in through one aggregation node to a shared core "
+       "link (params: num_senders, link_mbps as the leaf rate, link2_mbps "
+       "as the core rate, rtt_ms, rtt2_ms)"},
+      {"shared_reverse_cellular",
+       "a (possibly trace-driven) downlink opposed by a thin uplink; flows "
+       "alternate direction (params: num_senders, link_mbps as the down "
+       "rate, link2_mbps as the up rate, rtt_ms)"},
       {"custom",
        "explicit graph: nodes, links (id/from/to/rate_mbps/delay_ms/queue/"
        "trace), routes (src/dst/data/ack/workload)"},

@@ -1,6 +1,7 @@
 // The serializable topology section of a ScenarioSpec: either a named
-// preset (dumbbell | parking_lot | cross_traffic | reverse_path) driven by
-// the scalar parameters below, or an explicit node/link/route graph. Both
+// preset (dumbbell | parking_lot | cross_traffic | reverse_path |
+// fat_tree_incast | shared_reverse_cellular) driven by the scalar
+// parameters below, or an explicit node/link/route graph. Both
 // forms round-trip through JSON bit-identically (strict unknown-key
 // rejection, as everywhere in the spec) and materialize into a
 // sim::Topology for the TopologyRunner.
@@ -76,7 +77,8 @@ struct TopologyBuild {
 };
 
 struct TopologySpec {
-  /// dumbbell | parking_lot | cross_traffic | reverse_path | custom.
+  /// dumbbell | parking_lot | cross_traffic | reverse_path |
+  /// fat_tree_incast | shared_reverse_cellular | custom.
   std::string preset = "dumbbell";
 
   // Preset parameters (unused for custom).

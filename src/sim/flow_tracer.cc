@@ -1,0 +1,89 @@
+#include "sim/flow_tracer.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace remy::sim {
+
+FlowTracer::FlowTracer(Config config, std::vector<Sender*> senders,
+                       MetricsHub* metrics)
+    : config_{config}, senders_{std::move(senders)} {
+  if (config_.interval_ms <= 0.0) {
+    throw std::invalid_argument{"FlowTracer: interval_ms must be > 0"};
+  }
+  if (config_.capacity == 0) {
+    throw std::invalid_argument{"FlowTracer: capacity must be > 0"};
+  }
+  if (metrics == nullptr) {
+    throw std::invalid_argument{"FlowTracer: null metrics hub"};
+  }
+  slots_.reserve(senders_.size());
+  for (std::size_t f = 0; f < senders_.size(); ++f) {
+    if (senders_[f] == nullptr) {
+      throw std::invalid_argument{"FlowTracer: null sender"};
+    }
+    slots_.push_back(metrics->flow_slot(static_cast<FlowId>(f)));
+  }
+  rings_.resize(senders_.size());
+}
+
+void FlowTracer::push(Ring& ring, const TelemetryFrame& frame) {
+  if (ring.frames.size() < config_.capacity) {
+    ring.frames.push_back(frame);
+    ring.count = ring.frames.size();
+    return;
+  }
+  ring.frames[ring.head] = frame;  // overwrite the oldest
+  ring.head = (ring.head + 1) % ring.frames.size();
+  ++ring.dropped;
+}
+
+void FlowTracer::tick(TimeMs now) {
+  if (now < next_sample_) return;  // heap rebuild can wake components early
+  for (std::size_t f = 0; f < senders_.size(); ++f) {
+    TelemetryFrame frame{};
+    frame.t_ms = now;
+    (void)senders_[f]->sample_telemetry(frame);
+    const FlowStats& stats = *slots_[f];
+    frame.bytes_delivered = stats.bytes_delivered;
+    frame.retransmissions = stats.retransmissions;
+    frame.timeouts = stats.timeouts;
+    frame.ecn_echoes = stats.ecn_echoes;
+    Ring& ring = rings_[f];
+    if (ring.have_last && now > ring.last_t_ms) {
+      frame.delivery_rate_mbps = bytes_per_ms_to_mbps(
+          static_cast<double>(frame.bytes_delivered - ring.last_bytes) /
+          (now - ring.last_t_ms));
+    }
+    ring.last_bytes = frame.bytes_delivered;
+    ring.last_t_ms = now;
+    ring.have_last = true;
+    push(ring, frame);
+  }
+  next_sample_ += config_.interval_ms;
+}
+
+void FlowTracer::reset_run() {
+  for (Ring& ring : rings_) {
+    ring.frames.clear();  // keeps the allocation for the next run
+    ring.head = 0;
+    ring.count = 0;
+    ring.dropped = 0;
+    ring.last_bytes = 0;
+    ring.last_t_ms = 0.0;
+    ring.have_last = false;
+  }
+  next_sample_ = 0.0;
+}
+
+std::vector<TelemetryFrame> FlowTracer::series(FlowId flow) const {
+  const Ring& ring = rings_.at(flow);
+  std::vector<TelemetryFrame> out;
+  out.reserve(ring.count);
+  for (std::size_t i = 0; i < ring.count; ++i) {
+    out.push_back(ring.frames[(ring.head + i) % ring.frames.size()]);
+  }
+  return out;
+}
+
+}  // namespace remy::sim

@@ -1,0 +1,74 @@
+// Event-driven per-flow telemetry sampler: a SimObject that wakes every
+// `interval_ms`, snapshots each sender's congestion state (through
+// Sender::sample_telemetry) together with the flow's cumulative MetricsHub
+// counters, and keeps the frames in bounded per-flow ring buffers (newest
+// frames win; overwrites are counted, never silently lost).
+//
+// Digest neutrality is a hard requirement: the tracer only reads state, so
+// a run with a tracer attached replays bit-identically to one without.
+// TopologyRunner::attach_tracer registers it on the Network *after* every
+// other component, preserving their registration ids — the same-instant
+// FIFO tiebreak — exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/metrics.hh"
+#include "sim/sender.hh"
+#include "sim/telemetry.hh"
+
+namespace remy::sim {
+
+class FlowTracer final : public SimObject {
+ public:
+  struct Config {
+    TimeMs interval_ms = 10.0;    ///< sampling period (> 0)
+    std::size_t capacity = 4096;  ///< frames retained per flow (> 0)
+  };
+
+  /// Samples every sender in `senders` (flow id == index) against the stats
+  /// slots of `metrics`. Throws std::invalid_argument on a bad config, a
+  /// null sender, or a null hub.
+  FlowTracer(Config config, std::vector<Sender*> senders, MetricsHub* metrics);
+
+  TimeMs next_event_time() const override { return next_sample_; }
+  void tick(TimeMs now) override;
+
+  /// Clears every ring and restarts sampling from t = 0 (arena reuse;
+  /// TopologyRunner::reset calls this before the event-heap rebuild).
+  void reset_run();
+
+  const Config& config() const noexcept { return config_; }
+  std::size_t num_flows() const noexcept { return rings_.size(); }
+  /// Frames currently retained for `flow` (<= capacity).
+  std::size_t size(FlowId flow) const { return rings_.at(flow).count; }
+  /// Frames overwritten by ring overflow since the last reset.
+  std::uint64_t dropped(FlowId flow) const { return rings_.at(flow).dropped; }
+  /// The retained frames, oldest first.
+  std::vector<TelemetryFrame> series(FlowId flow) const;
+
+ private:
+  struct Ring {
+    std::vector<TelemetryFrame> frames;  ///< grows lazily up to capacity
+    std::size_t head = 0;  ///< oldest frame once full
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+    // Previous sample's cumulative bytes, for the delivery-rate difference.
+    std::uint64_t last_bytes = 0;
+    TimeMs last_t_ms = 0.0;
+    bool have_last = false;
+  };
+
+  void push(Ring& ring, const TelemetryFrame& frame);
+
+  Config config_;
+  std::vector<Sender*> senders_;
+  std::vector<FlowStats*> slots_;
+  std::vector<Ring> rings_;
+  TimeMs next_sample_ = 0.0;
+};
+
+}  // namespace remy::sim

@@ -20,6 +20,7 @@ struct FlowStats {
   std::uint64_t packets_sent = 0;       ///< data packets leaving the sender
   std::uint64_t retransmissions = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t ecn_echoes = 0;  ///< ECN-echo ACKs seen by the sender
 
   double sum_queue_delay_ms = 0.0;  ///< over delivered packets
   double sum_rtt_ms = 0.0;          ///< over sender RTT samples

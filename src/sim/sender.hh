@@ -9,6 +9,7 @@
 
 #include "sim/component.hh"
 #include "sim/metrics.hh"
+#include "sim/telemetry.hh"
 
 namespace remy::sim {
 
@@ -44,6 +45,17 @@ class Sender : public SimObject, public PacketSink {
   /// opted in fails loudly instead of replaying stale state.
   virtual void reset_run() {
     throw std::logic_error{"Sender: not resettable"};
+  }
+
+  /// Fills the endpoint-owned fields of a telemetry frame (cwnd, RTT
+  /// estimators, inflight, pacing, flow_on) for a FlowTracer sample.
+  /// Returns false when the endpoint has nothing to report — the default,
+  /// so tracing an exotic sender degrades to counter-only frames instead of
+  /// failing. Must be strictly read-only: traced runs are required to
+  /// replay bit-identically to untraced ones.
+  virtual bool sample_telemetry(TelemetryFrame& frame) const {
+    (void)frame;
+    return false;
   }
 
   FlowId flow_id() const noexcept { return flow_; }

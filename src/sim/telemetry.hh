@@ -1,0 +1,39 @@
+// One sampled instant of a flow's congestion state: what the FlowTracer
+// records each sampling period. Transport-owned fields (cwnd, RTT
+// estimators, inflight, pacing) are filled by Sender::sample_telemetry;
+// cumulative delivery/loss counters come from the flow's MetricsHub slot;
+// the delivery rate is differenced by the tracer across samples.
+//
+// Frames are pure observations. Nothing in the sampling path may perturb
+// the simulation: traced runs are required to replay bit-identically to
+// untraced ones (the fingerprint suite gates this over every blessed
+// scenario digest).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+struct TelemetryFrame {
+  TimeMs t_ms = 0.0;      ///< sample time
+  bool flow_on = false;   ///< sender inside an "on" period
+  double cwnd = 0.0;      ///< congestion window, segments
+  TimeMs srtt_ms = 0.0;   ///< smoothed RTT (0 until the first sample)
+  TimeMs min_rtt_ms = 0.0;
+  double inflight = 0.0;  ///< outstanding sequence span, segments
+  TimeMs pacing_ms = 0.0; ///< controller pacing interval (0: none)
+
+  // Cumulative per-flow counters (MetricsHub::flow_slot at sample time).
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t ecn_echoes = 0;
+
+  /// Delivered-byte rate over the preceding sampling interval (Mbps); 0 for
+  /// the first frame of a run.
+  double delivery_rate_mbps = 0.0;
+};
+
+}  // namespace remy::sim

@@ -236,4 +236,67 @@ Topology Topology::reverse_path(const ReversePathTopo& p) {
   return t;
 }
 
+Topology Topology::fat_tree_incast(const FatTreeTopo& p) {
+  if (p.num_flows == 0) fail("fat_tree_incast needs at least one flow");
+  if (p.leaves == 0) fail("fat_tree_incast needs at least one leaf");
+  if (p.leaf_mbps <= 0) fail("fat_tree_incast leaf_mbps must be > 0");
+  if (p.core_mbps <= 0) fail("fat_tree_incast core_mbps must be > 0");
+  Topology t;
+  for (std::size_t i = 0; i < p.leaves; ++i) {
+    t.nodes.push_back("leaf" + std::to_string(i));
+  }
+  t.nodes.push_back("agg");
+  t.nodes.push_back("dst");
+  for (std::size_t i = 0; i < p.leaves; ++i) {
+    const std::string n = std::to_string(i);
+    t.links.push_back(TopologyLink{"up" + n, "leaf" + n, "agg", p.leaf_mbps,
+                                   p.leaf_rtt_ms / 2.0, p.queue_factory,
+                                   nullptr, false});
+  }
+  t.links.push_back(TopologyLink{"core", "agg", "dst", p.core_mbps,
+                                 p.core_rtt_ms / 2.0, p.queue_factory, nullptr,
+                                 false});
+  t.links.push_back(TopologyLink{"ack_core", "dst", "agg", 0.0,
+                                 p.core_rtt_ms / 2.0, nullptr, nullptr, false});
+  for (std::size_t i = 0; i < p.leaves; ++i) {
+    const std::string n = std::to_string(i);
+    t.links.push_back(TopologyLink{"ack" + n, "agg", "leaf" + n, 0.0,
+                                   p.leaf_rtt_ms / 2.0, nullptr, nullptr,
+                                   false});
+  }
+  t.flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    const std::string n = std::to_string(i % p.leaves);
+    t.flows.push_back(FlowRoute{"leaf" + n,
+                                "dst",
+                                {"up" + n, "core"},
+                                {"ack_core", "ack" + n},
+                                {},
+                                std::nullopt});
+  }
+  return t;
+}
+
+Topology Topology::shared_reverse_cellular(const SharedReverseTopo& p) {
+  if (p.num_flows == 0) fail("shared_reverse_cellular needs at least one flow");
+  if (p.down_mbps <= 0 && !p.down_bottleneck) {
+    fail("shared_reverse_cellular down_mbps must be > 0");
+  }
+  if (p.up_mbps <= 0) fail("shared_reverse_cellular up_mbps must be > 0");
+  Topology t;
+  t.nodes = {"srv", "ue"};
+  t.links.push_back(TopologyLink{"down", "srv", "ue", p.down_mbps,
+                                 p.rtt_ms / 2.0, p.queue_factory,
+                                 p.down_bottleneck, false});
+  t.links.push_back(TopologyLink{"up", "ue", "srv", p.up_mbps, p.rtt_ms / 2.0,
+                                 p.queue_factory, nullptr, false});
+  const FlowRoute down{"srv", "ue", {"down"}, {"up"}, {}, std::nullopt};
+  const FlowRoute up{"ue", "srv", {"up"}, {"down"}, {}, std::nullopt};
+  t.flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    t.flows.push_back(i % 2 == 0 ? down : up);
+  }
+  return t;
+}
+
 }  // namespace remy::sim

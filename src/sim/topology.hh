@@ -16,6 +16,11 @@
 //                 flows are cross traffic on the second hop only
 //   reverse_path  two opposed bottlenecks; flows alternate direction, so
 //                 every ACK stream shares a queue with opposing data
+//   fat_tree_incast          sender leaves fan in through one aggregation
+//                            node to a shared core link (incast choke)
+//   shared_reverse_cellular  a (possibly trace-driven) downlink opposed by
+//                            a thin uplink; flows alternate direction, so
+//                            downlink ACKs queue behind uplink data
 //
 // Anything else is spelled out longhand: fill nodes/links/flows and hand
 // the Topology to a TopologyRunner. validate() catches malformed graphs
@@ -116,6 +121,26 @@ struct ReversePathTopo {
   QueueFactory queue_factory;  ///< both directions; null: default
 };
 
+struct FatTreeTopo {
+  std::size_t num_flows = 8;   ///< flow i sources at leaf i % leaves
+  std::size_t leaves = 4;      ///< sender leaves under the shared agg
+  double leaf_mbps = 100.0;    ///< per-leaf uplink rate
+  double core_mbps = 50.0;     ///< shared agg -> dst rate (the incast choke)
+  TimeMs leaf_rtt_ms = 1.0;    ///< RTT contribution of a leaf hop
+  TimeMs core_rtt_ms = 1.0;    ///< RTT contribution of the core hop
+  QueueFactory queue_factory;  ///< all rate links; null: default
+};
+
+struct SharedReverseTopo {
+  std::size_t num_flows = 2;   ///< even: downlink srv->ue, odd: uplink ue->srv
+  double down_mbps = 12.0;     ///< downlink rate (ignored with a bottleneck)
+  double up_mbps = 1.0;        ///< uplink rate
+  TimeMs rtt_ms = 100.0;
+  QueueFactory queue_factory;  ///< both directions; null: default
+  /// Trace-driven downlink (cellular); wins over down_mbps.
+  BottleneckFactory down_bottleneck;
+};
+
 struct Topology {
   std::vector<std::string> nodes;
   std::vector<TopologyLink> links;
@@ -155,6 +180,19 @@ struct Topology {
   /// Nodes {l, r} with opposed bottlenecks "fwd" and "rev"; flows alternate
   /// direction, so ACKs queue behind opposing data (congested ACK path).
   static Topology reverse_path(const ReversePathTopo& p);
+
+  /// Incast: `leaves` sender leaves fan in through one aggregation node to
+  /// a single destination. Leaf uplinks "up{i}" (leaf_mbps) feed the shared
+  /// "core" link (core_mbps) — the choke point when many flows synchronize.
+  /// ACKs return over delay-only "ack_core" and "ack{i}" links.
+  static Topology fat_tree_incast(const FatTreeTopo& p);
+
+  /// Cellular-style pair of opposed bottlenecks between nodes {srv, ue}:
+  /// the "down" link (trace-driven when down_bottleneck is set) versus a
+  /// thin "up" link. Flows alternate direction, so downlink ACKs share the
+  /// thin uplink with opposing data — the ACK-compression regime the
+  /// paper's cellular experiments stress.
+  static Topology shared_reverse_cellular(const SharedReverseTopo& p);
 };
 
 }  // namespace remy::sim

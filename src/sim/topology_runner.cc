@@ -223,6 +223,7 @@ void TopologyRunner::reset(std::uint64_t seed) {
     if (l.delay) l.delay->reset_run();
   }
   for (auto& s : senders_) s->reset_run();
+  if (tracer_ != nullptr) tracer_->reset_run();
   // Scheduler RNGs re-split off the new seed in flow order — the same
   // derivation the constructor performs, so run N of a reused arena draws
   // the same streams as run N of a fresh build with that seed.
@@ -231,6 +232,19 @@ void TopologyRunner::reset(std::uint64_t seed) {
   finished_ = false;
   // Last: the heap rebuild re-reads every component's (now reset) schedule.
   network_.reset();
+}
+
+FlowTracer& TopologyRunner::attach_tracer(FlowTracer::Config config) {
+  if (tracer_ != nullptr) {
+    throw std::logic_error{"TopologyRunner: tracer already attached"};
+  }
+  std::vector<Sender*> senders;
+  senders.reserve(senders_.size());
+  for (auto& s : senders_) senders.push_back(s.get());
+  tracer_ =
+      std::make_unique<FlowTracer>(config, std::move(senders), &metrics_hub_);
+  network_.add(*tracer_);
+  return *tracer_;
 }
 
 void TopologyRunner::run_until_ms(TimeMs t) {

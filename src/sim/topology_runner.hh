@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/delay_line.hh"
+#include "sim/flow_tracer.hh"
 #include "sim/metrics.hh"
 #include "sim/network.hh"
 #include "sim/receiver.hh"
@@ -61,6 +62,15 @@ class TopologyRunner {
   std::size_t num_flows() const noexcept { return senders_.size(); }
   Network& network() noexcept { return network_; }
 
+  /// Attaches a telemetry sampler covering every flow. At most once, and
+  /// only before the first run (Network::add enforces the latter). The
+  /// tracer registers *after* every existing component, so their
+  /// registration ids — the same-instant FIFO tiebreak — are unchanged and
+  /// a traced run replays bit-identically to an untraced one.
+  FlowTracer& attach_tracer(FlowTracer::Config config);
+  /// The attached tracer, or null when none was requested.
+  FlowTracer* tracer() noexcept { return tracer_.get(); }
+
   /// The bottleneck stage of link `id`, or null if the link has none (or no
   /// such link exists).
   Bottleneck* bottleneck(std::string_view id) noexcept;
@@ -96,6 +106,7 @@ class TopologyRunner {
   std::vector<LinkInstance> links_;                      // declaration order
   std::vector<std::unique_ptr<Sender>> senders_;         // flow order
   std::vector<std::unique_ptr<FlowScheduler>> schedulers_;
+  std::unique_ptr<FlowTracer> tracer_;
   Network network_;
   bool finished_ = false;
 };

@@ -1,0 +1,256 @@
+// Scheme fingerprinting: feature extraction on synthetic series, model
+// train/classify/JSON round-trips, held-out self-classification of all
+// eight scheme families (both a freshly trained model and the shipped
+// data/fingerprints.json), per-flow summary JSON round-trips, and the
+// tracer digest-neutrality gate: every blessed scenario must hash
+// identically with a FlowTracer attached.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/fingerprint.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+namespace remy::core {
+namespace {
+
+// ---- feature extraction ----------------------------------------------------
+
+TEST(TraceFeatures, NamesAreStableAndUnique) {
+  const auto& names = TraceFeatures::names();
+  ASSERT_EQ(names.size(), TraceFeatures::kCount);
+  std::set<std::string> seen;
+  for (const char* n : names) {
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(seen.insert(n).second) << "duplicate feature name " << n;
+  }
+  // Spot-check discriminating features the model file depends on.
+  EXPECT_TRUE(seen.count("backoff_ratio"));
+  EXPECT_TRUE(seen.count("growth_per_rtt"));
+  EXPECT_TRUE(seen.count("collapse_rate"));
+}
+
+/// cwnd sawtooth: linear growth `slope` segments/s from `low`, multiplied
+/// by `beta` at `high`; constant srtt; 10 ms samples over `seconds`.
+std::vector<sim::TelemetryFrame> sawtooth_series(double low, double high,
+                                                 double slope, double beta,
+                                                 double seconds) {
+  std::vector<sim::TelemetryFrame> out;
+  double cwnd = low;
+  for (double t_ms = 0.0; t_ms <= seconds * 1000.0; t_ms += 10.0) {
+    sim::TelemetryFrame f;
+    f.t_ms = t_ms;
+    f.flow_on = true;
+    f.cwnd = cwnd;
+    f.srtt_ms = 60.0;
+    f.min_rtt_ms = 50.0;
+    f.inflight = cwnd;
+    f.bytes_delivered = static_cast<std::uint64_t>(t_ms) * 1000;
+    out.push_back(f);
+    cwnd += slope * 0.01;
+    if (cwnd >= high) cwnd = high * beta;
+  }
+  return out;
+}
+
+TEST(TraceFeatures, RecoversSawtoothBackoffAndGrowth) {
+  // 20 -> 40 segments at 10 seg/s, halved at the top: a Reno caricature.
+  const TraceFeatures f =
+      TraceFeatures::from_series(sawtooth_series(20, 40, 10.0, 0.5, 16.0));
+  const auto& names = TraceFeatures::names();
+  auto value = [&](const char* name) {
+    for (std::size_t k = 0; k < TraceFeatures::kCount; ++k) {
+      if (std::string{names[k]} == name) return f.values[k];
+    }
+    ADD_FAILURE() << "no feature named " << name;
+    return 0.0;
+  };
+  EXPECT_NEAR(value("backoff_ratio"), 0.5, 0.02);
+  // 10 seg/s at srtt 60 ms = 0.6 seg per RTT; feature is log1p'd.
+  EXPECT_NEAR(value("growth_per_rtt"), std::log1p(0.6), 0.05);
+  // One cut per (40 - 20) / 10 = 2 s of growth.
+  EXPECT_NEAR(value("decrease_rate"), 0.5, 0.1);
+  EXPECT_NEAR(value("collapse_rate"), 0.0, 1e-12);
+  EXPECT_NEAR(value("cwnd_mean_log"), std::log1p(30.0), 0.2);
+}
+
+TEST(TraceFeatures, TooFewFramesYieldZeroVector) {
+  EXPECT_EQ(TraceFeatures::from_series({}), TraceFeatures{});
+  EXPECT_EQ(
+      TraceFeatures::from_series(sawtooth_series(20, 40, 10.0, 0.5, 0.05)),
+      TraceFeatures{});
+}
+
+// ---- model training / classification / serialization -----------------------
+
+/// Two well-separated synthetic classes with a little jitter.
+std::vector<std::pair<std::string, TraceFeatures>> synthetic_training_set() {
+  std::vector<std::pair<std::string, TraceFeatures>> data;
+  for (int i = 0; i < 3; ++i) {
+    const double jitter = 0.01 * i;
+    data.emplace_back("reno-like", TraceFeatures::from_series(sawtooth_series(
+                                       20, 40, 10.0, 0.5 + jitter, 16.0)));
+    data.emplace_back("cubic-like", TraceFeatures::from_series(sawtooth_series(
+                                        20, 40, 25.0, 0.7 + jitter, 16.0)));
+  }
+  return data;
+}
+
+TEST(Fingerprint, TrainClassifyAndJsonRoundTrip) {
+  Fingerprint model;
+  EXPECT_FALSE(model.trained());
+  model.train(synthetic_training_set());
+  ASSERT_TRUE(model.trained());
+  EXPECT_EQ(model.schemes(),
+            (std::vector<std::string>{"cubic-like", "reno-like"}));
+
+  const TraceFeatures probe =
+      TraceFeatures::from_series(sawtooth_series(20, 40, 10.0, 0.505, 16.0));
+  const Fingerprint::Match match = model.classify(probe);
+  EXPECT_EQ(match.scheme, "reno-like");
+  EXPECT_GT(match.margin, 0.0);
+
+  // JSON round trip preserves the decision function exactly.
+  const Fingerprint reloaded = Fingerprint::from_json(model.to_json());
+  const Fingerprint::Match again = reloaded.classify(probe);
+  EXPECT_EQ(again.scheme, match.scheme);
+  EXPECT_DOUBLE_EQ(again.distance, match.distance);
+  EXPECT_DOUBLE_EQ(again.margin, match.margin);
+}
+
+TEST(Fingerprint, RejectsBadInputs) {
+  Fingerprint model;
+  EXPECT_THROW(model.train({}), std::invalid_argument);
+  EXPECT_THROW(model.classify(TraceFeatures{}), std::logic_error);
+
+  model.train(synthetic_training_set());
+  util::Json j = model.to_json();
+  // A model built by a different extractor must fail loudly.
+  j.as_object()["features"].as_array()[0] =
+      util::Json{std::string{"bogus_feature"}};
+  EXPECT_THROW(Fingerprint::from_json(j), util::JsonError);
+}
+
+// ---- held-out self-classification ------------------------------------------
+
+/// The acceptance gate: a model trained on the schemes' own runs must
+/// identify every family from traces at seeds it never saw.
+TEST(Fingerprint, SelfClassificationOnHeldOutSeeds) {
+  FingerprintRunOptions options;
+  const Fingerprint model = train_fingerprints(options, {1, 2});
+  for (const std::string& spec : fingerprint_scheme_specs()) {
+    FingerprintRunOptions opt = options;
+    opt.seed = 9;  // held out: not in the training set
+    const Fingerprint::Match match =
+        model.classify_series(collect_trace(spec, opt));
+    EXPECT_EQ(match.scheme, spec) << "held-out trace misclassified";
+  }
+}
+
+/// The shipped model (trained at seeds 1-5) must do the same, so the file
+/// in data/ can never go stale against the feature extractor.
+TEST(Fingerprint, ShippedFingerprintsClassifyHeldOutTraces) {
+  const Fingerprint model =
+      Fingerprint::load(std::string{REMY_DATA_DIR} + "/fingerprints.json");
+  ASSERT_EQ(model.schemes().size(), 8u);
+  const FingerprintRunOptions options;  // must match the shipped training
+  for (const std::string& spec : fingerprint_scheme_specs()) {
+    FingerprintRunOptions opt = options;
+    opt.seed = 8;  // held out from the shipped training seeds 1-5
+    const Fingerprint::Match match =
+        model.classify_series(collect_trace(spec, opt));
+    EXPECT_EQ(match.scheme, spec) << "shipped model misclassified";
+  }
+}
+
+// ---- per-flow summaries -----------------------------------------------------
+
+TEST(FlowSummary, JsonRoundTrip) {
+  bench::FlowSummary fs;
+  fs.run = 3;
+  fs.flow = 7;
+  fs.throughput_mbps = 4.25;
+  fs.mean_rtt_ms = 92.5;
+  fs.mean_queue_delay_ms = 12.5;
+  fs.retransmissions = 11;
+  fs.timeouts = 2;
+  fs.bytes_delivered = 123456789;
+  EXPECT_EQ(bench::FlowSummary::from_json(fs.to_json()), fs);
+}
+
+TEST(FlowSummary, EmittedOnlyWithFlowStatsFlag) {
+  const core::ScenarioSpec spec = bench::load_scenario("fig4_dumbbell8");
+  {
+    const char* argv[] = {"test_fingerprint", "--smoke"};
+    const util::Json results =
+        bench::results_json(bench::execute_spec(spec, util::Cli{2, argv}));
+    for (const util::Json& s : results.at("schemes").as_array()) {
+      EXPECT_FALSE(s.contains("flows"));
+    }
+  }
+  {
+    const char* argv[] = {"test_fingerprint", "--smoke", "--flow-stats"};
+    const util::Json results =
+        bench::results_json(bench::execute_spec(spec, util::Cli{3, argv}));
+    for (const util::Json& s : results.at("schemes").as_array()) {
+      ASSERT_TRUE(s.contains("flows"));
+      EXPECT_FALSE(s.at("flows").as_array().empty());
+      // Round-trip every emitted summary strictly.
+      for (const util::Json& f : s.at("flows").as_array()) {
+        const bench::FlowSummary fs = bench::FlowSummary::from_json(f);
+        EXPECT_EQ(fs.to_json(), f);
+      }
+    }
+  }
+}
+
+// ---- digest neutrality ------------------------------------------------------
+
+/// Attaching a tracer must not change a single bit of any blessed
+/// scenario's results: the tracer only reads state and registers after
+/// every other component, so the event order is untouched.
+class TracerDigestNeutrality : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TracerDigestNeutrality, TracedRunMatchesBlessedDigest) {
+  const util::Json doc = util::json_from_file(std::string{REMY_DATA_DIR} +
+                                              "/scheme_digests.json");
+  const std::string blessed =
+      doc.at("digests").at(GetParam()).as_string();
+
+  const char* argv[] = {"test_fingerprint", "--smoke", "--trace-interval",
+                        "10"};
+  const util::Cli cli{4, argv};
+  const core::ScenarioSpec spec = bench::load_scenario(GetParam());
+  const bench::SpecRun run = bench::execute_spec(spec, cli);
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(
+                    bench::results_hash(bench::results_json(run))));
+  EXPECT_EQ(hash, blessed)
+      << "scenario " << GetParam()
+      << " diverges when a FlowTracer is attached: the telemetry path is "
+         "perturbing the simulation";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShippedScenarios, TracerDigestNeutrality,
+    ::testing::Values("ablation_signals", "cross_traffic_reverse",
+                      "fat_tree_incast", "fig10_rttfair", "fig11_prior",
+                      "fig4_dumbbell8", "fig5_dumbbell12", "fig6_seqplot",
+                      "fig7_lte4", "fig8_lte8", "fig9_att4", "fig9_saddle4",
+                      "incast_1000", "mixed_rtt_competing", "parking_lot",
+                      "satellite_rtt", "shared_reverse_cellular",
+                      "table1_dumbbell", "table2_cellular",
+                      "table5_datacenter", "table6_competing",
+                      "two_hop_asym"),
+    [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace remy::core

@@ -1,0 +1,169 @@
+// FlowTracer: sampling cadence, frame contents, ring-buffer overflow and
+// reset semantics, attach-time validation, and the controller on_sample
+// annotation hook. Digest neutrality over every blessed scenario lives in
+// tests/test_fingerprint.cc (TracerDigestNeutrality).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "aqm/droptail.hh"
+#include "cc/newreno.hh"
+#include "cc/transport.hh"
+#include "sim/flow_tracer.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
+
+namespace remy::sim {
+namespace {
+
+std::unique_ptr<Sender> newreno_sender(FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>());
+}
+
+Topology small_dumbbell(std::size_t n = 2) {
+  DumbbellTopo params;
+  params.num_senders = n;
+  params.link_mbps = 10.0;
+  params.rtt_ms = 50.0;
+  Topology topo = Topology::dumbbell(params);
+  topo.seed = 42;
+  topo.default_queue = [] { return std::make_unique<aqm::DropTail>(50); };
+  return topo;
+}
+
+TEST(FlowTracer, SamplesAtInterval) {
+  TopologyRunner net{small_dumbbell(), newreno_sender};
+  FlowTracer& tracer = net.attach_tracer({100.0, 4096});
+  net.run_for_seconds(1.0);
+
+  ASSERT_EQ(tracer.num_flows(), 2u);
+  // Samples at t = 0, 100, ..., 1000 ms inclusive.
+  ASSERT_EQ(tracer.size(0), 11u);
+  const std::vector<TelemetryFrame> series = tracer.series(0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].t_ms, 100.0 * static_cast<double>(i));
+  }
+}
+
+TEST(FlowTracer, FrameFieldsPopulated) {
+  TopologyRunner net{small_dumbbell(), newreno_sender};
+  FlowTracer& tracer = net.attach_tracer({10.0, 4096});
+  net.run_for_seconds(2.0);
+
+  const std::vector<TelemetryFrame> series = tracer.series(0);
+  ASSERT_FALSE(series.empty());
+  const TelemetryFrame& last = series.back();
+  EXPECT_TRUE(last.flow_on);  // always-on workload
+  EXPECT_GT(last.cwnd, 0.0);
+  EXPECT_GT(last.srtt_ms, 0.0);
+  EXPECT_GE(last.srtt_ms, last.min_rtt_ms);
+  EXPECT_GE(last.min_rtt_ms, 50.0);  // at least the propagation RTT
+  EXPECT_GT(last.bytes_delivered, 0u);
+  bool saw_delivery_rate = false;
+  for (const TelemetryFrame& f : series) {
+    if (f.delivery_rate_mbps > 0.0) saw_delivery_rate = true;
+  }
+  EXPECT_TRUE(saw_delivery_rate);
+}
+
+TEST(FlowTracer, RingOverflowKeepsNewestFrames) {
+  TopologyRunner net{small_dumbbell(), newreno_sender};
+  FlowTracer& tracer = net.attach_tracer({10.0, 4});
+  net.run_for_seconds(1.0);  // 101 samples into a 4-frame ring
+
+  EXPECT_EQ(tracer.size(0), 4u);
+  EXPECT_EQ(tracer.dropped(0), 97u);
+  const std::vector<TelemetryFrame> series = tracer.series(0);
+  ASSERT_EQ(series.size(), 4u);
+  // Oldest first, newest retained: t = 970, 980, 990, 1000 ms.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(series[i].t_ms, 970.0 + 10.0 * static_cast<double>(i));
+  }
+}
+
+TEST(FlowTracer, ResetRunClearsAndReplaysIdentically) {
+  TopologyRunner net{small_dumbbell(), newreno_sender};
+  FlowTracer& tracer = net.attach_tracer({10.0, 4096});
+  net.run_for_seconds(1.0);
+  const std::vector<TelemetryFrame> first = tracer.series(0);
+  ASSERT_FALSE(first.empty());
+
+  net.reset(42);  // same seed: bit-identical replay, tracer included
+  EXPECT_EQ(tracer.size(0), 0u);
+  EXPECT_EQ(tracer.dropped(0), 0u);
+
+  net.run_for_seconds(1.0);
+  const std::vector<TelemetryFrame> second = tracer.series(0);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].t_ms, second[i].t_ms);
+    EXPECT_EQ(first[i].flow_on, second[i].flow_on);
+    EXPECT_EQ(first[i].cwnd, second[i].cwnd);
+    EXPECT_EQ(first[i].srtt_ms, second[i].srtt_ms);
+    EXPECT_EQ(first[i].min_rtt_ms, second[i].min_rtt_ms);
+    EXPECT_EQ(first[i].inflight, second[i].inflight);
+    EXPECT_EQ(first[i].pacing_ms, second[i].pacing_ms);
+    EXPECT_EQ(first[i].bytes_delivered, second[i].bytes_delivered);
+    EXPECT_EQ(first[i].retransmissions, second[i].retransmissions);
+    EXPECT_EQ(first[i].timeouts, second[i].timeouts);
+    EXPECT_EQ(first[i].ecn_echoes, second[i].ecn_echoes);
+    EXPECT_EQ(first[i].delivery_rate_mbps, second[i].delivery_rate_mbps);
+  }
+}
+
+TEST(FlowTracer, AttachTwiceThrows) {
+  TopologyRunner net{small_dumbbell(), newreno_sender};
+  net.attach_tracer({10.0, 4096});
+  EXPECT_THROW(net.attach_tracer({10.0, 4096}), std::logic_error);
+}
+
+TEST(FlowTracer, BadConfigThrows) {
+  {
+    TopologyRunner net{small_dumbbell(), newreno_sender};
+    EXPECT_THROW(net.attach_tracer({0.0, 4096}), std::invalid_argument);
+  }
+  {
+    TopologyRunner net{small_dumbbell(), newreno_sender};
+    EXPECT_THROW(net.attach_tracer({-1.0, 4096}), std::invalid_argument);
+  }
+  {
+    TopologyRunner net{small_dumbbell(), newreno_sender};
+    EXPECT_THROW(net.attach_tracer({10.0, 0}), std::invalid_argument);
+  }
+}
+
+/// A controller that annotates sampled frames, proving the transport
+/// forwards each frame to CongestionController::on_sample.
+class AnnotatingController final : public cc::CongestionController {
+ public:
+  void on_ack(const cc::AckInfo&, TimeMs) override {}
+  void on_loss_event(TimeMs) override {}
+  void on_timeout(TimeMs) override {}
+  void on_sample(TelemetryFrame& frame) const override {
+    frame.pacing_ms = 123.0;  // scheme-specific annotation
+    ++samples_;
+  }
+  mutable int samples_ = 0;
+};
+
+TEST(FlowTracer, OnSampleHookAnnotatesFrames) {
+  AnnotatingController* controller = nullptr;
+  TopologyRunner net{small_dumbbell(1), [&](FlowId) -> std::unique_ptr<Sender> {
+                       auto c = std::make_unique<AnnotatingController>();
+                       controller = c.get();
+                       return std::make_unique<cc::Transport>(std::move(c));
+                     }};
+  FlowTracer& tracer = net.attach_tracer({100.0, 4096});
+  net.run_for_seconds(1.0);
+
+  ASSERT_NE(controller, nullptr);
+  EXPECT_EQ(controller->samples_, 11);
+  for (const TelemetryFrame& f : tracer.series(0)) {
+    EXPECT_DOUBLE_EQ(f.pacing_ms, 123.0);
+  }
+}
+
+}  // namespace
+}  // namespace remy::sim

@@ -1,0 +1,204 @@
+// remy-fingerprint: train, inspect, and apply the scheme classifier.
+//
+//   remy-fingerprint --train [--seeds 1,2,3] [--out data/fingerprints.json]
+//   remy-fingerprint --classify cubic --seed 7 [--model FILE]
+//   remy-fingerprint --confusion [--seeds 7,8] [--model FILE]
+//   remy-fingerprint --dump vegas --seed 7 --json trace.json
+//
+// --confusion classifies every registered scheme family from traces at
+// held-out seeds and exits nonzero on any misclassification, so it doubles
+// as the self-identification gate. Run options (--duration, --flows,
+// --link, --rtt, --interval) apply to every sub-command and must match
+// between training and classification for meaningful results.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+using namespace remy;
+
+namespace {
+
+std::string default_model_path() {
+  return std::string{REMY_DATA_DIR} + "/fingerprints.json";
+}
+
+std::vector<std::uint64_t> parse_seeds(const std::string& list) {
+  std::vector<std::uint64_t> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    if (!item.empty()) out.push_back(std::stoull(item));
+    start = comma + 1;
+  }
+  return out;
+}
+
+core::FingerprintRunOptions options_from_cli(const util::Cli& cli) {
+  core::FingerprintRunOptions opt;
+  opt.duration_s = cli.get("duration", opt.duration_s);
+  opt.num_flows = static_cast<std::size_t>(
+      cli.get("flows", static_cast<std::int64_t>(opt.num_flows)));
+  opt.link_mbps = cli.get("link", opt.link_mbps);
+  opt.rtt_ms = cli.get("rtt", opt.rtt_ms);
+  opt.queue_packets = static_cast<std::size_t>(
+      cli.get("queue", static_cast<std::int64_t>(opt.queue_packets)));
+  opt.sample_interval_ms = cli.get("interval", opt.sample_interval_ms);
+  return opt;
+}
+
+void print_usage() {
+  std::printf(
+      "usage: remy-fingerprint MODE [options]\n"
+      "  --train              train from the schemes' own runs\n"
+      "    --seeds 1,2,3      training seeds\n"
+      "    --out FILE         model path (default data/fingerprints.json)\n"
+      "  --classify SPEC      classify one scheme's trace\n"
+      "    --seed N           run seed (default 7)\n"
+      "  --confusion          classify every family at held-out seeds;\n"
+      "                       exit 1 on any misclassification\n"
+      "    --seeds 7,8        held-out seeds\n"
+      "  --dump SPEC          write the sampled telemetry series as JSON\n"
+      "    --json FILE        output path (required)\n"
+      "  --model FILE         model to classify against\n"
+      "  --duration S --flows N --link MBPS --rtt MS --queue PKTS\n"
+      "  --interval MS\n");
+}
+
+util::Json series_json(const std::vector<sim::TelemetryFrame>& series) {
+  util::JsonArray frames;
+  for (const auto& f : series) {
+    util::JsonObject o;
+    o["t_ms"] = f.t_ms;
+    o["flow_on"] = f.flow_on;
+    o["cwnd"] = f.cwnd;
+    o["srtt_ms"] = f.srtt_ms;
+    o["min_rtt_ms"] = f.min_rtt_ms;
+    o["inflight"] = f.inflight;
+    o["pacing_ms"] = f.pacing_ms;
+    o["bytes_delivered"] = f.bytes_delivered;
+    o["retransmissions"] = f.retransmissions;
+    o["timeouts"] = f.timeouts;
+    o["ecn_echoes"] = f.ecn_echoes;
+    o["delivery_rate_mbps"] = f.delivery_rate_mbps;
+    frames.push_back(util::Json{std::move(o)});
+  }
+  return util::Json{std::move(frames)};
+}
+
+int run_confusion(const core::Fingerprint& model,
+                  const core::FingerprintRunOptions& options,
+                  const std::vector<std::uint64_t>& seeds) {
+  std::size_t wrong = 0;
+  std::printf("%-24s %-8s %-24s %10s %8s\n", "scheme", "seed", "classified as",
+              "distance", "margin");
+  for (const std::string& spec : core::fingerprint_scheme_specs()) {
+    for (const std::uint64_t seed : seeds) {
+      core::FingerprintRunOptions opt = options;
+      opt.seed = seed;
+      const core::Fingerprint::Match match =
+          model.classify_series(core::collect_trace(spec, opt));
+      const bool ok = match.scheme == spec;
+      if (!ok) ++wrong;
+      std::printf("%-24s %-8llu %-24s %10.3f %8.3f%s\n", spec.c_str(),
+                  static_cast<unsigned long long>(seed), match.scheme.c_str(),
+                  match.distance, match.margin, ok ? "" : "  <-- WRONG");
+    }
+  }
+  std::printf("%zu misclassification(s)\n", wrong);
+  return wrong == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  try {
+    cli.require_known({"help", "train", "classify", "confusion", "dump",
+                       "features", "seeds", "seed", "out", "model", "json",
+                       "duration", "flows", "link", "rtt", "queue",
+                       "interval"});
+    if (cli.get("help", false)) {
+      print_usage();
+      return 0;
+    }
+    const core::FingerprintRunOptions options = options_from_cli(cli);
+
+    if (cli.get("train", false)) {
+      const std::vector<std::uint64_t> seeds =
+          parse_seeds(cli.get("seeds", std::string{"1,2,3"}));
+      const std::string out = cli.get("out", default_model_path());
+      const core::Fingerprint model =
+          core::train_fingerprints(options, seeds);
+      model.save(out);
+      std::printf("trained %zu schemes x %zu seeds -> %s\n",
+                  model.schemes().size(), seeds.size(), out.c_str());
+      return 0;
+    }
+
+    const std::string features_spec = cli.get("features", std::string{});
+    if (!features_spec.empty()) {
+      for (const std::uint64_t seed :
+           parse_seeds(cli.get("seeds", std::string{"7"}))) {
+        core::FingerprintRunOptions opt = options;
+        opt.seed = seed;
+        const core::TraceFeatures f = core::TraceFeatures::from_series(
+            core::collect_trace(features_spec, opt));
+        std::printf("%-20s seed=%llu", features_spec.c_str(),
+                    static_cast<unsigned long long>(seed));
+        for (std::size_t k = 0; k < core::TraceFeatures::kCount; ++k) {
+          std::printf(" %s=%.4g", core::TraceFeatures::names()[k],
+                      f.values[k]);
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
+
+    const std::string dump_spec = cli.get("dump", std::string{});
+    if (!dump_spec.empty()) {
+      const std::string json_path = cli.get("json", std::string{});
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --dump needs --json FILE\n");
+        return 2;
+      }
+      core::FingerprintRunOptions opt = options;
+      opt.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{7}));
+      util::json_to_file(series_json(core::collect_trace(dump_spec, opt)),
+                         json_path);
+      return 0;
+    }
+
+    const core::Fingerprint model =
+        core::Fingerprint::load(cli.get("model", default_model_path()));
+
+    const std::string classify_spec = cli.get("classify", std::string{});
+    if (!classify_spec.empty()) {
+      core::FingerprintRunOptions opt = options;
+      opt.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{7}));
+      const core::Fingerprint::Match match =
+          model.classify_series(core::collect_trace(classify_spec, opt));
+      std::printf("%s -> %s (distance %.3f, margin %.3f)\n",
+                  classify_spec.c_str(), match.scheme.c_str(), match.distance,
+                  match.margin);
+      return 0;
+    }
+
+    if (cli.get("confusion", false)) {
+      const std::vector<std::uint64_t> seeds =
+          parse_seeds(cli.get("seeds", std::string{"7,8"}));
+      return run_confusion(model, options, seeds);
+    }
+
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,284 @@
+// remy-matrix: the all-pairs coexistence sweep. Every unordered pair of
+// schemes (including a scheme against itself) shares a bottleneck across a
+// topology x RTT x rate grid, flows alternating A,B,A,B..., and each cell
+// reports throughput shares, queueing delay, and Jain's fairness index.
+//
+//   remy-matrix                       full grid (8 families, 4 presets)
+//   remy-matrix --smoke               tiny grid for CI (3 schemes, 1 cell)
+//   remy-matrix --out matrix.json     machine-readable report
+//
+// Flags: --schemes a,b,c (override the scheme set; ';' stands for ','
+// inside one spec), --flows N, --duration S, --runs N, --seed0 N.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/fingerprint.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+using namespace remy;
+
+namespace {
+
+struct Grid {
+  std::vector<std::string> schemes;
+  std::vector<std::string> presets;
+  std::vector<double> rtts_ms;
+  std::vector<double> rates_mbps;
+  std::size_t flows = 4;
+  double duration_s = 10.0;
+  std::size_t runs = 1;
+  std::uint64_t seed0 = 1000;
+  std::string queue = "droptail:capacity=250";
+};
+
+struct Cell {
+  std::string preset;
+  double rtt_ms = 0.0;
+  double link_mbps = 0.0;
+  std::string a;
+  std::string b;
+  double jain_index = 0.0;
+  double share_a = 0.0;
+  double share_b = 0.0;
+  double throughput_a_mbps = 0.0;  ///< mean per-flow throughput of A's flows
+  double throughput_b_mbps = 0.0;
+  double mean_queue_delay_ms = 0.0;
+  double p95_queue_delay_ms = 0.0;
+  std::vector<std::pair<std::string, bench::FlowSummary>> flows;
+};
+
+double jain(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// One shared-bottleneck experiment: flows alternate A,B,A,B...
+Cell run_cell(const Grid& grid, const std::string& preset, double rtt_ms,
+              double link_mbps, const cc::SchemeHandle& a,
+              const cc::SchemeHandle& b) {
+  bench::Scenario scenario;
+  scenario.topology.preset = preset;
+  scenario.topology.num_senders = grid.flows;
+  scenario.topology.link_mbps = link_mbps;
+  scenario.topology.rtt_ms = rtt_ms;
+  scenario.workload = sim::OnOffConfig::always_on();
+  scenario.duration_s = grid.duration_s;
+  scenario.runs = grid.runs;
+  scenario.seed0 = grid.seed0;
+  scenario.default_queue = cc::Registry::global().queue_factory(grid.queue);
+
+  const std::vector<bench::SchemeSummary> results =
+      bench::run_mixed(scenario, {a, b});
+
+  Cell cell;
+  cell.preset = preset;
+  cell.rtt_ms = rtt_ms;
+  cell.link_mbps = link_mbps;
+  cell.a = a.name;
+  cell.b = b.name;
+
+  // run_mixed assigns flow i the scheme per_flow[i % 2], so parity maps
+  // each per-flow summary back to its side even when A and B share a name
+  // (the self-coexistence diagonal pools into one summary).
+  std::vector<double> throughputs;
+  std::vector<double> delays;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  std::size_t n_a = 0;
+  std::size_t n_b = 0;
+  for (const auto& summary : results) {
+    for (const auto& f : summary.flows) {
+      const bool is_a = f.flow % 2 == 0;
+      cell.flows.emplace_back(is_a ? a.name : b.name, f);
+      throughputs.push_back(f.throughput_mbps);
+      delays.push_back(f.mean_queue_delay_ms);
+      if (is_a) {
+        sum_a += f.throughput_mbps;
+        ++n_a;
+      } else {
+        sum_b += f.throughput_mbps;
+        ++n_b;
+      }
+    }
+  }
+  cell.jain_index = jain(throughputs);
+  const double total = sum_a + sum_b;
+  cell.share_a = total > 0 ? sum_a / total : 0.0;
+  cell.share_b = total > 0 ? sum_b / total : 0.0;
+  cell.throughput_a_mbps = n_a > 0 ? sum_a / static_cast<double>(n_a) : 0.0;
+  cell.throughput_b_mbps = n_b > 0 ? sum_b / static_cast<double>(n_b) : 0.0;
+  double delay_sum = 0.0;
+  for (const double d : delays) delay_sum += d;
+  cell.mean_queue_delay_ms =
+      delays.empty() ? 0.0 : delay_sum / static_cast<double>(delays.size());
+  cell.p95_queue_delay_ms = percentile(delays, 0.95);
+  return cell;
+}
+
+util::Json report_json(const Grid& grid, const std::vector<Cell>& cells) {
+  util::JsonObject o;
+  o["format"] = "remy-coexistence-matrix";
+  o["version"] = 1.0;
+  util::JsonObject settings;
+  util::JsonArray schemes;
+  for (const auto& s : grid.schemes) schemes.emplace_back(s);
+  settings["schemes"] = std::move(schemes);
+  settings["flows"] = grid.flows;
+  settings["duration_s"] = grid.duration_s;
+  settings["runs"] = grid.runs;
+  settings["seed0"] = grid.seed0;
+  settings["queue"] = grid.queue;
+  o["settings"] = std::move(settings);
+  util::JsonArray cell_array;
+  for (const auto& c : cells) {
+    util::JsonObject j;
+    j["preset"] = c.preset;
+    j["rtt_ms"] = c.rtt_ms;
+    j["link_mbps"] = c.link_mbps;
+    j["a"] = c.a;
+    j["b"] = c.b;
+    j["jain_index"] = c.jain_index;
+    j["share_a"] = c.share_a;
+    j["share_b"] = c.share_b;
+    j["throughput_a_mbps"] = c.throughput_a_mbps;
+    j["throughput_b_mbps"] = c.throughput_b_mbps;
+    j["mean_queue_delay_ms"] = c.mean_queue_delay_ms;
+    j["p95_queue_delay_ms"] = c.p95_queue_delay_ms;
+    util::JsonArray flows;
+    for (const auto& [scheme, summary] : c.flows) {
+      util::JsonObject f;
+      f["scheme"] = scheme;
+      f["summary"] = summary.to_json();
+      flows.push_back(util::Json{std::move(f)});
+    }
+    j["flows"] = std::move(flows);
+    cell_array.push_back(util::Json{std::move(j)});
+  }
+  o["cells"] = std::move(cell_array);
+  return util::Json{std::move(o)};
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string item = list.substr(start, comma - start);
+    std::replace(item.begin(), item.end(), ';', ',');
+    if (!item.empty()) out.push_back(std::move(item));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  try {
+    cli.require_known({"help", "smoke", "out", "schemes", "flows", "duration",
+                       "runs", "seed0"});
+    if (cli.get("help", false)) {
+      std::printf(
+          "usage: remy-matrix [--smoke] [--out FILE] [--schemes a,b,c]\n"
+          "                   [--flows N] [--duration S] [--runs N]\n"
+          "                   [--seed0 N]\n");
+      return 0;
+    }
+    core::install_builtin_schemes();
+
+    Grid grid;
+    if (cli.get("smoke", false)) {
+      grid.schemes = {"newreno", "cubic", "remy:delta=1"};
+      grid.presets = {"dumbbell"};
+      grid.rtts_ms = {100.0};
+      grid.rates_mbps = {16.0};
+      grid.duration_s = 2.0;
+    } else {
+      grid.schemes = core::fingerprint_scheme_specs();
+      grid.presets = {"dumbbell", "parking_lot", "cross_traffic",
+                      "reverse_path"};
+      grid.rtts_ms = {50.0, 150.0};
+      grid.rates_mbps = {8.0, 33.0};
+    }
+    const std::string override_list = cli.get("schemes", std::string{});
+    if (!override_list.empty()) grid.schemes = split_list(override_list);
+    grid.flows = static_cast<std::size_t>(
+        cli.get("flows", static_cast<std::int64_t>(grid.flows)));
+    grid.duration_s = cli.get("duration", grid.duration_s);
+    grid.runs = static_cast<std::size_t>(
+        cli.get("runs", static_cast<std::int64_t>(grid.runs)));
+    grid.seed0 = static_cast<std::uint64_t>(
+        cli.get("seed0", static_cast<std::int64_t>(grid.seed0)));
+
+    const std::vector<cc::SchemeHandle> handles =
+        cc::Registry::global().schemes(grid.schemes);
+
+    std::vector<Cell> cells;
+    for (const auto& preset : grid.presets) {
+      for (const double rtt : grid.rtts_ms) {
+        for (const double rate : grid.rates_mbps) {
+          for (std::size_t i = 0; i < handles.size(); ++i) {
+            for (std::size_t j = i; j < handles.size(); ++j) {
+              cells.push_back(
+                  run_cell(grid, preset, rtt, rate, handles[i], handles[j]));
+            }
+          }
+        }
+      }
+    }
+
+    // Console: the least-fair cells first — the ones worth reading.
+    std::vector<const Cell*> by_jain;
+    for (const auto& c : cells) by_jain.push_back(&c);
+    std::stable_sort(by_jain.begin(), by_jain.end(),
+                     [](const Cell* x, const Cell* y) {
+                       return x->jain_index < y->jain_index;
+                     });
+    std::printf("%zu cells; least fair first:\n", cells.size());
+    std::printf("%-14s %6s %6s  %-24s %-24s %6s %7s %7s %9s\n", "preset",
+                "rtt", "mbps", "a", "b", "jain", "share_a", "share_b",
+                "p95_delay");
+    const std::size_t show = std::min<std::size_t>(by_jain.size(), 20);
+    for (std::size_t k = 0; k < show; ++k) {
+      const Cell& c = *by_jain[k];
+      std::printf("%-14s %6.0f %6.0f  %-24s %-24s %6.3f %7.3f %7.3f %9.2f\n",
+                  c.preset.c_str(), c.rtt_ms, c.link_mbps, c.a.c_str(),
+                  c.b.c_str(), c.jain_index, c.share_a, c.share_b,
+                  c.p95_queue_delay_ms);
+    }
+
+    const std::string out = cli.get("out", std::string{});
+    if (!out.empty()) {
+      util::json_to_file(report_json(grid, cells), out);
+      std::printf("report -> %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -31,6 +31,8 @@ void print_usage() {
       "  --runs N --duration S --full --smoke\n"
       "  --require-tables     fail fast on missing RemyCC tables\n"
       "  --json FILE          write machine-readable results\n"
+      "  --flow-stats         add per-flow summaries to the JSON\n"
+      "  --trace-interval MS  sample per-flow telemetry at this period\n"
       "  --hash               print the results hash per scenario\n"
       "  --list-schemes       list registered schemes and queue discs\n"
       "  --list-topologies    list topology presets and their parameters\n");
@@ -66,8 +68,8 @@ int main(int argc, char** argv) {
   try {
     cli.require_known({"help", "scenario", "schemes", "scheme", "runs",
                        "duration", "arena", "full", "smoke", "require-tables",
-                       "json", "hash", "list-schemes", "list-queues",
-                       "list-topologies"});
+                       "json", "hash", "flow-stats", "trace-interval",
+                       "list-schemes", "list-queues", "list-topologies"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
