@@ -20,8 +20,10 @@
 #include "core/evaluator.hh"
 #include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
+#include "sim/shard/sharded_runner.hh"
 #include "sim/topology.hh"
 #include "sim/topology_runner.hh"
+#include "workload/distributions.hh"
 #include "trace/lte_model.hh"
 #include "util/json.hh"
 
@@ -61,6 +63,52 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(2)->Arg(8)->Arg(16)->Arg(256)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedIncastSimulatedSecond(benchmark::State& state) {
+  // The PDES headline: one fat-tree incast scenario (512 flows over 8
+  // leaves) split across Arg(0) shards by sim::ShardedRunner. Arg 1 is the
+  // same simulation through the identical wrapper single-threaded, so the
+  // ratio between rows is the multi-core speedup (on a single-core host the
+  // >1 rows measure pure windowing overhead instead). Arena path, like the
+  // dumbbell benchmark above: reset + replay per iteration.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  core::install_builtin_schemes();
+  const cc::SchemeHandle scheme =
+      cc::Registry::global().scheme("newreno:min_rto=10");
+  sim::FatTreeTopo params;
+  params.num_flows = 512;
+  params.leaves = 8;
+  params.leaf_mbps = 1000.0;
+  params.core_mbps = 2000.0;
+  params.leaf_rtt_ms = 1.0;
+  params.core_rtt_ms = 1.0;
+  params.queue_factory = [] { return std::make_unique<aqm::DropTail>(1000); };
+  sim::Topology topo = sim::Topology::fat_tree_incast(params);
+  topo.workload = sim::OnOffConfig::by_bytes(
+      workload::Distribution::exponential(50000.0),
+      workload::Distribution::exponential(500.0));
+  topo.seed = 1;
+  sim::ShardedRunner net{topo, [&](sim::FlowId) { return scheme.make_sender(); },
+                         shards};
+  if (shards > 1 && !net.sharded()) {
+    state.SkipWithError("shard plan rejected the fat-tree topology");
+    return;
+  }
+  std::uint64_t events = 0;
+  bool first = true;
+  for (auto _ : state) {
+    if (!first) net.reset(1);
+    first = false;
+    net.run_for_seconds(1.0);
+    events += net.events_processed();
+    benchmark::DoNotOptimize(net.metrics_raw().total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["sim_events_per_second"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedIncastSimulatedSecond)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ParkingLotSimulatedSecond(benchmark::State& state) {
   // The first multi-bottleneck workload: n flows over the two-hop parking

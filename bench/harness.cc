@@ -201,7 +201,7 @@ namespace {
 /// Runs `net` for the scenario duration and pools per-flow points via
 /// `emit(run, flow, stats, point)`.
 template <typename Emit>
-void run_and_collect(const Scenario& scenario, sim::TopologyRunner& net,
+void run_and_collect(const Scenario& scenario, sim::ShardedRunner& net,
                      std::size_t run, Emit&& emit) {
   net.run_for_seconds(scenario.duration_s);
   sim::MetricsHub& metrics = net.metrics();
@@ -214,8 +214,10 @@ void run_and_collect(const Scenario& scenario, sim::TopologyRunner& net,
 }
 
 /// Attaches the scenario's telemetry tracer (if requested) to a freshly
-/// built runner, before its first run.
-void maybe_attach_tracer(const Scenario& scenario, sim::TopologyRunner& net) {
+/// built runner, before its first run. The runner was constructed with
+/// tracer_requested set, so a traced run is always on the single-threaded
+/// fallback path.
+void maybe_attach_tracer(const Scenario& scenario, sim::ShardedRunner& net) {
   if (scenario.trace_interval_ms <= 0.0) return;
   net.attach_tracer(sim::FlowTracer::Config{scenario.trace_interval_ms,
                                             scenario.trace_capacity});
@@ -224,13 +226,17 @@ void maybe_attach_tracer(const Scenario& scenario, sim::TopologyRunner& net) {
 /// All of a scheme's runs. Consecutive runs of one scheme differ only by the
 /// per-run seed, so arena mode builds the component graph once (from the
 /// run-0 topology) and resets it to each later run's seed — bit-identical
-/// to the per-run construction of the default path.
+/// to the per-run construction of the default path. The ShardedRunner is a
+/// uniform wrapper: at --shards 1 (or on a rejected plan) it *is* the
+/// single-threaded TopologyRunner; above that it splits the run across
+/// per-shard event heaps, still bit-identically.
 template <typename MakeSender, typename Emit>
 void run_all(const Scenario& scenario, const Scheme& scheme,
              MakeSender&& make_sender, Emit&& emit) {
+  const bool tracing = scenario.trace_interval_ms > 0.0;
   if (scenario.arena && scenario.runs > 0) {
     const sim::Topology topo = make_run_topology(scenario, scheme, 0);
-    sim::TopologyRunner net{topo, make_sender};
+    sim::ShardedRunner net{topo, make_sender, scenario.shards, tracing};
     maybe_attach_tracer(scenario, net);
     for (std::size_t run = 0; run < scenario.runs; ++run) {
       if (run > 0) net.reset(scenario.seed0 + run);
@@ -240,7 +246,7 @@ void run_all(const Scenario& scenario, const Scheme& scheme,
   }
   for (std::size_t run = 0; run < scenario.runs; ++run) {
     const sim::Topology topo = make_run_topology(scenario, scheme, run);
-    sim::TopologyRunner net{topo, make_sender};
+    sim::ShardedRunner net{topo, make_sender, scenario.shards, tracing};
     maybe_attach_tracer(scenario, net);
     run_and_collect(scenario, net, run, emit);
   }
@@ -311,6 +317,8 @@ void apply_cli(const util::Cli& cli, Scenario& scenario,
   scenario.trace_interval_ms =
       cli.get("trace-interval", scenario.trace_interval_ms);
   scenario.flow_stats = cli.get("flow-stats", scenario.flow_stats);
+  scenario.shards = static_cast<std::size_t>(
+      cli.get("shards", static_cast<std::int64_t>(scenario.shards)));
 }
 
 namespace {

@@ -28,6 +28,11 @@
 //                         default so digest-blessed output stays identical)
 //   --trace-interval MS   attach a FlowTracer sampling every flow at this
 //                         period (telemetry only; replay stays bit-identical)
+//   --shards N            split each run over N per-core event heaps along
+//                         the topology's cut links (conservative-window
+//                         PDES; results are bit-identical to --shards 1).
+//                         Topologies without a valid cut warn once and run
+//                         single-threaded.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +45,7 @@
 #include "core/scenario_spec.hh"
 #include "core/scheme_registry.hh"
 #include "sim/dumbbell.hh"
+#include "sim/shard/sharded_runner.hh"
 #include "sim/topology_runner.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -130,6 +136,10 @@ struct Scenario {
   /// Emit per-flow summaries into results_json (--flow-stats). Off by
   /// default: the default output stays byte-identical for digest replay.
   bool flow_stats = false;
+  /// > 1: run each simulation as a conservative-window PDES split over
+  /// this many shards (sim::ShardedRunner). Bit-identical to 1; topologies
+  /// the ShardPlan rejects fall back single-threaded with a warning.
+  std::size_t shards = 1;
 };
 
 /// Materializes a spec: workload distributions, default queue via the

@@ -7,8 +7,8 @@
 #include "cc/transport.hh"
 #include "core/remy_controller.hh"
 #include "core/scheme_registry.hh"
+#include "sim/shard/sharded_runner.hh"
 #include "sim/topology.hh"
-#include "sim/topology_runner.hh"
 
 namespace remy::core {
 
@@ -27,7 +27,7 @@ Evaluator::Evaluator(const ConfigRange& range, EvaluatorOptions options)
 
 Evaluator::~Evaluator() = default;
 
-std::unique_ptr<sim::TopologyRunner> Evaluator::build_runner(
+std::unique_ptr<sim::ShardedRunner> Evaluator::build_runner(
     std::shared_ptr<const WhiskerTree> tree, const NetConfig& config,
     std::uint64_t seed, UsageRecorder* usage) const {
   // Specimens are dumbbells drawn from the prior, instantiated through the
@@ -45,11 +45,15 @@ std::unique_ptr<sim::TopologyRunner> Evaluator::build_runner(
 
   const cc::SchemeHandle candidate =
       remy_scheme_handle(std::move(tree), cc::TransportConfig{}, usage);
-  return std::make_unique<sim::TopologyRunner>(
-      topo, [&](sim::FlowId) { return candidate.make_sender(); });
+  // A dumbbell always admits a cut (its two directions meet only through
+  // positive-delay stages), so options_.shards > 1 genuinely parallelizes
+  // the specimen; at 1 this *is* the single-threaded TopologyRunner.
+  return std::make_unique<sim::ShardedRunner>(
+      topo, [&](sim::FlowId) { return candidate.make_sender(); },
+      options_.shards);
 }
 
-SpecimenResult Evaluator::score_run(sim::TopologyRunner& net,
+SpecimenResult Evaluator::score_run(sim::ShardedRunner& net,
                                     const NetConfig& config) const {
   net.run_for_seconds(options_.simulation_ms / 1000.0);
 
@@ -100,7 +104,7 @@ SpecimenResult Evaluator::run_specimen(const WhiskerTree& tree,
 SpecimenResult Evaluator::run_specimen_pooled(const WhiskerTree& tree,
                                               std::size_t index,
                                               UsageRecorder* usage) const {
-  std::unique_ptr<sim::TopologyRunner> net;
+  std::unique_ptr<sim::ShardedRunner> net;
   {
     const std::lock_guard<std::mutex> lock{arena_mutex_};
     auto& slots = arena_[index];

@@ -16,7 +16,7 @@
 #include "util/thread_pool.hh"
 
 namespace remy::sim {
-class TopologyRunner;
+class ShardedRunner;
 }  // namespace remy::sim
 
 namespace remy::core {
@@ -28,6 +28,11 @@ struct EvaluatorOptions {
   /// Warm-up fraction excluded from nothing (the paper scores whole runs);
   /// kept configurable for ablations.
   double utility_floor = -1e9;  ///< clamp per-flow utility (idle flows)
+  /// > 1: run each specimen as a conservative-window PDES split over this
+  /// many shards (sim::ShardedRunner). Scores are bit-identical to 1 —
+  /// a pure wall-time knob, deliberately excluded from the checkpoint
+  /// options fingerprint so --shards can change across a resume.
+  std::size_t shards = 1;
 };
 
 struct SpecimenResult {
@@ -81,10 +86,10 @@ class Evaluator {
                               UsageRecorder* usage = nullptr) const;
 
  private:
-  std::unique_ptr<sim::TopologyRunner> build_runner(
+  std::unique_ptr<sim::ShardedRunner> build_runner(
       std::shared_ptr<const WhiskerTree> tree, const NetConfig& config,
       std::uint64_t seed, UsageRecorder* usage) const;
-  SpecimenResult score_run(sim::TopologyRunner& net,
+  SpecimenResult score_run(sim::ShardedRunner& net,
                            const NetConfig& config) const;
   SpecimenResult run_specimen_pooled(const WhiskerTree& tree,
                                      std::size_t index,
@@ -100,7 +105,7 @@ class Evaluator {
   /// them; they are never dereferenced — every checkout rebinds before the
   /// runner moves again.
   mutable std::mutex arena_mutex_;
-  mutable std::vector<std::vector<std::unique_ptr<sim::TopologyRunner>>>
+  mutable std::vector<std::vector<std::unique_ptr<sim::ShardedRunner>>>
       arena_;
 };
 

@@ -141,13 +141,14 @@ Json TopologySpec::to_json() const {
   }
   if (link2_mbps.has_value()) o["link2_mbps"] = *link2_mbps;
   if (rtt2_ms.has_value()) o["rtt2_ms"] = *rtt2_ms;
+  if (leaves.has_value()) o["leaves"] = static_cast<double>(*leaves);
   return Json{std::move(o)};
 }
 
 TopologySpec TopologySpec::from_json(const Json& j) {
   expect_keys(j,
               {"preset", "num_senders", "link_mbps", "rtt_ms", "flow_rtts",
-               "link2_mbps", "rtt2_ms", "nodes", "links", "routes"},
+               "link2_mbps", "rtt2_ms", "leaves", "nodes", "links", "routes"},
               "topology");
   TopologySpec out;
   out.preset = j.contains("preset")
@@ -157,7 +158,7 @@ TopologySpec TopologySpec::from_json(const Json& j) {
   if (out.preset == "custom") {
     forbid(j,
            {"num_senders", "link_mbps", "rtt_ms", "flow_rtts", "link2_mbps",
-            "rtt2_ms"},
+            "rtt2_ms", "leaves"},
            out.preset);
     for (const auto& n : j.at("nodes").as_array()) {
       out.nodes.push_back(n.as_string());
@@ -190,6 +191,7 @@ TopologySpec TopologySpec::from_json(const Json& j) {
     forbid(j, {"rtt2_ms"}, out.preset);
   }
   if (out.preset != "dumbbell") forbid(j, {"flow_rtts"}, out.preset);
+  if (out.preset != "fat_tree_incast") forbid(j, {"leaves"}, out.preset);
 
   out.num_senders =
       static_cast<std::size_t>(j.at("num_senders").as_number());
@@ -208,6 +210,12 @@ TopologySpec TopologySpec::from_json(const Json& j) {
   }
   if (j.contains("link2_mbps")) out.link2_mbps = j.at("link2_mbps").as_number();
   if (j.contains("rtt2_ms")) out.rtt2_ms = j.at("rtt2_ms").as_number();
+  if (j.contains("leaves")) {
+    out.leaves = static_cast<std::size_t>(j.at("leaves").as_number());
+    if (*out.leaves == 0) {
+      throw JsonError{"scenario spec: leaves must be positive"};
+    }
+  }
   return out;
 }
 
@@ -245,6 +253,7 @@ sim::Topology TopologySpec::materialize(const TopologyBuild& build) const {
     }
     sim::FatTreeTopo params;
     params.num_flows = num_senders;
+    if (leaves.has_value()) params.leaves = *leaves;
     params.leaf_mbps = link_mbps;
     params.core_mbps = link2_mbps.value_or(link_mbps);
     params.leaf_rtt_ms = rtt_ms;
@@ -312,7 +321,7 @@ std::vector<std::pair<std::string, std::string>> topology_preset_list() {
       {"fat_tree_incast",
        "sender leaves fan in through one aggregation node to a shared core "
        "link (params: num_senders, link_mbps as the leaf rate, link2_mbps "
-       "as the core rate, rtt_ms, rtt2_ms)"},
+       "as the core rate, rtt_ms, rtt2_ms, leaves)"},
       {"shared_reverse_cellular",
        "a (possibly trace-driven) downlink opposed by a thin uplink; flows "
        "alternate direction (params: num_senders, link_mbps as the down "

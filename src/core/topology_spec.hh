@@ -88,6 +88,10 @@ struct TopologySpec {
   std::vector<double> flow_rtts;      ///< dumbbell only
   std::optional<double> link2_mbps;   ///< second / reverse bottleneck rate
   std::optional<double> rtt2_ms;      ///< second hop RTT contribution
+  /// fat_tree_incast only: sender leaves under the shared aggregation node
+  /// (flow i sources at leaf i % leaves; default 4). More leaves mean more
+  /// independent component groups for --shards to spread across.
+  std::optional<std::size_t> leaves;
 
   // Explicit graph (custom only).
   std::vector<std::string> nodes;

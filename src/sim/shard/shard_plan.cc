@@ -1,0 +1,177 @@
+#include "sim/shard/shard_plan.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+
+namespace remy::sim {
+
+namespace {
+
+/// Plain union-find over node indices; path-halving, union by root index
+/// (the smaller root wins, keeping representatives deterministic).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan ShardPlan::build(const Topology& topo, std::size_t shards,
+                           bool tracer_requested) {
+  topo.validate();
+
+  ShardPlan plan;
+  plan.requested = shards;
+  plan.node_shard.assign(topo.nodes.size(), 0);
+  plan.link_cut.assign(topo.links.size(), false);
+  if (shards <= 1) return plan;  // not requested; no rejection, no warning
+
+  if (tracer_requested) {
+    plan.rejection =
+        "a FlowTracer samples every sender from one scheduled component, "
+        "which cannot span shards";
+    return plan;
+  }
+  if (topo.record_deliveries) {
+    plan.rejection =
+        "record_deliveries appends to one shared per-delivery log, whose "
+        "order a parallel run cannot reproduce";
+    return plan;
+  }
+
+  std::unordered_map<std::string, std::size_t> node_index;
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    node_index.emplace(topo.nodes[i], i);
+  }
+  std::unordered_map<std::string, std::size_t> link_index;
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    link_index.emplace(topo.links[l].id, l);
+  }
+
+  // Minimum effective one-way delay any flow experiences on each link:
+  // the link's fixed delay, unless the flow overrides it (Sec. 5.4 style
+  // per-flow RTTs), or zero when the link has no delay stage at all. Links
+  // no flow routes over stay at kNever — they carry no packets, so they
+  // neither fuse shards nor bound the lookahead. Mirrors the delay-stage
+  // condition in TopologyRunner's constructor exactly.
+  std::vector<TimeMs> min_delay(topo.links.size(), kNever);
+  for (const FlowRoute& route : topo.flows) {
+    const auto walk = [&](const std::vector<std::string>& path) {
+      for (const std::string& id : path) {
+        const std::size_t l = link_index.at(id);
+        const TopologyLink& spec = topo.links[l];
+        const bool has_bottleneck =
+            spec.bottleneck_factory != nullptr || spec.rate_mbps > 0;
+        const bool has_delay_stage =
+            spec.delay_ms > 0 || spec.force_delay_stage || !has_bottleneck;
+        TimeMs d = has_delay_stage ? spec.delay_ms : 0.0;
+        if (has_delay_stage) {
+          for (const auto& [ov_id, ov_delay] : route.delay_overrides) {
+            if (ov_id == id) d = ov_delay;
+          }
+        }
+        min_delay[l] = std::min(min_delay[l], d);
+      }
+    };
+    walk(route.data_path);
+    walk(route.ack_path);
+  }
+
+  // Fuse the endpoints of every link some flow crosses with zero delay:
+  // cutting it would give the downstream shard no lookahead at all.
+  UnionFind uf{topo.nodes.size()};
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    if (min_delay[l] <= 0) {
+      uf.unite(node_index.at(topo.links[l].from),
+               node_index.at(topo.links[l].to));
+    }
+  }
+
+  // Connected groups, numbered by first-appearing node index.
+  std::vector<std::size_t> group_of(topo.nodes.size());
+  std::unordered_map<std::size_t, std::size_t> root_to_group;
+  std::size_t num_groups = 0;
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    const std::size_t root = uf.find(n);
+    auto [it, inserted] = root_to_group.emplace(root, num_groups);
+    if (inserted) ++num_groups;
+    group_of[n] = it->second;
+  }
+  if (num_groups < 2) {
+    plan.rejection =
+        "no cut link with positive delay separates the topology (every "
+        "node pair is joined by a zero-delay hop some flow crosses)";
+    return plan;
+  }
+
+  // Group load estimate: a flow's sender + scheduler live at its source,
+  // its receiver share at its destination. Integer weights keep the
+  // assignment deterministic across platforms.
+  std::vector<std::uint64_t> load(num_groups, 0);
+  for (const FlowRoute& route : topo.flows) {
+    load[group_of[node_index.at(route.src)]] += 2;
+    load[group_of[node_index.at(route.dst)]] += 1;
+  }
+
+  // Greedy LPT: heaviest group first onto the least-loaded shard. The
+  // first num_shards groups seed one shard each, so no shard is empty.
+  plan.num_shards = std::min(shards, num_groups);
+  std::vector<std::size_t> order(num_groups);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return load[a] > load[b];
+                   });
+  std::vector<std::uint64_t> shard_load(plan.num_shards, 0);
+  std::vector<std::size_t> shard_of_group(num_groups, 0);
+  for (std::size_t i = 0; i < num_groups; ++i) {
+    std::size_t target = i;
+    if (i >= plan.num_shards) {
+      target = 0;
+      for (std::size_t s = 1; s < plan.num_shards; ++s) {
+        if (shard_load[s] < shard_load[target]) target = s;
+      }
+    }
+    shard_of_group[order[i]] = target;
+    shard_load[target] += load[order[i]];
+  }
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    plan.node_shard[n] = shard_of_group[group_of[n]];
+  }
+
+  // Cut links and the conservative lookahead bound. Only live links (some
+  // flow crosses them) constrain the window; by construction every live
+  // cut link has min_delay > 0.
+  plan.lookahead_ms = kNever;
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    const std::size_t from = plan.node_shard[node_index.at(topo.links[l].from)];
+    const std::size_t to = plan.node_shard[node_index.at(topo.links[l].to)];
+    if (from == to) continue;
+    plan.link_cut[l] = true;
+    plan.lookahead_ms = std::min(plan.lookahead_ms, min_delay[l]);
+  }
+  return plan;
+}
+
+}  // namespace remy::sim

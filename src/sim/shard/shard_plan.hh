@@ -1,0 +1,57 @@
+// Partitioning plan for the conservative-window parallel engine.
+//
+// A ShardPlan decides how a Topology's component graph splits into
+// per-shard Networks that only exchange packets at *cut links* — links
+// whose every traversing flow experiences a strictly positive fixed delay.
+// Nodes joined by a link that any flow crosses with zero effective delay
+// (a rate-only stage, or a per-flow delay override of 0) are fused into
+// the same shard: a zero-delay hop gives the downstream shard no slack to
+// run ahead, so cutting it could only mis-order events.
+//
+// The *lookahead* is the classic conservative-synchronization bound: the
+// minimum effective delay over all flow-carrying cut links. Every packet
+// that crosses a shard boundary at time s is next visible to the receiving
+// shard no earlier than s + lookahead, so all shards can safely advance
+// through a window of that width between synchronization barriers
+// (ShardedRunner does exactly that). Links no flow routes over impose no
+// constraint and contribute nothing to the bound; a plan whose shards
+// share no live cut link at all gets an infinite lookahead (one window).
+//
+// Plans that cannot shard safely say so loudly: `rejection` names the
+// reason (tracer attached, per-delivery recording, no cut found) and
+// ShardedRunner falls back to the single-threaded TopologyRunner with a
+// one-time warning rather than silently mis-sharding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+#include "sim/topology.hh"
+
+namespace remy::sim {
+
+struct ShardPlan {
+  std::size_t requested = 1;   ///< shard count asked for
+  std::size_t num_shards = 1;  ///< effective count (1 = run single-threaded)
+  /// Why the plan fell back to one shard; empty when sharded() or when
+  /// sharding was never requested (requested <= 1).
+  std::string rejection;
+  /// Window width between barriers; kNever when no live cut link joins two
+  /// shards (the shards are fully independent). Meaningful only when
+  /// sharded().
+  TimeMs lookahead_ms = kNever;
+  std::vector<std::size_t> node_shard;  ///< node index -> shard id
+  std::vector<bool> link_cut;  ///< link index -> endpoints in distinct shards
+
+  bool sharded() const noexcept { return num_shards > 1; }
+
+  /// Builds a plan for `topo` split `shards` ways. Validates the topology.
+  /// `tracer_requested` forces a rejection: a FlowTracer samples every
+  /// sender from one scheduled component, which cannot span shards.
+  static ShardPlan build(const Topology& topo, std::size_t shards,
+                         bool tracer_requested = false);
+};
+
+}  // namespace remy::sim

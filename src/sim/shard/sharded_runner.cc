@@ -1,0 +1,473 @@
+#include "sim/shard/sharded_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/link.hh"
+#include "sim/shard/spsc_channel.hh"
+#include "util/rng.hh"
+
+namespace remy::sim {
+
+namespace {
+
+/// Same fallback queue TopologyRunner uses (file-local there too): an
+/// unlimited FIFO for rate links with no queue factory anywhere.
+class UnlimitedFifo final : public QueueDisc {
+ public:
+  void enqueue(Packet&& p, TimeMs now) override {
+    stamp_enqueue(p, now);
+    fifo_.push_back(std::move(p));
+    bytes_ += fifo_.back().size_bytes;
+  }
+  std::optional<Packet> dequeue(TimeMs now) override {
+    if (fifo_.empty()) return std::nullopt;
+    Packet p = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_ -= p.size_bytes;
+    stamp_dequeue(p, now);
+    return p;
+  }
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+
+  void reset() override {
+    fifo_.clear();
+    bytes_ = 0;
+    reset_counters();
+  }
+
+ private:
+  std::deque<Packet> fifo_;
+  std::size_t bytes_ = 0;
+};
+
+void warn_fallback_once(std::size_t requested, const std::string& reason) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr,
+               "remy: --shards %zu not applicable here: %s; running "
+               "single-threaded (warning shown once per process)\n",
+               requested, reason.c_str());
+}
+
+}  // namespace
+
+struct ShardedRunner::Impl {
+  /// Per-node packet switch, identical to TopologyRunner's NodeDemux.
+  class ShardDemux final : public PacketSink {
+   public:
+    explicit ShardDemux(std::string node) : node_{std::move(node)} {}
+    void accept(Packet&& p, TimeMs now) override {
+      const auto& table = p.is_ack ? ack_next_ : data_next_;
+      if (p.flow >= table.size() || table[p.flow] == nullptr) {
+        throw std::logic_error{
+            "ShardedRunner: flow " + std::to_string(p.flow) +
+            (p.is_ack ? " ACK" : " data") + " packet misrouted to node \"" +
+            node_ + "\""};
+      }
+      table[p.flow]->accept(std::move(p), now);
+    }
+    void set_next(FlowId flow, bool is_ack, PacketSink* sink) {
+      auto& table = is_ack ? ack_next_ : data_next_;
+      if (flow >= table.size()) table.resize(flow + 1, nullptr);
+      table[flow] = sink;
+    }
+
+   private:
+    std::string node_;  ///< for misrouting diagnostics
+    std::vector<PacketSink*> data_next_;
+    std::vector<PacketSink*> ack_next_;
+  };
+
+  /// Cut-link egress: where the single-threaded wiring hands the packet
+  /// straight to the link's DelayLine, this pushes it into the channel
+  /// stamped with the producing shard's clock. The DelayLine computes the
+  /// delivery time from that stamp at drain, so the hop's timing is
+  /// unchanged.
+  class EgressProxy final : public PacketSink {
+   public:
+    explicit EgressProxy(SpscChannel* channel) : channel_{channel} {}
+    void accept(Packet&& p, TimeMs now) override {
+      channel_->push(std::move(p), now);
+    }
+
+   private:
+    SpscChannel* channel_;
+  };
+
+  /// The instantiated stages of one TopologyLink, plus which shard owns
+  /// each stage and the cut channel when the stages straddle shards.
+  struct LinkInstance {
+    std::string id;
+    std::unique_ptr<Bottleneck> bottleneck;
+    std::unique_ptr<DelayLine> delay;
+    PacketSink* ingress = nullptr;
+    ShardDemux* to_demux = nullptr;
+    std::unique_ptr<SpscChannel> channel;  ///< non-null on cut links
+    std::unique_ptr<EgressProxy> proxy;
+    std::size_t bottleneck_shard = 0;  ///< shard of the `from` node
+    std::size_t delay_shard = 0;       ///< shard of the `to` node
+  };
+
+  struct ShardState {
+    Network net;
+    std::vector<std::size_t> incoming;  ///< cut links draining into this shard
+  };
+
+  MetricsHub metrics_hub;
+  std::vector<std::unique_ptr<ShardDemux>> demuxes;   // node order
+  std::vector<std::unique_ptr<Receiver>> receivers;   // owning store
+  std::vector<LinkInstance> links;                    // declaration order
+  std::vector<std::unique_ptr<Sender>> senders;       // flow order
+  std::vector<std::unique_ptr<FlowScheduler>> schedulers;
+  std::deque<ShardState> shards;  // deque: Network is immovable
+  TimeMs lookahead = kNever;
+  bool finished = false;
+
+  explicit Impl(std::size_t num_flows) : metrics_hub{num_flows} {}
+
+  /// Injects everything the upstream shards captured (in previous windows;
+  /// early arrivals are beyond the next window's end by the lookahead
+  /// bound, so injecting them now is harmless). Called by shard `s`'s own
+  /// worker thread — the DelayLines touched here live in shard `s`.
+  void drain(std::size_t s) {
+    for (const std::size_t l : shards[s].incoming) {
+      SpscChannel::Entry e;
+      while (links[l].channel->pop(e)) {
+        links[l].delay->accept(std::move(e.packet), e.sent);
+      }
+    }
+  }
+
+  void run_until(TimeMs target) {
+    const TimeMs start = shards[0].net.now();
+    const std::size_t n = shards.size();
+    std::barrier<> sync{static_cast<std::ptrdiff_t>(n)};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(n);
+
+    // Every worker steps through the identical window sequence
+    //   start, min(target, start + L), min(target, start + 2L), ...
+    // independently — no shared window state, the barrier alone keeps the
+    // phases aligned. Window 0 is zero-width: events at exactly `start`
+    // (initial sends, flow starts, the tail of a previous run_until call)
+    // fire before the first stepped window, so every cross-shard capture
+    // in window k happens at s > end-of-window-(k-1) and is deliverable
+    // strictly after window k ends — always drained in time.
+    const auto worker = [&](const std::size_t s) {
+      try {
+        TimeMs end = start;
+        for (;;) {
+          drain(s);
+          shards[s].net.run_until(end);
+          sync.arrive_and_wait();
+          if (failed.load(std::memory_order_acquire)) return;
+          if (end >= target) return;
+          end = std::min(target, end + lookahead);
+        }
+      } catch (...) {
+        // Record, release everyone still waiting, and bow out of all
+        // future phases; peers see `failed` right after this barrier and
+        // stop instead of waiting for us forever.
+        errors[s] = std::current_exception();
+        failed.store(true, std::memory_order_release);
+        sync.arrive_and_drop();
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (std::size_t s = 1; s < n; ++s) threads.emplace_back(worker, s);
+    worker(0);
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e != nullptr) std::rethrow_exception(e);
+    }
+  }
+};
+
+ShardedRunner::ShardedRunner(const Topology& topo,
+                             const SenderFactory& make_sender,
+                             std::size_t shards, bool tracer_requested)
+    : plan_{ShardPlan::build(topo, shards, tracer_requested)} {
+  if (!plan_.sharded()) {
+    if (plan_.requested > 1) warn_fallback_once(plan_.requested, plan_.rejection);
+    fallback_ = std::make_unique<TopologyRunner>(topo, make_sender);
+    return;
+  }
+
+  // From here the construction mirrors TopologyRunner's line by line —
+  // same creation order, same wiring, same seeder discipline — except that
+  // cut links interpose an EgressProxy/SpscChannel pair and registration
+  // fans out over the per-shard Networks (each shard's order is the global
+  // order filtered, so same-instant FIFO tiebreaks are preserved).
+  impl_ = std::make_unique<Impl>(topo.num_flows());
+  Impl& im = *impl_;
+  im.lookahead = plan_.lookahead_ms;
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) im.shards.emplace_back();
+
+  std::unordered_map<std::string, std::size_t> node_index;
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    node_index.emplace(topo.nodes[i], i);
+    im.demuxes.push_back(std::make_unique<Impl::ShardDemux>(topo.nodes[i]));
+  }
+
+  std::vector<Receiver*> receiver_at(topo.nodes.size(), nullptr);
+  for (const auto& route : topo.flows) {
+    const std::size_t dst = node_index.at(route.dst);
+    if (receiver_at[dst] == nullptr) {
+      im.receivers.push_back(
+          std::make_unique<Receiver>(im.demuxes[dst].get(), &im.metrics_hub));
+      receiver_at[dst] = im.receivers.back().get();
+    }
+  }
+
+  im.links.reserve(topo.links.size());
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    const TopologyLink& spec = topo.links[l];
+    Impl::LinkInstance inst;
+    inst.id = spec.id;
+    inst.bottleneck_shard = plan_.node_shard[node_index.at(spec.from)];
+    inst.delay_shard = plan_.node_shard[node_index.at(spec.to)];
+    inst.to_demux = im.demuxes[node_index.at(spec.to)].get();
+    PacketSink* downstream = inst.to_demux;
+    const bool has_bottleneck =
+        spec.bottleneck_factory != nullptr || spec.rate_mbps > 0;
+    if (spec.delay_ms > 0 || spec.force_delay_stage || !has_bottleneck) {
+      inst.delay = std::make_unique<DelayLine>(spec.delay_ms, downstream);
+      downstream = inst.delay.get();
+    }
+    // Cut link: the DelayLine belongs to the destination shard, so the
+    // upstream stage hands off to the proxy/channel instead. A cut link
+    // without a delay stage carries no flow (the plan fuses zero-delay
+    // hops), so its direct cross-shard pointer is never exercised.
+    if (plan_.link_cut[l] && inst.delay != nullptr) {
+      inst.channel = std::make_unique<SpscChannel>();
+      inst.proxy = std::make_unique<Impl::EgressProxy>(inst.channel.get());
+      im.shards[inst.delay_shard].incoming.push_back(l);
+      downstream = inst.proxy.get();
+    }
+    if (spec.bottleneck_factory) {
+      inst.bottleneck = spec.bottleneck_factory(downstream);
+      if (inst.bottleneck == nullptr) {
+        throw std::invalid_argument{"Topology: link \"" + spec.id +
+                                    "\" bottleneck_factory returned null"};
+      }
+    } else if (spec.rate_mbps > 0) {
+      auto queue = spec.queue_factory   ? spec.queue_factory()
+                   : topo.default_queue ? topo.default_queue()
+                                        : std::make_unique<UnlimitedFifo>();
+      inst.bottleneck =
+          std::make_unique<Link>(spec.rate_mbps, std::move(queue), downstream);
+    }
+    // Upstream hand-off point: the bottleneck when there is one, else the
+    // delay stage — or the proxy standing in front of a cut delay stage.
+    inst.ingress = inst.bottleneck
+                       ? static_cast<PacketSink*>(inst.bottleneck.get())
+                       : downstream;
+    im.links.push_back(std::move(inst));
+  }
+
+  std::unordered_map<std::string, Impl::LinkInstance*> link_by_id;
+  for (auto& l : im.links) link_by_id.emplace(l.id, &l);
+
+  im.senders.reserve(topo.num_flows());
+  for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+    auto sender = make_sender(static_cast<FlowId>(f));
+    if (sender == nullptr) {
+      throw std::invalid_argument{"ShardedRunner: null sender"};
+    }
+    im.senders.push_back(std::move(sender));
+  }
+
+  struct ResolvedRoute {
+    const FlowRoute* shape;
+    PacketSink* first_data;
+    Receiver* receiver;
+    std::vector<std::pair<Impl::ShardDemux*, PacketSink*>> data_hops;
+    Impl::ShardDemux* dst_demux;
+    PacketSink* first_ack;
+    std::vector<std::pair<Impl::ShardDemux*, PacketSink*>> ack_hops;
+    std::vector<std::pair<DelayLine*, TimeMs>> overrides;
+  };
+  std::vector<ResolvedRoute> resolved;
+  const auto resolve = [&](const FlowRoute& route) -> const ResolvedRoute& {
+    for (const auto& r : resolved) {
+      if (same_route_shape(*r.shape, route)) return r;
+    }
+    ResolvedRoute r;
+    r.shape = &route;
+    r.first_data = link_by_id.at(route.data_path.front())->ingress;
+    r.receiver = receiver_at[node_index.at(route.dst)];
+    for (std::size_t i = 0; i < route.data_path.size(); ++i) {
+      Impl::LinkInstance* link = link_by_id.at(route.data_path[i]);
+      PacketSink* next = i + 1 < route.data_path.size()
+                             ? link_by_id.at(route.data_path[i + 1])->ingress
+                             : nullptr;
+      r.data_hops.emplace_back(link->to_demux, next);
+    }
+    r.dst_demux = im.demuxes[node_index.at(route.dst)].get();
+    r.first_ack = link_by_id.at(route.ack_path.front())->ingress;
+    for (std::size_t i = 0; i < route.ack_path.size(); ++i) {
+      Impl::LinkInstance* link = link_by_id.at(route.ack_path[i]);
+      PacketSink* next = i + 1 < route.ack_path.size()
+                             ? link_by_id.at(route.ack_path[i + 1])->ingress
+                             : nullptr;
+      r.ack_hops.emplace_back(link->to_demux, next);
+    }
+    for (const auto& [id, delay] : route.delay_overrides) {
+      r.overrides.emplace_back(link_by_id.at(id)->delay.get(), delay);
+    }
+    resolved.push_back(std::move(r));
+    return resolved.back();
+  };
+
+  // Scheduler RNGs split off the topology seed in *global* flow order —
+  // the seeder advances for every flow regardless of shard, so each flow
+  // draws the same stream it would single-threaded.
+  util::Rng seeder{topo.seed};
+  im.schedulers.reserve(topo.num_flows());
+  for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+    const FlowRoute& route = topo.flows[f];
+    const ResolvedRoute& r = resolve(route);
+    const auto flow = static_cast<FlowId>(f);
+    auto scheduler = std::make_unique<FlowScheduler>(
+        im.senders[f].get(), &im.metrics_hub,
+        route.workload.has_value() ? *route.workload : topo.workload,
+        seeder.split());
+    im.senders[f]->wire(flow, r.first_data, &im.metrics_hub, scheduler.get());
+    im.schedulers.push_back(std::move(scheduler));
+
+    for (const auto& [demux, next] : r.data_hops) {
+      demux->set_next(flow, /*is_ack=*/false,
+                      next != nullptr ? next : r.receiver);
+    }
+    r.dst_demux->set_next(flow, /*is_ack=*/true, r.first_ack);
+    for (const auto& [demux, next] : r.ack_hops) {
+      demux->set_next(flow, /*is_ack=*/true,
+                      next != nullptr ? next : im.senders[f].get());
+    }
+    for (const auto& [delay_line, delay] : r.overrides) {
+      delay_line->set_flow_delay(flow, delay);
+    }
+  }
+
+  // Registration fan-out: each shard registers its own components in the
+  // same relative order the single-threaded runner uses globally (senders,
+  // schedulers, then link stages in declaration order), so the per-network
+  // same-instant FIFO tiebreak reproduces the global one among the only
+  // components it is ever compared against — shard-local ones.
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
+    Network& net = im.shards[s].net;
+    for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+      if (plan_.node_shard[node_index.at(topo.flows[f].src)] == s) {
+        net.add(*im.senders[f]);
+      }
+    }
+    for (std::size_t f = 0; f < topo.num_flows(); ++f) {
+      if (plan_.node_shard[node_index.at(topo.flows[f].src)] == s) {
+        net.add(*im.schedulers[f]);
+      }
+    }
+    for (auto& l : im.links) {
+      if (l.bottleneck != nullptr && l.bottleneck_shard == s) {
+        net.add(*l.bottleneck);
+      }
+      if (l.delay != nullptr && l.delay_shard == s) net.add(*l.delay);
+    }
+  }
+}
+
+ShardedRunner::~ShardedRunner() = default;
+
+void ShardedRunner::reset(std::uint64_t seed) {
+  if (fallback_ != nullptr) return fallback_->reset(seed);
+  Impl& im = *impl_;
+  im.metrics_hub.reset();
+  for (auto& r : im.receivers) r->reset_run();
+  for (auto& l : im.links) {
+    if (l.bottleneck != nullptr) l.bottleneck->reset_run();
+    if (l.delay != nullptr) l.delay->reset_run();
+    if (l.channel != nullptr) l.channel->clear();
+  }
+  for (auto& s : im.senders) s->reset_run();
+  util::Rng seeder{seed};
+  for (auto& sch : im.schedulers) sch->reset_run(seeder.split());
+  im.finished = false;
+  for (auto& s : im.shards) s.net.reset();
+}
+
+void ShardedRunner::run_until_ms(TimeMs t) {
+  if (fallback_ != nullptr) return fallback_->run_until_ms(t);
+  if (impl_->finished) {
+    throw std::logic_error{"ShardedRunner: run after finish()"};
+  }
+  impl_->run_until(t);
+}
+
+void ShardedRunner::finish() {
+  if (fallback_ != nullptr) return fallback_->finish();
+  if (impl_->finished) return;
+  impl_->finished = true;
+  const TimeMs t = impl_->shards[0].net.now();
+  for (auto& s : impl_->schedulers) s->finish(t);
+}
+
+TimeMs ShardedRunner::now() const noexcept {
+  return fallback_ != nullptr ? fallback_->now() : impl_->shards[0].net.now();
+}
+
+MetricsHub& ShardedRunner::metrics() {
+  if (fallback_ != nullptr) return fallback_->metrics();
+  finish();
+  return impl_->metrics_hub;
+}
+
+MetricsHub& ShardedRunner::metrics_raw() noexcept {
+  return fallback_ != nullptr ? fallback_->metrics_raw() : impl_->metrics_hub;
+}
+
+Sender& ShardedRunner::sender(std::size_t flow) {
+  return fallback_ != nullptr ? fallback_->sender(flow)
+                              : *impl_->senders.at(flow);
+}
+
+FlowScheduler& ShardedRunner::scheduler(std::size_t flow) {
+  return fallback_ != nullptr ? fallback_->scheduler(flow)
+                              : *impl_->schedulers.at(flow);
+}
+
+std::size_t ShardedRunner::num_flows() const noexcept {
+  return fallback_ != nullptr ? fallback_->num_flows()
+                              : impl_->senders.size();
+}
+
+std::uint64_t ShardedRunner::events_processed() const noexcept {
+  if (fallback_ != nullptr) return fallback_->network().events_processed();
+  std::uint64_t sum = 0;
+  for (const auto& s : impl_->shards) sum += s.net.events_processed();
+  return sum;
+}
+
+FlowTracer& ShardedRunner::attach_tracer(FlowTracer::Config config) {
+  if (fallback_ != nullptr) return fallback_->attach_tracer(config);
+  throw std::logic_error{
+      "ShardedRunner: attach_tracer on a sharded run — construct with "
+      "tracer_requested=true to force the single-threaded fallback"};
+}
+
+FlowTracer* ShardedRunner::tracer() noexcept {
+  return fallback_ != nullptr ? fallback_->tracer() : nullptr;
+}
+
+}  // namespace remy::sim

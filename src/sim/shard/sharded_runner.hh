@@ -1,0 +1,95 @@
+// Conservative-window parallel runner: one Topology, N per-shard Networks.
+//
+// ShardedRunner instantiates the same component graph TopologyRunner
+// builds, but splits it along the cut links a ShardPlan picked: every
+// node's components (senders, schedulers, receivers, demuxes) live in the
+// node's shard, a cut link's upstream stage stays with its `from` node
+// while its DelayLine moves to `to`, and an egress proxy carries crossing
+// packets through a bounded SPSC channel instead of a same-heap handoff.
+//
+// Synchronization is the classic conservative window (YAWNS-style): all
+// shards repeatedly (1) drain their incoming channels into the cut
+// DelayLines, (2) advance their own event heap through a window of
+// `lookahead_ms` — the minimum cut-link delay — and (3) meet at a
+// barrier. A packet captured at time s in window k is deliverable no
+// earlier than s + lookahead, which is strictly after window k ends, so
+// draining at the top of window k+1 always injects it before the window
+// that processes it. Window 0 is zero-width (events at exactly the start
+// instant run first) to make that bound strict from the very first event.
+//
+// The result is *bit-identical* to the single-threaded TopologyRunner:
+// each shard's registration order is the global order filtered (so
+// same-instant FIFO tiebreaks match), scheduler RNGs are split off the
+// topology seed in global flow order, channels preserve per-link FIFO,
+// and cross-shard flows touch disjoint FlowStats fields. The scheme
+// digests gate this equivalence in CI over every blessed scenario.
+//
+// Topologies the plan rejects (no positive-delay cut, per-delivery
+// recording, a tracer) fall back to an internal single-threaded
+// TopologyRunner with a one-time stderr warning — never a silent
+// mis-shard. The wrapper API is uniform either way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/shard/shard_plan.hh"
+#include "sim/topology_runner.hh"
+
+namespace remy::sim {
+
+class ShardedRunner {
+ public:
+  /// Builds the plan for `shards` and either the sharded engine or the
+  /// single-threaded fallback. `tracer_requested` must be true when the
+  /// caller intends to attach_tracer() later; it forces the fallback.
+  ShardedRunner(const Topology& topo, const SenderFactory& make_sender,
+                std::size_t shards, bool tracer_requested = false);
+  ~ShardedRunner();
+
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  /// Arena reuse: rewinds every component and channel exactly like
+  /// TopologyRunner::reset — the RNG re-split happens in global flow order.
+  void reset(std::uint64_t seed);
+
+  /// Advances all shards to `t` (spawning one thread per extra shard for
+  /// the duration of the call), or the fallback runner single-threaded.
+  void run_until_ms(TimeMs t);
+  void run_for_seconds(double seconds) {
+    run_until_ms(now() + seconds * 1000.0);
+  }
+
+  /// Credits partially-elapsed "on" intervals, single-threaded, in global
+  /// flow order. Run calls after finish() throw.
+  void finish();
+
+  TimeMs now() const noexcept;
+  /// Per-flow stats; calls finish() first (use metrics_raw() mid-run).
+  MetricsHub& metrics();
+  MetricsHub& metrics_raw() noexcept;
+
+  Sender& sender(std::size_t flow);
+  FlowScheduler& scheduler(std::size_t flow);
+  std::size_t num_flows() const noexcept;
+  /// Total events across all shard heaps (or the fallback's heap).
+  std::uint64_t events_processed() const noexcept;
+
+  bool sharded() const noexcept { return plan_.sharded(); }
+  const ShardPlan& plan() const noexcept { return plan_; }
+
+  /// Only valid on the fallback path (construct with tracer_requested =
+  /// true, which rejects the plan); throws when sharded.
+  FlowTracer& attach_tracer(FlowTracer::Config config);
+  FlowTracer* tracer() noexcept;
+
+ private:
+  struct Impl;
+
+  ShardPlan plan_;
+  std::unique_ptr<TopologyRunner> fallback_;  ///< set iff !plan_.sharded()
+  std::unique_ptr<Impl> impl_;                ///< set iff plan_.sharded()
+};
+
+}  // namespace remy::sim

@@ -1,0 +1,100 @@
+// Single-producer/single-consumer hand-off queue for one cut link.
+//
+// The producing shard's egress proxy pushes every packet that crosses the
+// cut, stamped with its send time; the consuming shard drains at its next
+// window boundary and feeds the packets into the cut link's DelayLine.
+// The common case is a lock-free ring of raw Packet slots (Packet is
+// trivially copyable by static_assert); when a window's burst overflows
+// the ring, entries spill into a mutex-guarded deque instead of blocking
+// the producer. FIFO order is preserved across the spill: once the
+// overflow flag is set the producer keeps appending to the spill queue
+// (never the ring) until the consumer has fully drained it, and the
+// consumer always empties the ring — whose entries are strictly older —
+// before touching the spill. Only the producer sets the flag and only the
+// consumer clears it, so the producer's relaxed read can never miss its
+// own spill (it reads its own writes) — a stale `true` merely routes one
+// more entry through the mutex path.
+//
+// Correct only for exactly one producer thread and one consumer thread at
+// a time; ShardedRunner guarantees that by construction (each channel
+// belongs to exactly one ordered pair of shards) and proves it under the
+// TSan CI leg.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/packet.hh"
+#include "sim/time.hh"
+
+namespace remy::sim {
+
+class SpscChannel {
+ public:
+  struct Entry {
+    TimeMs sent = 0.0;  ///< clock of the producing shard at hand-off
+    Packet packet{};
+  };
+
+  explicit SpscChannel(std::size_t capacity = 1024) : ring_(capacity + 1) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer side. Never blocks on the consumer; spills under the mutex
+  /// when the ring is full.
+  void push(Packet&& p, TimeMs sent) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) % ring_.size();
+    if (next != head && !spilled_.load(std::memory_order_relaxed)) {
+      ring_[tail].sent = sent;
+      ring_[tail].packet = std::move(p);
+      tail_.store(next, std::memory_order_release);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock{mutex_};
+    spill_.push_back(Entry{sent, std::move(p)});
+    spilled_.store(true, std::memory_order_release);
+  }
+
+  /// Consumer side. Returns false when nothing is pending.
+  bool pop(Entry& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head != tail_.load(std::memory_order_acquire)) {
+      out = ring_[head];
+      head_.store((head + 1) % ring_.size(), std::memory_order_release);
+      return true;
+    }
+    if (!spilled_.load(std::memory_order_acquire)) return false;
+    const std::lock_guard<std::mutex> lock{mutex_};
+    out = spill_.front();
+    spill_.pop_front();
+    if (spill_.empty()) spilled_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Quiescent-only (no concurrent push/pop): drop everything, for
+  /// ShardedRunner::reset.
+  void clear() {
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock{mutex_};
+    spill_.clear();
+    spilled_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Entry> ring_;  ///< one slot wasted to distinguish full/empty
+  std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  std::atomic<bool> spilled_{false};
+  std::mutex mutex_;
+  std::deque<Entry> spill_;
+};
+
+}  // namespace remy::sim

@@ -122,6 +122,34 @@ TEST(Evaluator, ParallelMatchesSerial) {
                    eval.evaluate(tree, false, &pool).score);
 }
 
+TEST(Evaluator, ShardedScoringIsBitIdenticalToSerial) {
+  // --shards is a pure wall-time knob: the conservative-window PDES path
+  // must reproduce the single-threaded score exactly (not approximately),
+  // both on fresh runners and through the pooled-arena reset path. This is
+  // what lets --shards change across a checkpoint resume without breaking
+  // kill-and-resume bit-identity.
+  const Evaluator serial{small_range(), small_eval()};
+  const WhiskerTree tree;
+  const EvalResult want = serial.evaluate(tree);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    EvaluatorOptions opt = small_eval();
+    opt.shards = shards;
+    const Evaluator eval{small_range(), opt};
+    for (int round = 0; round < 2; ++round) {  // round 2 reuses the arena
+      const EvalResult got = eval.evaluate(tree);
+      ASSERT_EQ(got.specimens.size(), want.specimens.size());
+      EXPECT_EQ(got.score, want.score) << "shards " << shards;
+      for (std::size_t i = 0; i < want.specimens.size(); ++i) {
+        EXPECT_EQ(got.specimens[i].utility_sum, want.specimens[i].utility_sum);
+        EXPECT_EQ(got.specimens[i].mean_throughput_mbps,
+                  want.specimens[i].mean_throughput_mbps);
+        EXPECT_EQ(got.specimens[i].mean_delay_ms,
+                  want.specimens[i].mean_delay_ms);
+      }
+    }
+  }
+}
+
 TEST(Evaluator, UsageRecordedWhenRequested) {
   const Evaluator eval{small_range(), small_eval()};
   const WhiskerTree tree;

@@ -245,11 +245,11 @@ INSTANTIATE_TEST_SUITE_P(
                       "fat_tree_incast", "fig10_rttfair", "fig11_prior",
                       "fig4_dumbbell8", "fig5_dumbbell12", "fig6_seqplot",
                       "fig7_lte4", "fig8_lte8", "fig9_att4", "fig9_saddle4",
-                      "incast_1000", "mixed_rtt_competing", "parking_lot",
-                      "satellite_rtt", "shared_reverse_cellular",
-                      "table1_dumbbell", "table2_cellular",
-                      "table5_datacenter", "table6_competing",
-                      "two_hop_asym"),
+                      "incast_1000", "incast_10000", "mixed_rtt_competing",
+                      "parking_lot", "satellite_rtt",
+                      "shared_reverse_cellular", "table1_dumbbell",
+                      "table2_cellular", "table5_datacenter",
+                      "table6_competing", "two_hop_asym"),
     [](const auto& param_info) { return param_info.param; });
 
 }  // namespace

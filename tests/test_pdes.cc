@@ -1,0 +1,418 @@
+// The conservative-window PDES engine (sim/shard/): ShardPlan partitioning
+// and rejection rules, the bit-identity proof that ShardedRunner reproduces
+// the single-threaded TopologyRunner on every preset shape — randomized
+// over shard counts, seeds, and per-flow RTT overrides — and the digest
+// gate replaying every blessed scenario at --shards 2 and 4 against
+// data/scheme_digests.json. Runs under ctest label `pdes`; CI repeats the
+// label in the TSan leg, where the env-gated broken-lock canary at the
+// bottom proves the sanitizer is actually watching.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "cc/newreno.hh"
+#include "cc/registry.hh"
+#include "cc/transport.hh"
+#include "core/scheme_registry.hh"
+#include "core/scenario_spec.hh"
+#include "sim/shard/shard_plan.hh"
+#include "sim/shard/sharded_runner.hh"
+#include "sim/topology.hh"
+#include "sim/topology_runner.hh"
+#include "util/json.hh"
+#include "workload/distributions.hh"
+
+namespace remy::sim {
+namespace {
+
+std::unique_ptr<Sender> newreno_sender(FlowId) {
+  return std::make_unique<cc::Transport>(std::make_unique<cc::NewReno>());
+}
+
+/// Short bursty transfers so schedulers, retransmits, and idle periods all
+/// exercise within a couple of simulated seconds.
+OnOffConfig bursty() {
+  return OnOffConfig::by_bytes(workload::Distribution::exponential(40000.0),
+                               workload::Distribution::exponential(200.0));
+}
+
+Topology dumbbell_topo(std::size_t n, std::uint64_t seed,
+                       std::vector<TimeMs> flow_rtts = {}) {
+  Topology t = Topology::dumbbell(
+      DumbbellTopo{n, 12.0, 100.0, std::move(flow_rtts), nullptr, nullptr});
+  t.workload = bursty();
+  t.seed = seed;
+  return t;
+}
+
+// ---- ShardPlan -------------------------------------------------------------
+
+TEST(ShardPlanTest, DumbbellCutsAtTheRttWithHalfRttLookahead) {
+  const Topology t = dumbbell_topo(4, 1);
+  const ShardPlan plan = ShardPlan::build(t, 2);
+  ASSERT_TRUE(plan.sharded());
+  EXPECT_EQ(plan.num_shards, 2u);
+  EXPECT_TRUE(plan.rejection.empty());
+  // snd and rcv land in different shards; both directions are cut links.
+  ASSERT_EQ(plan.node_shard.size(), 2u);
+  EXPECT_NE(plan.node_shard[0], plan.node_shard[1]);
+  ASSERT_EQ(plan.link_cut.size(), 2u);
+  EXPECT_TRUE(plan.link_cut[0]);
+  EXPECT_TRUE(plan.link_cut[1]);
+  // The window is the minimum one-way propagation delay: rtt / 2.
+  EXPECT_DOUBLE_EQ(plan.lookahead_ms, 50.0);
+}
+
+TEST(ShardPlanTest, PerFlowOverrideTightensTheLookahead) {
+  // One flow crosses the bottleneck with a 10 ms one-way override; the
+  // window must shrink to the smallest delay any flow experiences.
+  Topology t = dumbbell_topo(2, 1);
+  t.flows[1].delay_overrides = {{"bottleneck", 10.0}, {"ack", 10.0}};
+  const ShardPlan plan = ShardPlan::build(t, 2);
+  ASSERT_TRUE(plan.sharded());
+  EXPECT_DOUBLE_EQ(plan.lookahead_ms, 10.0);
+}
+
+TEST(ShardPlanTest, ZeroDelayHopFusesTheEndpointsAndRejects) {
+  // rtt 0: both stages have zero effective delay, so snd and rcv fuse into
+  // one component group and no cut exists.
+  Topology t = Topology::dumbbell(DumbbellTopo{2, 12.0, 0.0, {}, nullptr,
+                                               nullptr});
+  t.workload = bursty();
+  const ShardPlan plan = ShardPlan::build(t, 2);
+  EXPECT_FALSE(plan.sharded());
+  EXPECT_EQ(plan.num_shards, 1u);
+  EXPECT_FALSE(plan.rejection.empty());
+}
+
+TEST(ShardPlanTest, ZeroDelayOverrideFusesEvenWhenTheLinkHasDelay) {
+  // The link's own delay is 50 ms, but one flow crosses it with a 0 ms
+  // override — that flow would give the downstream shard no slack.
+  Topology t = dumbbell_topo(2, 1);
+  t.flows[0].delay_overrides = {{"bottleneck", 0.0}};
+  const ShardPlan plan = ShardPlan::build(t, 2);
+  EXPECT_FALSE(plan.sharded());
+  EXPECT_FALSE(plan.rejection.empty());
+}
+
+TEST(ShardPlanTest, DeliveryRecordingAndTracersReject) {
+  Topology t = dumbbell_topo(2, 1);
+  t.record_deliveries = true;
+  EXPECT_FALSE(ShardPlan::build(t, 2).sharded());
+  EXPECT_FALSE(ShardPlan::build(t, 2).rejection.empty());
+
+  const Topology clean = dumbbell_topo(2, 1);
+  const ShardPlan traced = ShardPlan::build(clean, 2, true);
+  EXPECT_FALSE(traced.sharded());
+  EXPECT_FALSE(traced.rejection.empty());
+}
+
+TEST(ShardPlanTest, SingleShardRequestIsNotARejection) {
+  const ShardPlan plan = ShardPlan::build(dumbbell_topo(2, 1), 1);
+  EXPECT_FALSE(plan.sharded());
+  EXPECT_TRUE(plan.rejection.empty());
+}
+
+TEST(ShardPlanTest, FatTreeSpreadsLeavesAcrossShards) {
+  Topology t = Topology::fat_tree_incast(FatTreeTopo{});  // 8 flows, 4 leaves
+  t.workload = bursty();
+  const ShardPlan plan = ShardPlan::build(t, 4);
+  ASSERT_TRUE(plan.sharded());
+  EXPECT_EQ(plan.num_shards, 4u);
+  // Every shard owns at least one node (the greedy packer seeds each shard
+  // with one group before balancing the rest).
+  std::vector<std::size_t> nodes_per(plan.num_shards, 0);
+  for (const std::size_t s : plan.node_shard) ++nodes_per.at(s);
+  for (std::size_t s = 0; s < plan.num_shards; ++s) {
+    EXPECT_GT(nodes_per[s], 0u) << "shard " << s << " is empty";
+  }
+}
+
+TEST(ShardPlanTest, RequestBeyondComponentGroupsClampsLoudly) {
+  // A dumbbell has exactly two component groups; asking for 8 shards still
+  // yields a valid 2-shard plan rather than empty shards.
+  const ShardPlan plan = ShardPlan::build(dumbbell_topo(4, 1), 8);
+  ASSERT_TRUE(plan.sharded());
+  EXPECT_EQ(plan.requested, 8u);
+  EXPECT_EQ(plan.num_shards, 2u);
+}
+
+// ---- sharded-vs-single bit identity ---------------------------------------
+
+/// Every FlowStats field, bit for bit, plus the clock. This is the whole
+/// contract: if any counter or accumulated double drifts, the PDES engine
+/// reordered something.
+void expect_identical(TopologyRunner& want, ShardedRunner& got,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(want.num_flows(), got.num_flows());
+  EXPECT_EQ(want.now(), got.now());
+  MetricsHub& a = want.metrics();
+  MetricsHub& b = got.metrics();
+  for (FlowId f = 0; f < want.num_flows(); ++f) {
+    SCOPED_TRACE("flow " + std::to_string(f));
+    const FlowStats& x = a.flow(f);
+    const FlowStats& y = b.flow(f);
+    EXPECT_EQ(x.bytes_delivered, y.bytes_delivered);
+    EXPECT_EQ(x.packets_delivered, y.packets_delivered);
+    EXPECT_EQ(x.dup_packets, y.dup_packets);
+    EXPECT_EQ(x.packets_sent, y.packets_sent);
+    EXPECT_EQ(x.retransmissions, y.retransmissions);
+    EXPECT_EQ(x.timeouts, y.timeouts);
+    EXPECT_EQ(x.ecn_echoes, y.ecn_echoes);
+    EXPECT_EQ(x.sum_queue_delay_ms, y.sum_queue_delay_ms);
+    EXPECT_EQ(x.sum_rtt_ms, y.sum_rtt_ms);
+    EXPECT_EQ(x.rtt_samples, y.rtt_samples);
+    EXPECT_EQ(x.on_time_ms, y.on_time_ms);
+    EXPECT_EQ(x.transfers_started, y.transfers_started);
+    EXPECT_EQ(x.transfers_completed, y.transfers_completed);
+  }
+}
+
+struct PresetCase {
+  std::string name;
+  Topology topo;
+};
+
+std::vector<PresetCase> preset_cases(std::uint64_t seed) {
+  std::vector<PresetCase> cases;
+  cases.push_back({"dumbbell", dumbbell_topo(6, seed)});
+  // Per-flow RTT overrides: the differing-RTT regime of Sec. 5.4, and the
+  // case where the lookahead comes from an override rather than the link.
+  cases.push_back(
+      {"dumbbell_rtts", dumbbell_topo(4, seed, {60.0, 100.0, 140.0, 80.0})});
+  {
+    Topology t = Topology::parking_lot(TwoHopTopo{6, 10.0, 8.0, 80.0, 120.0,
+                                                  nullptr});
+    t.workload = bursty();
+    t.seed = seed;
+    cases.push_back({"parking_lot", std::move(t)});
+  }
+  {
+    Topology t = Topology::cross_traffic(TwoHopTopo{6, 10.0, 8.0, 80.0, 120.0,
+                                                    nullptr});
+    t.workload = bursty();
+    t.seed = seed;
+    cases.push_back({"cross_traffic", std::move(t)});
+  }
+  {
+    Topology t =
+        Topology::reverse_path(ReversePathTopo{6, 10.0, 6.0, 100.0, nullptr});
+    t.workload = bursty();
+    t.seed = seed;
+    cases.push_back({"reverse_path", std::move(t)});
+  }
+  {
+    Topology t = Topology::fat_tree_incast(
+        FatTreeTopo{16, 4, 100.0, 50.0, 2.0, 2.0, nullptr});
+    t.workload = bursty();
+    t.seed = seed;
+    cases.push_back({"fat_tree_incast", std::move(t)});
+  }
+  return cases;
+}
+
+class ShardEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardEquivalence, EveryPresetReplaysBitIdentically) {
+  const std::size_t shards = GetParam();
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    for (PresetCase& c : preset_cases(seed)) {
+      TopologyRunner want{c.topo, newreno_sender};
+      ShardedRunner got{c.topo, newreno_sender, shards};
+      // Shard counts > 1 must genuinely shard on these shapes — otherwise
+      // this suite silently degenerates into runner-vs-itself.
+      if (shards > 1) {
+        ASSERT_TRUE(got.sharded())
+            << c.name << ": plan rejected: " << got.plan().rejection;
+      }
+      want.run_for_seconds(2.0);
+      got.run_for_seconds(2.0);
+      expect_identical(want, got,
+                       c.name + " seed " + std::to_string(seed) + " shards " +
+                           std::to_string(shards));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardEquivalence,
+                         ::testing::Values(1, 2, 4),
+                         [](const auto& param_info) {
+                           return "shards" + std::to_string(param_info.param);
+                         });
+
+TEST(ShardEquivalenceOps, SegmentedRunsAndArenaResetMatch) {
+  // run_until in uneven segments (window boundaries never align with the
+  // segment ends) and arena reuse must both replay the one-shot run.
+  const Topology topo = dumbbell_topo(6, 3);
+  TopologyRunner want{topo, newreno_sender};
+  want.run_for_seconds(1.5);
+
+  ShardedRunner got{topo, newreno_sender, 2};
+  ASSERT_TRUE(got.sharded());
+  for (const TimeMs t : {137.0, 512.5, 1100.0, 1500.0}) got.run_until_ms(t);
+  expect_identical(want, got, "segmented");
+
+  // Reset both to a different seed and run again: the arena path re-splits
+  // scheduler RNGs in global flow order, so the replays stay aligned.
+  TopologyRunner want2{topo, newreno_sender};
+  want2.reset(99);
+  want2.run_for_seconds(1.5);
+  got.reset(99);
+  got.run_for_seconds(1.5);
+  expect_identical(want2, got, "after reset");
+}
+
+TEST(ShardEquivalenceOps, EventsAreConservedAcrossShards) {
+  const Topology topo = dumbbell_topo(4, 5);
+  ShardedRunner net{topo, newreno_sender, 2};
+  ASSERT_TRUE(net.sharded());
+  net.run_for_seconds(1.0);
+  EXPECT_GT(net.events_processed(), 0u);
+  EXPECT_GT(net.metrics().flow(0).packets_sent, 0u);
+}
+
+// ---- fallback behavior -----------------------------------------------------
+
+TEST(ShardFallback, RejectedPlanRunsSingleThreadedWithTheSameResults) {
+  // Zero-RTT dumbbell: no cut exists, so --shards 4 falls back. The run
+  // must still be the plain single-threaded result, not an error.
+  Topology t = Topology::dumbbell(DumbbellTopo{3, 12.0, 0.0, {}, nullptr,
+                                               nullptr});
+  t.workload = bursty();
+  t.seed = 11;
+  TopologyRunner want{t, newreno_sender};
+  ShardedRunner got{t, newreno_sender, 4};
+  EXPECT_FALSE(got.sharded());
+  EXPECT_FALSE(got.plan().rejection.empty());
+  want.run_for_seconds(1.0);
+  got.run_for_seconds(1.0);
+  expect_identical(want, got, "fallback");
+}
+
+TEST(ShardFallback, TracerRequestFallsBackAndTracerAttaches) {
+  const Topology topo = dumbbell_topo(2, 1);
+  ShardedRunner net{topo, newreno_sender, 2, /*tracer_requested=*/true};
+  EXPECT_FALSE(net.sharded());
+  FlowTracer::Config config;
+  config.interval_ms = 100.0;
+  EXPECT_NO_THROW(net.attach_tracer(config));
+  EXPECT_NE(net.tracer(), nullptr);
+
+  ShardedRunner sharded{topo, newreno_sender, 2};
+  ASSERT_TRUE(sharded.sharded());
+  EXPECT_THROW(sharded.attach_tracer(config), std::logic_error);
+  EXPECT_EQ(sharded.tracer(), nullptr);
+}
+
+// ---- digest gate over every blessed scenario -------------------------------
+
+/// Replays a shipped scenario under its smoke settings at --shards 2 and 4
+/// and compares each results hash against the *blessed* digest — the same
+/// values the single-threaded SchemeDigest suite pins — so the sharded
+/// engine is held to bit-identity with the recorded history, not merely
+/// with itself.
+class ShardedSchemeDigest : public ::testing::TestWithParam<std::string> {};
+
+std::string blessed_digest(const std::string& scenario) {
+  const util::Json doc = util::json_from_file(std::string{REMY_DATA_DIR} +
+                                              "/scheme_digests.json");
+  return doc.at("digests").at(scenario).as_string();
+}
+
+std::string sharded_digest(const std::string& scenario, const char* shards) {
+  const char* argv[] = {"test_pdes", "--smoke", "--shards", shards};
+  const util::Cli cli{4, argv};
+  const core::ScenarioSpec spec = bench::load_scenario(scenario);
+  const bench::SpecRun run = bench::execute_spec(spec, cli);
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(
+                    bench::results_hash(bench::results_json(run))));
+  return hash;
+}
+
+TEST_P(ShardedSchemeDigest, ReplaysTheBlessedDigestSharded) {
+  const std::string want = blessed_digest(GetParam());
+  for (const char* shards : {"2", "4"}) {
+    EXPECT_EQ(sharded_digest(GetParam(), shards), want)
+        << "scenario " << GetParam() << " diverges at --shards " << shards
+        << "; the PDES engine must replay the blessed single-threaded "
+           "digest bit-identically";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShippedScenarios, ShardedSchemeDigest,
+    ::testing::Values("ablation_signals", "cross_traffic_reverse",
+                      "fat_tree_incast", "fig10_rttfair", "fig11_prior",
+                      "fig4_dumbbell8", "fig5_dumbbell12", "fig6_seqplot",
+                      "fig7_lte4", "fig8_lte8", "fig9_att4", "fig9_saddle4",
+                      "incast_1000", "incast_10000", "mixed_rtt_competing",
+                      "parking_lot", "satellite_rtt",
+                      "shared_reverse_cellular", "table1_dumbbell",
+                      "table2_cellular", "table5_datacenter",
+                      "table6_competing", "two_hop_asym"),
+    [](const auto& param_info) { return param_info.param; });
+
+TEST(ShardedSchemeDigestCoverage, KnownScenariosActuallyShard) {
+  // Non-vacuity for the digest gate: if every plan fell back, the suite
+  // above would pass without ever running the parallel engine. These
+  // scenario topologies must genuinely admit a cut.
+  core::install_builtin_schemes();
+  for (const std::string name :
+       {"fig4_dumbbell8", "parking_lot", "fat_tree_incast", "incast_1000",
+        "incast_10000"}) {
+    SCOPED_TRACE(name);
+    const core::ScenarioSpec spec = bench::load_scenario(name);
+    core::TopologyBuild build;
+    build.workload = spec.workload.materialize();
+    build.default_queue = cc::Registry::global().queue_factory(spec.queue);
+    const Topology topo = spec.topology.materialize(build);
+    EXPECT_TRUE(ShardPlan::build(topo, 2).sharded());
+  }
+  // And the headline scale scenario spreads across at least 4 shards.
+  const core::ScenarioSpec big = bench::load_scenario("incast_10000");
+  core::TopologyBuild build;
+  build.workload = big.workload.materialize();
+  build.default_queue = cc::Registry::global().queue_factory(big.queue);
+  EXPECT_EQ(ShardPlan::build(big.topology.materialize(build), 4).num_shards,
+            4u);
+}
+
+// ---- TSan canary -----------------------------------------------------------
+
+TEST(PdesCanary, DeliberatelyBrokenLockTripsTsan) {
+  // Gated: REMY_PDES_CANARY=1 under REMY_SANITIZE=thread must produce a
+  // ThreadSanitizer data-race report from this test (CI asserts the
+  // non-zero exit). If it ever passes silently there, TSan is not actually
+  // instrumenting the pdes suite and the clean runs above prove nothing.
+  if (std::getenv("REMY_PDES_CANARY") == nullptr) {
+    GTEST_SKIP() << "set REMY_PDES_CANARY=1 (under REMY_SANITIZE=thread) to "
+                    "verify the sanitizer fires";
+  }
+  int counter = 0;
+  std::mutex mutex;
+  std::thread locked{[&] {
+    for (int i = 0; i < 100000; ++i) {
+      const std::lock_guard<std::mutex> lock{mutex};
+      ++counter;
+    }
+  }};
+  std::thread broken{[&] {
+    for (int i = 0; i < 100000; ++i) ++counter;  // no lock: the race
+  }};
+  locked.join();
+  broken.join();
+  EXPECT_GT(counter, 0);
+}
+
+}  // namespace
+}  // namespace remy::sim

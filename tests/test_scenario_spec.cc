@@ -140,6 +140,40 @@ TEST(ScenarioSpec, PresetTopologyRoundTrips) {
   EXPECT_EQ(back.to_json().dump(2), j.dump(2));
 }
 
+TEST(ScenarioSpec, FatTreeLeavesRoundTripsAndIsPresetGuarded) {
+  ScenarioSpec spec = tiny_spec();
+  spec.topology.preset = "fat_tree_incast";
+  spec.topology.num_senders = 64;
+  spec.topology.leaves = 8;
+  const util::Json j = spec.to_json();
+  EXPECT_EQ(j.at("topology").at("leaves").as_number(), 8.0);
+  const ScenarioSpec back = ScenarioSpec::from_json(j);
+  EXPECT_EQ(back, spec);
+  ASSERT_TRUE(back.topology.leaves.has_value());
+  EXPECT_EQ(*back.topology.leaves, 8u);
+
+  // Materialize honors the leaf count: 8 leaves + aggregation + core sink.
+  core::install_builtin_schemes();
+  TopologyBuild build;
+  build.default_queue =
+      cc::Registry::global().queue_factory("droptail:capacity=10");
+  EXPECT_EQ(back.topology.materialize(build).nodes.size(), 10u);
+
+  // Unset stays implicit (the blessed fat_tree_incast digest embeds its
+  // spec JSON, which predates the key).
+  ScenarioSpec plain = tiny_spec();
+  plain.topology.preset = "fat_tree_incast";
+  EXPECT_FALSE(plain.to_json().at("topology").contains("leaves"));
+
+  // leaves is fat_tree_incast-only and must be positive.
+  util::Json wrong_preset = tiny_spec().to_json();
+  wrong_preset.as_object()["topology"].as_object()["leaves"] = 4;
+  EXPECT_THROW(ScenarioSpec::from_json(wrong_preset), util::JsonError);
+  util::Json zero = j;
+  zero.as_object()["topology"].as_object()["leaves"] = 0;
+  EXPECT_THROW(ScenarioSpec::from_json(zero), util::JsonError);
+}
+
 TEST(ScenarioSpec, DumbbellTopologyStaysImplicit) {
   // Pre-topology-API specs must serialize unchanged (the blessed digests
   // embed the spec JSON), so the dumbbell preset never emits a preset key.

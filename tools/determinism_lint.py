@@ -317,6 +317,18 @@ def self_test() -> int:
                 f"expected 2 directive errors from bad file, got {bad_errors}"
             )
 
+        # Scope collection must recurse: the PDES engine lives in the
+        # src/sim/shard/ subdirectory, and a non-recursive glob would let its
+        # barrier/channel code drift out of lint coverage silently.
+        shard_dir = REPO_ROOT / "src" / "sim" / "shard"
+        if shard_dir.is_dir():
+            collected = collect_files(["src/sim"])
+            if not any(shard_dir in p.parents for p in collected):
+                failures.append(
+                    "collect_files(['src/sim']) missed src/sim/shard/ — "
+                    "subdirectory recursion is broken"
+                )
+
         if failures:
             print("determinism_lint self-test FAILED:")
             for f in failures:

@@ -72,6 +72,7 @@ void print_usage() {
 
 util::Json series_json(const std::vector<sim::TelemetryFrame>& series) {
   util::JsonArray frames;
+  frames.reserve(series.size());
   for (const auto& f : series) {
     util::JsonObject o;
     o["t_ms"] = f.t_ms;
@@ -86,7 +87,7 @@ util::Json series_json(const std::vector<sim::TelemetryFrame>& series) {
     o["timeouts"] = f.timeouts;
     o["ecn_echoes"] = f.ecn_echoes;
     o["delivery_rate_mbps"] = f.delivery_rate_mbps;
-    frames.push_back(util::Json{std::move(o)});
+    frames.emplace_back(std::move(o));
   }
   return util::Json{std::move(frames)};
 }

@@ -33,6 +33,10 @@ void print_usage() {
       "  --json FILE          write machine-readable results\n"
       "  --flow-stats         add per-flow summaries to the JSON\n"
       "  --trace-interval MS  sample per-flow telemetry at this period\n"
+      "  --shards N           split each run across N cores along the\n"
+      "                       topology's cut links (bit-identical results;\n"
+      "                       falls back single-threaded with a warning\n"
+      "                       when no valid cut exists)\n"
       "  --hash               print the results hash per scenario\n"
       "  --list-schemes       list registered schemes and queue discs\n"
       "  --list-topologies    list topology presets and their parameters\n");
@@ -69,7 +73,8 @@ int main(int argc, char** argv) {
     cli.require_known({"help", "scenario", "schemes", "scheme", "runs",
                        "duration", "arena", "full", "smoke", "require-tables",
                        "json", "hash", "flow-stats", "trace-interval",
-                       "list-schemes", "list-queues", "list-topologies"});
+                       "shards", "list-schemes", "list-queues",
+                       "list-topologies"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -57,7 +57,7 @@ void print_usage(const char* program) {
       "          [--threads N] [--seed N] [--start FILE]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-keep N]\n"
       "          [--resume DIR|FILE] [--workers N] [--task-timeout-ms MS]\n"
-      "          [--worker-retries N] [--digest]\n"
+      "          [--worker-retries N] [--shards N] [--digest]\n"
       "\n"
       "  --start FILE        seed the search from a saved rule table\n"
       "                      (optimizer progress and generations reset)\n"
@@ -66,6 +66,13 @@ void print_usage(const char* program) {
       "                      newest valid snapshot in a checkpoint directory\n"
       "  --workers N         score candidates in N supervised forked\n"
       "                      workers (0 = in-process threads)\n"
+      "  --shards N          split each specimen simulation across N cores\n"
+      "                      (conservative-window PDES; scores and digests\n"
+      "                      are bit-identical, so it composes with\n"
+      "                      --resume and --workers and can change across\n"
+      "                      a resume). Use it to shrink per-specimen wall\n"
+      "                      time when candidates outnumber cores less\n"
+      "                      than specimens do\n"
       "  --digest            print the result's tree digest and exact score\n",
       program);
 }
@@ -87,7 +94,8 @@ int main(int argc, char** argv) {
                        "specimens", "sim-seconds", "max-whiskers", "rounds",
                        "threads", "seed", "start", "checkpoint-dir",
                        "checkpoint-keep", "resume", "workers",
-                       "task-timeout-ms", "worker-retries", "digest"});
+                       "task-timeout-ms", "worker-retries", "shards",
+                       "digest"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -105,6 +113,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get("specimens", std::int64_t{8}));
   opt.eval.simulation_ms = cli.get("sim-seconds", 8.0) * 1000.0;
   opt.eval.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+  opt.eval.shards =
+      static_cast<std::size_t>(cli.get("shards", std::int64_t{1}));
   opt.max_epochs = static_cast<std::uint32_t>(cli.get("epochs", std::int64_t{9}));
   opt.max_whiskers =
       static_cast<std::size_t>(cli.get("max-whiskers", std::int64_t{64}));
